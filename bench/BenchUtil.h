@@ -1,0 +1,138 @@
+//===- bench/BenchUtil.h - Shared benchmark harness helpers -----*- C++ -*-===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the table/figure reproduction binaries: run the full
+/// Narada pipeline and the detection protocol over one corpus class, and
+/// small fixed-width table printing utilities.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NARADA_BENCH_BENCHUTIL_H
+#define NARADA_BENCH_BENCHUTIL_H
+
+#include "corpus/Corpus.h"
+#include "detect/Detection.h"
+#include "support/StringUtils.h"
+#include "support/Timer.h"
+#include "synth/Narada.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace narada {
+namespace bench {
+
+/// Everything measured for one corpus class.
+struct ClassRun {
+  const CorpusEntry *Entry = nullptr;
+  NaradaResult Narada;
+  unsigned FocusMethodCount = 0;
+  double SynthesisSecondsTotal = 0.0;
+
+  // Detection aggregates (distinct race keys across all tests).
+  std::set<std::string> Detected;
+  std::set<std::string> Reproduced;
+  std::set<std::string> Harmful;
+  std::set<std::string> Benign;
+  /// Distinct race keys confirmed per test, for the Fig. 14 distribution.
+  std::vector<unsigned> RacesPerTest;
+};
+
+/// Runs synthesis for one class; aborts the process with a message on
+/// pipeline errors (benchmarks are not expected to handle them).
+inline ClassRun runSynthesis(const CorpusEntry &Entry,
+                             const NaradaOptions &Extra = {}) {
+  ClassRun Out;
+  Out.Entry = &Entry;
+
+  NaradaOptions Options = Extra;
+  Options.FocusClass = Entry.ClassName;
+
+  Timer Clock;
+  Result<NaradaResult> R = runNarada(Entry.Source, Entry.SeedNames, Options);
+  if (!R) {
+    std::fprintf(stderr, "%s: pipeline error: %s\n", Entry.Id.c_str(),
+                 R.error().str().c_str());
+    std::exit(1);
+  }
+  Out.Narada = R.take();
+  Out.SynthesisSecondsTotal = Clock.seconds();
+
+  const ClassInfo *Focus =
+      Out.Narada.Program.Info->findClass(Entry.ClassName);
+  Out.FocusMethodCount =
+      Focus ? static_cast<unsigned>(Focus->Methods.size()) : 0;
+  return Out;
+}
+
+/// Runs the detection protocol over every synthesized test of \p Run.
+inline void runDetection(ClassRun &Run, const DetectOptions &Options) {
+  for (const SynthesizedTestInfo &T : Run.Narada.Tests) {
+    Result<TestDetectionResult> D = detectRacesInTest(
+        *Run.Narada.Program.Module, T.Name, Options, T.CandidateLabels);
+    if (!D) {
+      std::fprintf(stderr, "%s/%s: detection error: %s\n",
+                   Run.Entry->Id.c_str(), T.Name.c_str(),
+                   D.error().str().c_str());
+      std::exit(1);
+    }
+    std::set<std::string> PerTest;
+    for (const RaceReport &Race : D->Detected) {
+      Run.Detected.insert(Race.key());
+      PerTest.insert(Race.key());
+    }
+    for (const ConfirmedRace &C : D->Races) {
+      if (!C.Reproduced)
+        continue;
+      Run.Detected.insert(C.Report.key());
+      Run.Reproduced.insert(C.Report.key());
+      PerTest.insert(C.Report.key());
+      (C.Harmful ? Run.Harmful : Run.Benign).insert(C.Report.key());
+    }
+    Run.RacesPerTest.push_back(static_cast<unsigned>(PerTest.size()));
+  }
+}
+
+/// Moderate detection options keeping the full-corpus benches fast.
+inline DetectOptions defaultDetectOptions() {
+  DetectOptions Options;
+  Options.RandomRuns = 6;
+  Options.ConfirmAttempts = 2;
+  return Options;
+}
+
+/// Prints a row of fixed-width columns.
+inline void printRow(const std::vector<std::string> &Cells,
+                     const std::vector<int> &Widths) {
+  std::string Line;
+  for (size_t I = 0; I < Cells.size(); ++I) {
+    int Width = I < Widths.size() ? Widths[I] : 12;
+    if (Width < 0)
+      Line += padRight(Cells[I], static_cast<size_t>(-Width));
+    else
+      Line += padLeft(Cells[I], static_cast<size_t>(Width));
+    Line += "  ";
+  }
+  std::printf("%s\n", Line.c_str());
+}
+
+/// Prints a dashed separator sized for \p Widths.
+inline void printRule(const std::vector<int> &Widths) {
+  size_t Total = 0;
+  for (int W : Widths)
+    Total += static_cast<size_t>(W < 0 ? -W : W) + 2;
+  std::printf("%s\n", std::string(Total, '-').c_str());
+}
+
+} // namespace bench
+} // namespace narada
+
+#endif // NARADA_BENCH_BENCHUTIL_H

@@ -1,0 +1,68 @@
+//===- bench/ablation_detectors.cpp - Detector-stack ablation ------------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+// Ablation called out in DESIGN.md: contribution of each passive detector.
+// The happens-before detector (FastTrack-style) is precise but only sees
+// races the sampled schedules actually interleave; the lockset detector
+// (Eraser-style) predicts races from locking discipline regardless of the
+// observed order.  The paper leans on both ideas: locksets to *generate*
+// tests, happens-before (via RaceFuzzer) to *validate* them.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace narada;
+using namespace narada::bench;
+
+namespace {
+
+std::set<std::string> detectedWith(ClassRun &Run, bool UseHB,
+                                   bool UseLockSet) {
+  DetectOptions Options;
+  Options.RandomRuns = 6;
+  Options.ConfirmAttempts = 0; // Passive detection only.
+  Options.UseHB = UseHB;
+  Options.UseLockSet = UseLockSet;
+
+  std::set<std::string> Keys;
+  for (const SynthesizedTestInfo &T : Run.Narada.Tests) {
+    Result<TestDetectionResult> D = detectRacesInTest(
+        *Run.Narada.Program.Module, T.Name, Options, {});
+    if (!D) {
+      std::fprintf(stderr, "detection error: %s\n", D.error().str().c_str());
+      std::exit(1);
+    }
+    for (const RaceReport &Race : D->Detected)
+      Keys.insert(Race.key());
+  }
+  return Keys;
+}
+
+} // namespace
+
+int main() {
+  std::printf("Ablation: passive detectors on the synthesized tests "
+              "(distinct races detected)\n\n");
+  const std::vector<int> Widths = {-4, 9, 11, 8};
+  printRow({"Id", "HB only", "Lockset only", "Both"}, Widths);
+  printRule(Widths);
+
+  for (const CorpusEntry &Entry : corpus()) {
+    ClassRun Run = runSynthesis(Entry);
+    std::set<std::string> HB = detectedWith(Run, true, false);
+    std::set<std::string> Lockset = detectedWith(Run, false, true);
+    std::set<std::string> Both = detectedWith(Run, true, true);
+    printRow({Entry.Id, std::to_string(HB.size()),
+              std::to_string(Lockset.size()),
+              std::to_string(Both.size())},
+             Widths);
+  }
+
+  std::printf("\nLockset flags locking-discipline violations independent "
+              "of the observed order (more reports, may include "
+              "false positives); HB reports only races the sampled "
+              "schedules exhibited (precise).  Narada feeds both.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+//===- bench/contege_comparison.cpp - Reproduces the §5 ConTeGe comparison -----===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+// §5's closing comparison: ConTeGe, running a random search with a
+// crash/deadlock oracle, "was able to detect two thread-safety violations
+// in C5 and one in C6 by generating 2.9K and 105 tests respectively.  For
+// other benchmarks it generated between 1K-70K tests, yet was unable to
+// detect any thread-safety violations."
+//
+// Shape to reproduce: the random baseline needs orders of magnitude more
+// tests than Narada synthesizes, finds violations in at most a couple of
+// classes (those whose races *crash*), and is blind to silent races that
+// Narada's directed tests surface as harmful.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "contege/Contege.h"
+
+using namespace narada;
+using namespace narada::bench;
+
+int main() {
+  std::printf("ConTeGe-style random baseline vs. Narada-directed "
+              "synthesis\n\n");
+  const std::vector<int> Widths = {-4, 10, 12, 12, 13, 13, 11};
+  printRow({"Id", "CTG tests", "CTG viol.", "CTG silent", "Narada tests",
+            "Narada races", "harmful"},
+           Widths);
+  printRule(Widths);
+
+  for (const CorpusEntry &Entry : corpus()) {
+    ContegeOptions Options;
+    Options.MaxTests = 400;
+    Options.SchedulesPerTest = 6;
+    Options.Seed = 11;
+    Result<ContegeResult> Baseline =
+        runContege(Entry.Source, Entry.ClassName, Options);
+    if (!Baseline) {
+      std::fprintf(stderr, "%s: contege error: %s\n", Entry.Id.c_str(),
+                   Baseline.error().str().c_str());
+      return 1;
+    }
+
+    ClassRun Run = runSynthesis(Entry);
+    DetectOptions Detect = defaultDetectOptions();
+    Detect.RandomRuns = 4;
+    Detect.ConfirmAttempts = 2;
+    runDetection(Run, Detect);
+
+    printRow({Entry.Id, std::to_string(Baseline->TestsGenerated),
+              std::to_string(Baseline->ViolationsFound),
+              std::to_string(Baseline->SilentRacyTests),
+              std::to_string(Run.Narada.Tests.size()),
+              std::to_string(Run.Reproduced.size()),
+              std::to_string(Run.Harmful.size())},
+             Widths);
+  }
+
+  std::printf("\nCTG viol. = thread-safety violations under the ConTeGe "
+              "crash/deadlock oracle; CTG silent = randomly generated "
+              "tests whose executions raced (per the HB detector) without "
+              "crashing — invisible to that oracle.  The paper's result: "
+              "ConTeGe found violations only in C5/C6 with thousands of "
+              "tests; Narada's handful of directed tests expose harmful "
+              "races in every class.\n");
+  return 0;
+}

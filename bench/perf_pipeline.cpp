@@ -1,0 +1,121 @@
+//===- bench/perf_pipeline.cpp - Pipeline microbenchmarks ----------------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+// google-benchmark timings for the pipeline stages, backing Table 4's
+// "synthesis is cheap" claim: front end, sequential execution + trace
+// analysis, pair generation, full synthesis, and one detection run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AccessAnalysis.h"
+#include "corpus/Corpus.h"
+#include "detect/Detection.h"
+#include "runtime/Execution.h"
+#include "synth/Narada.h"
+#include "synth/PairGenerator.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace narada;
+
+namespace {
+
+const CorpusEntry &entryFor(int Index) {
+  return corpus()[static_cast<size_t>(Index)];
+}
+
+void BM_Compile(benchmark::State &State) {
+  const CorpusEntry &Entry = entryFor(static_cast<int>(State.range(0)));
+  for (auto _ : State) {
+    Result<CompiledProgram> P = compileProgram(Entry.Source);
+    benchmark::DoNotOptimize(P.hasValue());
+  }
+  State.SetLabel(Entry.Id);
+}
+
+void BM_SeedTraceAnalysis(benchmark::State &State) {
+  const CorpusEntry &Entry = entryFor(static_cast<int>(State.range(0)));
+  Result<CompiledProgram> P = compileProgram(Entry.Source);
+  for (auto _ : State) {
+    AnalysisResult Analysis;
+    for (const std::string &Seed : Entry.SeedNames) {
+      Result<TestRun> Run = runTestSequential(*P->Module, Seed);
+      Analysis.merge(analyzeTrace(Run->TheTrace, *P->Info));
+    }
+    benchmark::DoNotOptimize(Analysis.Accesses.size());
+  }
+  State.SetLabel(Entry.Id);
+}
+
+void BM_PairGeneration(benchmark::State &State) {
+  const CorpusEntry &Entry = entryFor(static_cast<int>(State.range(0)));
+  Result<CompiledProgram> P = compileProgram(Entry.Source);
+  AnalysisResult Analysis;
+  for (const std::string &Seed : Entry.SeedNames) {
+    Result<TestRun> Run = runTestSequential(*P->Module, Seed);
+    Analysis.merge(analyzeTrace(Run->TheTrace, *P->Info));
+  }
+  PairGenOptions Options;
+  Options.FocusClass = Entry.ClassName;
+  for (auto _ : State) {
+    std::vector<RacyPair> Pairs = generatePairs(Analysis, Options);
+    benchmark::DoNotOptimize(Pairs.size());
+  }
+  State.SetLabel(Entry.Id);
+}
+
+void BM_FullSynthesis(benchmark::State &State) {
+  const CorpusEntry &Entry = entryFor(static_cast<int>(State.range(0)));
+  NaradaOptions Options;
+  Options.FocusClass = Entry.ClassName;
+  for (auto _ : State) {
+    Result<NaradaResult> R =
+        runNarada(Entry.Source, Entry.SeedNames, Options);
+    benchmark::DoNotOptimize(R.hasValue());
+  }
+  State.SetLabel(Entry.Id);
+}
+
+void BM_DetectOneTest(benchmark::State &State) {
+  const CorpusEntry &Entry = entryFor(static_cast<int>(State.range(0)));
+  NaradaOptions Options;
+  Options.FocusClass = Entry.ClassName;
+  Result<NaradaResult> R = runNarada(Entry.Source, Entry.SeedNames, Options);
+  if (!R || R->Tests.empty()) {
+    State.SkipWithError("no synthesized tests");
+    return;
+  }
+  DetectOptions Detect;
+  Detect.RandomRuns = 4;
+  Detect.ConfirmAttempts = 1;
+  const SynthesizedTestInfo &T = R->Tests.front();
+  for (auto _ : State) {
+    Result<TestDetectionResult> D = detectRacesInTest(
+        *R->Program.Module, T.Name, Detect, T.CandidateLabels);
+    benchmark::DoNotOptimize(D.hasValue());
+  }
+  State.SetLabel(Entry.Id);
+}
+
+} // namespace
+
+// Index 0 = C1 (small), 3 = C4 (most methods), 5 = C6 (largest bodies).
+BENCHMARK(BM_Compile)->Arg(0)->Arg(3)->Arg(5)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SeedTraceAnalysis)
+    ->Arg(0)
+    ->Arg(3)
+    ->Arg(5)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PairGeneration)
+    ->Arg(0)
+    ->Arg(3)
+    ->Arg(5)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FullSynthesis)
+    ->Arg(0)
+    ->Arg(5)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DetectOneTest)->Arg(0)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+//===- examples/context_chain.cpp - Deriving multi-step contexts ----------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+// The paper's Fig. 13 example: the racy access in A.foo() touches
+// this.x.o, but no single call puts a chosen object into A.x — bar()
+// assigns this.x = z.w, so the client must first call z.baz(x) to plant
+// the shared object in z.w, then a.bar(z) and a2.bar(z) to wire both
+// receivers.  This example shows the Q derivation (§3.3) computing exactly
+// that method sequence and the synthesizer emitting it.
+//
+// Build & run:  ./build/examples/context_chain
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AccessAnalysis.h"
+#include "detect/Detection.h"
+#include "runtime/Execution.h"
+#include "synth/ContextDeriver.h"
+#include "synth/Narada.h"
+
+#include <cstdio>
+
+using namespace narada;
+
+static const char *Library = R"(
+class X { field o: int; }
+class Y { }
+
+class Z {
+  field w: X;
+  method baz(x: X) { this.w = x; }
+}
+
+class A {
+  field x: X;
+  field y: Y;
+  method init() { this.x = new X; }
+  method foo(y: Y) {
+    synchronized (this) {
+      var t: X = this.x;
+      t.o = rand();
+      this.y = y;
+    }
+  }
+  method bar(z: Z) { this.x = z.w; }
+}
+
+test seed {
+  var x: X = new X;
+  var z: Z = new Z;
+  z.baz(x);
+  var a: A = new A();
+  a.bar(z);
+  var y: Y = new Y;
+  a.foo(y);
+}
+)";
+
+int main() {
+  std::printf("== Fig. 13: context derivation through a setter chain ==\n\n");
+
+  // Stage 1: analyze the seed trace to build the setter database.
+  Result<CompiledProgram> P = compileProgram(Library);
+  if (!P) {
+    std::fprintf(stderr, "compile error: %s\n", P.error().str().c_str());
+    return 1;
+  }
+  Result<TestRun> Seed = runTestSequential(*P->Module, "seed");
+  if (!Seed) {
+    std::fprintf(stderr, "seed error: %s\n", Seed.error().str().c_str());
+    return 1;
+  }
+  AnalysisResult Analysis = analyzeTrace(Seed->TheTrace, *P->Info);
+
+  std::printf("Writeable assignments the analysis learned (the D "
+              "database):\n");
+  for (const WriteableAssign &W : Analysis.Setters)
+    std::printf("  %s\n", W.str().c_str());
+
+  // Stage 2b: ask Q how a client can drive A.x to a chosen object.
+  ContextDeriver Deriver(Analysis, *P->Info);
+  std::unique_ptr<ProvidePlan> Plan = Deriver.derive("A", {"x"});
+  std::printf("\nQ(I0.x) = %s\n", Plan->str().c_str());
+  std::printf("Reading: obtain an A, call bar with a Z whose w field was "
+              "first set (via baz) to the shared X — the paper's\n"
+              "  z.baz(x); a.bar(z); a2.bar(z);\ncontext.\n\n");
+
+  // Full pipeline: the synthesized test realizes the derivation.
+  Result<NaradaResult> R = runNarada(Library, {"seed"});
+  if (!R) {
+    std::fprintf(stderr, "pipeline error: %s\n", R.error().str().c_str());
+    return 1;
+  }
+  for (const SynthesizedTestInfo &T : R->Tests) {
+    if (T.Representative.First.Method != "foo" || !T.ContextComplete)
+      continue;
+    std::printf("Synthesized racy test:\n%s\n", T.SourceText.c_str());
+    Result<TestDetectionResult> D = detectRacesInTest(
+        *R->Program.Module, T.Name, {}, T.CandidateLabels);
+    if (D)
+      std::printf("Detection: %zu detected, %u reproduced, %u harmful\n",
+                  D->Detected.size(), D->reproducedCount(),
+                  D->harmfulCount());
+    break;
+  }
+  return 0;
+}

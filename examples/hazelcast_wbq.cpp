@@ -1,0 +1,88 @@
+//===- examples/hazelcast_wbq.cpp - The motivating example ----------------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+// The paper's §2 motivating example: hazelcast's
+// SynchronizedWriteBehindQueue assigns `mutex = this` instead of the
+// wrapped queue, so two wrappers built around one CoalescedWriteBehindQueue
+// (via the WriteBehindQueues factory) update it under different locks.
+// This example runs the corpus C1 model through the pipeline and prints a
+// synthesized test with the paper's Fig. 3 structure — two wrappers, one
+// backing queue, two threads calling removeFirst().
+//
+// Build & run:  ./build/examples/hazelcast_wbq
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "detect/Detection.h"
+#include "synth/Narada.h"
+
+#include <cstdio>
+
+using namespace narada;
+
+int main() {
+  const CorpusEntry *C1 = findCorpusEntry("C1");
+  if (!C1) {
+    std::fprintf(stderr, "corpus entry C1 missing\n");
+    return 1;
+  }
+  std::printf("== %s (%s %s) ==\n%s\n\n", C1->ClassName.c_str(),
+              C1->Benchmark.c_str(), C1->Version.c_str(),
+              C1->Description.c_str());
+
+  NaradaOptions Options;
+  Options.FocusClass = C1->ClassName;
+  Result<NaradaResult> R = runNarada(C1->Source, C1->SeedNames, Options);
+  if (!R) {
+    std::fprintf(stderr, "pipeline error: %s\n", R.error().str().c_str());
+    return 1;
+  }
+  std::printf("Racy pairs: %zu, synthesized tests: %zu\n\n",
+              R->Pairs.size(), R->Tests.size());
+
+  // Find the Fig. 3 test: removeFirst racing removeFirst through a shared
+  // CoalescedWriteBehindQueue.  Prefer one whose race actually reproduces.
+  const SynthesizedTestInfo *Fig3 = nullptr;
+  for (const SynthesizedTestInfo &T : R->Tests) {
+    if (T.Representative.First.Method != "removeFirst" ||
+        T.Representative.Second.Method != "removeFirst" ||
+        T.SharedClassName != "CoalescedWriteBehindQueue" ||
+        !T.ContextComplete)
+      continue;
+    Fig3 = &T;
+    Result<TestDetectionResult> Probe = detectRacesInTest(
+        *R->Program.Module, T.Name, {}, T.CandidateLabels);
+    if (Probe && Probe->harmfulCount() > 0)
+      break; // This one demonstrably loses updates; show it.
+  }
+
+  if (!Fig3) {
+    std::fprintf(stderr,
+                 "expected a removeFirst/removeFirst test (Fig. 3)\n");
+    return 1;
+  }
+
+  std::printf("The synthesized racy test (cf. the paper's Fig. 3):\n%s\n",
+              Fig3->SourceText.c_str());
+  std::printf("Both spawned receivers wrap ONE backing queue; each\n"
+              "removeFirst() locks only its own wrapper.\n\n");
+
+  Result<TestDetectionResult> D = detectRacesInTest(
+      *R->Program.Module, Fig3->Name, {}, Fig3->CandidateLabels);
+  if (!D) {
+    std::fprintf(stderr, "detection error: %s\n", D.error().str().c_str());
+    return 1;
+  }
+  std::printf("Detection on %s: %zu races detected, %u reproduced, "
+              "%u harmful\n",
+              Fig3->Name.c_str(), D->Detected.size(), D->reproducedCount(),
+              D->harmfulCount());
+  for (const ConfirmedRace &C : D->Races)
+    if (C.Reproduced && C.Harmful)
+      std::printf("  HARMFUL: %s\n", C.Report.str().c_str());
+
+  std::printf("\n(The real bug: hazelcast issue #4039, found by Narada.)\n");
+  return 0;
+}

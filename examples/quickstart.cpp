@@ -1,0 +1,97 @@
+//===- examples/quickstart.cpp - Five-minute tour ------------------------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+// The paper's Fig. 1 example, end to end:
+//
+//   1. define a small "thread-safe" library in MiniJava (Lib wraps a
+//      Counter; update() and set() are synchronized — looks safe!);
+//   2. hand Narada the library plus ONE sequential seed test;
+//   3. Narada analyzes the seed execution, finds that update() mutates
+//      this.c.count while holding only the *receiver's* lock, derives that
+//      set() can make two receivers share one Counter, and synthesizes a
+//      multithreaded client program;
+//   4. the detector stack confirms the race and classifies it harmful.
+//
+// Build & run:  ./build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/Detection.h"
+#include "synth/Narada.h"
+
+#include <cstdio>
+
+using namespace narada;
+
+// The library under test plus one sequential seed test (Fig. 1 + Fig. 5
+// in spirit).  Each library method is invoked once, no special states.
+static const char *Library = R"(
+class Counter {
+  field count: int;
+  method inc() { this.count = this.count + 1; }
+}
+
+class Lib {
+  field c: Counter;
+  method update() synchronized { this.c.inc(); }
+  method set(x: Counter) synchronized { this.c = x; }
+}
+
+test seed {
+  var r: Counter = new Counter;
+  var p: Lib = new Lib;
+  p.set(r);
+  p.update();
+}
+)";
+
+int main() {
+  std::printf("== Narada quickstart: the paper's Fig. 1 library ==\n\n");
+
+  // Run the full pipeline: trace analysis, pair generation, context
+  // derivation, test synthesis.
+  Result<NaradaResult> R = runNarada(Library, {"seed"});
+  if (!R) {
+    std::fprintf(stderr, "pipeline error: %s\n", R.error().str().c_str());
+    return 1;
+  }
+
+  std::printf("Racy pairs found by the analysis: %zu\n", R->Pairs.size());
+  for (const RacyPair &Pair : R->Pairs)
+    std::printf("  %s\n", Pair.str().c_str());
+
+  std::printf("\nSynthesized multithreaded tests: %zu\n\n",
+              R->Tests.size());
+  for (const SynthesizedTestInfo &T : R->Tests) {
+    std::printf("--- %s (shares a %s, context %s) ---\n%s\n",
+                T.Name.c_str(), T.SharedClassName.c_str(),
+                T.ContextComplete ? "complete" : "partial",
+                T.SourceText.c_str());
+  }
+
+  // Run each synthesized test through detection + confirmation + triage.
+  std::printf("== Detection ==\n");
+  for (const SynthesizedTestInfo &T : R->Tests) {
+    Result<TestDetectionResult> D = detectRacesInTest(
+        *R->Program.Module, T.Name, {}, T.CandidateLabels);
+    if (!D) {
+      std::fprintf(stderr, "detection error: %s\n",
+                   D.error().str().c_str());
+      return 1;
+    }
+    std::printf("%s: %zu detected, %u reproduced, %u harmful, %u benign\n",
+                T.Name.c_str(), D->Detected.size(), D->reproducedCount(),
+                D->harmfulCount(), D->benignCount());
+    for (const ConfirmedRace &C : D->Races)
+      if (C.Reproduced)
+        std::printf("  %s -> %s\n", C.Report.str().c_str(),
+                    C.Harmful ? "HARMFUL (final state depends on order)"
+                              : "benign");
+  }
+
+  std::printf("\nThe count++ race the paper opens with is real: two\n"
+              "synchronized-looking update() calls lose increments when\n"
+              "their receivers share one Counter.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+//===- analysis/AnalysisPrinter.cpp - Analysis result rendering ----------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AnalysisPrinter.h"
+
+#include "support/StringUtils.h"
+
+using namespace narada;
+
+std::string narada::printAccessRecord(const AccessRecord &Record) {
+  std::string Out = formatString(
+      "%s.%s %s %s.%s via %s", Record.ClassName.c_str(),
+      Record.Method.c_str(), Record.IsWrite ? "WRITE" : "READ",
+      Record.FieldClassName.c_str(), Record.Field.c_str(),
+      Record.BasePath ? Record.BasePath->str().c_str() : "<internal>");
+  if (Record.Unprotected)
+    Out += " [unprotected]";
+  if (Record.Writeable)
+    Out += " [writeable]";
+  if (Record.InConstructor)
+    Out += " [ctor]";
+  if (!Record.HeldLockPaths.empty()) {
+    std::vector<std::string> Locks;
+    for (const auto &Lock : Record.HeldLockPaths)
+      Locks.push_back(Lock ? Lock->str() : "<internal>");
+    Out += " locks={" + join(Locks, ", ") + "}";
+  }
+  Out += "  @" + Record.staticLabel();
+  return Out;
+}
+
+std::string narada::printAnalysis(const AnalysisResult &Result,
+                                  bool UnprotectedOnly) {
+  std::string Out = UnprotectedOnly ? "== unprotected accesses ==\n"
+                                    : "== accesses ==\n";
+  for (const AccessRecord &Record : Result.Accesses) {
+    if (UnprotectedOnly && !Record.Unprotected)
+      continue;
+    Out += "  " + printAccessRecord(Record) + "\n";
+  }
+  Out += "\n== writeable assignments (setters) ==\n";
+  for (const WriteableAssign &W : Result.Setters)
+    Out += "  " + W.str() + "\n";
+  Out += "\n== return summaries (getters/factories) ==\n";
+  for (const ReturnSummary &R : Result.Returns)
+    Out += "  " + R.str() + "\n";
+  return Out;
+}

@@ -1,0 +1,35 @@
+//===- analysis/AnalysisPrinter.h - Analysis result rendering ---*- C++ -*-===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Human-readable rendering of stage-1 results: the unprotected/writeable
+/// access listing (the paper's A projection), the setter database and the
+/// return summaries (D).  Used by narada-cli and handy when debugging why
+/// a pair was or was not generated.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NARADA_ANALYSIS_ANALYSISPRINTER_H
+#define NARADA_ANALYSIS_ANALYSISPRINTER_H
+
+#include "analysis/AccessAnalysis.h"
+
+#include <string>
+
+namespace narada {
+
+/// One line describing an access record, e.g.
+/// "Lib.update WRITE Counter.count via I0.c [unprotected] locks={I0}".
+std::string printAccessRecord(const AccessRecord &Record);
+
+/// Renders the full result: accesses (optionally only unprotected ones),
+/// setters and return summaries, section by section.
+std::string printAnalysis(const AnalysisResult &Result,
+                          bool UnprotectedOnly = false);
+
+} // namespace narada
+
+#endif // NARADA_ANALYSIS_ANALYSISPRINTER_H

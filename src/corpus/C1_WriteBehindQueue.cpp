@@ -1,0 +1,217 @@
+//===- corpus/C1_WriteBehindQueue.cpp - hazelcast C1 ---------------------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+// Model of hazelcast-3.3.2's SynchronizedWriteBehindQueue — the paper's
+// motivating example (Fig. 2).  Defect structure preserved:
+//  * CoalescedWriteBehindQueue performs no synchronization;
+//  * SynchronizedWriteBehindQueue assigns `mutex = this` instead of the
+//    wrapped queue, so its synchronized methods lock the *wrapper*;
+//  * WriteBehindQueues is the factory whose createSafeWriteBehindQueue can
+//    wrap one coalesced queue into several wrappers.
+// Two wrappers sharing one backing queue therefore update it under
+// different locks: every wrapper method pair races on the backing state.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace narada;
+
+static const char *C1Source = R"(
+// hazelcast WriteBehindQueue model (C1).
+
+class DelayedEntry {
+  field value: int;
+  field next: DelayedEntry;
+  method setValue(v: int) { this.value = v; }
+  method getValue(): int { return this.value; }
+}
+
+// No synchronization whatsoever: relies on the wrapper for thread safety.
+class CoalescedWriteBehindQueue {
+  field head: DelayedEntry;
+  field count: int;
+
+  method addFirst(e: DelayedEntry) {
+    e.next = this.head;
+    this.head = e;
+    this.count = this.count + 1;
+  }
+
+  method addLast(e: DelayedEntry) {
+    e.next = null;
+    if (this.head == null) {
+      this.head = e;
+    } else {
+      var cur: DelayedEntry = this.head;
+      while (cur.next != null) { cur = cur.next; }
+      cur.next = e;
+    }
+    this.count = this.count + 1;
+  }
+
+  method removeFirst(): DelayedEntry {
+    var first: DelayedEntry = this.head;
+    if (first == null) { return null; }
+    this.head = first.next;
+    this.count = this.count - 1;
+    return first;
+  }
+
+  method peekFirst(): DelayedEntry { return this.head; }
+
+  method clear() {
+    this.head = null;
+    this.count = 0;
+  }
+
+  method size(): int { return this.count; }
+
+  method contains(v: int): bool {
+    var cur: DelayedEntry = this.head;
+    while (cur != null) {
+      if (cur.value == v) { return true; }
+      cur = cur.next;
+    }
+    return false;
+  }
+}
+
+// "Thread safe write behind queue."  The bug: every method synchronizes on
+// the wrapper (mutex = this) while the guarded state lives in this.queue,
+// which several wrappers may share.
+class SynchronizedWriteBehindQueue {
+  field queue: CoalescedWriteBehindQueue;
+
+  method init(q: CoalescedWriteBehindQueue) { this.queue = q; }
+
+  method addFirst(e: DelayedEntry) synchronized {
+    this.queue.addFirst(e);
+  }
+
+  method addLast(e: DelayedEntry) synchronized {
+    this.queue.addLast(e);
+  }
+
+  method offer(e: DelayedEntry) synchronized {
+    this.queue.addLast(e);
+  }
+
+  method removeFirst(): DelayedEntry synchronized {
+    return this.queue.removeFirst();
+  }
+
+  method poll(): DelayedEntry synchronized {
+    return this.queue.removeFirst();
+  }
+
+  method peekFirst(): DelayedEntry synchronized {
+    return this.queue.peekFirst();
+  }
+
+  method clear() synchronized {
+    this.queue.clear();
+  }
+
+  method size(): int synchronized {
+    return this.queue.size();
+  }
+
+  method isEmpty(): bool synchronized {
+    return this.queue.size() == 0;
+  }
+
+  method contains(v: int): bool synchronized {
+    return this.queue.contains(v);
+  }
+
+  method drainTo(target: CoalescedWriteBehindQueue) synchronized {
+    var e: DelayedEntry = this.queue.removeFirst();
+    while (e != null) {
+      target.addLast(e);
+      e = this.queue.removeFirst();
+    }
+  }
+
+  method addAll(src: CoalescedWriteBehindQueue) synchronized {
+    var e: DelayedEntry = src.removeFirst();
+    while (e != null) {
+      this.queue.addLast(e);
+      e = src.removeFirst();
+    }
+  }
+
+  method getQueue(): CoalescedWriteBehindQueue synchronized {
+    return this.queue;
+  }
+}
+
+// Static factory methods (modeled as instance methods of a factory object).
+class WriteBehindQueues {
+  method createCoalescedWriteBehindQueue(): CoalescedWriteBehindQueue {
+    return new CoalescedWriteBehindQueue;
+  }
+  method createSafeWriteBehindQueue(q: CoalescedWriteBehindQueue)
+      : SynchronizedWriteBehindQueue {
+    return new SynchronizedWriteBehindQueue(q);
+  }
+}
+
+// Seed suite: every method invoked once, no constrained object states.
+test seedC1 {
+  var qs: WriteBehindQueues = new WriteBehindQueues;
+  var cq: CoalescedWriteBehindQueue = qs.createCoalescedWriteBehindQueue();
+  cq.clear();
+  var e1: DelayedEntry = new DelayedEntry;
+  e1.setValue(1);
+  var v1: int = e1.getValue();
+  var e2: DelayedEntry = new DelayedEntry;
+  var e0: DelayedEntry = new DelayedEntry;
+  cq.addFirst(e1);
+  cq.addLast(e2);
+  cq.addLast(e0);
+  var p1: DelayedEntry = cq.peekFirst();
+  var r1: DelayedEntry = cq.removeFirst();
+  var n1: int = cq.size();
+  var b1: bool = cq.contains(1);
+  var sq: SynchronizedWriteBehindQueue = qs.createSafeWriteBehindQueue(cq);
+  sq.clear();
+  var e3: DelayedEntry = new DelayedEntry;
+  var e4: DelayedEntry = new DelayedEntry;
+  var e5: DelayedEntry = new DelayedEntry;
+  sq.addFirst(e3);
+  sq.addLast(e4);
+  sq.offer(e5);
+  var p2: DelayedEntry = sq.peekFirst();
+  var r2: DelayedEntry = sq.removeFirst();
+  var r3: DelayedEntry = sq.poll();
+  var n2: int = sq.size();
+  var b2: bool = sq.isEmpty();
+  var b3: bool = sq.contains(0);
+  var tgt: CoalescedWriteBehindQueue = qs.createCoalescedWriteBehindQueue();
+  sq.drainTo(tgt);
+  var srcq: CoalescedWriteBehindQueue = qs.createCoalescedWriteBehindQueue();
+  var e6: DelayedEntry = new DelayedEntry;
+  var e7: DelayedEntry = new DelayedEntry;
+  srcq.addFirst(e6);
+  srcq.addFirst(e7);
+  sq.addAll(srcq);
+  var gq: CoalescedWriteBehindQueue = sq.getQueue();
+  sq.addFirst(new DelayedEntry);
+}
+)";
+
+CorpusEntry narada::corpusC1() {
+  CorpusEntry Entry;
+  Entry.Id = "C1";
+  Entry.Benchmark = "hazelcast";
+  Entry.Version = "3.3.2";
+  Entry.ClassName = "SynchronizedWriteBehindQueue";
+  Entry.Description =
+      "wrapper synchronizes on itself (mutex = this) instead of the wrapped "
+      "queue; wrappers sharing one backing queue race on it";
+  Entry.Source = C1Source;
+  Entry.SeedNames = {"seedC1"};
+  return Entry;
+}

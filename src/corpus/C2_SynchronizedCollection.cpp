@@ -1,0 +1,220 @@
+//===- corpus/C2_SynchronizedCollection.cpp - openjdk C2 -----------------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+// Model of openjdk 1.7's Collections$SynchronizedCollection.  Defect
+// structure preserved: the wrapper takes the backing collection as a
+// constructor argument and synchronizes on *itself*; two wrappers around
+// one backing list serialize nothing.  The wrapper also leaks the backing
+// list through getBacking(), mirroring how the JDK wrapper's iterator must
+// be user-synchronized.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace narada;
+
+static const char *C2Source = R"(
+// openjdk SynchronizedCollection model (C2).
+
+// A plain growable int list, no synchronization (the ArrayList role).
+class SimpleList {
+  field elems: IntArray;
+  field count: int;
+
+  method init() { this.elems = new IntArray(8); }
+
+  method ensureCapacity(needed: int) {
+    if (needed <= this.elems.length()) { return; }
+    var bigger: IntArray = new IntArray(needed * 2);
+    var i: int = 0;
+    while (i < this.count) {
+      bigger.set(i, this.elems.get(i));
+      i = i + 1;
+    }
+    this.elems = bigger;
+  }
+
+  method add(v: int) {
+    this.ensureCapacity(this.count + 1);
+    this.elems.set(this.count, v);
+    this.count = this.count + 1;
+  }
+
+  method removeAt(index: int): int {
+    if (index < 0 || index >= this.count) { return 0 - 1; }
+    var removed: int = this.elems.get(index);
+    var i: int = index;
+    while (i < this.count - 1) {
+      this.elems.set(i, this.elems.get(i + 1));
+      i = i + 1;
+    }
+    this.count = this.count - 1;
+    return removed;
+  }
+
+  method indexOf(v: int): int {
+    var i: int = 0;
+    while (i < this.count) {
+      if (this.elems.get(i) == v) { return i; }
+      i = i + 1;
+    }
+    return 0 - 1;
+  }
+
+  method get(index: int): int {
+    if (index < 0 || index >= this.count) { return 0; }
+    return this.elems.get(index);
+  }
+
+  method set(index: int, v: int) {
+    if (index < 0 || index >= this.count) { return; }
+    this.elems.set(index, v);
+  }
+
+  method size(): int { return this.count; }
+  method isEmpty(): bool { return this.count == 0; }
+  method clear() { this.count = 0; }
+  method contains(v: int): bool { return this.indexOf(v) >= 0; }
+}
+
+// "Synchronized" wrapper: every method locks the wrapper object, but the
+// backing list is shared state supplied by the client.
+class SynchronizedCollection {
+  field c: SimpleList;
+
+  method init(list: SimpleList) { this.c = list; }
+
+  method add(v: int) synchronized { this.c.add(v); }
+
+  method remove(v: int): bool synchronized {
+    var index: int = this.c.indexOf(v);
+    if (index < 0) { return false; }
+    var dropped: int = this.c.removeAt(index);
+    return true;
+  }
+
+  method removeAt(index: int): int synchronized {
+    return this.c.removeAt(index);
+  }
+
+  method get(index: int): int synchronized { return this.c.get(index); }
+
+  method set(index: int, v: int) synchronized { this.c.set(index, v); }
+
+  method contains(v: int): bool synchronized { return this.c.contains(v); }
+
+  method containsAll(other: SimpleList): bool synchronized {
+    var i: int = 0;
+    while (i < other.size()) {
+      if (!this.c.contains(other.get(i))) { return false; }
+      i = i + 1;
+    }
+    return true;
+  }
+
+  method addAll(other: SimpleList) synchronized {
+    var i: int = 0;
+    while (i < other.size()) {
+      this.c.add(other.get(i));
+      i = i + 1;
+    }
+  }
+
+  method removeAll(other: SimpleList) synchronized {
+    var i: int = 0;
+    while (i < other.size()) {
+      var index: int = this.c.indexOf(other.get(i));
+      if (index >= 0) {
+        var dropped: int = this.c.removeAt(index);
+      }
+      i = i + 1;
+    }
+  }
+
+  method size(): int synchronized { return this.c.size(); }
+  method isEmpty(): bool synchronized { return this.c.isEmpty(); }
+  method clear() synchronized { this.c.clear(); }
+
+  method indexOf(v: int): int synchronized { return this.c.indexOf(v); }
+
+  method first(): int synchronized { return this.c.get(0); }
+
+  method last(): int synchronized {
+    return this.c.get(this.c.size() - 1);
+  }
+
+  method swap(i: int, j: int) synchronized {
+    var a: int = this.c.get(i);
+    var b: int = this.c.get(j);
+    this.c.set(i, b);
+    this.c.set(j, a);
+  }
+
+  method getBacking(): SimpleList synchronized { return this.c; }
+
+  method copyInto(target: SimpleList) synchronized {
+    var i: int = 0;
+    while (i < this.c.size()) {
+      target.add(this.c.get(i));
+      i = i + 1;
+    }
+  }
+}
+
+test seedC2 {
+  var list: SimpleList = new SimpleList();
+  list.add(3);
+  list.add(4);
+  var g0: int = list.get(0);
+  list.set(0, 5);
+  var i0: int = list.indexOf(5);
+  var r0: int = list.removeAt(0);
+  var n0: int = list.size();
+  var b0: bool = list.isEmpty();
+  var b1: bool = list.contains(4);
+  list.ensureCapacity(4);
+  list.clear();
+  var sc: SynchronizedCollection = new SynchronizedCollection(list);
+  sc.add(7);
+  sc.add(8);
+  var b2: bool = sc.remove(7);
+  var r1: int = sc.removeAt(0);
+  sc.add(9);
+  var g1: int = sc.get(0);
+  sc.set(0, 10);
+  var b3: bool = sc.contains(10);
+  var other: SimpleList = new SimpleList();
+  other.add(10);
+  var b4: bool = sc.containsAll(other);
+  sc.addAll(other);
+  sc.removeAll(other);
+  var n1: int = sc.size();
+  var b5: bool = sc.isEmpty();
+  var i1: int = sc.indexOf(10);
+  sc.add(11);
+  sc.add(12);
+  var f: int = sc.first();
+  var l: int = sc.last();
+  sc.swap(0, 1);
+  var back: SimpleList = sc.getBacking();
+  var target: SimpleList = new SimpleList();
+  sc.copyInto(target);
+  sc.clear();
+}
+)";
+
+CorpusEntry narada::corpusC2() {
+  CorpusEntry Entry;
+  Entry.Id = "C2";
+  Entry.Benchmark = "openjdk";
+  Entry.Version = "1.7";
+  Entry.ClassName = "SynchronizedCollection";
+  Entry.Description =
+      "wrapper locks itself while the client-supplied backing list is "
+      "shareable across wrappers; getBacking() additionally leaks it";
+  Entry.Source = C2Source;
+  Entry.SeedNames = {"seedC2"};
+  return Entry;
+}

@@ -1,0 +1,126 @@
+//===- corpus/C3_CharArrayWriter.cpp - openjdk C3 ------------------------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+// Model of openjdk 1.7's java.io.CharArrayWriter.  Defect structure
+// preserved: the write/append/toCharArray family synchronizes on the
+// writer, but reset() (and our size probes) touch `count` without any
+// lock — reset() in the real class is famously unsynchronized.  writeTo
+// additionally mutates a *target* writer's state under only the source's
+// lock.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace narada;
+
+static const char *C3Source = R"(
+// openjdk CharArrayWriter model (C3).
+
+class CharArrayWriter {
+  field buf: IntArray;
+  field count: int;
+
+  method init() { this.buf = new IntArray(16); }
+
+  method ensureCapacity(needed: int) synchronized {
+    if (needed <= this.buf.length()) { return; }
+    var bigger: IntArray = new IntArray(needed * 2);
+    var i: int = 0;
+    while (i < this.count) {
+      bigger.set(i, this.buf.get(i));
+      i = i + 1;
+    }
+    this.buf = bigger;
+  }
+
+  method writeChar(c: int) synchronized {
+    this.ensureCapacity(this.count + 1);
+    this.buf.set(this.count, c);
+    this.count = this.count + 1;
+  }
+
+  method writeChars(data: IntArray, off: int, len: int) synchronized {
+    if (off < 0 || len < 0 || off + len > data.length()) { return; }
+    this.ensureCapacity(this.count + len);
+    var i: int = 0;
+    while (i < len) {
+      this.buf.set(this.count + i, data.get(off + i));
+      i = i + 1;
+    }
+    this.count = this.count + len;
+  }
+
+  method appendChar(c: int) synchronized { this.writeChar(c); }
+
+  // Writes this writer's contents into another writer.  Only *this* is
+  // locked: the target's state is updated under a foreign lock.
+  method writeTo(target: CharArrayWriter) synchronized {
+    var i: int = 0;
+    while (i < this.count) {
+      target.writeChar(this.buf.get(i));
+      i = i + 1;
+    }
+  }
+
+  method toCharArray(): IntArray synchronized {
+    var copy: IntArray = new IntArray(this.count);
+    var i: int = 0;
+    while (i < this.count) {
+      copy.set(i, this.buf.get(i));
+      i = i + 1;
+    }
+    return copy;
+  }
+
+  method size(): int synchronized { return this.count; }
+
+  // The real CharArrayWriter.reset() is NOT synchronized.
+  method reset() { this.count = 0; }
+
+  // Unsynchronized capacity probe.
+  method capacity(): int { return this.buf.length(); }
+
+  // Unsynchronized emptiness probe.
+  method isEmpty(): bool { return this.count == 0; }
+
+  method flush() { }
+  method close() { }
+}
+
+test seedC3 {
+  var w: CharArrayWriter = new CharArrayWriter();
+  w.writeChar(65);
+  var data: IntArray = new IntArray(4);
+  data.set(0, 66);
+  data.set(1, 67);
+  w.writeChars(data, 0, 2);
+  w.appendChar(68);
+  var target: CharArrayWriter = new CharArrayWriter();
+  w.writeTo(target);
+  var copy: IntArray = w.toCharArray();
+  var n: int = w.size();
+  var cap: int = w.capacity();
+  w.ensureCapacity(8);
+  var em: bool = w.isEmpty();
+  w.flush();
+  w.close();
+  w.reset();
+}
+)";
+
+CorpusEntry narada::corpusC3() {
+  CorpusEntry Entry;
+  Entry.Id = "C3";
+  Entry.Benchmark = "openjdk";
+  Entry.Version = "1.7";
+  Entry.ClassName = "CharArrayWriter";
+  Entry.Description =
+      "write family is synchronized but reset()/capacity() touch the "
+      "buffer state with no lock; writeTo mutates the target under the "
+      "source's lock";
+  Entry.Source = C3Source;
+  Entry.SeedNames = {"seedC3"};
+  return Entry;
+}

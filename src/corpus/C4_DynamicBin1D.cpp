@@ -1,0 +1,333 @@
+//===- corpus/C4_DynamicBin1D.cpp - colt C4 ------------------------------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+// Model of colt 1.2.0's hep.aida.bin.DynamicBin1D.  Defect structure
+// preserved: almost every method is synchronized on the receiver and the
+// sample buffer is allocated internally with *no client-reachable setter*,
+// so most racy pairs admit no context — the paper reports 26 pairs but only
+// 4 detected races, because "the necessary fields to set a suitable context
+// can never be influenced from clients".  The few real races come from the
+// handful of unsynchronized probes (size/isEmpty/isSorted/isFixedOrder) and
+// from addAllOf reading *another* bin without locking it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace narada;
+
+static const char *C4Source = R"(
+// colt DynamicBin1D model (C4).
+
+class DynamicBin1D {
+  field elements: IntArray;
+  field count: int;
+  field fixedOrder: bool;
+  field sorted: bool;
+
+  method init() {
+    this.elements = new IntArray(8);
+    this.sorted = true;
+  }
+
+  method ensureCapacity(needed: int) synchronized {
+    if (needed <= this.elements.length()) { return; }
+    var bigger: IntArray = new IntArray(needed * 2);
+    var i: int = 0;
+    while (i < this.count) {
+      bigger.set(i, this.elements.get(i));
+      i = i + 1;
+    }
+    this.elements = bigger;
+  }
+
+  method add(v: int) synchronized {
+    this.ensureCapacity(this.count + 1);
+    this.elements.set(this.count, v);
+    this.count = this.count + 1;
+    this.sorted = false;
+  }
+
+  // Reads the other bin's internals while holding only this bin's lock.
+  method addAllOf(other: DynamicBin1D) synchronized {
+    var i: int = 0;
+    while (i < other.count) {
+      this.ensureCapacity(this.count + 1);
+      this.elements.set(this.count, other.elements.get(i));
+      this.count = this.count + 1;
+      i = i + 1;
+    }
+    this.sorted = false;
+  }
+
+  method addAllOfFromTo(other: DynamicBin1D, from: int, to: int)
+      synchronized {
+    var i: int = from;
+    while (i <= to && i < other.count) {
+      if (i >= 0) {
+        this.ensureCapacity(this.count + 1);
+        this.elements.set(this.count, other.elements.get(i));
+        this.count = this.count + 1;
+      }
+      i = i + 1;
+    }
+    this.sorted = false;
+  }
+
+  method clear() synchronized {
+    this.count = 0;
+    this.sorted = true;
+  }
+
+  method trimToSize() synchronized {
+    var exact: IntArray = new IntArray(this.count);
+    var i: int = 0;
+    while (i < this.count) {
+      exact.set(i, this.elements.get(i));
+      i = i + 1;
+    }
+    this.elements = exact;
+  }
+
+  method sort() synchronized {
+    var i: int = 1;
+    while (i < this.count) {
+      var v: int = this.elements.get(i);
+      var j: int = i - 1;
+      while (j >= 0 && this.elements.get(j) > v) {
+        this.elements.set(j + 1, this.elements.get(j));
+        j = j - 1;
+      }
+      this.elements.set(j + 1, v);
+      i = i + 1;
+    }
+    this.sorted = true;
+  }
+
+  // The only unsynchronized probe — one of C4's few real race sources;
+  // everything else locks the receiver, so the internal buffer (which no
+  // client can set) stays out of reach for test synthesis.
+  method size(): int { return this.count; }
+
+  method isSorted(): bool synchronized { return this.sorted; }
+  method isFixedOrder(): bool synchronized { return this.fixedOrder; }
+  method isEmpty(): bool synchronized { return this.count == 0; }
+
+  method setFixedOrder(b: bool) synchronized { this.fixedOrder = b; }
+
+  method min(): int synchronized {
+    if (this.count == 0) { return 0; }
+    var best: int = this.elements.get(0);
+    var i: int = 1;
+    while (i < this.count) {
+      if (this.elements.get(i) < best) { best = this.elements.get(i); }
+      i = i + 1;
+    }
+    return best;
+  }
+
+  method max(): int synchronized {
+    if (this.count == 0) { return 0; }
+    var best: int = this.elements.get(0);
+    var i: int = 1;
+    while (i < this.count) {
+      if (this.elements.get(i) > best) { best = this.elements.get(i); }
+      i = i + 1;
+    }
+    return best;
+  }
+
+  method sum(): int synchronized {
+    var total: int = 0;
+    var i: int = 0;
+    while (i < this.count) {
+      total = total + this.elements.get(i);
+      i = i + 1;
+    }
+    return total;
+  }
+
+  method sumOfSquares(): int synchronized {
+    var total: int = 0;
+    var i: int = 0;
+    while (i < this.count) {
+      var v: int = this.elements.get(i);
+      total = total + v * v;
+      i = i + 1;
+    }
+    return total;
+  }
+
+  method mean(): int synchronized {
+    if (this.count == 0) { return 0; }
+    return this.sum() / this.count;
+  }
+
+  method moment2(): int synchronized {
+    if (this.count == 0) { return 0; }
+    return this.sumOfSquares() / this.count;
+  }
+
+  method variance(): int synchronized {
+    var m: int = this.mean();
+    return this.moment2() - m * m;
+  }
+
+  method sampleVariance(): int synchronized {
+    if (this.count < 2) { return 0; }
+    var m: int = this.mean();
+    var squares: int = this.sumOfSquares();
+    return (squares - this.count * m * m) / (this.count - 1);
+  }
+
+  method standardError(): int synchronized {
+    if (this.count == 0) { return 0; }
+    return this.sampleVariance() / this.count;
+  }
+
+  method rms(): int synchronized {
+    if (this.count == 0) { return 0; }
+    return this.sumOfSquares() / this.count;
+  }
+
+  method median(): int synchronized {
+    if (this.count == 0) { return 0; }
+    this.sort();
+    return this.elements.get(this.count / 2);
+  }
+
+  method quantile(k: int): int synchronized {
+    if (this.count == 0) { return 0; }
+    this.sort();
+    var index: int = k * this.count / 100;
+    if (index >= this.count) { index = this.count - 1; }
+    if (index < 0) { index = 0; }
+    return this.elements.get(index);
+  }
+
+  method frequency(v: int): int synchronized {
+    var hits: int = 0;
+    var i: int = 0;
+    while (i < this.count) {
+      if (this.elements.get(i) == v) { hits = hits + 1; }
+      i = i + 1;
+    }
+    return hits;
+  }
+
+  method contains(v: int): bool synchronized {
+    return this.frequency(v) > 0;
+  }
+
+  method indexOf(v: int): int synchronized {
+    var i: int = 0;
+    while (i < this.count) {
+      if (this.elements.get(i) == v) { return i; }
+      i = i + 1;
+    }
+    return 0 - 1;
+  }
+
+  method getElement(i: int): int synchronized {
+    if (i < 0 || i >= this.count) { return 0; }
+    return this.elements.get(i);
+  }
+
+  method elementsCopy(): IntArray synchronized {
+    var copy: IntArray = new IntArray(this.count);
+    var i: int = 0;
+    while (i < this.count) {
+      copy.set(i, this.elements.get(i));
+      i = i + 1;
+    }
+    return copy;
+  }
+
+  method removeAllOf(other: DynamicBin1D) synchronized {
+    var i: int = 0;
+    while (i < other.count) {
+      var victim: int = other.elements.get(i);
+      var index: int = this.indexOf(victim);
+      if (index >= 0) {
+        var j: int = index;
+        while (j < this.count - 1) {
+          this.elements.set(j, this.elements.get(j + 1));
+          j = j + 1;
+        }
+        this.count = this.count - 1;
+      }
+      i = i + 1;
+    }
+  }
+
+  method range(): int synchronized { return this.max() - this.min(); }
+
+  method midRange(): int synchronized {
+    return (this.max() + this.min()) / 2;
+  }
+
+  method firstElement(): int synchronized { return this.getElement(0); }
+
+  method lastElement(): int synchronized {
+    return this.getElement(this.count - 1);
+  }
+}
+
+test seedC4 {
+  var bin: DynamicBin1D = new DynamicBin1D();
+  bin.add(5);
+  bin.add(2);
+  bin.add(9);
+  var other: DynamicBin1D = new DynamicBin1D();
+  other.add(4);
+  other.add(5);
+  bin.addAllOf(other);
+  bin.addAllOfFromTo(other, 0, 1);
+  var n: int = bin.size();
+  var e: bool = bin.isEmpty();
+  var s: bool = bin.isSorted();
+  var f: bool = bin.isFixedOrder();
+  bin.setFixedOrder(true);
+  var mn: int = bin.min();
+  var mx: int = bin.max();
+  var sm: int = bin.sum();
+  var sq: int = bin.sumOfSquares();
+  var me: int = bin.mean();
+  var m2: int = bin.moment2();
+  var va: int = bin.variance();
+  var sv: int = bin.sampleVariance();
+  var se: int = bin.standardError();
+  var rm: int = bin.rms();
+  var md: int = bin.median();
+  var qu: int = bin.quantile(50);
+  var fr: int = bin.frequency(5);
+  var co: bool = bin.contains(5);
+  var ix: int = bin.indexOf(9);
+  var ge: int = bin.getElement(0);
+  var copy: IntArray = bin.elementsCopy();
+  bin.removeAllOf(other);
+  var ra: int = bin.range();
+  var mr: int = bin.midRange();
+  var fe: int = bin.firstElement();
+  var le: int = bin.lastElement();
+  bin.sort();
+  bin.trimToSize();
+  bin.ensureCapacity(4);
+  bin.clear();
+}
+)";
+
+CorpusEntry narada::corpusC4() {
+  CorpusEntry Entry;
+  Entry.Id = "C4";
+  Entry.Benchmark = "colt";
+  Entry.Version = "1.2.0";
+  Entry.ClassName = "DynamicBin1D";
+  Entry.Description =
+      "internal sample buffer has no client-reachable setter: most racy "
+      "pairs admit no context (prefix fallback), few races manifest";
+  Entry.Source = C4Source;
+  Entry.SeedNames = {"seedC4"};
+  return Entry;
+}

@@ -1,0 +1,315 @@
+//===- corpus/C5_DoubleIntIndex.cpp - hsqldb C5 --------------------------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+// Model of hsqldb 2.3.2's org.hsqldb.lib.DoubleIntIndex, a sorted pair of
+// int arrays.  Defect structure preserved: the mutating core is
+// synchronized, but a crowd of probes (size/capacity/isSorted/...) and the
+// array getters read the same state with no lock, and the getters leak the
+// internal arrays outright — hence the paper's large harmful-race count for
+// this class (30 of 36).
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace narada;
+
+static const char *C5Source = R"(
+// hsqldb DoubleIntIndex model (C5).
+
+class DoubleIntIndex {
+  field keys: IntArray;
+  field values: IntArray;
+  field count: int;
+  field sorted: bool;
+  field sortedOnValues: bool;
+
+  method init(capacity: int) {
+    var cap: int = capacity;
+    if (cap < 1) { cap = 1; }
+    this.keys = new IntArray(cap);
+    this.values = new IntArray(cap);
+    this.sorted = true;
+  }
+
+  method ensureCapacity(needed: int) synchronized {
+    if (needed <= this.keys.length()) { return; }
+    var biggerKeys: IntArray = new IntArray(needed * 2);
+    var biggerValues: IntArray = new IntArray(needed * 2);
+    var i: int = 0;
+    while (i < this.count) {
+      biggerKeys.set(i, this.keys.get(i));
+      biggerValues.set(i, this.values.get(i));
+      i = i + 1;
+    }
+    this.keys = biggerKeys;
+    this.values = biggerValues;
+  }
+
+  method addUnsorted(k: int, v: int) synchronized {
+    this.ensureCapacity(this.count + 1);
+    this.keys.set(this.count, k);
+    this.values.set(this.count, v);
+    this.count = this.count + 1;
+    this.sorted = false;
+  }
+
+  method addSorted(k: int, v: int) synchronized {
+    this.ensureCapacity(this.count + 1);
+    var i: int = this.count - 1;
+    while (i >= 0 && this.keys.get(i) > k) {
+      this.keys.set(i + 1, this.keys.get(i));
+      this.values.set(i + 1, this.values.get(i));
+      i = i - 1;
+    }
+    this.keys.set(i + 1, k);
+    this.values.set(i + 1, v);
+    this.count = this.count + 1;
+  }
+
+  method setKey(index: int, k: int) synchronized {
+    if (index < 0 || index >= this.count) { return; }
+    this.keys.set(index, k);
+    this.sorted = false;
+  }
+
+  method setValue(index: int, v: int) synchronized {
+    if (index < 0 || index >= this.count) { return; }
+    this.values.set(index, v);
+  }
+
+  method getKey(index: int): int synchronized {
+    if (index < 0 || index >= this.count) { return 0; }
+    return this.keys.get(index);
+  }
+
+  method getValue(index: int): int synchronized {
+    if (index < 0 || index >= this.count) { return 0; }
+    return this.values.get(index);
+  }
+
+  method findFirstEqualKeyIndex(k: int): int synchronized {
+    var i: int = 0;
+    while (i < this.count) {
+      if (this.keys.get(i) == k) { return i; }
+      i = i + 1;
+    }
+    return 0 - 1;
+  }
+
+  method findFirstGreaterEqualIndex(k: int): int synchronized {
+    var i: int = 0;
+    while (i < this.count) {
+      if (this.keys.get(i) >= k) { return i; }
+      i = i + 1;
+    }
+    return 0 - 1;
+  }
+
+  method lookup(k: int): int synchronized {
+    var index: int = this.findFirstEqualKeyIndex(k);
+    if (index < 0) { return 0 - 1; }
+    return this.values.get(index);
+  }
+
+  method sort() synchronized {
+    var i: int = 1;
+    while (i < this.count) {
+      var k: int = this.keys.get(i);
+      var v: int = this.values.get(i);
+      var j: int = i - 1;
+      while (j >= 0 && this.keys.get(j) > k) {
+        this.keys.set(j + 1, this.keys.get(j));
+        this.values.set(j + 1, this.values.get(j));
+        j = j - 1;
+      }
+      this.keys.set(j + 1, k);
+      this.values.set(j + 1, v);
+      i = i + 1;
+    }
+    this.sorted = true;
+    this.sortedOnValues = false;
+  }
+
+  method sortOnValues() synchronized {
+    var i: int = 1;
+    while (i < this.count) {
+      var k: int = this.keys.get(i);
+      var v: int = this.values.get(i);
+      var j: int = i - 1;
+      while (j >= 0 && this.values.get(j) > v) {
+        this.keys.set(j + 1, this.keys.get(j));
+        this.values.set(j + 1, this.values.get(j));
+        j = j - 1;
+      }
+      this.keys.set(j + 1, k);
+      this.values.set(j + 1, v);
+      i = i + 1;
+    }
+    this.sorted = false;
+    this.sortedOnValues = true;
+  }
+
+  // Unsynchronized probes: racy against every synchronized mutator.
+  method isSorted(): bool { return this.sorted; }
+  method isSortedOnValues(): bool { return this.sortedOnValues; }
+  method size(): int { return this.count; }
+  method capacity(): int { return this.keys.length(); }
+  method isEmpty(): bool { return this.count == 0; }
+
+  // Leaks the internal arrays without any lock.
+  method getKeysArray(): IntArray { return this.keys; }
+  method getValuesArray(): IntArray { return this.values; }
+
+  method clear() synchronized {
+    this.count = 0;
+    this.sorted = true;
+    this.sortedOnValues = false;
+  }
+
+  method removeAt(index: int) synchronized {
+    if (index < 0 || index >= this.count) { return; }
+    var i: int = index;
+    while (i < this.count - 1) {
+      this.keys.set(i, this.keys.get(i + 1));
+      this.values.set(i, this.values.get(i + 1));
+      i = i + 1;
+    }
+    this.count = this.count - 1;
+  }
+
+  method remove(k: int) synchronized {
+    var index: int = this.findFirstEqualKeyIndex(k);
+    if (index >= 0) { this.removeAt(index); }
+  }
+
+  method compact() synchronized {
+    var exactKeys: IntArray = new IntArray(this.count);
+    var exactValues: IntArray = new IntArray(this.count);
+    var i: int = 0;
+    while (i < this.count) {
+      exactKeys.set(i, this.keys.get(i));
+      exactValues.set(i, this.values.get(i));
+      i = i + 1;
+    }
+    this.keys = exactKeys;
+    this.values = exactValues;
+  }
+
+  method copyTo(other: DoubleIntIndex) synchronized {
+    var i: int = 0;
+    while (i < this.count) {
+      other.addUnsorted(this.keys.get(i), this.values.get(i));
+      i = i + 1;
+    }
+  }
+
+  method addAll(other: DoubleIntIndex) synchronized {
+    var i: int = 0;
+    while (i < other.count) {
+      this.addUnsorted(other.keys.get(i), other.values.get(i));
+      i = i + 1;
+    }
+  }
+
+  method setSize(n: int) synchronized {
+    if (n < 0) { return; }
+    if (n > this.keys.length()) { this.ensureCapacity(n); }
+    this.count = n;
+  }
+
+  method firstKey(): int synchronized { return this.getKey(0); }
+
+  method lastKey(): int synchronized {
+    return this.getKey(this.count - 1);
+  }
+
+  method sumKeys(): int synchronized {
+    var total: int = 0;
+    var i: int = 0;
+    while (i < this.count) {
+      total = total + this.keys.get(i);
+      i = i + 1;
+    }
+    return total;
+  }
+
+  method containsKey(k: int): bool synchronized {
+    return this.findFirstEqualKeyIndex(k) >= 0;
+  }
+
+  method containsValue(v: int): bool synchronized {
+    var i: int = 0;
+    while (i < this.count) {
+      if (this.values.get(i) == v) { return true; }
+      i = i + 1;
+    }
+    return false;
+  }
+
+  method swap(i1: int, i2: int) synchronized {
+    if (i1 < 0 || i1 >= this.count || i2 < 0 || i2 >= this.count) {
+      return;
+    }
+    var k: int = this.keys.get(i1);
+    var v: int = this.values.get(i1);
+    this.keys.set(i1, this.keys.get(i2));
+    this.values.set(i1, this.values.get(i2));
+    this.keys.set(i2, k);
+    this.values.set(i2, v);
+  }
+}
+
+test seedC5 {
+  var index: DoubleIntIndex = new DoubleIntIndex(8);
+  index.addUnsorted(5, 50);
+  index.addUnsorted(2, 20);
+  index.addSorted(3, 30);
+  index.setKey(0, 6);
+  index.setValue(0, 60);
+  var k0: int = index.getKey(0);
+  var v0: int = index.getValue(0);
+  var f1: int = index.findFirstEqualKeyIndex(2);
+  var f2: int = index.findFirstGreaterEqualIndex(3);
+  var lu: int = index.lookup(2);
+  index.sort();
+  index.sortOnValues();
+  var s1: bool = index.isSorted();
+  var s2: bool = index.isSortedOnValues();
+  var n: int = index.size();
+  var cap: int = index.capacity();
+  var em: bool = index.isEmpty();
+  var ka: IntArray = index.getKeysArray();
+  var va: IntArray = index.getValuesArray();
+  index.removeAt(0);
+  index.remove(2);
+  index.compact();
+  var other: DoubleIntIndex = new DoubleIntIndex(4);
+  index.copyTo(other);
+  index.addAll(other);
+  index.setSize(2);
+  var fk: int = index.firstKey();
+  var lk: int = index.lastKey();
+  var sk: int = index.sumKeys();
+  var ck: bool = index.containsKey(3);
+  var cv: bool = index.containsValue(30);
+  index.swap(0, 1);
+  index.ensureCapacity(16);
+  index.clear();
+}
+)";
+
+CorpusEntry narada::corpusC5() {
+  CorpusEntry Entry;
+  Entry.Id = "C5";
+  Entry.Benchmark = "hsqldb";
+  Entry.Version = "2.3.2";
+  Entry.ClassName = "DoubleIntIndex";
+  Entry.Description =
+      "synchronized mutators vs unsynchronized probes and array getters "
+      "that leak the internal arrays";
+  Entry.Source = C5Source;
+  Entry.SeedNames = {"seedC5"};
+  return Entry;
+}

@@ -1,0 +1,287 @@
+//===- corpus/C6_Scanner.cpp - hsqldb C6 ---------------------------------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+// Model of hsqldb 2.3.2's org.hsqldb.Scanner, the SQL tokenizer and the
+// paper's largest class.  Defect structure preserved: the scanner is
+// entirely unsynchronized, and reset() writes a stack of fields back to
+// constants — the source of the paper's 62 *benign* races ("due to a reset
+// method which resets a number of fields to constant values"), while the
+// position-advancing scan methods race harmfully.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace narada;
+
+static const char *C6Source = R"(
+// hsqldb Scanner model (C6).  Token types: 0 none, 1 number, 2 identifier,
+// 3 operator, 4 whitespace, 5 comment, 9 error.
+
+class Scanner {
+  field source: IntArray;
+  field pos: int;
+  field limit: int;
+  field tokenType: int;
+  field tokenStart: int;
+  field tokenLength: int;
+  field tokenValue: int;
+  field lineNumber: int;
+  field pushedBack: bool;
+  field errorCount: int;
+
+  method init() {
+    this.source = new IntArray(0);
+  }
+
+  // Resets every scalar field to a constant and installs a new buffer.
+  // Unsynchronized: racing resets write identical constants (benign);
+  // racing against scans corrupts positions (harmful).
+  method reset(src: IntArray) {
+    this.source = src;
+    this.pos = 0;
+    this.limit = src.length();
+    this.tokenType = 0;
+    this.tokenStart = 0;
+    this.tokenLength = 0;
+    this.tokenValue = 0;
+    this.lineNumber = 1;
+    this.pushedBack = false;
+    this.errorCount = 0;
+  }
+
+  method isDigitChar(c: int): bool { return c >= 48 && c <= 57; }
+
+  method isLetterChar(c: int): bool {
+    if (c >= 65 && c <= 90) { return true; }
+    return c >= 97 && c <= 122;
+  }
+
+  method atEnd(): bool { return this.pos >= this.limit; }
+
+  method peekChar(): int {
+    if (this.pos >= this.limit) { return 0 - 1; }
+    return this.source.get(this.pos);
+  }
+
+  method readChar(): int {
+    if (this.pos >= this.limit) { return 0 - 1; }
+    var c: int = this.source.get(this.pos);
+    this.pos = this.pos + 1;
+    if (c == 10) { this.lineNumber = this.lineNumber + 1; }
+    return c;
+  }
+
+  method pushBack() {
+    if (this.pos > 0) {
+      this.pos = this.pos - 1;
+      this.pushedBack = true;
+    }
+  }
+
+  method scanWhitespace() {
+    var c: int = this.peekChar();
+    while (c == 32 || c == 9 || c == 10 || c == 13) {
+      var eaten: int = this.readChar();
+      c = this.peekChar();
+    }
+  }
+
+  method scanNumber() {
+    this.tokenStart = this.pos;
+    this.tokenValue = 0;
+    var c: int = this.peekChar();
+    while (this.isDigitChar(c)) {
+      this.tokenValue = this.tokenValue * 10 + (c - 48);
+      var eaten: int = this.readChar();
+      c = this.peekChar();
+    }
+    this.tokenLength = this.pos - this.tokenStart;
+    if (this.tokenLength > 0) {
+      this.tokenType = 1;
+    } else {
+      this.tokenType = 9;
+      this.errorCount = this.errorCount + 1;
+    }
+  }
+
+  method scanIdentifier() {
+    this.tokenStart = this.pos;
+    var c: int = this.peekChar();
+    while (this.isLetterChar(c) || this.isDigitChar(c)) {
+      var eaten: int = this.readChar();
+      c = this.peekChar();
+    }
+    this.tokenLength = this.pos - this.tokenStart;
+    if (this.tokenLength > 0) {
+      this.tokenType = 2;
+    } else {
+      this.tokenType = 9;
+      this.errorCount = this.errorCount + 1;
+    }
+  }
+
+  method scanOperator() {
+    this.tokenStart = this.pos;
+    var c: int = this.peekChar();
+    if (c == 43 || c == 45 || c == 42 || c == 47 || c == 61 || c == 60 ||
+        c == 62) {
+      var eaten: int = this.readChar();
+      this.tokenType = 3;
+      this.tokenLength = 1;
+      this.tokenValue = c;
+    } else {
+      this.tokenType = 9;
+      this.tokenLength = 0;
+      this.errorCount = this.errorCount + 1;
+    }
+  }
+
+  method scanComment() {
+    // "--" to end of line.
+    if (this.peekChar() != 45) { return; }
+    this.tokenStart = this.pos;
+    var first: int = this.readChar();
+    if (this.peekChar() != 45) {
+      this.pushBack();
+      return;
+    }
+    var c: int = this.peekChar();
+    while (c != 10 && c >= 0) {
+      var eaten: int = this.readChar();
+      c = this.peekChar();
+    }
+    this.tokenType = 5;
+    this.tokenLength = this.pos - this.tokenStart;
+  }
+
+  method scanNext() {
+    this.scanWhitespace();
+    if (this.atEnd()) {
+      this.tokenType = 0;
+      this.tokenLength = 0;
+      return;
+    }
+    var c: int = this.peekChar();
+    if (this.isDigitChar(c)) {
+      this.scanNumber();
+      return;
+    }
+    if (this.isLetterChar(c)) {
+      this.scanIdentifier();
+      return;
+    }
+    if (c == 45 && this.pos + 1 < this.limit &&
+        this.source.get(this.pos + 1) == 45) {
+      this.scanComment();
+      return;
+    }
+    this.scanOperator();
+  }
+
+  method getTokenType(): int { return this.tokenType; }
+  method getTokenValue(): int { return this.tokenValue; }
+  method getTokenStart(): int { return this.tokenStart; }
+  method getTokenLength(): int { return this.tokenLength; }
+  method getPos(): int { return this.pos; }
+
+  method setPos(p: int) {
+    if (p >= 0 && p <= this.limit) { this.pos = p; }
+  }
+
+  method getLineNumber(): int { return this.lineNumber; }
+
+  method hasMoreTokens(): bool {
+    var save: int = this.pos;
+    this.scanWhitespace();
+    var more: bool = !this.atEnd();
+    this.pos = save;
+    return more;
+  }
+
+  method countTokens(): int {
+    var save: int = this.pos;
+    var saveType: int = this.tokenType;
+    this.pos = 0;
+    var n: int = 0;
+    this.scanNext();
+    while (this.tokenType != 0 && this.tokenType != 9) {
+      n = n + 1;
+      this.scanNext();
+    }
+    this.pos = save;
+    this.tokenType = saveType;
+    return n;
+  }
+
+  method skipTokens(n: int) {
+    var i: int = 0;
+    while (i < n) {
+      this.scanNext();
+      i = i + 1;
+    }
+  }
+
+  method getErrorCount(): int { return this.errorCount; }
+
+  method clearErrors() { this.errorCount = 0; }
+}
+
+test seedC6 {
+  var sc: Scanner = new Scanner();
+  var src: IntArray = new IntArray(12);
+  // "12 ab -- c\n+"
+  src.set(0, 49);
+  src.set(1, 50);
+  src.set(2, 32);
+  src.set(3, 97);
+  src.set(4, 98);
+  src.set(5, 32);
+  src.set(6, 45);
+  src.set(7, 45);
+  src.set(8, 32);
+  src.set(9, 99);
+  src.set(10, 10);
+  src.set(11, 43);
+  sc.reset(src);
+  var d: bool = sc.isDigitChar(49);
+  var l: bool = sc.isLetterChar(97);
+  var e: bool = sc.atEnd();
+  var pc: int = sc.peekChar();
+  var rc: int = sc.readChar();
+  sc.pushBack();
+  sc.scanWhitespace();
+  sc.scanNumber();
+  sc.scanIdentifier();
+  sc.scanOperator();
+  sc.scanComment();
+  sc.scanNext();
+  var tt: int = sc.getTokenType();
+  var tv: int = sc.getTokenValue();
+  var ts: int = sc.getTokenStart();
+  var tl: int = sc.getTokenLength();
+  var p: int = sc.getPos();
+  sc.setPos(0);
+  var ln: int = sc.getLineNumber();
+  var hm: bool = sc.hasMoreTokens();
+  var ct: int = sc.countTokens();
+  sc.skipTokens(1);
+  var ec: int = sc.getErrorCount();
+  sc.clearErrors();
+}
+)";
+
+CorpusEntry narada::corpusC6() {
+  CorpusEntry Entry;
+  Entry.Id = "C6";
+  Entry.Benchmark = "hsqldb";
+  Entry.Version = "2.3.2";
+  Entry.ClassName = "Scanner";
+  Entry.Description =
+      "fully unsynchronized tokenizer; reset() writes constants (benign "
+      "races) while scan methods advance positions (harmful races)";
+  Entry.Source = C6Source;
+  Entry.SeedNames = {"seedC6"};
+  return Entry;
+}

@@ -1,0 +1,110 @@
+//===- corpus/C7_PooledExecutor.cpp - hedc C7 ----------------------------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+// Model of hedc's PooledExecutorWithInvalidate.  Defect structure
+// preserved: the task queue is managed under the executor's lock, but
+// invalidateAll() walks the queue and flips each task's invalid flag with
+// *no* lock — the classic hedc race — and the shutdown flag is also set
+// without synchronization.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace narada;
+
+static const char *C7Source = R"(
+// hedc PooledExecutorWithInvalidate model (C7).
+
+class Task {
+  field id: int;
+  field invalid: bool;
+  field done: bool;
+  field next: Task;
+  method setId(v: int) { this.id = v; }
+  method run() { this.done = true; }
+}
+
+class PooledExecutorWithInvalidate {
+  field head: Task;
+  field tail: Task;
+  field taskCount: int;
+  field shutdown: bool;
+
+  method init() { }
+
+  method addTask(t: Task) synchronized {
+    if (this.shutdown) { return; }
+    t.next = null;
+    if (this.tail == null) {
+      this.head = t;
+      this.tail = t;
+    } else {
+      this.tail.next = t;
+      this.tail = t;
+    }
+    this.taskCount = this.taskCount + 1;
+  }
+
+  method firstTask(): Task synchronized { return this.head; }
+
+  method runNextTask() synchronized {
+    var t: Task = this.head;
+    if (t == null) { return; }
+    this.head = t.next;
+    if (this.head == null) { this.tail = null; }
+    this.taskCount = this.taskCount - 1;
+    if (!t.invalid) { t.run(); }
+  }
+
+  // The defect: walks and mutates the queue with no lock held.
+  method invalidateAll() {
+    var cur: Task = this.head;
+    while (cur != null) {
+      cur.invalid = true;
+      cur = cur.next;
+    }
+  }
+
+  // Unsynchronized flag write, racy against addTask's check.
+  method shutdownNow() { this.shutdown = true; }
+
+  method isShutdown(): bool { return this.shutdown; }
+
+  method size(): int synchronized { return this.taskCount; }
+
+  method isEmpty(): bool synchronized { return this.taskCount == 0; }
+}
+
+test seedC7 {
+  var pool: PooledExecutorWithInvalidate = new PooledExecutorWithInvalidate();
+  var t1: Task = new Task;
+  t1.setId(1);
+  t1.run();
+  var t2: Task = new Task;
+  pool.addTask(t1);
+  pool.addTask(t2);
+  var first: Task = pool.firstTask();
+  pool.runNextTask();
+  pool.invalidateAll();
+  var n: int = pool.size();
+  var e: bool = pool.isEmpty();
+  var s: bool = pool.isShutdown();
+  pool.shutdownNow();
+}
+)";
+
+CorpusEntry narada::corpusC7() {
+  CorpusEntry Entry;
+  Entry.Id = "C7";
+  Entry.Benchmark = "hedc";
+  Entry.Version = "NA";
+  Entry.ClassName = "PooledExecutorWithInvalidate";
+  Entry.Description =
+      "invalidateAll() walks and mutates the task queue with no lock; "
+      "shutdownNow() writes the shutdown flag unsynchronized";
+  Entry.Source = C7Source;
+  Entry.SeedNames = {"seedC7"};
+  return Entry;
+}

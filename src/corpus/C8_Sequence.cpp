@@ -1,0 +1,133 @@
+//===- corpus/C8_Sequence.cpp - h2 C8 ------------------------------------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+// Model of h2 1.4.182's org.h2.schema.Sequence.  Defect structure
+// preserved: value generation (getNext/flush) is synchronized, but the
+// current-value and option getters read the same fields with no lock — the
+// real h2 race on sequence state observed by concurrent readers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace narada;
+
+static const char *C8Source = R"(
+// h2 Sequence model (C8).
+
+class Sequence {
+  field value: int;
+  field valueWithMargin: int;
+  field increment: int;
+  field cacheSize: int;
+  field minValue: int;
+  field maxValue: int;
+  field cycle: bool;
+
+  method init(start: int, inc: int) {
+    this.value = start;
+    this.valueWithMargin = start;
+    this.increment = inc;
+    if (this.increment == 0) { this.increment = 1; }
+    this.cacheSize = 32;
+    this.minValue = 0;
+    this.maxValue = 1000000;
+  }
+
+  method getNext(): int synchronized {
+    var result: int = this.value;
+    this.value = this.value + this.increment;
+    if (this.value > this.maxValue) {
+      if (this.cycle) {
+        this.value = this.minValue;
+      } else {
+        this.value = this.maxValue;
+      }
+    }
+    if (this.value > this.valueWithMargin) {
+      this.valueWithMargin = this.value + this.increment * this.cacheSize;
+    }
+    return result;
+  }
+
+  method flush() synchronized {
+    this.valueWithMargin = this.value;
+  }
+
+  // The h2 defect: current value read without the sequence lock.
+  method getCurrentValue(): int { return this.value - this.increment; }
+
+  method setIncrement(inc: int) synchronized {
+    if (inc != 0) { this.increment = inc; }
+  }
+
+  method getIncrement(): int { return this.increment; }
+
+  method setMinValue(v: int) synchronized { this.minValue = v; }
+  method getMinValue(): int { return this.minValue; }
+
+  method setMaxValue(v: int) synchronized { this.maxValue = v; }
+  method getMaxValue(): int { return this.maxValue; }
+
+  method setCycle(b: bool) synchronized { this.cycle = b; }
+  method getCycle(): bool { return this.cycle; }
+
+  method setCacheSize(n: int) synchronized {
+    if (n > 0) { this.cacheSize = n; }
+  }
+  method getCacheSize(): int { return this.cacheSize; }
+
+  method reset(start: int) synchronized {
+    this.value = start;
+    this.valueWithMargin = start;
+  }
+
+  method canGetMore(): bool {
+    return this.cycle || this.value < this.maxValue;
+  }
+
+  method modify(min: int, max: int, inc: int) synchronized {
+    this.minValue = min;
+    this.maxValue = max;
+    if (inc != 0) { this.increment = inc; }
+  }
+
+  method getValueWithMargin(): int { return this.valueWithMargin; }
+}
+
+test seedC8 {
+  var seq: Sequence = new Sequence(10, 1);
+  var n1: int = seq.getNext();
+  seq.flush();
+  var cur: int = seq.getCurrentValue();
+  seq.setIncrement(2);
+  var inc: int = seq.getIncrement();
+  seq.setMinValue(5);
+  var mn: int = seq.getMinValue();
+  seq.setMaxValue(500);
+  var mx: int = seq.getMaxValue();
+  seq.setCycle(true);
+  var cy: bool = seq.getCycle();
+  seq.setCacheSize(16);
+  var cs: int = seq.getCacheSize();
+  seq.reset(100);
+  var more: bool = seq.canGetMore();
+  seq.modify(0, 2000, 3);
+  var vm: int = seq.getValueWithMargin();
+}
+)";
+
+CorpusEntry narada::corpusC8() {
+  CorpusEntry Entry;
+  Entry.Id = "C8";
+  Entry.Benchmark = "h2";
+  Entry.Version = "1.4.182";
+  Entry.ClassName = "Sequence";
+  Entry.Description =
+      "synchronized value generation vs unsynchronized current-value and "
+      "option getters";
+  Entry.Source = C8Source;
+  Entry.SeedNames = {"seedC8"};
+  return Entry;
+}

@@ -1,0 +1,98 @@
+//===- corpus/C9_CharArrayReader.cpp - classpath C9 ----------------------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+// Model of GNU Classpath 0.99's java.io.CharArrayReader.  Defect structure
+// preserved: read/skip/resetReader synchronize on the reader, but mark()
+// and ready() touch pos/markedPos without the lock — the two races the
+// paper reports for this class.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace narada;
+
+static const char *C9Source = R"(
+// classpath CharArrayReader model (C9).
+
+class CharArrayReader {
+  field buf: IntArray;
+  field pos: int;
+  field markedPos: int;
+  field count: int;
+  field closed: bool;
+
+  method init(b: IntArray) {
+    this.buf = b;
+    this.count = b.length();
+  }
+
+  method read(): int synchronized {
+    if (this.closed) { return 0 - 1; }
+    if (this.pos >= this.count) { return 0 - 1; }
+    var c: int = this.buf.get(this.pos);
+    this.pos = this.pos + 1;
+    return c;
+  }
+
+  method skip(n: int): int synchronized {
+    if (this.closed || n <= 0) { return 0; }
+    var remaining: int = this.count - this.pos;
+    var actual: int = n;
+    if (actual > remaining) { actual = remaining; }
+    this.pos = this.pos + actual;
+    return actual;
+  }
+
+  // Unsynchronized: reads pos and writes markedPos with no lock.
+  method mark() { this.markedPos = this.pos; }
+
+  // Unsynchronized position probe.
+  method ready(): bool {
+    return !this.closed && this.pos < this.count;
+  }
+
+  method resetReader() synchronized {
+    this.pos = this.markedPos;
+  }
+
+  method available(): int synchronized {
+    return this.count - this.pos;
+  }
+
+  method close() synchronized {
+    this.closed = true;
+  }
+}
+
+test seedC9 {
+  var data: IntArray = new IntArray(4);
+  data.set(0, 104);
+  data.set(1, 105);
+  data.set(2, 33);
+  data.set(3, 10);
+  var r: CharArrayReader = new CharArrayReader(data);
+  var c1: int = r.read();
+  r.mark();
+  var skipped: int = r.skip(1);
+  var rd: bool = r.ready();
+  r.resetReader();
+  var av: int = r.available();
+  r.close();
+}
+)";
+
+CorpusEntry narada::corpusC9() {
+  CorpusEntry Entry;
+  Entry.Id = "C9";
+  Entry.Benchmark = "classpath";
+  Entry.Version = "0.99";
+  Entry.ClassName = "CharArrayReader";
+  Entry.Description =
+      "mark()/ready() touch pos and markedPos without the reader lock the "
+      "other methods hold";
+  Entry.Source = C9Source;
+  Entry.SeedNames = {"seedC9"};
+  return Entry;
+}

@@ -1,0 +1,37 @@
+//===- corpus/Corpus.cpp - The C1..C9 benchmark corpus -------------------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+#include "support/StringUtils.h"
+
+using namespace narada;
+
+unsigned CorpusEntry::linesOfCode() const {
+  unsigned Count = 0;
+  for (const std::string &Line : split(Source, '\n')) {
+    std::string_view Trimmed = trim(Line);
+    if (Trimmed.empty() || startsWith(Trimmed, "//"))
+      continue;
+    ++Count;
+  }
+  return Count;
+}
+
+const std::vector<CorpusEntry> &narada::corpus() {
+  static const std::vector<CorpusEntry> Entries = {
+      corpusC1(), corpusC2(), corpusC3(), corpusC4(), corpusC5(),
+      corpusC6(), corpusC7(), corpusC8(), corpusC9(),
+  };
+  return Entries;
+}
+
+const CorpusEntry *narada::findCorpusEntry(const std::string &IdOrClass) {
+  for (const CorpusEntry &Entry : corpus())
+    if (Entry.Id == IdOrClass || Entry.ClassName == IdOrClass)
+      return &Entry;
+  return nullptr;
+}

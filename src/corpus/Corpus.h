@@ -1,0 +1,64 @@
+//===- corpus/Corpus.h - The C1..C9 benchmark corpus ------------*- C++ -*-===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MiniJava models of the nine library classes the paper evaluates
+/// (Table 3).  Each model preserves the class's *synchronization defect
+/// structure* — which lock (if any) guards which field, which state is
+/// reachable/settable from clients, which methods skip synchronization —
+/// while simplifying the surrounding business logic.  That structure is
+/// what determines the evaluation's shape: how many racy pairs exist,
+/// whether contexts are derivable, and whether races manifest.  Per-class
+/// commentary lives in each model's source file.
+///
+/// Every entry ships a sequential seed suite in the paper's style: each
+/// method of the class under test invoked exactly once, with no special
+/// object states.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NARADA_CORPUS_CORPUS_H
+#define NARADA_CORPUS_CORPUS_H
+
+#include <string>
+#include <vector>
+
+namespace narada {
+
+/// One benchmark class (a row of the paper's Table 3).
+struct CorpusEntry {
+  std::string Id;          ///< "C1" .. "C9".
+  std::string Benchmark;   ///< Originating project ("hazelcast", ...).
+  std::string Version;     ///< Project version from Table 3.
+  std::string ClassName;   ///< The analyzed class (Narada's focus class).
+  std::string Description; ///< One-line defect summary.
+  std::string Source;      ///< MiniJava program text including seeds.
+  std::vector<std::string> SeedNames;
+
+  /// Non-blank, non-comment source lines (the paper's LoC column analog).
+  unsigned linesOfCode() const;
+};
+
+/// All nine entries, in paper order.
+const std::vector<CorpusEntry> &corpus();
+
+/// Finds an entry by id ("C1") or class name; nullptr if absent.
+const CorpusEntry *findCorpusEntry(const std::string &IdOrClass);
+
+// Per-class factories (one translation unit each).
+CorpusEntry corpusC1();
+CorpusEntry corpusC2();
+CorpusEntry corpusC3();
+CorpusEntry corpusC4();
+CorpusEntry corpusC5();
+CorpusEntry corpusC6();
+CorpusEntry corpusC7();
+CorpusEntry corpusC8();
+CorpusEntry corpusC9();
+
+} // namespace narada
+
+#endif // NARADA_CORPUS_CORPUS_H

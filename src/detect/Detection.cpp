@@ -1,0 +1,212 @@
+//===- detect/Detection.cpp - Detection orchestration --------------------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/Detection.h"
+
+#include "detect/HBDetector.h"
+#include "detect/LockSetDetector.h"
+#include "detect/RaceConfirmer.h"
+
+#include <map>
+#include <set>
+
+using namespace narada;
+
+unsigned TestDetectionResult::reproducedCount() const {
+  unsigned N = 0;
+  for (const ConfirmedRace &R : Races)
+    if (R.Reproduced)
+      ++N;
+  return N;
+}
+
+unsigned TestDetectionResult::harmfulCount() const {
+  unsigned N = 0;
+  for (const ConfirmedRace &R : Races)
+    if (R.Reproduced && R.Harmful)
+      ++N;
+  return N;
+}
+
+unsigned TestDetectionResult::benignCount() const {
+  unsigned N = 0;
+  for (const ConfirmedRace &R : Races)
+    if (R.Reproduced && !R.Harmful)
+      ++N;
+  return N;
+}
+
+namespace {
+
+/// Hashes the values flowing through the two candidate accesses.  A racy
+/// *read* does not change the heap, but the value it observes depends on
+/// the access order — h2's getCurrentValue() race is harmful precisely
+/// because concurrent readers see torn sequence states.  This observer
+/// captures that order-sensitivity.
+class AccessValueHasher : public ExecutionObserver {
+public:
+  AccessValueHasher(std::string LabelA, std::string LabelB)
+      : LabelA(std::move(LabelA)), LabelB(std::move(LabelB)) {}
+
+  void onEvent(const TraceEvent &Event) override {
+    if (!Event.isAccess())
+      return;
+    std::string Label = Event.staticLabel();
+    if (Label != LabelA && Label != LabelB)
+      return;
+    mix(static_cast<uint64_t>(Event.Val.kind()));
+    if (Event.Val.isInt())
+      mix(static_cast<uint64_t>(Event.Val.asInt()));
+    else if (Event.Val.isBool())
+      mix(Event.Val.asBool() ? 1 : 0);
+    else if (Event.Val.isRef())
+      mix(Event.Val.asRef());
+  }
+
+  uint64_t hash() const { return Hash; }
+
+private:
+  void mix(uint64_t V) {
+    for (int Shift = 0; Shift < 64; Shift += 8) {
+      Hash ^= (V >> Shift) & 0xff;
+      Hash *= 0x100000001b3ULL;
+    }
+  }
+
+  std::string LabelA;
+  std::string LabelB;
+  uint64_t Hash = 0xcbf29ce484222325ULL;
+};
+
+/// One confirmation execution; returns the policy (confirmed or not) plus
+/// the run outcome.
+struct ConfirmRun {
+  bool Confirmed = false;
+  RaceReport Report;
+  uint64_t HeapHash = 0;
+  uint64_t ObservedHash = 0; ///< Values seen at the racy accesses.
+  bool Faulted = false;
+  bool Deadlocked = false;
+};
+
+Result<ConfirmRun> runConfirm(const IRModule &M, const std::string &TestName,
+                              const std::string &LabelA,
+                              const std::string &LabelB, uint64_t Seed,
+                              bool SecondFirst, uint64_t MaxSteps) {
+  RaceConfirmPolicy Policy(LabelA, LabelB, Seed, SecondFirst);
+  AccessValueHasher Hasher(LabelA, LabelB);
+  Result<TestRun> Run = runTest(M, TestName, Policy, /*RandSeed=*/1, &Hasher,
+                                MaxSteps);
+  if (!Run)
+    return Run.error();
+  ConfirmRun Out;
+  Out.Confirmed = Policy.confirmed();
+  if (Out.Confirmed)
+    Out.Report = Policy.confirmedRace();
+  Out.HeapHash = Run->HeapHash;
+  Out.ObservedHash = Hasher.hash();
+  Out.Faulted = Run->Result.Faulted;
+  Out.Deadlocked = Run->Result.Deadlocked;
+  return Out;
+}
+
+} // namespace
+
+Result<TestDetectionResult> narada::detectRacesInTest(
+    const IRModule &M, const std::string &TestName,
+    const DetectOptions &Options,
+    const std::vector<std::pair<std::string, std::string>> &Hints) {
+  TestDetectionResult Out;
+  std::map<std::string, RaceReport> ByKey;
+
+  // Phase 1: random schedules with the passive detectors attached.
+  for (unsigned RunIdx = 0; RunIdx < Options.RandomRuns; ++RunIdx) {
+    HBDetector HB;
+    LockSetDetector LockSet;
+    ObserverMux Mux;
+    if (Options.UseHB)
+      Mux.add(&HB);
+    if (Options.UseLockSet)
+      Mux.add(&LockSet);
+
+    RandomPolicy Policy(Options.BaseSeed + RunIdx);
+    Result<TestRun> Run = runTest(M, TestName, Policy, /*RandSeed=*/1, &Mux,
+                                  Options.MaxSteps);
+    if (!Run)
+      return Run.error();
+    Out.SawFault = Out.SawFault || Run->Result.Faulted;
+    Out.SawDeadlock = Out.SawDeadlock || Run->Result.Deadlocked;
+
+    for (const RaceReport &R : HB.races())
+      ByKey.emplace(R.key(), R);
+    for (const RaceReport &R : LockSet.races())
+      ByKey.emplace(R.key(), R);
+  }
+
+  for (const auto &[Key, Report] : ByKey)
+    Out.Detected.push_back(Report);
+
+  // Phase 2 + 3: confirm and classify each detected race (and each
+  // synthesizer hint that no random schedule happened to expose).
+  std::set<std::string> ConfirmTargets;
+  std::vector<std::pair<std::string, std::string>> LabelPairs;
+  for (const RaceReport &R : Out.Detected) {
+    if (ConfirmTargets.insert(R.key()).second)
+      LabelPairs.emplace_back(R.FirstLabel, R.SecondLabel);
+  }
+  for (const auto &[A, B] : Hints) {
+    std::string HintKey = A < B ? A + "~" + B : B + "~" + A;
+    if (ConfirmTargets.insert("hint:" + HintKey).second)
+      LabelPairs.emplace_back(A, B);
+  }
+
+  std::set<std::string> Classified;
+  for (const auto &[LabelA, LabelB] : LabelPairs) {
+    ConfirmedRace Entry;
+    for (unsigned Attempt = 0; Attempt < Options.ConfirmAttempts;
+         ++Attempt) {
+      uint64_t Seed = Options.BaseSeed + 1000 + Attempt;
+      Result<ConfirmRun> FirstOrder =
+          runConfirm(M, TestName, LabelA, LabelB, Seed,
+                     /*SecondFirst=*/false, Options.MaxSteps);
+      if (!FirstOrder)
+        return FirstOrder.error();
+      if (!FirstOrder->Confirmed)
+        continue;
+
+      Result<ConfirmRun> SecondOrder =
+          runConfirm(M, TestName, LabelA, LabelB, Seed,
+                     /*SecondFirst=*/true, Options.MaxSteps);
+      if (!SecondOrder)
+        return SecondOrder.error();
+
+      Entry.Reproduced = true;
+      Entry.Report = FirstOrder->Report;
+      Entry.HashFirstOrder = FirstOrder->HeapHash;
+      Entry.HashSecondOrder =
+          SecondOrder->Confirmed ? SecondOrder->HeapHash
+                                 : FirstOrder->HeapHash;
+      bool StateDiverges = SecondOrder->Confirmed &&
+                           FirstOrder->HeapHash != SecondOrder->HeapHash;
+      bool ObservationDiverges =
+          SecondOrder->Confirmed &&
+          FirstOrder->ObservedHash != SecondOrder->ObservedHash;
+      bool Misbehaved = FirstOrder->Faulted || FirstOrder->Deadlocked ||
+                        SecondOrder->Faulted || SecondOrder->Deadlocked;
+      Entry.Harmful = StateDiverges || ObservationDiverges || Misbehaved;
+      break;
+    }
+    if (!Entry.Reproduced) {
+      // Keep an unreproduced placeholder so counts line up with Detected.
+      Entry.Report.FirstLabel = LabelA;
+      Entry.Report.SecondLabel = LabelB;
+      Entry.Report.Detector = "confirm";
+    }
+    if (Classified.insert(Entry.Report.key()).second)
+      Out.Races.push_back(std::move(Entry));
+  }
+  return Out;
+}

@@ -1,0 +1,79 @@
+//===- detect/Detection.h - Detection orchestration -------------*- C++ -*-===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs a synthesized multithreaded test through the full detector stack,
+/// mirroring the paper's §5 protocol (Table 5):
+///
+///  1. execute the test under several random schedules with the
+///     happens-before and lockset detectors attached; the union of their
+///     reports (deduplicated by static label pair) is the set of *detected*
+///     races;
+///  2. each detected race is handed to the RaceFuzzer-style confirmation
+///     scheduler, which tries to *reproduce* it by pausing one thread at
+///     the access;
+///  3. every reproduced race is run in both access orders; differing final
+///     heap states, faults or deadlocks classify it *harmful*, identical
+///     states *benign* (e.g. racy writes of identical constant values —
+///     the paper's C6 reset() pattern).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NARADA_DETECT_DETECTION_H
+#define NARADA_DETECT_DETECTION_H
+
+#include "detect/RaceReport.h"
+#include "runtime/Execution.h"
+#include "support/Error.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace narada {
+
+/// Options for the detection protocol.
+struct DetectOptions {
+  unsigned RandomRuns = 12;    ///< Random-schedule detection executions.
+  unsigned ConfirmAttempts = 4; ///< Scheduler seeds tried per confirmation.
+  uint64_t BaseSeed = 1;
+  uint64_t MaxSteps = 400'000;
+  bool UseHB = true;
+  bool UseLockSet = true;
+};
+
+/// One race after confirmation and classification.
+struct ConfirmedRace {
+  RaceReport Report;
+  bool Reproduced = false;
+  bool Harmful = false; ///< Meaningful when Reproduced.
+  uint64_t HashFirstOrder = 0;
+  uint64_t HashSecondOrder = 0;
+};
+
+/// The detection outcome for one test.
+struct TestDetectionResult {
+  std::vector<RaceReport> Detected; ///< Deduplicated by key().
+  std::vector<ConfirmedRace> Races; ///< One entry per detected race.
+  bool SawFault = false;
+  bool SawDeadlock = false;
+
+  unsigned reproducedCount() const;
+  unsigned harmfulCount() const;
+  unsigned benignCount() const;
+};
+
+/// Runs the full protocol on \p TestName.  \p Hints adds candidate label
+/// pairs from the synthesizer even if no random schedule detected them.
+Result<TestDetectionResult>
+detectRacesInTest(const IRModule &M, const std::string &TestName,
+                  const DetectOptions &Options = {},
+                  const std::vector<std::pair<std::string, std::string>>
+                      &Hints = {});
+
+} // namespace narada
+
+#endif // NARADA_DETECT_DETECTION_H

@@ -1,0 +1,138 @@
+//===- detect/HBDetector.cpp - Happens-before race detection -------------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/HBDetector.h"
+
+using namespace narada;
+
+VectorClock &HBDetector::clockOf(ThreadId T) {
+  auto It = ThreadClocks.find(T);
+  if (It != ThreadClocks.end())
+    return It->second;
+  VectorClock &C = ThreadClocks[T];
+  C.set(T, 1);
+  return C;
+}
+
+void HBDetector::report(const TraceEvent &Event,
+                        const std::string &PriorLabel, ThreadId PriorThread,
+                        bool PriorIsWrite) {
+  RaceReport R;
+  R.Detector = "hb";
+  R.ClassName = Event.ClassName;
+  R.Field = Event.isElemAccess() ? "[]" : Event.Field;
+  R.Obj = Event.Obj;
+  R.IsElem = Event.isElemAccess();
+  R.ElemIndex = Event.isElemAccess() ? Event.FieldIndex : 0;
+  R.FirstLabel = PriorLabel;
+  R.SecondLabel = Event.staticLabel();
+  R.FirstThread = PriorThread;
+  R.SecondThread = Event.Thread;
+  R.FirstIsWrite = PriorIsWrite;
+  R.SecondIsWrite = Event.isWrite();
+  Races.push_back(std::move(R));
+}
+
+void HBDetector::handleRead(const TraceEvent &Event) {
+  VarKey Key{Event.Obj, Event.isElemAccess(), Event.FieldIndex,
+             Event.isElemAccess() ? "[]" : Event.Field};
+  VarState &S = Vars[Key];
+  VectorClock &C = clockOf(Event.Thread);
+
+  // write-read race: the last write must happen-before this read.
+  if (S.Write.isSet() && !S.Write.leq(C))
+    report(Event, S.WriteLabel, S.WriteThread, /*PriorIsWrite=*/true);
+
+  uint64_t Now = C.get(Event.Thread);
+  if (!S.ReadShared) {
+    // Same-epoch fast path, or exclusive-read ownership transfer.
+    if (S.Read.isSet() && S.Read.Thread != Event.Thread && !S.Read.leq(C)) {
+      // Two concurrent readers: inflate to the read map.
+      S.ReadShared = true;
+      S.ReadMap[S.Read.Thread] = S.Read.Clock;
+      S.ReadLabels[S.Read.Thread] = S.ReadLabel;
+      S.ReadMap[Event.Thread] = Now;
+      S.ReadLabels[Event.Thread] = Event.staticLabel();
+      return;
+    }
+    S.Read = Epoch{Event.Thread, Now};
+    S.ReadLabel = Event.staticLabel();
+    return;
+  }
+  S.ReadMap[Event.Thread] = Now;
+  S.ReadLabels[Event.Thread] = Event.staticLabel();
+}
+
+void HBDetector::handleWrite(const TraceEvent &Event) {
+  VarKey Key{Event.Obj, Event.isElemAccess(), Event.FieldIndex,
+             Event.isElemAccess() ? "[]" : Event.Field};
+  VarState &S = Vars[Key];
+  VectorClock &C = clockOf(Event.Thread);
+
+  // write-write race.
+  if (S.Write.isSet() && !S.Write.leq(C))
+    report(Event, S.WriteLabel, S.WriteThread, /*PriorIsWrite=*/true);
+
+  // read-write races.
+  if (!S.ReadShared) {
+    if (S.Read.isSet() && !S.Read.leq(C))
+      report(Event, S.ReadLabel, S.Read.Thread, /*PriorIsWrite=*/false);
+  } else {
+    for (const auto &[Thread, Clock] : S.ReadMap) {
+      Epoch E{Thread, Clock};
+      if (!E.leq(C))
+        report(Event, S.ReadLabels[Thread], Thread, /*PriorIsWrite=*/false);
+    }
+    S.ReadShared = false;
+    S.ReadMap.clear();
+    S.ReadLabels.clear();
+  }
+  S.Read = Epoch{};
+  S.ReadLabel.clear();
+
+  S.Write = Epoch{Event.Thread, C.get(Event.Thread)};
+  S.WriteLabel = Event.staticLabel();
+  S.WriteThread = Event.Thread;
+}
+
+void HBDetector::onEvent(const TraceEvent &Event) {
+  switch (Event.Kind) {
+  case EventKind::ThreadStart: {
+    VectorClock &Child = clockOf(Event.Thread);
+    if (Event.ParentThread != NoThread) {
+      VectorClock &Parent = clockOf(Event.ParentThread);
+      Child.joinWith(Parent);
+      Child.set(Event.Thread, Child.get(Event.Thread) + 1);
+      Parent.tick(Event.ParentThread);
+    }
+    return;
+  }
+  case EventKind::Lock: {
+    // acquire: C_t := C_t ⊔ L_m.
+    auto It = LockClocks.find(Event.Obj);
+    if (It != LockClocks.end())
+      clockOf(Event.Thread).joinWith(It->second);
+    return;
+  }
+  case EventKind::Unlock: {
+    // release: L_m := C_t; C_t.tick().
+    VectorClock &C = clockOf(Event.Thread);
+    LockClocks[Event.Obj] = C;
+    C.tick(Event.Thread);
+    return;
+  }
+  case EventKind::ReadField:
+  case EventKind::ReadElem:
+    handleRead(Event);
+    return;
+  case EventKind::WriteField:
+  case EventKind::WriteElem:
+    handleWrite(Event);
+    return;
+  default:
+    return;
+  }
+}

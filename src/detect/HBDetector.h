@@ -1,0 +1,82 @@
+//===- detect/HBDetector.h - Happens-before race detection ------*- C++ -*-===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A FastTrack-style happens-before race detector running as an execution
+/// observer.  Writes are tracked as epochs (the common same-thread case) and
+/// reads adaptively as an epoch or a full read map, following FastTrack's
+/// design.  Synchronization edges: monitor release->acquire and thread
+/// spawn.  Precise: every report is a real race of the observed execution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NARADA_DETECT_HBDETECTOR_H
+#define NARADA_DETECT_HBDETECTOR_H
+
+#include "detect/RaceReport.h"
+#include "detect/VectorClock.h"
+#include "trace/TraceEvent.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace narada {
+
+/// Happens-before (FastTrack-style) detector.
+class HBDetector : public ExecutionObserver {
+public:
+  void onEvent(const TraceEvent &Event) override;
+
+  const std::vector<RaceReport> &races() const { return Races; }
+
+private:
+  /// Identifies a memory location: object + field slot or element index.
+  struct VarKey {
+    ObjectId Obj;
+    bool IsElem;
+    unsigned Index;       ///< Field index or element index.
+    std::string Field;    ///< For reporting.
+
+    bool operator<(const VarKey &Other) const {
+      if (Obj != Other.Obj)
+        return Obj < Other.Obj;
+      if (IsElem != Other.IsElem)
+        return IsElem < Other.IsElem;
+      return Index < Other.Index;
+    }
+  };
+
+  /// Per-variable detector state (FastTrack's W/R state).
+  struct VarState {
+    Epoch Write;
+    std::string WriteLabel;
+    ThreadId WriteThread = NoThread;
+
+    // Read state: epoch while one thread reads, inflated to a map when a
+    // second thread reads concurrently.
+    Epoch Read;
+    std::string ReadLabel;
+    bool ReadShared = false;
+    std::map<ThreadId, uint64_t> ReadMap;
+    std::map<ThreadId, std::string> ReadLabels;
+  };
+
+  VectorClock &clockOf(ThreadId T);
+  void handleRead(const TraceEvent &Event);
+  void handleWrite(const TraceEvent &Event);
+  void report(const TraceEvent &Event, const std::string &PriorLabel,
+              ThreadId PriorThread, bool PriorIsWrite);
+
+  std::map<ThreadId, VectorClock> ThreadClocks;
+  std::map<ObjectId, VectorClock> LockClocks;
+  std::map<VarKey, VarState> Vars;
+  std::vector<RaceReport> Races;
+};
+
+} // namespace narada
+
+#endif // NARADA_DETECT_HBDETECTOR_H

@@ -1,0 +1,114 @@
+//===- detect/LockOrderDetector.cpp - Potential deadlock detection -------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/LockOrderDetector.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <functional>
+
+using namespace narada;
+
+std::string LockOrderCycle::key() const {
+  // Normalize rotation: start the cycle at its smallest object id.
+  if (Objects.empty())
+    return "";
+  size_t Start = 0;
+  for (size_t I = 1; I < Objects.size(); ++I)
+    if (Objects[I] < Objects[Start])
+      Start = I;
+  std::string Out;
+  for (size_t I = 0; I < Objects.size(); ++I) {
+    Out += std::to_string(Objects[(Start + I) % Objects.size()]);
+    Out += '>';
+  }
+  return Out;
+}
+
+std::string LockOrderCycle::str() const {
+  std::vector<std::string> Parts;
+  for (size_t I = 0; I < Objects.size(); ++I)
+    Parts.push_back(formatString("@%u (acquired at %s)", Objects[I],
+                                 AcquireLabels[I].c_str()));
+  return "potential deadlock: " + join(Parts, " -> ");
+}
+
+void LockOrderDetector::addEdge(ObjectId From, ObjectId To, ThreadId Thread,
+                                const std::string &Label) {
+  Edge E{From, To};
+  EdgeThreads[E].insert(Thread);
+  if (!EdgeLabels.count(E))
+    EdgeLabels[E] = Label;
+  Successors[From].insert(To);
+  findCyclesThrough(E);
+}
+
+void LockOrderDetector::findCyclesThrough(const Edge &Seed) {
+  // DFS from Seed.To back to Seed.From over the lock-order graph.  The
+  // graph stays tiny (locks in one test), so a simple search suffices.
+  std::vector<ObjectId> Path{Seed.From, Seed.To};
+  std::set<ObjectId> OnPath{Seed.From, Seed.To};
+
+  std::function<void(ObjectId)> Dfs = [&](ObjectId Current) {
+    auto It = Successors.find(Current);
+    if (It == Successors.end())
+      return;
+    for (ObjectId Next : It->second) {
+      if (Next == Seed.From) {
+        // Close the cycle.  It is a *potential deadlock* only if at least
+        // two distinct threads contribute edges (one thread acquiring in a
+        // cycle with itself cannot deadlock against itself).
+        std::set<ThreadId> Contributors;
+        LockOrderCycle Cycle;
+        for (size_t I = 0; I < Path.size(); ++I) {
+          ObjectId From = Path[I];
+          ObjectId To = Path[(I + 1) % Path.size()];
+          Edge E{From, To};
+          for (ThreadId T : EdgeThreads[E])
+            Contributors.insert(T);
+          Cycle.Objects.push_back(From);
+          Cycle.AcquireLabels.push_back(EdgeLabels[E]);
+        }
+        if (Contributors.size() < 2)
+          continue;
+        if (Seen.insert(Cycle.key()).second)
+          Cycles.push_back(std::move(Cycle));
+        continue;
+      }
+      if (OnPath.count(Next))
+        continue;
+      Path.push_back(Next);
+      OnPath.insert(Next);
+      Dfs(Next);
+      OnPath.erase(Next);
+      Path.pop_back();
+    }
+  };
+  Dfs(Seed.To);
+}
+
+void LockOrderDetector::onEvent(const TraceEvent &Event) {
+  switch (Event.Kind) {
+  case EventKind::Lock: {
+    std::vector<ObjectId> &Stack = Held[Event.Thread];
+    for (ObjectId Outer : Stack)
+      if (Outer != Event.Obj)
+        addEdge(Outer, Event.Obj, Event.Thread, Event.staticLabel());
+    Stack.push_back(Event.Obj);
+    return;
+  }
+  case EventKind::Unlock: {
+    std::vector<ObjectId> &Stack = Held[Event.Thread];
+    auto It = std::find(Stack.rbegin(), Stack.rend(), Event.Obj);
+    if (It != Stack.rend())
+      Stack.erase(std::next(It).base());
+    return;
+  }
+  default:
+    return;
+  }
+}

@@ -1,0 +1,81 @@
+//===- detect/LockOrderDetector.h - Potential deadlock detection -*- C++ -*-===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A GoodLock-style lock-order analyzer running as an execution observer.
+/// The paper's authors' companion line of work (OOPSLA'14, [22]) applies
+/// the same synthesize-from-sequential-traces idea to *deadlocks*; this
+/// detector provides the corresponding checking half for the tests this
+/// repository synthesizes: it builds the lock-order graph — an edge X -> Y
+/// whenever some thread acquires Y while holding X — and reports every
+/// cycle whose edges come from different threads as a potential deadlock,
+/// even when the observed schedule did not actually deadlock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NARADA_DETECT_LOCKORDERDETECTOR_H
+#define NARADA_DETECT_LOCKORDERDETECTOR_H
+
+#include "trace/TraceEvent.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace narada {
+
+/// One potential deadlock: a cyclic lock-acquisition order.
+struct LockOrderCycle {
+  /// The objects forming the cycle, in order (each acquired while holding
+  /// the previous one; the last is held while acquiring the first).
+  std::vector<ObjectId> Objects;
+  /// Static labels of the inner acquisitions, parallel to Objects.
+  std::vector<std::string> AcquireLabels;
+
+  /// Canonical identity (rotation-normalized object sequence).
+  std::string key() const;
+  std::string str() const;
+};
+
+/// Observes an execution and reports lock-order cycles.
+class LockOrderDetector : public ExecutionObserver {
+public:
+  void onEvent(const TraceEvent &Event) override;
+
+  /// Potential deadlocks found so far (deduplicated by cycle identity).
+  const std::vector<LockOrderCycle> &cycles() const { return Cycles; }
+
+private:
+  struct Edge {
+    ObjectId From;
+    ObjectId To;
+
+    bool operator<(const Edge &Other) const {
+      if (From != Other.From)
+        return From < Other.From;
+      return To < Other.To;
+    }
+  };
+
+  void addEdge(ObjectId From, ObjectId To, ThreadId Thread,
+               const std::string &Label);
+  void findCyclesThrough(const Edge &Seed);
+
+  /// Per-thread stack of currently held monitors, in acquisition order.
+  std::map<ThreadId, std::vector<ObjectId>> Held;
+  /// Lock-order graph: edge -> (threads that produced it, acquire label).
+  std::map<Edge, std::set<ThreadId>> EdgeThreads;
+  std::map<Edge, std::string> EdgeLabels;
+  std::map<ObjectId, std::set<ObjectId>> Successors;
+
+  std::set<std::string> Seen;
+  std::vector<LockOrderCycle> Cycles;
+};
+
+} // namespace narada
+
+#endif // NARADA_DETECT_LOCKORDERDETECTOR_H

@@ -1,0 +1,96 @@
+//===- detect/LockSetDetector.cpp - Eraser lockset detection -------------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/LockSetDetector.h"
+
+#include <algorithm>
+
+using namespace narada;
+
+void LockSetDetector::handleAccess(const TraceEvent &Event) {
+  VarKey Key{Event.Obj, Event.isElemAccess(), Event.FieldIndex};
+  VarState &S = Vars[Key];
+  const std::set<ObjectId> &Locks = Held[Event.Thread];
+  bool IsWrite = Event.isWrite();
+
+  switch (S.Phase) {
+  case VarPhase::Virgin:
+    S.Phase = VarPhase::Exclusive;
+    S.Owner = Event.Thread;
+    break;
+  case VarPhase::Exclusive:
+    if (Event.Thread != S.Owner)
+      S.Phase = IsWrite ? VarPhase::SharedModified : VarPhase::Shared;
+    break;
+  case VarPhase::Shared:
+    if (IsWrite)
+      S.Phase = VarPhase::SharedModified;
+    break;
+  case VarPhase::SharedModified:
+    break;
+  }
+
+  // Refine the candidate lockset only once the variable has left the
+  // Exclusive state.  This is Eraser's initialization exemption: a single
+  // thread may legitimately initialize without locks (constructors!), so
+  // C(v) is first materialized from the locks held at the access that
+  // makes the variable shared, and intersected thereafter.
+  if (S.Phase == VarPhase::Shared || S.Phase == VarPhase::SharedModified) {
+    if (!S.CandidatesInitialized) {
+      S.Candidates = Locks;
+      S.CandidatesInitialized = true;
+    } else {
+      std::set<ObjectId> Intersection;
+      std::set_intersection(S.Candidates.begin(), S.Candidates.end(),
+                            Locks.begin(), Locks.end(),
+                            std::inserter(Intersection,
+                                          Intersection.begin()));
+      S.Candidates = std::move(Intersection);
+    }
+  }
+
+  if (S.Phase == VarPhase::SharedModified && S.Candidates.empty() &&
+      S.CandidatesInitialized && !S.Reported) {
+    RaceReport R;
+    R.Detector = "lockset";
+    R.ClassName = Event.ClassName;
+    R.Field = Event.isElemAccess() ? "[]" : Event.Field;
+    R.Obj = Event.Obj;
+    R.IsElem = Event.isElemAccess();
+    R.ElemIndex = Event.isElemAccess() ? Event.FieldIndex : 0;
+    R.FirstLabel = S.LastLabel.empty() ? Event.staticLabel() : S.LastLabel;
+    R.SecondLabel = Event.staticLabel();
+    R.FirstThread = S.LastThread == NoThread ? Event.Thread : S.LastThread;
+    R.SecondThread = Event.Thread;
+    R.FirstIsWrite = S.LastIsWrite;
+    R.SecondIsWrite = IsWrite;
+    Races.push_back(std::move(R));
+    S.Reported = true; // One report per variable, like Eraser.
+  }
+
+  S.LastLabel = Event.staticLabel();
+  S.LastThread = Event.Thread;
+  S.LastIsWrite = IsWrite;
+}
+
+void LockSetDetector::onEvent(const TraceEvent &Event) {
+  switch (Event.Kind) {
+  case EventKind::Lock:
+    Held[Event.Thread].insert(Event.Obj);
+    return;
+  case EventKind::Unlock:
+    Held[Event.Thread].erase(Event.Obj);
+    return;
+  case EventKind::ReadField:
+  case EventKind::ReadElem:
+  case EventKind::WriteField:
+  case EventKind::WriteElem:
+    handleAccess(Event);
+    return;
+  default:
+    return;
+  }
+}

@@ -1,0 +1,80 @@
+//===- detect/LockSetDetector.h - Eraser lockset detection ------*- C++ -*-===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An Eraser-style lockset detector (Savage et al., TOCS'97) running as an
+/// execution observer.  The paper points out that Narada *generates* tests
+/// using the same discipline Eraser *checks*: a race needs two accesses
+/// whose lock sets do not intersect.  Each shared variable goes through the
+/// Virgin -> Exclusive -> Shared -> SharedModified state machine; its
+/// candidate lockset is refined at every access, and an empty candidate set
+/// in the SharedModified state is reported as a (potential) race.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NARADA_DETECT_LOCKSETDETECTOR_H
+#define NARADA_DETECT_LOCKSETDETECTOR_H
+
+#include "detect/RaceReport.h"
+#include "trace/TraceEvent.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace narada {
+
+/// Eraser-style lockset detector.
+class LockSetDetector : public ExecutionObserver {
+public:
+  void onEvent(const TraceEvent &Event) override;
+
+  const std::vector<RaceReport> &races() const { return Races; }
+
+private:
+  enum class VarPhase {
+    Virgin,         ///< Never accessed.
+    Exclusive,      ///< Accessed by one thread only.
+    Shared,         ///< Read-shared among threads.
+    SharedModified, ///< Written by multiple threads / read-write shared.
+  };
+
+  struct VarKey {
+    ObjectId Obj;
+    bool IsElem;
+    unsigned Index;
+
+    bool operator<(const VarKey &Other) const {
+      if (Obj != Other.Obj)
+        return Obj < Other.Obj;
+      if (IsElem != Other.IsElem)
+        return IsElem < Other.IsElem;
+      return Index < Other.Index;
+    }
+  };
+
+  struct VarState {
+    VarPhase Phase = VarPhase::Virgin;
+    ThreadId Owner = NoThread;
+    std::set<ObjectId> Candidates;
+    bool CandidatesInitialized = false;
+    std::string LastLabel;
+    ThreadId LastThread = NoThread;
+    bool LastIsWrite = false;
+    bool Reported = false;
+  };
+
+  void handleAccess(const TraceEvent &Event);
+
+  std::map<ThreadId, std::set<ObjectId>> Held;
+  std::map<VarKey, VarState> Vars;
+  std::vector<RaceReport> Races;
+};
+
+} // namespace narada
+
+#endif // NARADA_DETECT_LOCKSETDETECTOR_H

@@ -1,0 +1,140 @@
+//===- detect/RaceConfirmer.cpp - RaceFuzzer-style confirmation ----------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/RaceConfirmer.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace narada;
+
+static std::string labelOf(const PendingAccess &Access) {
+  return formatString("%s:%u", Access.Func->name().c_str(), Access.Pc);
+}
+
+std::optional<std::pair<PendingAccess, bool>>
+RaceConfirmPolicy::matchAt(ThreadId T, VM &M) {
+  std::optional<PendingAccess> Access = M.peekAccess(T);
+  if (!Access)
+    return std::nullopt;
+  std::string Label = labelOf(*Access);
+  if (Label == LabelA)
+    return std::make_pair(*Access, true);
+  if (Label == LabelB)
+    return std::make_pair(*Access, false);
+  return std::nullopt;
+}
+
+ThreadId RaceConfirmPolicy::pick(const std::vector<ThreadId> &Runnable,
+                                 VM &M) {
+  // After a confirmation, fire the second racer immediately so the two
+  // accesses are adjacent in the chosen order.
+  if (FireNext != NoThread) {
+    ThreadId Next = FireNext;
+    FireNext = NoThread;
+    if (std::find(Runnable.begin(), Runnable.end(), Next) != Runnable.end())
+      return Next;
+    return Runnable[Rand.nextBelow(Runnable.size())];
+  }
+
+  bool PausedRunnable =
+      Paused != NoThread &&
+      std::find(Runnable.begin(), Runnable.end(), Paused) != Runnable.end();
+
+  if (Paused != NoThread && PausedRunnable) {
+    // Look for a partner at the complementary access on the same location.
+    for (ThreadId T : Runnable) {
+      if (T == Paused)
+        continue;
+      std::optional<std::pair<PendingAccess, bool>> Match = matchAt(T, M);
+      if (!Match)
+        continue;
+      // For distinct labels the partner must sit at the *other* access; for
+      // a same-label pair (the "concurrent access at the same label from a
+      // different thread" case) any second thread at the label qualifies.
+      if (LabelA != LabelB && Match->second == PausedIsA)
+        continue;
+      const PendingAccess &Other = Match->first;
+      if (Other.Obj != PausedAccess.Obj ||
+          Other.IsElem != PausedAccess.IsElem ||
+          (Other.IsElem && Other.ElemIndex != PausedAccess.ElemIndex))
+        continue;
+      if (!Other.IsWrite && !PausedAccess.IsWrite)
+        continue;
+
+      // Reproduced: both threads are at the racy accesses simultaneously.
+      RaceReport R;
+      R.Detector = "confirm";
+      if (M.heap().isValid(PausedAccess.Obj) &&
+          M.heap().object(PausedAccess.Obj).Class)
+        R.ClassName = M.heap().object(PausedAccess.Obj).Class->Name;
+      R.Field = PausedAccess.IsElem ? "[]" : PausedAccess.Field;
+      R.Obj = PausedAccess.Obj;
+      R.IsElem = PausedAccess.IsElem;
+      R.ElemIndex = PausedAccess.ElemIndex;
+      R.FirstLabel = labelOf(PausedAccess);
+      R.SecondLabel = labelOf(Other);
+      R.FirstThread = Paused;
+      R.SecondThread = T;
+      R.FirstIsWrite = PausedAccess.IsWrite;
+      R.SecondIsWrite = Other.IsWrite;
+      Confirmed = std::move(R);
+
+      ThreadId First = SecondFirst ? T : Paused;
+      ThreadId Second = SecondFirst ? Paused : T;
+      Paused = NoThread;
+      FireNext = Second;
+      return First;
+    }
+
+    if (++PausedFor > PauseBudget) {
+      // Give up: the partner never arrived (the context may not share the
+      // object).  Release the paused thread.
+      ThreadId Released = Paused;
+      Paused = NoThread;
+      PausedFor = 0;
+      return Released;
+    }
+
+    // Keep the paused thread parked; run anyone else.
+    std::vector<ThreadId> Others;
+    for (ThreadId T : Runnable)
+      if (T != Paused)
+        Others.push_back(T);
+    if (Others.empty()) {
+      ThreadId Released = Paused;
+      Paused = NoThread;
+      return Released;
+    }
+    return Others[Rand.nextBelow(Others.size())];
+  }
+
+  Paused = NoThread;
+
+  // No pause active: park the first thread that reaches a candidate access
+  // (unless a confirmation already happened — then just run randomly).
+  if (!Confirmed) {
+    for (ThreadId T : Runnable) {
+      std::optional<std::pair<PendingAccess, bool>> Match = matchAt(T, M);
+      if (!Match)
+        continue;
+      if (Runnable.size() == 1)
+        break; // Cannot park the only runnable thread.
+      Paused = T;
+      PausedAccess = Match->first;
+      PausedIsA = Match->second;
+      PausedFor = 0;
+      std::vector<ThreadId> Others;
+      for (ThreadId U : Runnable)
+        if (U != T)
+          Others.push_back(U);
+      return Others[Rand.nextBelow(Others.size())];
+    }
+  }
+
+  return Runnable[Rand.nextBelow(Runnable.size())];
+}

@@ -1,0 +1,57 @@
+//===- detect/RaceReport.h - Race reports -----------------------*- C++ -*-===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The report format shared by all detectors: which field of which object
+/// raced, at which pair of static program points, from which threads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NARADA_DETECT_RACEREPORT_H
+#define NARADA_DETECT_RACEREPORT_H
+
+#include "runtime/Heap.h"
+#include "runtime/Value.h"
+
+#include <string>
+
+namespace narada {
+
+/// One reported race.
+struct RaceReport {
+  std::string Detector;       ///< "hb" (FastTrack-style) or "lockset".
+  std::string ClassName;      ///< Dynamic class of the raced object.
+  std::string Field;          ///< Field name, "[]" for array elements.
+  ObjectId Obj = NoObject;
+  bool IsElem = false;
+  unsigned ElemIndex = 0;
+
+  std::string FirstLabel;     ///< Static label of the earlier access.
+  std::string SecondLabel;    ///< Static label of the later access.
+  ThreadId FirstThread = 0;
+  ThreadId SecondThread = 0;
+  bool FirstIsWrite = false;
+  bool SecondIsWrite = false;
+
+  /// Identity for deduplication across runs: the raced field plus the
+  /// unordered static label pair (object ids differ run to run).
+  std::string key() const {
+    std::string A = FirstLabel, B = SecondLabel;
+    if (B < A)
+      std::swap(A, B);
+    return ClassName + "." + Field + "{" + A + "~" + B + "}";
+  }
+
+  std::string str() const {
+    return Detector + " race on " + ClassName + "." + Field + ": " +
+           FirstLabel + (FirstIsWrite ? " (write)" : " (read)") + " vs " +
+           SecondLabel + (SecondIsWrite ? " (write)" : " (read)");
+  }
+};
+
+} // namespace narada
+
+#endif // NARADA_DETECT_RACEREPORT_H

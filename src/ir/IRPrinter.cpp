@@ -1,0 +1,102 @@
+//===- ir/IRPrinter.cpp - IR disassembler ------------------------------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRPrinter.h"
+
+#include "lang/AST.h"
+#include "support/StringUtils.h"
+
+using namespace narada;
+
+static std::string regName(Reg R) {
+  if (R == NoReg)
+    return "_";
+  return "r" + std::to_string(R);
+}
+
+std::string narada::printInstr(const Instr &I) {
+  switch (I.Op) {
+  case Opcode::ConstInt:
+    return formatString("%s = const_int %lld", regName(I.Dst).c_str(),
+                        static_cast<long long>(I.Imm));
+  case Opcode::ConstBool:
+    return formatString("%s = const_bool %s", regName(I.Dst).c_str(),
+                        I.Imm ? "true" : "false");
+  case Opcode::ConstNull:
+    return formatString("%s = const_null", regName(I.Dst).c_str());
+  case Opcode::Move:
+    return formatString("%s = move %s", regName(I.Dst).c_str(),
+                        regName(I.A).c_str());
+  case Opcode::BinOp:
+    return formatString("%s = %s %s %s", regName(I.Dst).c_str(),
+                        regName(I.A).c_str(),
+                        binaryOpSpelling(I.BinaryOperator),
+                        regName(I.B).c_str());
+  case Opcode::UnOp:
+    return formatString("%s = %s%s", regName(I.Dst).c_str(),
+                        unaryOpSpelling(I.UnaryOperator),
+                        regName(I.A).c_str());
+  case Opcode::LoadField:
+    return formatString("%s = load_field %s.%s", regName(I.Dst).c_str(),
+                        regName(I.A).c_str(), I.Member.c_str());
+  case Opcode::StoreField:
+    return formatString("store_field %s.%s = %s", regName(I.A).c_str(),
+                        I.Member.c_str(), regName(I.B).c_str());
+  case Opcode::NewObject:
+    return formatString("%s = new %s", regName(I.Dst).c_str(),
+                        I.ClassName.c_str());
+  case Opcode::Invoke: {
+    std::vector<std::string> Args;
+    for (Reg R : I.Args)
+      Args.push_back(regName(R));
+    return formatString("%s = invoke %s.%s(%s) on %s",
+                        regName(I.Dst).c_str(), I.ClassName.c_str(),
+                        I.Member.c_str(), join(Args, ", ").c_str(),
+                        regName(I.A).c_str());
+  }
+  case Opcode::RandInt:
+    return formatString("%s = rand_int", regName(I.Dst).c_str());
+  case Opcode::MonitorEnter:
+    return formatString("monitor_enter %s", regName(I.A).c_str());
+  case Opcode::MonitorExit:
+    return formatString("monitor_exit %s", regName(I.A).c_str());
+  case Opcode::Jump:
+    return formatString("jump @%u", I.Target);
+  case Opcode::Branch:
+    return formatString("branch_false %s @%u", regName(I.A).c_str(),
+                        I.Target);
+  case Opcode::Ret:
+    if (I.A == NoReg)
+      return "ret";
+    return formatString("ret %s", regName(I.A).c_str());
+  case Opcode::SpawnThread: {
+    std::vector<std::string> Args;
+    for (Reg R : I.Args)
+      Args.push_back(regName(R));
+    return formatString("spawn %s(%s)", I.Member.c_str(),
+                        join(Args, ", ").c_str());
+  }
+  }
+  narada_unreachable("unknown opcode");
+}
+
+std::string narada::printFunction(const IRFunction &F) {
+  std::string Out = formatString("func %s (params=%u, regs=%u)%s\n",
+                                 F.name().c_str(), F.numParams(),
+                                 F.numRegs(),
+                                 F.isSynchronized() ? " synchronized" : "");
+  for (size_t Index = 0, E = F.instrs().size(); Index != E; ++Index)
+    Out += formatString("  %3zu: %s\n", Index,
+                        printInstr(F.instrs()[Index]).c_str());
+  return Out;
+}
+
+std::string narada::printModule(const IRModule &M) {
+  std::string Out;
+  for (const auto &F : M.functions())
+    Out += printFunction(*F) + "\n";
+  return Out;
+}

@@ -1,0 +1,32 @@
+//===- ir/IRPrinter.h - IR disassembler -------------------------*- C++ -*-===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders IR functions as readable text for debugging and golden tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NARADA_IR_IRPRINTER_H
+#define NARADA_IR_IRPRINTER_H
+
+#include "ir/IR.h"
+
+#include <string>
+
+namespace narada {
+
+/// Renders one instruction, e.g. "r3 = load_field r1.count".
+std::string printInstr(const Instr &I);
+
+/// Renders a function with indices, header and body.
+std::string printFunction(const IRFunction &F);
+
+/// Renders every function in the module.
+std::string printModule(const IRModule &M);
+
+} // namespace narada
+
+#endif // NARADA_IR_IRPRINTER_H

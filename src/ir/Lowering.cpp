@@ -1,0 +1,809 @@
+//===- ir/Lowering.cpp - AST to IR lowering ---------------------------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Lowering.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace narada;
+
+namespace {
+
+/// Lowers one function body (method, test, or spawn closure).
+class FunctionLowerer {
+public:
+  FunctionLowerer(IRModule &M, IRFunction &F,
+                  std::vector<std::unique_ptr<IRFunction>> &PendingSpawns)
+      : M(M), F(F), PendingSpawns(PendingSpawns) {}
+
+  /// Introduces a parameter register bound to \p Name.
+  void addParam(const std::string &Name, Type Ty) {
+    Reg R = allocReg();
+    assert(R + 1 == NextReg && "params must be allocated first");
+    Scopes.back().emplace(Name, Local{R, std::move(Ty)});
+  }
+
+  Status lowerBody(const BlockStmt *Body, bool Synchronized);
+  Status lowerStmt(const Stmt *S);
+  Result<Reg> lowerExpr(const Expr *E);
+
+  void finish() { F.setNumRegs(NextReg); }
+
+private:
+  struct Local {
+    Reg R;
+    Type Ty;
+  };
+
+  Reg allocReg() { return NextReg++; }
+
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+
+  const Local *lookup(const std::string &Name) const {
+    for (auto It = Scopes.rbegin(), E = Scopes.rend(); It != E; ++It) {
+      auto Found = It->find(Name);
+      if (Found != It->end())
+        return &Found->second;
+    }
+    return nullptr;
+  }
+
+  uint32_t emit(Instr I) { return F.append(std::move(I)); }
+
+  /// Emits a MonitorExit for every enclosing sync region (used before Ret).
+  void unwindMonitors() {
+    for (auto It = ActiveSyncRegs.rbegin(), E = ActiveSyncRegs.rend();
+         It != E; ++It) {
+      Instr Exit;
+      Exit.Op = Opcode::MonitorExit;
+      Exit.A = *It;
+      emit(Exit);
+    }
+  }
+
+  Result<Reg> lowerShortCircuit(const BinaryExpr *Binary);
+  Result<Reg> lowerCall(const CallExpr *Call);
+  Result<Reg> lowerNew(const NewExpr *New);
+  Status lowerSpawn(const SpawnStmt *Spawn);
+
+  /// Resolves the field index for an access of \p Field on \p BaseTy.
+  Result<unsigned> fieldIndexFor(const Type &BaseTy, const std::string &Field,
+                                 SourceLoc Loc) {
+    const ClassInfo *Class = M.programInfo().findClass(BaseTy.className());
+    if (!Class)
+      return Error(formatString("unknown class '%s'",
+                                BaseTy.className().c_str()),
+                   Loc.str());
+    const FieldInfo *FI = Class->findField(Field);
+    if (!FI)
+      return Error(formatString("class '%s' has no field '%s'",
+                                Class->Name.c_str(), Field.c_str()),
+                   Loc.str());
+    return FI->Index;
+  }
+
+  IRModule &M;
+  IRFunction &F;
+  std::vector<std::unique_ptr<IRFunction>> &PendingSpawns;
+  Reg NextReg = 0;
+  std::vector<std::map<std::string, Local>> Scopes{1};
+  std::vector<Reg> ActiveSyncRegs;
+  unsigned SpawnCounter = 0;
+};
+
+} // namespace
+
+Status FunctionLowerer::lowerBody(const BlockStmt *Body, bool Synchronized) {
+  F.setNumParams(NextReg);
+
+  Reg ThisReg = 0;
+  if (Synchronized) {
+    Instr Enter;
+    Enter.Op = Opcode::MonitorEnter;
+    Enter.A = ThisReg;
+    Enter.Loc = Body->loc();
+    emit(Enter);
+    ActiveSyncRegs.push_back(ThisReg);
+  }
+
+  for (const StmtPtr &S : Body->stmts())
+    if (Status St = lowerStmt(S.get()); !St)
+      return St;
+
+  if (Synchronized) {
+    Instr Exit;
+    Exit.Op = Opcode::MonitorExit;
+    Exit.A = ThisReg;
+    Exit.Loc = Body->loc();
+    emit(Exit);
+    ActiveSyncRegs.pop_back();
+  }
+
+  // Implicit void return at the end of every body; Verifier relies on it.
+  Instr Ret;
+  Ret.Op = Opcode::Ret;
+  Ret.Loc = Body->loc();
+  emit(Ret);
+  return Status::success();
+}
+
+Status FunctionLowerer::lowerStmt(const Stmt *S) {
+  switch (S->kind()) {
+  case Stmt::Kind::Block: {
+    pushScope();
+    for (const StmtPtr &Child : cast<BlockStmt>(S)->stmts())
+      if (Status St = lowerStmt(Child.get()); !St) {
+        popScope();
+        return St;
+      }
+    popScope();
+    return Status::success();
+  }
+
+  case Stmt::Kind::VarDecl: {
+    const auto *Decl = cast<VarDeclStmt>(S);
+    Reg R;
+    if (Decl->init()) {
+      Result<Reg> Init = lowerExpr(Decl->init());
+      if (!Init)
+        return Init.error();
+      R = allocReg();
+      Instr Move;
+      Move.Op = Opcode::Move;
+      Move.Dst = R;
+      Move.A = *Init;
+      Move.Loc = S->loc();
+      emit(Move);
+    } else {
+      R = allocReg();
+      Instr Zero;
+      Zero.Loc = S->loc();
+      Zero.Dst = R;
+      if (Decl->declaredType().isInt() || Decl->declaredType().isBool()) {
+        Zero.Op = Decl->declaredType().isInt() ? Opcode::ConstInt
+                                               : Opcode::ConstBool;
+        Zero.Imm = 0;
+      } else {
+        Zero.Op = Opcode::ConstNull;
+      }
+      emit(Zero);
+    }
+    Scopes.back().emplace(Decl->name(), Local{R, Decl->declaredType()});
+    return Status::success();
+  }
+
+  case Stmt::Kind::Assign: {
+    const auto *Assign = cast<AssignStmt>(S);
+    Result<Reg> Value = lowerExpr(Assign->value());
+    if (!Value)
+      return Value.error();
+    const Expr *Target = Assign->target();
+    if (const auto *Var = dyn_cast<VarRefExpr>(Target)) {
+      const Local *L = lookup(Var->name());
+      assert(L && "Sema resolved all variable references");
+      Instr Move;
+      Move.Op = Opcode::Move;
+      Move.Dst = L->R;
+      Move.A = *Value;
+      Move.Loc = S->loc();
+      emit(Move);
+      return Status::success();
+    }
+    const auto *Access = cast<FieldAccessExpr>(Target);
+    Result<Reg> Base = lowerExpr(Access->base());
+    if (!Base)
+      return Base.error();
+    Result<unsigned> Index = fieldIndexFor(Access->base()->type(),
+                                           Access->field(), Access->loc());
+    if (!Index)
+      return Index.error();
+    Instr Store;
+    Store.Op = Opcode::StoreField;
+    Store.A = *Base;
+    Store.B = *Value;
+    Store.ClassName = Access->base()->type().className();
+    Store.Member = Access->field();
+    Store.FieldIndex = *Index;
+    Store.Loc = S->loc();
+    emit(Store);
+    return Status::success();
+  }
+
+  case Stmt::Kind::ExprStmt:
+    if (Result<Reg> R = lowerExpr(cast<ExprStmt>(S)->expr()); !R)
+      return R.error();
+    return Status::success();
+
+  case Stmt::Kind::If: {
+    const auto *If = cast<IfStmt>(S);
+    Result<Reg> Cond = lowerExpr(If->cond());
+    if (!Cond)
+      return Cond.error();
+    Instr BranchInstr;
+    BranchInstr.Op = Opcode::Branch;
+    BranchInstr.A = *Cond;
+    BranchInstr.Loc = S->loc();
+    uint32_t BranchIdx = emit(BranchInstr);
+    if (Status St = lowerStmt(If->thenBranch()); !St)
+      return St;
+    if (!If->elseBranch()) {
+      F.instrs()[BranchIdx].Target =
+          static_cast<uint32_t>(F.instrs().size());
+      return Status::success();
+    }
+    Instr JumpInstr;
+    JumpInstr.Op = Opcode::Jump;
+    JumpInstr.Loc = S->loc();
+    uint32_t JumpIdx = emit(JumpInstr);
+    F.instrs()[BranchIdx].Target = static_cast<uint32_t>(F.instrs().size());
+    if (Status St = lowerStmt(If->elseBranch()); !St)
+      return St;
+    F.instrs()[JumpIdx].Target = static_cast<uint32_t>(F.instrs().size());
+    return Status::success();
+  }
+
+  case Stmt::Kind::While: {
+    const auto *While = cast<WhileStmt>(S);
+    uint32_t Head = static_cast<uint32_t>(F.instrs().size());
+    Result<Reg> Cond = lowerExpr(While->cond());
+    if (!Cond)
+      return Cond.error();
+    Instr BranchInstr;
+    BranchInstr.Op = Opcode::Branch;
+    BranchInstr.A = *Cond;
+    BranchInstr.Loc = S->loc();
+    uint32_t BranchIdx = emit(BranchInstr);
+    if (Status St = lowerStmt(While->body()); !St)
+      return St;
+    Instr Back;
+    Back.Op = Opcode::Jump;
+    Back.Target = Head;
+    Back.Loc = S->loc();
+    emit(Back);
+    F.instrs()[BranchIdx].Target = static_cast<uint32_t>(F.instrs().size());
+    return Status::success();
+  }
+
+  case Stmt::Kind::Return: {
+    const auto *Ret = cast<ReturnStmt>(S);
+    Reg ValueReg = NoReg;
+    if (Ret->value()) {
+      Result<Reg> Value = lowerExpr(Ret->value());
+      if (!Value)
+        return Value.error();
+      ValueReg = *Value;
+    }
+    unwindMonitors();
+    Instr RetInstr;
+    RetInstr.Op = Opcode::Ret;
+    RetInstr.A = ValueReg;
+    RetInstr.Loc = S->loc();
+    emit(RetInstr);
+    return Status::success();
+  }
+
+  case Stmt::Kind::Sync: {
+    const auto *Sync = cast<SyncStmt>(S);
+    Result<Reg> Lock = lowerExpr(Sync->lockExpr());
+    if (!Lock)
+      return Lock.error();
+    // Pin the lock object in a dedicated register so the MonitorExit always
+    // unlocks the object that was locked, even if the source expression's
+    // value would change inside the block.
+    Reg LockReg = allocReg();
+    Instr Pin;
+    Pin.Op = Opcode::Move;
+    Pin.Dst = LockReg;
+    Pin.A = *Lock;
+    Pin.Loc = S->loc();
+    emit(Pin);
+    Instr Enter;
+    Enter.Op = Opcode::MonitorEnter;
+    Enter.A = LockReg;
+    Enter.Loc = S->loc();
+    emit(Enter);
+    ActiveSyncRegs.push_back(LockReg);
+    if (Status St = lowerStmt(Sync->body()); !St)
+      return St;
+    ActiveSyncRegs.pop_back();
+    Instr Exit;
+    Exit.Op = Opcode::MonitorExit;
+    Exit.A = LockReg;
+    Exit.Loc = S->loc();
+    emit(Exit);
+    return Status::success();
+  }
+
+  case Stmt::Kind::Spawn:
+    return lowerSpawn(cast<SpawnStmt>(S));
+  }
+  narada_unreachable("unknown statement kind");
+}
+
+/// Collects the names referenced by \p S that are not declared within it.
+static void collectFreeVars(const Stmt *S, std::set<std::string> &Declared,
+                            std::vector<std::string> &Free);
+
+static void collectFreeVarsExpr(const Expr *E,
+                                const std::set<std::string> &Declared,
+                                std::vector<std::string> &Free) {
+  switch (E->kind()) {
+  case Expr::Kind::VarRef: {
+    const std::string &Name = cast<VarRefExpr>(E)->name();
+    if (!Declared.count(Name) &&
+        std::find(Free.begin(), Free.end(), Name) == Free.end())
+      Free.push_back(Name);
+    return;
+  }
+  case Expr::Kind::FieldAccess:
+    collectFreeVarsExpr(cast<FieldAccessExpr>(E)->base(), Declared, Free);
+    return;
+  case Expr::Kind::Call: {
+    const auto *Call = cast<CallExpr>(E);
+    collectFreeVarsExpr(Call->base(), Declared, Free);
+    for (const ExprPtr &Arg : Call->args())
+      collectFreeVarsExpr(Arg.get(), Declared, Free);
+    return;
+  }
+  case Expr::Kind::New:
+    for (const ExprPtr &Arg : cast<NewExpr>(E)->args())
+      collectFreeVarsExpr(Arg.get(), Declared, Free);
+    return;
+  case Expr::Kind::Unary:
+    collectFreeVarsExpr(cast<UnaryExpr>(E)->operand(), Declared, Free);
+    return;
+  case Expr::Kind::Binary: {
+    const auto *Binary = cast<BinaryExpr>(E);
+    collectFreeVarsExpr(Binary->lhs(), Declared, Free);
+    collectFreeVarsExpr(Binary->rhs(), Declared, Free);
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+static void collectFreeVars(const Stmt *S, std::set<std::string> &Declared,
+                            std::vector<std::string> &Free) {
+  switch (S->kind()) {
+  case Stmt::Kind::Block:
+    for (const StmtPtr &Child : cast<BlockStmt>(S)->stmts())
+      collectFreeVars(Child.get(), Declared, Free);
+    return;
+  case Stmt::Kind::VarDecl: {
+    const auto *Decl = cast<VarDeclStmt>(S);
+    if (Decl->init())
+      collectFreeVarsExpr(Decl->init(), Declared, Free);
+    Declared.insert(Decl->name());
+    return;
+  }
+  case Stmt::Kind::Assign: {
+    const auto *Assign = cast<AssignStmt>(S);
+    collectFreeVarsExpr(Assign->target(), Declared, Free);
+    collectFreeVarsExpr(Assign->value(), Declared, Free);
+    return;
+  }
+  case Stmt::Kind::ExprStmt:
+    collectFreeVarsExpr(cast<ExprStmt>(S)->expr(), Declared, Free);
+    return;
+  case Stmt::Kind::If: {
+    const auto *If = cast<IfStmt>(S);
+    collectFreeVarsExpr(If->cond(), Declared, Free);
+    collectFreeVars(If->thenBranch(), Declared, Free);
+    if (If->elseBranch())
+      collectFreeVars(If->elseBranch(), Declared, Free);
+    return;
+  }
+  case Stmt::Kind::While: {
+    const auto *While = cast<WhileStmt>(S);
+    collectFreeVarsExpr(While->cond(), Declared, Free);
+    collectFreeVars(While->body(), Declared, Free);
+    return;
+  }
+  case Stmt::Kind::Return: {
+    const auto *Ret = cast<ReturnStmt>(S);
+    if (Ret->value())
+      collectFreeVarsExpr(Ret->value(), Declared, Free);
+    return;
+  }
+  case Stmt::Kind::Sync: {
+    const auto *Sync = cast<SyncStmt>(S);
+    collectFreeVarsExpr(Sync->lockExpr(), Declared, Free);
+    collectFreeVars(Sync->body(), Declared, Free);
+    return;
+  }
+  case Stmt::Kind::Spawn:
+    collectFreeVars(cast<SpawnStmt>(S)->body(), Declared, Free);
+    return;
+  }
+  narada_unreachable("unknown statement kind");
+}
+
+Status FunctionLowerer::lowerSpawn(const SpawnStmt *Spawn) {
+  // Determine the locals the spawned block captures from this function.
+  std::set<std::string> Declared;
+  std::vector<std::string> Free;
+  collectFreeVars(Spawn->body(), Declared, Free);
+
+  std::vector<Reg> CaptureRegs;
+  std::vector<std::pair<std::string, Type>> Captures;
+  for (const std::string &Name : Free) {
+    const Local *L = lookup(Name);
+    if (!L)
+      continue; // Not a local of this function (cannot happen after Sema).
+    CaptureRegs.push_back(L->R);
+    Captures.emplace_back(Name, L->Ty);
+  }
+
+  auto Closure = std::make_unique<IRFunction>(
+      formatString("%s$spawn%u", F.name().c_str(), SpawnCounter++),
+      IRFunction::Kind::Spawn);
+  FunctionLowerer Inner(M, *Closure, PendingSpawns);
+  for (auto &[Name, Ty] : Captures)
+    Inner.addParam(Name, Ty);
+  const auto *Body = cast<BlockStmt>(Spawn->body());
+  if (Status St = Inner.lowerBody(Body, /*Synchronized=*/false); !St)
+    return St;
+  Inner.finish();
+
+  Instr SpawnInstr;
+  SpawnInstr.Op = Opcode::SpawnThread;
+  SpawnInstr.Args = CaptureRegs;
+  SpawnInstr.Member = Closure->name();
+  SpawnInstr.Callee = Closure.get();
+  SpawnInstr.Loc = Spawn->loc();
+  emit(SpawnInstr);
+
+  PendingSpawns.push_back(std::move(Closure));
+  return Status::success();
+}
+
+Result<Reg> FunctionLowerer::lowerExpr(const Expr *E) {
+  switch (E->kind()) {
+  case Expr::Kind::IntLit: {
+    Reg R = allocReg();
+    Instr I;
+    I.Op = Opcode::ConstInt;
+    I.Dst = R;
+    I.Imm = cast<IntLitExpr>(E)->value();
+    I.Loc = E->loc();
+    emit(I);
+    return R;
+  }
+  case Expr::Kind::BoolLit: {
+    Reg R = allocReg();
+    Instr I;
+    I.Op = Opcode::ConstBool;
+    I.Dst = R;
+    I.Imm = cast<BoolLitExpr>(E)->value() ? 1 : 0;
+    I.Loc = E->loc();
+    emit(I);
+    return R;
+  }
+  case Expr::Kind::NullLit: {
+    Reg R = allocReg();
+    Instr I;
+    I.Op = Opcode::ConstNull;
+    I.Dst = R;
+    I.Loc = E->loc();
+    emit(I);
+    return R;
+  }
+  case Expr::Kind::This:
+    return Reg(0);
+  case Expr::Kind::Rand: {
+    Reg R = allocReg();
+    Instr I;
+    I.Op = Opcode::RandInt;
+    I.Dst = R;
+    I.Loc = E->loc();
+    emit(I);
+    return R;
+  }
+  case Expr::Kind::VarRef: {
+    const Local *L = lookup(cast<VarRefExpr>(E)->name());
+    assert(L && "Sema resolved all variable references");
+    return L->R;
+  }
+  case Expr::Kind::FieldAccess: {
+    const auto *Access = cast<FieldAccessExpr>(E);
+    Result<Reg> Base = lowerExpr(Access->base());
+    if (!Base)
+      return Base.error();
+    Result<unsigned> Index = fieldIndexFor(Access->base()->type(),
+                                           Access->field(), Access->loc());
+    if (!Index)
+      return Index.error();
+    Reg R = allocReg();
+    Instr Load;
+    Load.Op = Opcode::LoadField;
+    Load.Dst = R;
+    Load.A = *Base;
+    Load.ClassName = Access->base()->type().className();
+    Load.Member = Access->field();
+    Load.FieldIndex = *Index;
+    Load.Loc = E->loc();
+    emit(Load);
+    return R;
+  }
+  case Expr::Kind::Call:
+    return lowerCall(cast<CallExpr>(E));
+  case Expr::Kind::New:
+    return lowerNew(cast<NewExpr>(E));
+  case Expr::Kind::Unary: {
+    const auto *Unary = cast<UnaryExpr>(E);
+    Result<Reg> Operand = lowerExpr(Unary->operand());
+    if (!Operand)
+      return Operand.error();
+    Reg R = allocReg();
+    Instr I;
+    I.Op = Opcode::UnOp;
+    I.Dst = R;
+    I.A = *Operand;
+    I.UnaryOperator = Unary->op();
+    I.Loc = E->loc();
+    emit(I);
+    return R;
+  }
+  case Expr::Kind::Binary: {
+    const auto *Binary = cast<BinaryExpr>(E);
+    if (Binary->op() == BinaryOp::And || Binary->op() == BinaryOp::Or)
+      return lowerShortCircuit(Binary);
+    Result<Reg> LHS = lowerExpr(Binary->lhs());
+    if (!LHS)
+      return LHS.error();
+    Result<Reg> RHS = lowerExpr(Binary->rhs());
+    if (!RHS)
+      return RHS.error();
+    Reg R = allocReg();
+    Instr I;
+    I.Op = Opcode::BinOp;
+    I.Dst = R;
+    I.A = *LHS;
+    I.B = *RHS;
+    I.BinaryOperator = Binary->op();
+    I.Loc = E->loc();
+    emit(I);
+    return R;
+  }
+  }
+  narada_unreachable("unknown expression kind");
+}
+
+Result<Reg> FunctionLowerer::lowerShortCircuit(const BinaryExpr *Binary) {
+  bool IsAnd = Binary->op() == BinaryOp::And;
+  Result<Reg> LHS = lowerExpr(Binary->lhs());
+  if (!LHS)
+    return LHS.error();
+  Reg R = allocReg();
+  Instr CopyLHS;
+  CopyLHS.Op = Opcode::Move;
+  CopyLHS.Dst = R;
+  CopyLHS.A = *LHS;
+  CopyLHS.Loc = Binary->loc();
+  emit(CopyLHS);
+
+  // For '&&': skip the RHS when LHS is false.  For '||': skip when true —
+  // implemented by branching on the negation.
+  Reg CondReg = R;
+  if (!IsAnd) {
+    CondReg = allocReg();
+    Instr Not;
+    Not.Op = Opcode::UnOp;
+    Not.Dst = CondReg;
+    Not.A = R;
+    Not.UnaryOperator = UnaryOp::Not;
+    Not.Loc = Binary->loc();
+    emit(Not);
+  }
+  Instr Skip;
+  Skip.Op = Opcode::Branch;
+  Skip.A = CondReg;
+  Skip.Loc = Binary->loc();
+  uint32_t SkipIdx = emit(Skip);
+
+  Result<Reg> RHS = lowerExpr(Binary->rhs());
+  if (!RHS)
+    return RHS.error();
+  Instr CopyRHS;
+  CopyRHS.Op = Opcode::Move;
+  CopyRHS.Dst = R;
+  CopyRHS.A = *RHS;
+  CopyRHS.Loc = Binary->loc();
+  emit(CopyRHS);
+  F.instrs()[SkipIdx].Target = static_cast<uint32_t>(F.instrs().size());
+  return R;
+}
+
+Result<Reg> FunctionLowerer::lowerCall(const CallExpr *Call) {
+  Result<Reg> Base = lowerExpr(Call->base());
+  if (!Base)
+    return Base.error();
+  std::vector<Reg> ArgRegs;
+  for (const ExprPtr &Arg : Call->args()) {
+    Result<Reg> R = lowerExpr(Arg.get());
+    if (!R)
+      return R.error();
+    ArgRegs.push_back(*R);
+  }
+  Reg Dst = Call->type().isVoid() ? NoReg : allocReg();
+  Instr I;
+  I.Op = Opcode::Invoke;
+  I.Dst = Dst;
+  I.A = *Base;
+  I.Args = std::move(ArgRegs);
+  I.ClassName = Call->base()->type().className();
+  I.Member = Call->method();
+  I.Loc = Call->loc();
+  emit(I);
+  return Dst == NoReg ? Reg(0) : Dst;
+}
+
+Result<Reg> FunctionLowerer::lowerNew(const NewExpr *New) {
+  Reg R = allocReg();
+  Instr Alloc;
+  Alloc.Op = Opcode::NewObject;
+  Alloc.Dst = R;
+  Alloc.ClassName = New->className();
+  Alloc.Loc = New->loc();
+  emit(Alloc);
+
+  const ClassInfo *Class = M.programInfo().findClass(New->className());
+  assert(Class && "Sema validated the class");
+  const MethodInfo *Ctor = Class->findMethod(ConstructorName);
+  if (Ctor) {
+    std::vector<Reg> ArgRegs;
+    for (const ExprPtr &Arg : New->args()) {
+      Result<Reg> ArgReg = lowerExpr(Arg.get());
+      if (!ArgReg)
+        return ArgReg.error();
+      ArgRegs.push_back(*ArgReg);
+    }
+    Instr Init;
+    Init.Op = Opcode::Invoke;
+    Init.Dst = NoReg;
+    Init.A = R;
+    Init.Args = std::move(ArgRegs);
+    Init.ClassName = New->className();
+    Init.Member = ConstructorName;
+    Init.Loc = New->loc();
+    emit(Init);
+  }
+  return R;
+}
+
+/// Resolves Invoke callees after all functions are lowered.  Builtin-class
+/// methods keep a null callee: the VM dispatches them natively.
+static Status linkModule(IRModule &M) {
+  for (const auto &F : M.functions()) {
+    for (Instr &I : F->instrs()) {
+      if (I.Op != Opcode::Invoke)
+        continue;
+      const ClassInfo *Class = M.programInfo().findClass(I.ClassName);
+      if (!Class)
+        return Error(formatString("link: unknown class '%s'",
+                                  I.ClassName.c_str()));
+      if (Class->IsBuiltin) {
+        I.Callee = nullptr;
+        continue;
+      }
+      const IRFunction *Callee = M.findMethod(I.ClassName, I.Member);
+      if (!Callee)
+        return Error(formatString("link: no body for method '%s.%s'",
+                                  I.ClassName.c_str(), I.Member.c_str()));
+      I.Callee = Callee;
+    }
+  }
+  return Status::success();
+}
+
+static Result<std::unique_ptr<IRFunction>>
+lowerMethod(IRModule &M, const ClassInfo &Class, const MethodInfo &Method,
+            std::vector<std::unique_ptr<IRFunction>> &PendingSpawns) {
+  auto F = std::make_unique<IRFunction>(
+      methodSymbol(Class.Name, Method.Name), IRFunction::Kind::Method);
+  F->setClassName(Class.Name);
+  F->setSynchronized(Method.IsSynchronized);
+
+  FunctionLowerer Lowerer(M, *F, PendingSpawns);
+  Lowerer.addParam("this", Type::classTy(Class.Name));
+  for (size_t I = 0, N = Method.ParamNames.size(); I != N; ++I)
+    Lowerer.addParam(Method.ParamNames[I], Method.ParamTypes[I]);
+  if (Status St = Lowerer.lowerBody(Method.Decl->Body.get(),
+                                    Method.IsSynchronized);
+      !St)
+    return St.error();
+  Lowerer.finish();
+  return F;
+}
+
+static Result<std::unique_ptr<IRFunction>>
+lowerTest(IRModule &M, const TestDecl &Test,
+          std::vector<std::unique_ptr<IRFunction>> &PendingSpawns) {
+  auto F = std::make_unique<IRFunction>("test$" + Test.Name,
+                                        IRFunction::Kind::Test);
+  FunctionLowerer Lowerer(M, *F, PendingSpawns);
+  if (Status St = Lowerer.lowerBody(Test.Body.get(), /*Synchronized=*/false);
+      !St)
+    return St.error();
+  Lowerer.finish();
+  return F;
+}
+
+Result<std::shared_ptr<IRModule>>
+narada::lower(const Program &Prog, std::shared_ptr<ProgramInfo> Info) {
+  auto M = std::make_shared<IRModule>(Info);
+  std::vector<std::unique_ptr<IRFunction>> PendingSpawns;
+
+  for (const std::string &ClassName : Info->classNames()) {
+    const ClassInfo *Class = Info->findClass(ClassName);
+    if (Class->IsBuiltin)
+      continue;
+    for (const MethodInfo &Method : Class->Methods) {
+      Result<std::unique_ptr<IRFunction>> F =
+          lowerMethod(*M, *Class, Method, PendingSpawns);
+      if (!F)
+        return F.error();
+      M->addFunction(F.take());
+    }
+  }
+  for (const auto &Test : Prog.Tests) {
+    Result<std::unique_ptr<IRFunction>> F =
+        lowerTest(*M, *Test, PendingSpawns);
+    if (!F)
+      return F.error();
+    M->addFunction(F.take());
+  }
+  for (auto &Spawn : PendingSpawns)
+    M->addFunction(std::move(Spawn));
+
+  if (Status St = linkModule(*M); !St)
+    return St.error();
+  return M;
+}
+
+Result<const IRFunction *> narada::lowerTestInto(IRModule &M,
+                                                 const TestDecl &Test) {
+  std::vector<std::unique_ptr<IRFunction>> PendingSpawns;
+  Result<std::unique_ptr<IRFunction>> F = lowerTest(M, Test, PendingSpawns);
+  if (!F)
+    return F.error();
+
+  // Resolve Invokes in the new functions against the existing module.
+  auto LinkOne = [&M](IRFunction &Fn) -> Status {
+    for (Instr &I : Fn.instrs()) {
+      if (I.Op != Opcode::Invoke)
+        continue;
+      const ClassInfo *Class = M.programInfo().findClass(I.ClassName);
+      if (!Class)
+        return Error(formatString("link: unknown class '%s'",
+                                  I.ClassName.c_str()));
+      if (Class->IsBuiltin)
+        continue;
+      const IRFunction *Callee = M.findMethod(I.ClassName, I.Member);
+      if (!Callee)
+        return Error(formatString("link: no body for method '%s.%s'",
+                                  I.ClassName.c_str(), I.Member.c_str()));
+      I.Callee = Callee;
+    }
+    return Status::success();
+  };
+
+  if (Status St = LinkOne(**F); !St)
+    return St.error();
+  for (auto &Spawn : PendingSpawns)
+    if (Status St = LinkOne(*Spawn); !St)
+      return St.error();
+
+  const IRFunction *Out = M.addFunction(F.take());
+  for (auto &Spawn : PendingSpawns)
+    M.addFunction(std::move(Spawn));
+  return Out;
+}

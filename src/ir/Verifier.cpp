@@ -1,0 +1,122 @@
+//===- ir/Verifier.cpp - IR structural checks -------------------------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include "support/StringUtils.h"
+
+using namespace narada;
+
+static Error verifyError(const IRFunction &F, size_t Index,
+                         const std::string &Message) {
+  return Error(formatString("verifier: %s at %s[%zu]", Message.c_str(),
+                            F.name().c_str(), Index));
+}
+
+Status narada::verifyFunction(const IRFunction &F) {
+  if (F.instrs().empty())
+    return Error(formatString("verifier: function '%s' has no body",
+                              F.name().c_str()));
+
+  unsigned NumRegs = F.numRegs();
+  auto CheckReg = [&](Reg R) { return R != NoReg && R < NumRegs; };
+
+  if (F.numParams() > NumRegs)
+    return Error(formatString("verifier: '%s' declares %u params but only "
+                              "%u registers",
+                              F.name().c_str(), F.numParams(), NumRegs));
+
+  for (size_t Index = 0, E = F.instrs().size(); Index != E; ++Index) {
+    const Instr &I = F.instrs()[Index];
+    switch (I.Op) {
+    case Opcode::ConstInt:
+    case Opcode::ConstBool:
+    case Opcode::ConstNull:
+    case Opcode::RandInt:
+      if (!CheckReg(I.Dst))
+        return verifyError(F, Index, "constant without valid destination");
+      break;
+    case Opcode::Move:
+    case Opcode::UnOp:
+      if (!CheckReg(I.Dst) || !CheckReg(I.A))
+        return verifyError(F, Index, "unary operation register out of range");
+      break;
+    case Opcode::BinOp:
+      if (!CheckReg(I.Dst) || !CheckReg(I.A) || !CheckReg(I.B))
+        return verifyError(F, Index, "binop register out of range");
+      break;
+    case Opcode::LoadField:
+      if (!CheckReg(I.Dst) || !CheckReg(I.A))
+        return verifyError(F, Index, "load_field register out of range");
+      if (I.Member.empty())
+        return verifyError(F, Index, "load_field without field name");
+      break;
+    case Opcode::StoreField:
+      if (!CheckReg(I.A) || !CheckReg(I.B))
+        return verifyError(F, Index, "store_field register out of range");
+      if (I.Member.empty())
+        return verifyError(F, Index, "store_field without field name");
+      break;
+    case Opcode::NewObject:
+      if (!CheckReg(I.Dst))
+        return verifyError(F, Index, "new_object without destination");
+      if (I.ClassName.empty())
+        return verifyError(F, Index, "new_object without class");
+      break;
+    case Opcode::Invoke:
+      if (!CheckReg(I.A))
+        return verifyError(F, Index, "invoke receiver out of range");
+      if (I.Dst != NoReg && !CheckReg(I.Dst))
+        return verifyError(F, Index, "invoke destination out of range");
+      for (Reg Arg : I.Args)
+        if (!CheckReg(Arg))
+          return verifyError(F, Index, "invoke argument out of range");
+      if (I.Member.empty())
+        return verifyError(F, Index, "invoke without method name");
+      break;
+    case Opcode::MonitorEnter:
+    case Opcode::MonitorExit:
+      if (!CheckReg(I.A))
+        return verifyError(F, Index, "monitor operand out of range");
+      break;
+    case Opcode::Jump:
+    case Opcode::Branch:
+      if (I.Target > F.instrs().size())
+        return verifyError(F, Index, "jump target out of range");
+      if (I.Op == Opcode::Branch && !CheckReg(I.A))
+        return verifyError(F, Index, "branch condition out of range");
+      break;
+    case Opcode::Ret:
+      if (I.A != NoReg && !CheckReg(I.A))
+        return verifyError(F, Index, "return value register out of range");
+      break;
+    case Opcode::SpawnThread:
+      if (!I.Callee)
+        return verifyError(F, Index, "spawn without resolved closure");
+      for (Reg Arg : I.Args)
+        if (!CheckReg(Arg))
+          return verifyError(F, Index, "spawn argument out of range");
+      if (I.Callee->numParams() != I.Args.size())
+        return verifyError(F, Index, "spawn argument count mismatch");
+      break;
+    }
+  }
+
+  // Every path must end in Ret; lowering appends one, so it suffices to
+  // check the last instruction is Ret or an unconditional Jump backwards.
+  const Instr &Last = F.instrs().back();
+  if (Last.Op != Opcode::Ret)
+    return Error(formatString("verifier: '%s' does not end with ret",
+                              F.name().c_str()));
+  return Status::success();
+}
+
+Status narada::verifyModule(const IRModule &M) {
+  for (const auto &F : M.functions())
+    if (Status S = verifyFunction(*F); !S)
+      return S;
+  return Status::success();
+}

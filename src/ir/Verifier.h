@@ -1,0 +1,31 @@
+//===- ir/Verifier.h - IR structural checks ---------------------*- C++ -*-===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural validity checks on lowered IR: register bounds, branch
+/// targets, terminator presence, and operand/opcode agreement.  Run after
+/// lowering and after the synthesizer appends generated tests; a verifier
+/// failure indicates a bug in this project, not in the analyzed program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NARADA_IR_VERIFIER_H
+#define NARADA_IR_VERIFIER_H
+
+#include "ir/IR.h"
+#include "support/Error.h"
+
+namespace narada {
+
+/// Verifies one function.
+Status verifyFunction(const IRFunction &F);
+
+/// Verifies every function in \p M.
+Status verifyModule(const IRModule &M);
+
+} // namespace narada
+
+#endif // NARADA_IR_VERIFIER_H

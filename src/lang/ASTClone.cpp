@@ -1,0 +1,149 @@
+//===- lang/ASTClone.cpp - Deep cloning with renaming ----------------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/ASTClone.h"
+
+#include "support/Error.h"
+
+using namespace narada;
+
+static std::string renamed(const std::string &Name,
+                           const RenameMap &Renames) {
+  auto It = Renames.find(Name);
+  return It == Renames.end() ? Name : It->second;
+}
+
+ExprPtr narada::cloneExpr(const Expr *E, const RenameMap &Renames) {
+  ExprPtr Clone;
+  switch (E->kind()) {
+  case Expr::Kind::IntLit:
+    Clone = std::make_unique<IntLitExpr>(cast<IntLitExpr>(E)->value(),
+                                         E->loc());
+    break;
+  case Expr::Kind::BoolLit:
+    Clone = std::make_unique<BoolLitExpr>(cast<BoolLitExpr>(E)->value(),
+                                          E->loc());
+    break;
+  case Expr::Kind::NullLit:
+    Clone = std::make_unique<NullLitExpr>(E->loc());
+    break;
+  case Expr::Kind::This:
+    Clone = std::make_unique<ThisExpr>(E->loc());
+    break;
+  case Expr::Kind::Rand:
+    Clone = std::make_unique<RandExpr>(E->loc());
+    break;
+  case Expr::Kind::VarRef:
+    Clone = std::make_unique<VarRefExpr>(
+        renamed(cast<VarRefExpr>(E)->name(), Renames), E->loc());
+    break;
+  case Expr::Kind::FieldAccess: {
+    const auto *Access = cast<FieldAccessExpr>(E);
+    Clone = std::make_unique<FieldAccessExpr>(
+        cloneExpr(Access->base(), Renames), Access->field(), E->loc());
+    break;
+  }
+  case Expr::Kind::Call: {
+    const auto *Call = cast<CallExpr>(E);
+    std::vector<ExprPtr> Args;
+    for (const ExprPtr &Arg : Call->args())
+      Args.push_back(cloneExpr(Arg.get(), Renames));
+    Clone = std::make_unique<CallExpr>(cloneExpr(Call->base(), Renames),
+                                       Call->method(), std::move(Args),
+                                       E->loc());
+    break;
+  }
+  case Expr::Kind::New: {
+    const auto *New = cast<NewExpr>(E);
+    std::vector<ExprPtr> Args;
+    for (const ExprPtr &Arg : New->args())
+      Args.push_back(cloneExpr(Arg.get(), Renames));
+    Clone = std::make_unique<NewExpr>(New->className(), std::move(Args),
+                                      E->loc());
+    break;
+  }
+  case Expr::Kind::Unary: {
+    const auto *Unary = cast<UnaryExpr>(E);
+    Clone = std::make_unique<UnaryExpr>(
+        Unary->op(), cloneExpr(Unary->operand(), Renames), E->loc());
+    break;
+  }
+  case Expr::Kind::Binary: {
+    const auto *Binary = cast<BinaryExpr>(E);
+    Clone = std::make_unique<BinaryExpr>(
+        Binary->op(), cloneExpr(Binary->lhs(), Renames),
+        cloneExpr(Binary->rhs(), Renames), E->loc());
+    break;
+  }
+  }
+  assert(Clone && "unhandled expression kind");
+  Clone->setType(E->type());
+  return Clone;
+}
+
+StmtPtr narada::cloneStmt(const Stmt *S, const RenameMap &Renames) {
+  switch (S->kind()) {
+  case Stmt::Kind::Block: {
+    const auto *Block = cast<BlockStmt>(S);
+    std::vector<StmtPtr> Stmts;
+    for (const StmtPtr &Child : Block->stmts())
+      Stmts.push_back(cloneStmt(Child.get(), Renames));
+    return std::make_unique<BlockStmt>(std::move(Stmts), S->loc());
+  }
+  case Stmt::Kind::VarDecl: {
+    const auto *Decl = cast<VarDeclStmt>(S);
+    ExprPtr Init;
+    if (Decl->init())
+      Init = cloneExpr(Decl->init(), Renames);
+    return std::make_unique<VarDeclStmt>(renamed(Decl->name(), Renames),
+                                         Decl->declaredType(),
+                                         std::move(Init), S->loc());
+  }
+  case Stmt::Kind::Assign: {
+    const auto *Assign = cast<AssignStmt>(S);
+    return std::make_unique<AssignStmt>(cloneExpr(Assign->target(), Renames),
+                                        cloneExpr(Assign->value(), Renames),
+                                        S->loc());
+  }
+  case Stmt::Kind::ExprStmt:
+    return std::make_unique<ExprStmt>(
+        cloneExpr(cast<ExprStmt>(S)->expr(), Renames), S->loc());
+  case Stmt::Kind::If: {
+    const auto *If = cast<IfStmt>(S);
+    StmtPtr Else;
+    if (If->elseBranch())
+      Else = cloneStmt(If->elseBranch(), Renames);
+    return std::make_unique<IfStmt>(cloneExpr(If->cond(), Renames),
+                                    cloneStmt(If->thenBranch(), Renames),
+                                    std::move(Else), S->loc());
+  }
+  case Stmt::Kind::While: {
+    const auto *While = cast<WhileStmt>(S);
+    return std::make_unique<WhileStmt>(cloneExpr(While->cond(), Renames),
+                                       cloneStmt(While->body(), Renames),
+                                       S->loc());
+  }
+  case Stmt::Kind::Return: {
+    const auto *Ret = cast<ReturnStmt>(S);
+    ExprPtr Value;
+    if (Ret->value())
+      Value = cloneExpr(Ret->value(), Renames);
+    return std::make_unique<ReturnStmt>(std::move(Value), S->loc());
+  }
+  case Stmt::Kind::Sync: {
+    const auto *Sync = cast<SyncStmt>(S);
+    return std::make_unique<SyncStmt>(cloneExpr(Sync->lockExpr(), Renames),
+                                      cloneStmt(Sync->body(), Renames),
+                                      S->loc());
+  }
+  case Stmt::Kind::Spawn: {
+    const auto *Spawn = cast<SpawnStmt>(S);
+    return std::make_unique<SpawnStmt>(cloneStmt(Spawn->body(), Renames),
+                                       S->loc());
+  }
+  }
+  narada_unreachable("unknown statement kind");
+}

@@ -1,0 +1,39 @@
+//===- lang/ASTClone.h - Deep cloning with renaming -------------*- C++ -*-===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deep-copies AST subtrees, optionally renaming variable references.  The
+/// test synthesizer inlines a seed test's statements several times into one
+/// synthesized test (once per object instance it needs to collect, cf.
+/// Algorithm 1's collectObjects), so each copy's locals must get fresh
+/// names.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NARADA_LANG_ASTCLONE_H
+#define NARADA_LANG_ASTCLONE_H
+
+#include "lang/AST.h"
+
+#include <map>
+#include <string>
+
+namespace narada {
+
+/// Maps original local variable names to replacement names.  Names absent
+/// from the map are kept as-is.
+using RenameMap = std::map<std::string, std::string>;
+
+/// Deep-copies \p E, renaming VarRefExpr names through \p Renames.
+ExprPtr cloneExpr(const Expr *E, const RenameMap &Renames = {});
+
+/// Deep-copies \p S, renaming variable declarations and references through
+/// \p Renames.
+StmtPtr cloneStmt(const Stmt *S, const RenameMap &Renames = {});
+
+} // namespace narada
+
+#endif // NARADA_LANG_ASTCLONE_H

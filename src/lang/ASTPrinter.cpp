@@ -1,0 +1,162 @@
+//===- lang/ASTPrinter.cpp - MiniJava pretty printer ------------------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/ASTPrinter.h"
+
+#include "support/Error.h"
+#include "support/StringUtils.h"
+
+using namespace narada;
+
+static std::string indentString(int Indent) {
+  return std::string(static_cast<size_t>(Indent) * 2, ' ');
+}
+
+std::string narada::printExpr(const Expr *E) {
+  switch (E->kind()) {
+  case Expr::Kind::IntLit:
+    return std::to_string(cast<IntLitExpr>(E)->value());
+  case Expr::Kind::BoolLit:
+    return cast<BoolLitExpr>(E)->value() ? "true" : "false";
+  case Expr::Kind::NullLit:
+    return "null";
+  case Expr::Kind::This:
+    return "this";
+  case Expr::Kind::Rand:
+    return "rand()";
+  case Expr::Kind::VarRef:
+    return cast<VarRefExpr>(E)->name();
+  case Expr::Kind::FieldAccess: {
+    const auto *Access = cast<FieldAccessExpr>(E);
+    return printExpr(Access->base()) + "." + Access->field();
+  }
+  case Expr::Kind::Call: {
+    const auto *Call = cast<CallExpr>(E);
+    std::vector<std::string> Args;
+    for (const ExprPtr &Arg : Call->args())
+      Args.push_back(printExpr(Arg.get()));
+    return printExpr(Call->base()) + "." + Call->method() + "(" +
+           join(Args, ", ") + ")";
+  }
+  case Expr::Kind::New: {
+    const auto *New = cast<NewExpr>(E);
+    std::string Out = "new " + New->className();
+    if (!New->args().empty()) {
+      std::vector<std::string> Args;
+      for (const ExprPtr &Arg : New->args())
+        Args.push_back(printExpr(Arg.get()));
+      Out += "(" + join(Args, ", ") + ")";
+    }
+    return Out;
+  }
+  case Expr::Kind::Unary: {
+    const auto *Unary = cast<UnaryExpr>(E);
+    return std::string(unaryOpSpelling(Unary->op())) +
+           printExpr(Unary->operand());
+  }
+  case Expr::Kind::Binary: {
+    const auto *Binary = cast<BinaryExpr>(E);
+    return "(" + printExpr(Binary->lhs()) + " " +
+           binaryOpSpelling(Binary->op()) + " " + printExpr(Binary->rhs()) +
+           ")";
+  }
+  }
+  narada_unreachable("unknown expression kind");
+}
+
+std::string narada::printStmt(const Stmt *S, int Indent) {
+  std::string Pad = indentString(Indent);
+  switch (S->kind()) {
+  case Stmt::Kind::Block: {
+    const auto *Block = cast<BlockStmt>(S);
+    std::string Out = Pad + "{\n";
+    for (const StmtPtr &Child : Block->stmts())
+      Out += printStmt(Child.get(), Indent + 1);
+    Out += Pad + "}\n";
+    return Out;
+  }
+  case Stmt::Kind::VarDecl: {
+    const auto *Decl = cast<VarDeclStmt>(S);
+    std::string Out = Pad + "var " + Decl->name() + ": " +
+                      Decl->declaredType().str();
+    if (Decl->init())
+      Out += " = " + printExpr(Decl->init());
+    return Out + ";\n";
+  }
+  case Stmt::Kind::Assign: {
+    const auto *Assign = cast<AssignStmt>(S);
+    return Pad + printExpr(Assign->target()) + " = " +
+           printExpr(Assign->value()) + ";\n";
+  }
+  case Stmt::Kind::ExprStmt:
+    return Pad + printExpr(cast<ExprStmt>(S)->expr()) + ";\n";
+  case Stmt::Kind::If: {
+    const auto *If = cast<IfStmt>(S);
+    std::string Out = Pad + "if (" + printExpr(If->cond()) + ")\n";
+    Out += printStmt(If->thenBranch(), Indent);
+    if (If->elseBranch()) {
+      Out += Pad + "else\n";
+      Out += printStmt(If->elseBranch(), Indent);
+    }
+    return Out;
+  }
+  case Stmt::Kind::While: {
+    const auto *While = cast<WhileStmt>(S);
+    return Pad + "while (" + printExpr(While->cond()) + ")\n" +
+           printStmt(While->body(), Indent);
+  }
+  case Stmt::Kind::Return: {
+    const auto *Ret = cast<ReturnStmt>(S);
+    if (Ret->value())
+      return Pad + "return " + printExpr(Ret->value()) + ";\n";
+    return Pad + "return;\n";
+  }
+  case Stmt::Kind::Sync: {
+    const auto *Sync = cast<SyncStmt>(S);
+    return Pad + "synchronized (" + printExpr(Sync->lockExpr()) + ")\n" +
+           printStmt(Sync->body(), Indent);
+  }
+  case Stmt::Kind::Spawn: {
+    const auto *Spawn = cast<SpawnStmt>(S);
+    return Pad + "spawn\n" + printStmt(Spawn->body(), Indent);
+  }
+  }
+  narada_unreachable("unknown statement kind");
+}
+
+std::string narada::printTest(const TestDecl &Test) {
+  return "test " + Test.Name + "\n" + printStmt(Test.Body.get(), 0);
+}
+
+std::string narada::printClass(const ClassDecl &Class) {
+  std::string Out = "class " + Class.Name + " {\n";
+  for (const FieldDecl &F : Class.Fields)
+    Out += "  field " + F.Name + ": " + F.DeclaredType.str() + ";\n";
+  for (const auto &M : Class.Methods) {
+    Out += "  method " + M->Name + "(";
+    std::vector<std::string> Params;
+    for (const ParamDecl &P : M->Params)
+      Params.push_back(P.Name + ": " + P.DeclaredType.str());
+    Out += join(Params, ", ") + ")";
+    if (!M->ReturnType.isVoid())
+      Out += ": " + M->ReturnType.str();
+    if (M->IsSynchronized)
+      Out += " synchronized";
+    Out += "\n";
+    Out += printStmt(M->Body.get(), 1);
+  }
+  Out += "}\n";
+  return Out;
+}
+
+std::string narada::printProgram(const Program &Prog) {
+  std::string Out;
+  for (const auto &Class : Prog.Classes)
+    Out += printClass(*Class) + "\n";
+  for (const auto &Test : Prog.Tests)
+    Out += printTest(*Test) + "\n";
+  return Out;
+}

@@ -1,0 +1,40 @@
+//===- lang/ASTPrinter.h - MiniJava pretty printer --------------*- C++ -*-===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders AST nodes back to MiniJava source.  Synthesized racy tests are
+/// ASTs; this printer turns them into the human-readable concurrent client
+/// programs the paper presents (cf. Fig. 3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NARADA_LANG_ASTPRINTER_H
+#define NARADA_LANG_ASTPRINTER_H
+
+#include "lang/AST.h"
+
+#include <string>
+
+namespace narada {
+
+/// Renders an expression as source text.
+std::string printExpr(const Expr *E);
+
+/// Renders a statement as source text, indented by \p Indent levels.
+std::string printStmt(const Stmt *S, int Indent = 0);
+
+/// Renders a test declaration as source text.
+std::string printTest(const TestDecl &Test);
+
+/// Renders a class declaration as source text.
+std::string printClass(const ClassDecl &Class);
+
+/// Renders a whole program as source text.
+std::string printProgram(const Program &Prog);
+
+} // namespace narada
+
+#endif // NARADA_LANG_ASTPRINTER_H

@@ -1,0 +1,320 @@
+//===- lang/Lexer.cpp - MiniJava lexer -------------------------------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace narada;
+
+const char *narada::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Eof:
+    return "end of input";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::KwClass:
+    return "'class'";
+  case TokenKind::KwField:
+    return "'field'";
+  case TokenKind::KwMethod:
+    return "'method'";
+  case TokenKind::KwVar:
+    return "'var'";
+  case TokenKind::KwTest:
+    return "'test'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::KwSynchronized:
+    return "'synchronized'";
+  case TokenKind::KwSpawn:
+    return "'spawn'";
+  case TokenKind::KwNew:
+    return "'new'";
+  case TokenKind::KwThis:
+    return "'this'";
+  case TokenKind::KwNull:
+    return "'null'";
+  case TokenKind::KwTrue:
+    return "'true'";
+  case TokenKind::KwFalse:
+    return "'false'";
+  case TokenKind::KwInt:
+    return "'int'";
+  case TokenKind::KwBool:
+    return "'bool'";
+  case TokenKind::KwRand:
+    return "'rand'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Dot:
+    return "'.'";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::EqEq:
+    return "'=='";
+  case TokenKind::BangEq:
+    return "'!='";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::LessEq:
+    return "'<='";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::GreaterEq:
+    return "'>='";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  case TokenKind::Bang:
+    return "'!'";
+  }
+  narada_unreachable("unknown token kind");
+}
+
+static const std::unordered_map<std::string_view, TokenKind> &keywordTable() {
+  static const std::unordered_map<std::string_view, TokenKind> Table = {
+      {"class", TokenKind::KwClass},
+      {"field", TokenKind::KwField},
+      {"method", TokenKind::KwMethod},
+      {"var", TokenKind::KwVar},
+      {"test", TokenKind::KwTest},
+      {"if", TokenKind::KwIf},
+      {"else", TokenKind::KwElse},
+      {"while", TokenKind::KwWhile},
+      {"return", TokenKind::KwReturn},
+      {"synchronized", TokenKind::KwSynchronized},
+      {"spawn", TokenKind::KwSpawn},
+      {"new", TokenKind::KwNew},
+      {"this", TokenKind::KwThis},
+      {"null", TokenKind::KwNull},
+      {"true", TokenKind::KwTrue},
+      {"false", TokenKind::KwFalse},
+      {"int", TokenKind::KwInt},
+      {"bool", TokenKind::KwBool},
+      {"rand", TokenKind::KwRand},
+  };
+  return Table;
+}
+
+char Lexer::peek(size_t Ahead) const {
+  if (Pos + Ahead >= Source.size())
+    return '\0';
+  return Source[Pos + Ahead];
+}
+
+char Lexer::advance() {
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Column = 1;
+  } else {
+    ++Column;
+  }
+  return C;
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  while (!atEnd()) {
+    char C = peek();
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (!atEnd() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      advance();
+      advance();
+      while (!atEnd() && !(peek() == '*' && peek(1) == '/'))
+        advance();
+      if (!atEnd()) {
+        advance();
+        advance();
+      }
+      continue;
+    }
+    return;
+  }
+}
+
+Result<Token> Lexer::lexToken() {
+  skipWhitespaceAndComments();
+  SourceLoc Loc = currentLoc();
+  if (atEnd()) {
+    Token T;
+    T.Kind = TokenKind::Eof;
+    T.Loc = Loc;
+    return T;
+  }
+
+  size_t Begin = Pos;
+  char C = advance();
+
+  auto Simple = [&](TokenKind Kind) {
+    Token T;
+    T.Kind = Kind;
+    T.Text = std::string(Source.substr(Begin, Pos - Begin));
+    T.Loc = Loc;
+    return T;
+  };
+
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+    while (!atEnd() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                        peek() == '_'))
+      advance();
+    Token T;
+    T.Text = std::string(Source.substr(Begin, Pos - Begin));
+    T.Loc = Loc;
+    auto It = keywordTable().find(T.Text);
+    T.Kind = It == keywordTable().end() ? TokenKind::Identifier : It->second;
+    return T;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(C))) {
+    while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+      advance();
+    Token T;
+    T.Kind = TokenKind::IntLiteral;
+    T.Text = std::string(Source.substr(Begin, Pos - Begin));
+    T.Loc = Loc;
+    // Accumulate with an explicit overflow check: library code must not
+    // throw, and a 20-digit literal is a program error, not a crash.
+    int64_t Value = 0;
+    for (char Digit : T.Text) {
+      int64_t Unit = Digit - '0';
+      if (Value > (INT64_MAX - Unit) / 10)
+        return Error("integer literal too large", Loc.str());
+      Value = Value * 10 + Unit;
+    }
+    T.IntValue = Value;
+    return T;
+  }
+
+  switch (C) {
+  case '{':
+    return Simple(TokenKind::LBrace);
+  case '}':
+    return Simple(TokenKind::RBrace);
+  case '(':
+    return Simple(TokenKind::LParen);
+  case ')':
+    return Simple(TokenKind::RParen);
+  case '[':
+    return Simple(TokenKind::LBracket);
+  case ']':
+    return Simple(TokenKind::RBracket);
+  case ';':
+    return Simple(TokenKind::Semicolon);
+  case ':':
+    return Simple(TokenKind::Colon);
+  case ',':
+    return Simple(TokenKind::Comma);
+  case '.':
+    return Simple(TokenKind::Dot);
+  case '+':
+    return Simple(TokenKind::Plus);
+  case '-':
+    return Simple(TokenKind::Minus);
+  case '*':
+    return Simple(TokenKind::Star);
+  case '/':
+    return Simple(TokenKind::Slash);
+  case '%':
+    return Simple(TokenKind::Percent);
+  case '=':
+    if (peek() == '=') {
+      advance();
+      return Simple(TokenKind::EqEq);
+    }
+    return Simple(TokenKind::Assign);
+  case '!':
+    if (peek() == '=') {
+      advance();
+      return Simple(TokenKind::BangEq);
+    }
+    return Simple(TokenKind::Bang);
+  case '<':
+    if (peek() == '=') {
+      advance();
+      return Simple(TokenKind::LessEq);
+    }
+    return Simple(TokenKind::Less);
+  case '>':
+    if (peek() == '=') {
+      advance();
+      return Simple(TokenKind::GreaterEq);
+    }
+    return Simple(TokenKind::Greater);
+  case '&':
+    if (peek() == '&') {
+      advance();
+      return Simple(TokenKind::AmpAmp);
+    }
+    break;
+  case '|':
+    if (peek() == '|') {
+      advance();
+      return Simple(TokenKind::PipePipe);
+    }
+    break;
+  default:
+    break;
+  }
+  return Error(formatString("unexpected character '%c'", C), Loc.str());
+}
+
+Result<std::vector<Token>> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  while (true) {
+    Result<Token> T = lexToken();
+    if (!T)
+      return T.error();
+    bool IsEof = T->is(TokenKind::Eof);
+    Tokens.push_back(T.take());
+    if (IsEof)
+      return Tokens;
+  }
+}

@@ -1,0 +1,632 @@
+//===- lang/Parser.cpp - MiniJava parser -----------------------------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+
+#include "lang/Lexer.h"
+
+using namespace narada;
+
+const char *narada::binaryOpSpelling(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return "+";
+  case BinaryOp::Sub:
+    return "-";
+  case BinaryOp::Mul:
+    return "*";
+  case BinaryOp::Div:
+    return "/";
+  case BinaryOp::Rem:
+    return "%";
+  case BinaryOp::Eq:
+    return "==";
+  case BinaryOp::Ne:
+    return "!=";
+  case BinaryOp::Lt:
+    return "<";
+  case BinaryOp::Le:
+    return "<=";
+  case BinaryOp::Gt:
+    return ">";
+  case BinaryOp::Ge:
+    return ">=";
+  case BinaryOp::And:
+    return "&&";
+  case BinaryOp::Or:
+    return "||";
+  }
+  narada_unreachable("unknown binary op");
+}
+
+const char *narada::unaryOpSpelling(UnaryOp Op) {
+  switch (Op) {
+  case UnaryOp::Neg:
+    return "-";
+  case UnaryOp::Not:
+    return "!";
+  }
+  narada_unreachable("unknown unary op");
+}
+
+const Token &Parser::peek(size_t Ahead) const {
+  size_t Index = Pos + Ahead;
+  if (Index >= Tokens.size())
+    Index = Tokens.size() - 1; // Eof token.
+  return Tokens[Index];
+}
+
+const Token &Parser::advance() {
+  const Token &T = Tokens[Pos];
+  if (Pos + 1 < Tokens.size())
+    ++Pos;
+  return T;
+}
+
+bool Parser::match(TokenKind Kind) {
+  if (!check(Kind))
+    return false;
+  advance();
+  return true;
+}
+
+Result<Token> Parser::expect(TokenKind Kind, const char *Context) {
+  if (check(Kind))
+    return advance();
+  return errorHere(formatString("expected %s %s, found %s",
+                                tokenKindName(Kind), Context,
+                                tokenKindName(peek().Kind)));
+}
+
+Error Parser::errorHere(const std::string &Message) const {
+  return Error(Message, peek().Loc.str());
+}
+
+Result<std::unique_ptr<Program>>
+Parser::parse(std::string_view Source) {
+  Lexer Lex(Source);
+  Result<std::vector<Token>> Tokens = Lex.lexAll();
+  if (!Tokens)
+    return Tokens.error();
+  Parser P(Tokens.take());
+  return P.parseProgram();
+}
+
+Result<std::unique_ptr<Program>> Parser::parseProgram() {
+  auto Prog = std::make_unique<Program>();
+  while (!check(TokenKind::Eof)) {
+    if (check(TokenKind::KwClass)) {
+      Result<std::unique_ptr<ClassDecl>> C = parseClass();
+      if (!C)
+        return C.error();
+      Prog->Classes.push_back(C.take());
+      continue;
+    }
+    if (check(TokenKind::KwTest)) {
+      Result<std::unique_ptr<TestDecl>> T = parseTest();
+      if (!T)
+        return T.error();
+      Prog->Tests.push_back(T.take());
+      continue;
+    }
+    return errorHere(formatString("expected 'class' or 'test', found %s",
+                                  tokenKindName(peek().Kind)));
+  }
+  return Prog;
+}
+
+Result<std::unique_ptr<ClassDecl>> Parser::parseClass() {
+  Token ClassTok = advance(); // 'class'
+  Result<Token> Name = expect(TokenKind::Identifier, "after 'class'");
+  if (!Name)
+    return Name.error();
+  if (auto R = expect(TokenKind::LBrace, "to open class body"); !R)
+    return R.error();
+
+  auto Class = std::make_unique<ClassDecl>();
+  Class->Name = Name->Text;
+  Class->Loc = ClassTok.Loc;
+
+  while (!check(TokenKind::RBrace)) {
+    if (check(TokenKind::KwField)) {
+      Result<FieldDecl> F = parseField();
+      if (!F)
+        return F.error();
+      Class->Fields.push_back(F.take());
+      continue;
+    }
+    if (check(TokenKind::KwMethod)) {
+      Result<std::unique_ptr<MethodDecl>> M = parseMethod();
+      if (!M)
+        return M.error();
+      Class->Methods.push_back(M.take());
+      continue;
+    }
+    return errorHere("expected 'field' or 'method' in class body");
+  }
+  advance(); // '}'
+  return Class;
+}
+
+Result<FieldDecl> Parser::parseField() {
+  Token FieldTok = advance(); // 'field'
+  Result<Token> Name = expect(TokenKind::Identifier, "after 'field'");
+  if (!Name)
+    return Name.error();
+  if (auto R = expect(TokenKind::Colon, "after field name"); !R)
+    return R.error();
+  Result<Type> Ty = parseType();
+  if (!Ty)
+    return Ty.error();
+  if (auto R = expect(TokenKind::Semicolon, "after field declaration"); !R)
+    return R.error();
+  FieldDecl F;
+  F.Name = Name->Text;
+  F.DeclaredType = Ty.take();
+  F.Loc = FieldTok.Loc;
+  return F;
+}
+
+Result<std::unique_ptr<MethodDecl>> Parser::parseMethod() {
+  Token MethodTok = advance(); // 'method'
+  Result<Token> Name = expect(TokenKind::Identifier, "after 'method'");
+  if (!Name)
+    return Name.error();
+  if (auto R = expect(TokenKind::LParen, "to open parameter list"); !R)
+    return R.error();
+
+  auto Method = std::make_unique<MethodDecl>();
+  Method->Name = Name->Text;
+  Method->Loc = MethodTok.Loc;
+
+  if (!check(TokenKind::RParen)) {
+    while (true) {
+      Result<Token> ParamName =
+          expect(TokenKind::Identifier, "as parameter name");
+      if (!ParamName)
+        return ParamName.error();
+      if (auto R = expect(TokenKind::Colon, "after parameter name"); !R)
+        return R.error();
+      Result<Type> Ty = parseType();
+      if (!Ty)
+        return Ty.error();
+      Method->Params.push_back(
+          ParamDecl{ParamName->Text, Ty.take(), ParamName->Loc});
+      if (!match(TokenKind::Comma))
+        break;
+    }
+  }
+  if (auto R = expect(TokenKind::RParen, "to close parameter list"); !R)
+    return R.error();
+
+  if (match(TokenKind::Colon)) {
+    Result<Type> Ty = parseType();
+    if (!Ty)
+      return Ty.error();
+    Method->ReturnType = Ty.take();
+  }
+  Method->IsSynchronized = match(TokenKind::KwSynchronized);
+
+  Result<std::unique_ptr<BlockStmt>> Body = parseBlock();
+  if (!Body)
+    return Body.error();
+  Method->Body = Body.take();
+  return Method;
+}
+
+Result<std::unique_ptr<TestDecl>> Parser::parseTest() {
+  Token TestTok = advance(); // 'test'
+  Result<Token> Name = expect(TokenKind::Identifier, "after 'test'");
+  if (!Name)
+    return Name.error();
+  Result<std::unique_ptr<BlockStmt>> Body = parseBlock();
+  if (!Body)
+    return Body.error();
+  auto Test = std::make_unique<TestDecl>();
+  Test->Name = Name->Text;
+  Test->Body = Body.take();
+  Test->Loc = TestTok.Loc;
+  return Test;
+}
+
+Result<Type> Parser::parseType() {
+  if (match(TokenKind::KwInt))
+    return Type::intTy();
+  if (match(TokenKind::KwBool))
+    return Type::boolTy();
+  if (check(TokenKind::Identifier)) {
+    Token T = advance();
+    return Type::classTy(T.Text);
+  }
+  return errorHere(formatString("expected a type, found %s",
+                                tokenKindName(peek().Kind)));
+}
+
+Result<std::unique_ptr<BlockStmt>> Parser::parseBlock() {
+  Result<Token> Open = expect(TokenKind::LBrace, "to open block");
+  if (!Open)
+    return Open.error();
+  std::vector<StmtPtr> Stmts;
+  while (!check(TokenKind::RBrace)) {
+    if (check(TokenKind::Eof))
+      return errorHere("unterminated block");
+    Result<StmtPtr> S = parseStmt();
+    if (!S)
+      return S.error();
+    Stmts.push_back(S.take());
+  }
+  advance(); // '}'
+  return std::make_unique<BlockStmt>(std::move(Stmts), Open->Loc);
+}
+
+Result<StmtPtr> Parser::parseStmt() {
+  switch (peek().Kind) {
+  case TokenKind::KwVar:
+    return parseVarDecl();
+  case TokenKind::KwIf:
+    return parseIf();
+  case TokenKind::KwWhile:
+    return parseWhile();
+  case TokenKind::KwReturn:
+    return parseReturn();
+  case TokenKind::KwSynchronized:
+    return parseSynchronized();
+  case TokenKind::KwSpawn:
+    return parseSpawn();
+  case TokenKind::LBrace: {
+    Result<std::unique_ptr<BlockStmt>> B = parseBlock();
+    if (!B)
+      return B.error();
+    return StmtPtr(B.take());
+  }
+  default:
+    return parseExprOrAssign();
+  }
+}
+
+Result<StmtPtr> Parser::parseVarDecl() {
+  Token VarTok = advance(); // 'var'
+  Result<Token> Name = expect(TokenKind::Identifier, "after 'var'");
+  if (!Name)
+    return Name.error();
+  if (auto R = expect(TokenKind::Colon, "after variable name"); !R)
+    return R.error();
+  Result<Type> Ty = parseType();
+  if (!Ty)
+    return Ty.error();
+  ExprPtr Init;
+  if (match(TokenKind::Assign)) {
+    Result<ExprPtr> E = parseExpr();
+    if (!E)
+      return E.error();
+    Init = E.take();
+  }
+  if (auto R = expect(TokenKind::Semicolon, "after variable declaration"); !R)
+    return R.error();
+  return StmtPtr(std::make_unique<VarDeclStmt>(Name->Text, Ty.take(),
+                                               std::move(Init), VarTok.Loc));
+}
+
+Result<StmtPtr> Parser::parseIf() {
+  Token IfTok = advance(); // 'if'
+  if (auto R = expect(TokenKind::LParen, "after 'if'"); !R)
+    return R.error();
+  Result<ExprPtr> Cond = parseExpr();
+  if (!Cond)
+    return Cond.error();
+  if (auto R = expect(TokenKind::RParen, "to close condition"); !R)
+    return R.error();
+  Result<std::unique_ptr<BlockStmt>> Then = parseBlock();
+  if (!Then)
+    return Then.error();
+  StmtPtr Else;
+  if (match(TokenKind::KwElse)) {
+    if (check(TokenKind::KwIf)) {
+      Result<StmtPtr> ElseIf = parseIf();
+      if (!ElseIf)
+        return ElseIf.error();
+      Else = ElseIf.take();
+    } else {
+      Result<std::unique_ptr<BlockStmt>> ElseBlock = parseBlock();
+      if (!ElseBlock)
+        return ElseBlock.error();
+      Else = StmtPtr(ElseBlock.take());
+    }
+  }
+  return StmtPtr(std::make_unique<IfStmt>(Cond.take(), StmtPtr(Then.take()),
+                                          std::move(Else), IfTok.Loc));
+}
+
+Result<StmtPtr> Parser::parseWhile() {
+  Token WhileTok = advance(); // 'while'
+  if (auto R = expect(TokenKind::LParen, "after 'while'"); !R)
+    return R.error();
+  Result<ExprPtr> Cond = parseExpr();
+  if (!Cond)
+    return Cond.error();
+  if (auto R = expect(TokenKind::RParen, "to close condition"); !R)
+    return R.error();
+  Result<std::unique_ptr<BlockStmt>> Body = parseBlock();
+  if (!Body)
+    return Body.error();
+  return StmtPtr(std::make_unique<WhileStmt>(Cond.take(),
+                                             StmtPtr(Body.take()),
+                                             WhileTok.Loc));
+}
+
+Result<StmtPtr> Parser::parseReturn() {
+  Token RetTok = advance(); // 'return'
+  ExprPtr Value;
+  if (!check(TokenKind::Semicolon)) {
+    Result<ExprPtr> E = parseExpr();
+    if (!E)
+      return E.error();
+    Value = E.take();
+  }
+  if (auto R = expect(TokenKind::Semicolon, "after return"); !R)
+    return R.error();
+  return StmtPtr(std::make_unique<ReturnStmt>(std::move(Value), RetTok.Loc));
+}
+
+Result<StmtPtr> Parser::parseSynchronized() {
+  Token SyncTok = advance(); // 'synchronized'
+  if (auto R = expect(TokenKind::LParen, "after 'synchronized'"); !R)
+    return R.error();
+  Result<ExprPtr> LockExpr = parseExpr();
+  if (!LockExpr)
+    return LockExpr.error();
+  if (auto R = expect(TokenKind::RParen, "to close lock expression"); !R)
+    return R.error();
+  Result<std::unique_ptr<BlockStmt>> Body = parseBlock();
+  if (!Body)
+    return Body.error();
+  return StmtPtr(std::make_unique<SyncStmt>(LockExpr.take(),
+                                            StmtPtr(Body.take()),
+                                            SyncTok.Loc));
+}
+
+Result<StmtPtr> Parser::parseSpawn() {
+  Token SpawnTok = advance(); // 'spawn'
+  Result<std::unique_ptr<BlockStmt>> Body = parseBlock();
+  if (!Body)
+    return Body.error();
+  return StmtPtr(std::make_unique<SpawnStmt>(StmtPtr(Body.take()),
+                                             SpawnTok.Loc));
+}
+
+Result<StmtPtr> Parser::parseExprOrAssign() {
+  SourceLoc Loc = peek().Loc;
+  Result<ExprPtr> LHS = parseExpr();
+  if (!LHS)
+    return LHS.error();
+  if (match(TokenKind::Assign)) {
+    Expr *Target = LHS->get();
+    if (!isa<VarRefExpr>(Target) && !isa<FieldAccessExpr>(Target))
+      return Error("assignment target must be a variable or a field",
+                   Loc.str());
+    Result<ExprPtr> Value = parseExpr();
+    if (!Value)
+      return Value.error();
+    if (auto R = expect(TokenKind::Semicolon, "after assignment"); !R)
+      return R.error();
+    return StmtPtr(
+        std::make_unique<AssignStmt>(LHS.take(), Value.take(), Loc));
+  }
+  if (auto R = expect(TokenKind::Semicolon, "after expression"); !R)
+    return R.error();
+  return StmtPtr(std::make_unique<ExprStmt>(LHS.take(), Loc));
+}
+
+/// Binding strength for binary operators; higher binds tighter.
+static int binaryPrecedence(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::PipePipe:
+    return 1;
+  case TokenKind::AmpAmp:
+    return 2;
+  case TokenKind::EqEq:
+  case TokenKind::BangEq:
+    return 3;
+  case TokenKind::Less:
+  case TokenKind::LessEq:
+  case TokenKind::Greater:
+  case TokenKind::GreaterEq:
+    return 4;
+  case TokenKind::Plus:
+  case TokenKind::Minus:
+    return 5;
+  case TokenKind::Star:
+  case TokenKind::Slash:
+  case TokenKind::Percent:
+    return 6;
+  default:
+    return -1;
+  }
+}
+
+static BinaryOp binaryOpFor(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::PipePipe:
+    return BinaryOp::Or;
+  case TokenKind::AmpAmp:
+    return BinaryOp::And;
+  case TokenKind::EqEq:
+    return BinaryOp::Eq;
+  case TokenKind::BangEq:
+    return BinaryOp::Ne;
+  case TokenKind::Less:
+    return BinaryOp::Lt;
+  case TokenKind::LessEq:
+    return BinaryOp::Le;
+  case TokenKind::Greater:
+    return BinaryOp::Gt;
+  case TokenKind::GreaterEq:
+    return BinaryOp::Ge;
+  case TokenKind::Plus:
+    return BinaryOp::Add;
+  case TokenKind::Minus:
+    return BinaryOp::Sub;
+  case TokenKind::Star:
+    return BinaryOp::Mul;
+  case TokenKind::Slash:
+    return BinaryOp::Div;
+  case TokenKind::Percent:
+    return BinaryOp::Rem;
+  default:
+    narada_unreachable("not a binary operator token");
+  }
+}
+
+Result<ExprPtr> Parser::parseExpr() {
+  Result<ExprPtr> LHS = parseUnary();
+  if (!LHS)
+    return LHS.error();
+  return parseBinaryRHS(1, LHS.take());
+}
+
+Result<ExprPtr> Parser::parseBinaryRHS(int MinPrec, ExprPtr LHS) {
+  while (true) {
+    int Prec = binaryPrecedence(peek().Kind);
+    if (Prec < MinPrec)
+      return LHS;
+    Token OpTok = advance();
+    Result<ExprPtr> RHS = parseUnary();
+    if (!RHS)
+      return RHS.error();
+    // Left associativity: fold anything that binds tighter into RHS first.
+    while (binaryPrecedence(peek().Kind) > Prec) {
+      Result<ExprPtr> Folded =
+          parseBinaryRHS(binaryPrecedence(peek().Kind), RHS.take());
+      if (!Folded)
+        return Folded.error();
+      RHS = Folded.take();
+    }
+    LHS = std::make_unique<BinaryExpr>(binaryOpFor(OpTok.Kind),
+                                       std::move(LHS), RHS.take(), OpTok.Loc);
+  }
+}
+
+Result<ExprPtr> Parser::parseUnary() {
+  if (check(TokenKind::Minus)) {
+    Token OpTok = advance();
+    Result<ExprPtr> Operand = parseUnary();
+    if (!Operand)
+      return Operand.error();
+    return ExprPtr(std::make_unique<UnaryExpr>(UnaryOp::Neg, Operand.take(),
+                                               OpTok.Loc));
+  }
+  if (check(TokenKind::Bang)) {
+    Token OpTok = advance();
+    Result<ExprPtr> Operand = parseUnary();
+    if (!Operand)
+      return Operand.error();
+    return ExprPtr(std::make_unique<UnaryExpr>(UnaryOp::Not, Operand.take(),
+                                               OpTok.Loc));
+  }
+  return parsePostfix();
+}
+
+Result<ExprPtr> Parser::parsePostfix() {
+  Result<ExprPtr> E = parsePrimary();
+  if (!E)
+    return E.error();
+  ExprPtr Node = E.take();
+  while (check(TokenKind::Dot)) {
+    Token DotTok = advance();
+    Result<Token> Member = expect(TokenKind::Identifier, "after '.'");
+    if (!Member)
+      return Member.error();
+    if (check(TokenKind::LParen)) {
+      Result<std::vector<ExprPtr>> Args = parseArgs();
+      if (!Args)
+        return Args.error();
+      Node = std::make_unique<CallExpr>(std::move(Node), Member->Text,
+                                        Args.take(), DotTok.Loc);
+    } else {
+      Node = std::make_unique<FieldAccessExpr>(std::move(Node), Member->Text,
+                                               DotTok.Loc);
+    }
+  }
+  return Node;
+}
+
+Result<std::vector<ExprPtr>> Parser::parseArgs() {
+  if (auto R = expect(TokenKind::LParen, "to open argument list"); !R)
+    return R.error();
+  std::vector<ExprPtr> Args;
+  if (!check(TokenKind::RParen)) {
+    while (true) {
+      Result<ExprPtr> Arg = parseExpr();
+      if (!Arg)
+        return Arg.error();
+      Args.push_back(Arg.take());
+      if (!match(TokenKind::Comma))
+        break;
+    }
+  }
+  if (auto R = expect(TokenKind::RParen, "to close argument list"); !R)
+    return R.error();
+  return Args;
+}
+
+Result<ExprPtr> Parser::parsePrimary() {
+  Token T = peek();
+  switch (T.Kind) {
+  case TokenKind::IntLiteral:
+    advance();
+    return ExprPtr(std::make_unique<IntLitExpr>(T.IntValue, T.Loc));
+  case TokenKind::KwTrue:
+    advance();
+    return ExprPtr(std::make_unique<BoolLitExpr>(true, T.Loc));
+  case TokenKind::KwFalse:
+    advance();
+    return ExprPtr(std::make_unique<BoolLitExpr>(false, T.Loc));
+  case TokenKind::KwNull:
+    advance();
+    return ExprPtr(std::make_unique<NullLitExpr>(T.Loc));
+  case TokenKind::KwThis:
+    advance();
+    return ExprPtr(std::make_unique<ThisExpr>(T.Loc));
+  case TokenKind::KwRand: {
+    advance();
+    if (auto R = expect(TokenKind::LParen, "after 'rand'"); !R)
+      return R.error();
+    if (auto R = expect(TokenKind::RParen, "after 'rand('"); !R)
+      return R.error();
+    return ExprPtr(std::make_unique<RandExpr>(T.Loc));
+  }
+  case TokenKind::KwNew: {
+    advance();
+    Result<Token> ClassName = expect(TokenKind::Identifier, "after 'new'");
+    if (!ClassName)
+      return ClassName.error();
+    std::vector<ExprPtr> Args;
+    if (check(TokenKind::LParen)) {
+      Result<std::vector<ExprPtr>> Parsed = parseArgs();
+      if (!Parsed)
+        return Parsed.error();
+      Args = Parsed.take();
+    }
+    return ExprPtr(std::make_unique<NewExpr>(ClassName->Text, std::move(Args),
+                                             T.Loc));
+  }
+  case TokenKind::Identifier:
+    advance();
+    return ExprPtr(std::make_unique<VarRefExpr>(T.Text, T.Loc));
+  case TokenKind::LParen: {
+    advance();
+    Result<ExprPtr> Inner = parseExpr();
+    if (!Inner)
+      return Inner.error();
+    if (auto R = expect(TokenKind::RParen, "to close parenthesis"); !R)
+      return R.error();
+    return Inner;
+  }
+  default:
+    return errorHere(formatString("expected an expression, found %s",
+                                  tokenKindName(T.Kind)));
+  }
+}

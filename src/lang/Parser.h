@@ -1,0 +1,84 @@
+//===- lang/Parser.h - MiniJava parser --------------------------*- C++ -*-===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for MiniJava.  Grammar sketch:
+///
+/// \code
+///   program   := (classDecl | testDecl)*
+///   classDecl := 'class' ID '{' (fieldDecl | methodDecl)* '}'
+///   fieldDecl := 'field' ID ':' type ';'
+///   methodDecl:= 'method' ID '(' params? ')' (':' type)? 'synchronized'?
+///                block
+///   testDecl  := 'test' ID block
+///   stmt      := varDecl | assign | exprStmt | if | while | return
+///              | synchronized | spawn | block
+///   expr      := precedence-climbing over || && == != < <= > >= + - * / %
+///                with unary ! - and postfix '.field' / '.m(args)'
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NARADA_LANG_PARSER_H
+#define NARADA_LANG_PARSER_H
+
+#include "lang/AST.h"
+#include "lang/Token.h"
+#include "support/Error.h"
+
+#include <memory>
+#include <vector>
+
+namespace narada {
+
+/// Parses a token stream into a Program.
+class Parser {
+public:
+  explicit Parser(std::vector<Token> Tokens) : Tokens(std::move(Tokens)) {}
+
+  /// Parses a whole compilation unit.
+  Result<std::unique_ptr<Program>> parseProgram();
+
+  /// Convenience: lex + parse a source buffer in one step.
+  static Result<std::unique_ptr<Program>> parse(std::string_view Source);
+
+private:
+  Result<std::unique_ptr<ClassDecl>> parseClass();
+  Result<std::unique_ptr<TestDecl>> parseTest();
+  Result<FieldDecl> parseField();
+  Result<std::unique_ptr<MethodDecl>> parseMethod();
+  Result<Type> parseType();
+  Result<std::unique_ptr<BlockStmt>> parseBlock();
+  Result<StmtPtr> parseStmt();
+  Result<StmtPtr> parseVarDecl();
+  Result<StmtPtr> parseIf();
+  Result<StmtPtr> parseWhile();
+  Result<StmtPtr> parseReturn();
+  Result<StmtPtr> parseSynchronized();
+  Result<StmtPtr> parseSpawn();
+  Result<StmtPtr> parseExprOrAssign();
+
+  Result<ExprPtr> parseExpr();
+  Result<ExprPtr> parseBinaryRHS(int MinPrec, ExprPtr LHS);
+  Result<ExprPtr> parseUnary();
+  Result<ExprPtr> parsePostfix();
+  Result<ExprPtr> parsePrimary();
+  Result<std::vector<ExprPtr>> parseArgs();
+
+  const Token &peek(size_t Ahead = 0) const;
+  const Token &advance();
+  bool check(TokenKind Kind) const { return peek().is(Kind); }
+  bool match(TokenKind Kind);
+  Result<Token> expect(TokenKind Kind, const char *Context);
+  Error errorHere(const std::string &Message) const;
+
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+};
+
+} // namespace narada
+
+#endif // NARADA_LANG_PARSER_H

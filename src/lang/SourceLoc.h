@@ -1,0 +1,35 @@
+//===- lang/SourceLoc.h - Source positions ----------------------*- C++ -*-===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Line/column positions for diagnostics in the MiniJava front end.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NARADA_LANG_SOURCELOC_H
+#define NARADA_LANG_SOURCELOC_H
+
+#include "support/StringUtils.h"
+
+#include <string>
+
+namespace narada {
+
+/// A 1-based line/column position within a MiniJava source buffer.
+struct SourceLoc {
+  int Line = 0;
+  int Column = 0;
+
+  bool isValid() const { return Line > 0; }
+
+  std::string str() const {
+    return formatString("%d:%d", Line, Column);
+  }
+};
+
+} // namespace narada
+
+#endif // NARADA_LANG_SOURCELOC_H

@@ -1,0 +1,68 @@
+//===- runtime/Execution.cpp - Compile-and-run facade -------------------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Execution.h"
+
+#include "ir/Lowering.h"
+#include "ir/Verifier.h"
+#include "lang/Parser.h"
+#include "support/StringUtils.h"
+
+using namespace narada;
+
+Result<CompiledProgram> narada::compileProgram(std::string_view Source) {
+  Result<std::unique_ptr<Program>> Prog = Parser::parse(Source);
+  if (!Prog)
+    return Prog.error();
+  CompiledProgram Out;
+  Out.Ast = Prog.take();
+
+  Result<std::shared_ptr<ProgramInfo>> Info = analyze(*Out.Ast);
+  if (!Info)
+    return Info.error();
+  Out.Info = Info.take();
+
+  Result<std::shared_ptr<IRModule>> Module = lower(*Out.Ast, Out.Info);
+  if (!Module)
+    return Module.error();
+  Out.Module = Module.take();
+
+  if (Status V = verifyModule(*Out.Module); !V)
+    return V.error();
+  return Out;
+}
+
+Result<TestRun> narada::runTest(const IRModule &M,
+                                const std::string &TestName,
+                                SchedulingPolicy &Policy, uint64_t RandSeed,
+                                ExecutionObserver *Extra,
+                                uint64_t MaxSteps) {
+  const IRFunction *Test = M.findTest(TestName);
+  if (!Test)
+    return Error(formatString("no such test '%s'", TestName.c_str()));
+
+  TestRun Run;
+  VM Machine(M, RandSeed);
+
+  TraceRecorder Recorder(Run.TheTrace);
+  ObserverMux Mux;
+  Mux.add(&Recorder);
+  if (Extra)
+    Mux.add(Extra);
+  Machine.setObserver(&Mux);
+
+  Machine.spawnThread(Test, {});
+  Run.Result = runToCompletion(Machine, Policy, MaxSteps);
+  Run.HeapHash = Machine.heap().stateHash();
+  return Run;
+}
+
+Result<TestRun> narada::runTestSequential(const IRModule &M,
+                                          const std::string &TestName,
+                                          uint64_t RandSeed) {
+  RoundRobinPolicy Policy;
+  return runTest(M, TestName, Policy, RandSeed);
+}

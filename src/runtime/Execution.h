@@ -1,0 +1,66 @@
+//===- runtime/Execution.h - Compile-and-run facade -------------*- C++ -*-===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience entry points tying the front end, IR and VM together:
+/// compile MiniJava source, run a test under a scheduling policy, and get
+/// back the recorded trace.  Used by the Narada pipeline, the detectors,
+/// the examples and the benchmark harness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NARADA_RUNTIME_EXECUTION_H
+#define NARADA_RUNTIME_EXECUTION_H
+
+#include "ir/IR.h"
+#include "lang/AST.h"
+#include "lang/Sema.h"
+#include "runtime/Scheduler.h"
+#include "runtime/VM.h"
+#include "support/Error.h"
+#include "trace/Trace.h"
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace narada {
+
+/// Everything produced by compiling one MiniJava source buffer.
+struct CompiledProgram {
+  std::unique_ptr<Program> Ast;
+  std::shared_ptr<ProgramInfo> Info;
+  std::shared_ptr<IRModule> Module;
+};
+
+/// Lex + parse + check + lower + verify \p Source.
+Result<CompiledProgram> compileProgram(std::string_view Source);
+
+/// The outcome of one test execution.
+struct TestRun {
+  Trace TheTrace;
+  RunResult Result;
+  uint64_t HeapHash = 0; ///< Heap state hash after the run.
+};
+
+/// Runs test \p TestName under \p Policy, recording every event.
+/// \p Extra, if non-null, also observes the execution (e.g. a detector).
+/// \p RandSeed seeds the VM's rand() stream.
+Result<TestRun> runTest(const IRModule &M, const std::string &TestName,
+                        SchedulingPolicy &Policy, uint64_t RandSeed = 1,
+                        ExecutionObserver *Extra = nullptr,
+                        uint64_t MaxSteps = 1'000'000);
+
+/// Runs test \p TestName single-threaded (round-robin degenerates to
+/// program order for sequential tests).  This produces the sequential seed
+/// traces the Narada analysis consumes.
+Result<TestRun> runTestSequential(const IRModule &M,
+                                  const std::string &TestName,
+                                  uint64_t RandSeed = 1);
+
+} // namespace narada
+
+#endif // NARADA_RUNTIME_EXECUTION_H

@@ -1,0 +1,62 @@
+//===- runtime/Heap.cpp - Objects and the heap --------------------------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Heap.h"
+
+using namespace narada;
+
+ObjectId Heap::allocate(const ClassInfo *Class) {
+  assert(Class && "allocating an object without a class");
+  HeapObject Obj;
+  Obj.Class = Class;
+  Obj.Fields.resize(Class->Fields.size());
+  for (size_t I = 0, E = Class->Fields.size(); I != E; ++I) {
+    const Type &Ty = Class->Fields[I].DeclaredType;
+    if (Ty.isInt())
+      Obj.Fields[I] = Value::makeInt(0);
+    else if (Ty.isBool())
+      Obj.Fields[I] = Value::makeBool(false);
+    else
+      Obj.Fields[I] = Value::makeNull();
+  }
+  Objects.push_back(std::move(Obj));
+  return static_cast<ObjectId>(Objects.size());
+}
+
+ObjectId Heap::allocateArray(const ClassInfo *ArrayClass, size_t Size) {
+  assert(ArrayClass && ArrayClass->IsBuiltin && "not the builtin array class");
+  HeapObject Obj;
+  Obj.Class = ArrayClass;
+  Obj.Elems.assign(Size, 0);
+  Objects.push_back(std::move(Obj));
+  return static_cast<ObjectId>(Objects.size());
+}
+
+uint64_t Heap::stateHash() const {
+  // FNV-1a over a canonical serialization of the heap.
+  uint64_t Hash = 0xcbf29ce484222325ULL;
+  auto Mix = [&Hash](uint64_t V) {
+    for (int Shift = 0; Shift < 64; Shift += 8) {
+      Hash ^= (V >> Shift) & 0xff;
+      Hash *= 0x100000001b3ULL;
+    }
+  };
+  for (const HeapObject &Obj : Objects) {
+    for (const Value &V : Obj.Fields) {
+      Mix(static_cast<uint64_t>(V.kind()));
+      if (V.isInt())
+        Mix(static_cast<uint64_t>(V.asInt()));
+      else if (V.isBool())
+        Mix(V.asBool() ? 1 : 0);
+      else if (V.isRef())
+        Mix(V.asRef());
+    }
+    for (int64_t E : Obj.Elems)
+      Mix(static_cast<uint64_t>(E));
+    Mix(Obj.Elems.size());
+  }
+  return Hash;
+}

@@ -1,0 +1,84 @@
+//===- runtime/Heap.h - Objects and the heap --------------------*- C++ -*-===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The VM heap: objects with field slots, builtin IntArray storage, and
+/// per-object re-entrant monitors.  There is no garbage collector — Narada
+/// deliberately keeps collected seed-test objects alive so a synthesized
+/// test can reuse them (Algorithm 1's collectObjects), and runs are short.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NARADA_RUNTIME_HEAP_H
+#define NARADA_RUNTIME_HEAP_H
+
+#include "lang/Sema.h"
+#include "runtime/Value.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace narada {
+
+/// Identifies a VM thread.  Thread 0 is the test's main thread.
+using ThreadId = uint32_t;
+
+/// Sentinel meaning "no thread".
+inline constexpr ThreadId NoThread = ~0u;
+
+/// A heap object: class identity, field slots, optional array storage, and
+/// its monitor.
+struct HeapObject {
+  const ClassInfo *Class = nullptr;
+  std::vector<Value> Fields;    ///< Indexed by FieldInfo::Index.
+  std::vector<int64_t> Elems;   ///< IntArray element storage.
+
+  // Re-entrant monitor state.
+  ThreadId MonitorOwner = NoThread;
+  uint32_t MonitorDepth = 0;
+
+  bool isArray() const { return Class && Class->IsBuiltin; }
+};
+
+/// The object heap.  Object ids are 1-based; id 0 is NoObject.
+class Heap {
+public:
+  /// Allocates an instance of \p Class with default-initialized fields
+  /// (null / 0 / false).
+  ObjectId allocate(const ClassInfo *Class);
+
+  /// Allocates an IntArray of \p Size zeroed elements.
+  ObjectId allocateArray(const ClassInfo *ArrayClass, size_t Size);
+
+  /// Whether \p Id names a live object.
+  bool isValid(ObjectId Id) const { return Id != NoObject && Id <= Objects.size(); }
+
+  HeapObject &object(ObjectId Id) {
+    assert(isValid(Id) && "dereferencing an invalid object id");
+    return Objects[Id - 1];
+  }
+  const HeapObject &object(ObjectId Id) const {
+    assert(isValid(Id) && "dereferencing an invalid object id");
+    return Objects[Id - 1];
+  }
+
+  /// The number of live objects.
+  size_t size() const { return Objects.size(); }
+
+  /// A deterministic structural hash over all objects' field values and
+  /// array contents.  Used to classify races as harmful vs benign: if two
+  /// orders of a racy access pair leave different heaps, the race has an
+  /// observable effect.
+  uint64_t stateHash() const;
+
+private:
+  std::vector<HeapObject> Objects;
+};
+
+} // namespace narada
+
+#endif // NARADA_RUNTIME_HEAP_H

@@ -1,0 +1,96 @@
+//===- runtime/Scheduler.cpp - Thread interleaving -----------------------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Scheduler.h"
+
+#include <algorithm>
+
+using namespace narada;
+
+SchedulingPolicy::~SchedulingPolicy() = default;
+
+ThreadId RoundRobinPolicy::pick(const std::vector<ThreadId> &Runnable,
+                                VM &M) {
+  // Prefer the thread after the last one stepped, wrapping around.
+  for (ThreadId Candidate : Runnable)
+    if (Candidate >= Last)
+      return Last = Candidate;
+  return Last = Runnable.front();
+}
+
+ThreadId RandomPolicy::pick(const std::vector<ThreadId> &Runnable, VM &M) {
+  return Runnable[Rand.nextBelow(Runnable.size())];
+}
+
+ThreadId PreemptionBoundedPolicy::pick(const std::vector<ThreadId> &Runnable,
+                                       VM &M) {
+  bool CurrentRunnable =
+      Current != NoThread &&
+      std::find(Runnable.begin(), Runnable.end(), Current) != Runnable.end();
+  if (CurrentRunnable && !Rand.chance(PreemptPercent, 100))
+    return Current;
+  return Current = Runnable[Rand.nextBelow(Runnable.size())];
+}
+
+PCTPolicy::PCTPolicy(uint64_t Seed, unsigned Depth, uint64_t MaxSteps)
+    : Rand(Seed) {
+  for (unsigned I = 0; I + 1 < Depth; ++I)
+    ChangePoints.push_back(Rand.nextBelow(MaxSteps));
+  std::sort(ChangePoints.begin(), ChangePoints.end());
+}
+
+uint64_t PCTPolicy::priorityOf(ThreadId T) {
+  while (Priorities.size() <= T)
+    // Initial priorities are random but all above the change-point band
+    // [0, d), so a dropped thread always ranks below undropped ones.
+    Priorities.push_back(1000 + Rand.nextBelow(1'000'000));
+  return Priorities[T];
+}
+
+ThreadId PCTPolicy::pick(const std::vector<ThreadId> &Runnable, VM &M) {
+  ThreadId Best = Runnable.front();
+  uint64_t BestPriority = priorityOf(Best);
+  for (ThreadId T : Runnable) {
+    if (priorityOf(T) > BestPriority) {
+      Best = T;
+      BestPriority = priorityOf(T);
+    }
+  }
+  // At a change point the chosen thread's priority drops into the low band.
+  if (!ChangePoints.empty() && Step == ChangePoints.front()) {
+    ChangePoints.erase(ChangePoints.begin());
+    Priorities[Best] = NextLowPriority++;
+  }
+  ++Step;
+  return Best;
+}
+
+RunResult narada::runToCompletion(VM &M, SchedulingPolicy &Policy,
+                                  uint64_t MaxSteps) {
+  RunResult Result;
+  while (!M.allDone()) {
+    if (Result.Steps >= MaxSteps) {
+      Result.HitStepLimit = true;
+      break;
+    }
+    std::vector<ThreadId> Runnable = M.runnableThreads();
+    if (Runnable.empty()) {
+      Result.Deadlocked = M.deadlocked();
+      break;
+    }
+    ThreadId Chosen = Policy.pick(Runnable, M);
+    M.step(Chosen);
+    ++Result.Steps;
+  }
+  for (size_t T = 0, E = M.numThreads(); T != E; ++T) {
+    const ThreadState &Thread = M.thread(static_cast<ThreadId>(T));
+    if (Thread.Status == ThreadStatus::Faulted) {
+      Result.Faulted = true;
+      Result.FaultMessages.push_back(Thread.FaultMessage);
+    }
+  }
+  return Result;
+}

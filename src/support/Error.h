@@ -1,0 +1,131 @@
+//===- support/Error.h - Lightweight error handling -----------*- C++ -*-===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exception-free error handling primitives in the spirit of llvm::Error /
+/// llvm::Expected.  Library code returns Result<T> instead of throwing; the
+/// Error payload is a message plus an optional source location string.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NARADA_SUPPORT_ERROR_H
+#define NARADA_SUPPORT_ERROR_H
+
+#include <cassert>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace narada {
+
+/// A recoverable error: a human-readable message, optionally tagged with the
+/// source location (file:line of the *analyzed program*, not of C++ code)
+/// where the problem was detected.
+class Error {
+public:
+  Error() = default;
+  explicit Error(std::string Message) : Message(std::move(Message)) {}
+  Error(std::string Message, std::string Location)
+      : Message(std::move(Message)), Location(std::move(Location)) {}
+
+  const std::string &message() const { return Message; }
+  const std::string &location() const { return Location; }
+
+  /// Renders "location: message" or just "message" when no location is set.
+  std::string str() const {
+    if (Location.empty())
+      return Message;
+    return Location + ": " + Message;
+  }
+
+private:
+  std::string Message;
+  std::string Location;
+};
+
+/// Either a value of type T or an Error.  Modeled after llvm::Expected but
+/// without the checked-flag machinery; asserts on misuse instead.
+template <typename T> class Result {
+public:
+  /*implicit*/ Result(T Value) : Value(std::move(Value)) {}
+  /*implicit*/ Result(Error E) : Err(std::move(E)) {}
+
+  explicit operator bool() const { return Value.has_value(); }
+  bool hasValue() const { return Value.has_value(); }
+
+  T &operator*() {
+    assert(Value && "dereferencing an error Result");
+    return *Value;
+  }
+  const T &operator*() const {
+    assert(Value && "dereferencing an error Result");
+    return *Value;
+  }
+  T *operator->() {
+    assert(Value && "dereferencing an error Result");
+    return &*Value;
+  }
+  const T *operator->() const {
+    assert(Value && "dereferencing an error Result");
+    return &*Value;
+  }
+
+  /// Moves the contained value out; only valid in the success state.
+  T take() {
+    assert(Value && "taking value from an error Result");
+    return std::move(*Value);
+  }
+
+  const Error &error() const {
+    assert(!Value && "taking error from a success Result");
+    return Err;
+  }
+
+private:
+  std::optional<T> Value;
+  Error Err;
+};
+
+/// Result specialization for operations with no payload.
+class Status {
+public:
+  Status() = default;
+  /*implicit*/ Status(Error E) : Err(std::move(E)), Failed(true) {}
+
+  static Status success() { return Status(); }
+
+  explicit operator bool() const { return !Failed; }
+  bool ok() const { return !Failed; }
+
+  const Error &error() const {
+    assert(Failed && "taking error from a success Status");
+    return Err;
+  }
+
+private:
+  Error Err;
+  bool Failed = false;
+};
+
+/// Marks a point in the code that must be unreachable if invariants hold.
+[[noreturn]] inline void naradaUnreachableImpl(const char *Message,
+                                               const char *File, int Line) {
+  // Assertions may be compiled out; abort unconditionally so release builds
+  // fail loudly rather than running off the end of a function.
+  (void)Message;
+  (void)File;
+  (void)Line;
+  assert(false && "narada_unreachable reached");
+  std::abort();
+}
+
+} // namespace narada
+
+#define narada_unreachable(MSG)                                               \
+  ::narada::naradaUnreachableImpl(MSG, __FILE__, __LINE__)
+
+#endif // NARADA_SUPPORT_ERROR_H

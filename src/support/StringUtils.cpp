@@ -1,0 +1,95 @@
+//===- support/StringUtils.cpp - Small string helpers ---------------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+
+using namespace narada;
+
+std::vector<std::string> narada::split(std::string_view Text, char Sep) {
+  std::vector<std::string> Pieces;
+  size_t Start = 0;
+  while (true) {
+    size_t Pos = Text.find(Sep, Start);
+    if (Pos == std::string_view::npos) {
+      Pieces.emplace_back(Text.substr(Start));
+      return Pieces;
+    }
+    Pieces.emplace_back(Text.substr(Start, Pos - Start));
+    Start = Pos + 1;
+  }
+}
+
+std::string narada::join(const std::vector<std::string> &Pieces,
+                         std::string_view Sep) {
+  std::string Out;
+  for (size_t I = 0, E = Pieces.size(); I != E; ++I) {
+    if (I != 0)
+      Out += Sep;
+    Out += Pieces[I];
+  }
+  return Out;
+}
+
+std::string_view narada::trim(std::string_view Text) {
+  size_t Begin = 0;
+  size_t End = Text.size();
+  while (Begin < End && std::isspace(static_cast<unsigned char>(Text[Begin])))
+    ++Begin;
+  while (End > Begin &&
+         std::isspace(static_cast<unsigned char>(Text[End - 1])))
+    --End;
+  return Text.substr(Begin, End - Begin);
+}
+
+bool narada::startsWith(std::string_view Text, std::string_view Prefix) {
+  return Text.size() >= Prefix.size() &&
+         Text.substr(0, Prefix.size()) == Prefix;
+}
+
+bool narada::endsWith(std::string_view Text, std::string_view Suffix) {
+  return Text.size() >= Suffix.size() &&
+         Text.substr(Text.size() - Suffix.size()) == Suffix;
+}
+
+std::string narada::formatString(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  if (Needed < 0) {
+    va_end(ArgsCopy);
+    return std::string();
+  }
+  std::string Out(static_cast<size_t>(Needed), '\0');
+  std::vsnprintf(Out.data(), Out.size() + 1, Fmt, ArgsCopy);
+  va_end(ArgsCopy);
+  return Out;
+}
+
+std::string narada::formatDouble(double Value, int Precision) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.*f", Precision, Value);
+  return std::string(Buffer);
+}
+
+std::string narada::padLeft(std::string Text, size_t Width) {
+  if (Text.size() >= Width)
+    return Text;
+  return std::string(Width - Text.size(), ' ') + Text;
+}
+
+std::string narada::padRight(std::string Text, size_t Width) {
+  if (Text.size() >= Width)
+    return Text;
+  Text.append(Width - Text.size(), ' ');
+  return Text;
+}

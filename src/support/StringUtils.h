@@ -1,0 +1,53 @@
+//===- support/StringUtils.h - Small string helpers ------------*- C++ -*-===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String formatting and manipulation helpers shared across the project.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NARADA_SUPPORT_STRINGUTILS_H
+#define NARADA_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace narada {
+
+/// Splits \p Text on the single character \p Sep.  Empty pieces are kept so
+/// that join(split(S, C), C) == S.
+std::vector<std::string> split(std::string_view Text, char Sep);
+
+/// Joins \p Pieces with \p Sep between consecutive elements.
+std::string join(const std::vector<std::string> &Pieces,
+                 std::string_view Sep);
+
+/// Returns \p Text with leading and trailing ASCII whitespace removed.
+std::string_view trim(std::string_view Text);
+
+/// Returns true if \p Text begins with \p Prefix.
+bool startsWith(std::string_view Text, std::string_view Prefix);
+
+/// Returns true if \p Text ends with \p Suffix.
+bool endsWith(std::string_view Text, std::string_view Suffix);
+
+/// printf-style formatting into a std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Renders a double with \p Precision digits after the decimal point.
+std::string formatDouble(double Value, int Precision);
+
+/// Left-pads \p Text with spaces to at least \p Width characters.
+std::string padLeft(std::string Text, size_t Width);
+
+/// Right-pads \p Text with spaces to at least \p Width characters.
+std::string padRight(std::string Text, size_t Width);
+
+} // namespace narada
+
+#endif // NARADA_SUPPORT_STRINGUTILS_H

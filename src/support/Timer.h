@@ -1,0 +1,43 @@
+//===- support/Timer.h - Wall-clock timing ----------------------*- C++ -*-===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A steady-clock stopwatch used by the benchmark harness to report synthesis
+/// time per class (Table 4 of the paper).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NARADA_SUPPORT_TIMER_H
+#define NARADA_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace narada {
+
+/// Measures elapsed wall-clock time from construction (or last restart).
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Resets the stopwatch to zero.
+  void restart() { Start = Clock::now(); }
+
+  /// Elapsed time in seconds.
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double millis() const { return seconds() * 1000.0; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace narada
+
+#endif // NARADA_SUPPORT_TIMER_H

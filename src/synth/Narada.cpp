@@ -1,0 +1,156 @@
+//===- synth/Narada.cpp - End-to-end test synthesis pipeline -------------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/Narada.h"
+
+#include "analysis/AccessAnalysis.h"
+#include "lang/ASTPrinter.h"
+#include "support/StringUtils.h"
+#include "support/Timer.h"
+#include "synth/SeedNormalizer.h"
+#include "synth/TestSynthesizer.h"
+
+#include <map>
+
+using namespace narada;
+
+Result<NaradaResult>
+narada::runNarada(std::string_view LibrarySource,
+                  const std::vector<std::string> &SeedNames,
+                  const NaradaOptions &Options) {
+  // Pass 1: compile the library + original seeds.
+  Result<CompiledProgram> Original = compileProgram(LibrarySource);
+  if (!Original)
+    return Original.error();
+
+  // Normalize the seeds so collectObjects is a syntactic prefix inline.
+  std::string NormalizedSource;
+  for (const auto &Class : Original->Ast->Classes)
+    NormalizedSource += printClass(*Class) + "\n";
+  for (const std::string &SeedName : SeedNames) {
+    const TestDecl *Seed = Original->Ast->findTest(SeedName);
+    if (!Seed)
+      return Error(formatString("no seed test named '%s'", SeedName.c_str()));
+    Result<std::unique_ptr<TestDecl>> Norm =
+        normalizeSeed(*Seed, *Original->Info);
+    if (!Norm)
+      return Norm.error();
+    NormalizedSource += printTest(**Norm) + "\n";
+  }
+
+  Result<CompiledProgram> Normalized = compileProgram(NormalizedSource);
+  if (!Normalized)
+    return Error("internal: normalized seeds failed to recompile: " +
+                 Normalized.error().str());
+
+  NaradaResult Out;
+
+  // Stage 1: execute the sequential seeds and analyze their traces.
+  Timer AnalysisTimer;
+  for (const std::string &SeedName : SeedNames) {
+    Result<TestRun> Run = runTestSequential(*Normalized->Module, SeedName);
+    if (!Run)
+      return Run.error();
+    if (Run->Result.Faulted)
+      return Error(formatString("seed test '%s' faulted: %s",
+                                SeedName.c_str(),
+                                Run->Result.FaultMessages[0].c_str()));
+    Out.Analysis.merge(analyzeTrace(Run->TheTrace, *Normalized->Info));
+  }
+
+  // Stage 2a: candidate racy pairs.
+  PairGenOptions PairOptions;
+  PairOptions.FocusClass = Options.FocusClass;
+  Out.Pairs = generatePairs(Out.Analysis, PairOptions);
+  Out.AnalysisSeconds = AnalysisTimer.seconds();
+
+  // Stage 2b + 3: contexts and tests.
+  Timer SynthesisTimer;
+  ContextDeriver Deriver(Out.Analysis, *Normalized->Info,
+                         Options.DerivationSeed);
+
+  std::vector<const TestDecl *> Seeds;
+  for (const std::string &SeedName : SeedNames)
+    Seeds.push_back(Normalized->Ast->findTest(SeedName));
+  Result<SeedRegistry> Registry =
+      SeedRegistry::build(Seeds, *Normalized->Info);
+  if (!Registry)
+    return Registry.error();
+  TestSynthesizer Synthesizer(*Registry, *Normalized->Info);
+
+  // One test per unique sharing shape; multiple pairs map onto one test
+  // (the paper synthesizes 15 tests for C1's 65 pairs).
+  std::map<std::string, size_t> TestByShape;
+  std::string SynthesizedSource;
+
+  for (const RacyPair &Pair : Out.Pairs) {
+    SharingPlan Plan = Deriver.deriveSharing(Pair);
+    if (!Options.EnableContextDerivation) {
+      // Ablation: strip all constraints; both sides get fresh instances.
+      auto Fresh = [&](SharingPlan::Side &Side, const RacySide &RS) {
+        Side.Plan = std::make_unique<ProvidePlan>();
+        Side.Plan->K = ProvidePlan::Kind::FromSeed;
+        Side.Plan->ClassName = Deriver.rootClassOf(RS);
+        Side.EffectivePath = AccessPath(RS.BasePath.Root, {});
+      };
+      Fresh(Plan.First, Pair.First);
+      Fresh(Plan.Second, Pair.Second);
+      Plan.Complete = false;
+    }
+
+    std::string Shape = formatString(
+        "%s.%s|%s.%s|%s|%s|%s", Pair.First.ClassName.c_str(),
+        Pair.First.Method.c_str(), Pair.Second.ClassName.c_str(),
+        Pair.Second.Method.c_str(), Plan.First.EffectivePath.str().c_str(),
+        Plan.Second.EffectivePath.str().c_str(),
+        Plan.SharedClassName.c_str());
+
+    auto Existing = TestByShape.find(Shape);
+    if (Existing != TestByShape.end()) {
+      SynthesizedTestInfo &Test = Out.Tests[Existing->second];
+      Test.CoveredPairKeys.push_back(Pair.key());
+      Test.CandidateLabels.emplace_back(Pair.First.AccessLabel,
+                                        Pair.Second.AccessLabel);
+      continue;
+    }
+    if (Options.MaxTests && Out.Tests.size() >= Options.MaxTests)
+      continue;
+
+    std::string Name = formatString("%s_%03zu", Options.TestNamePrefix.c_str(),
+                                    Out.Tests.size());
+    Result<std::unique_ptr<TestDecl>> Test =
+        Synthesizer.synthesize(Pair, Plan, Name);
+    if (!Test) {
+      Out.Skipped.push_back(Pair.key() + ": " + Test.error().str());
+      continue;
+    }
+
+    SynthesizedTestInfo Info;
+    Info.Name = Name;
+    Info.SourceText = printTest(**Test);
+    Info.Representative = Pair;
+    Info.CoveredPairKeys.push_back(Pair.key());
+    Info.ContextComplete = Plan.Complete;
+    Info.SharedClassName = Plan.SharedClassName;
+    Info.Field = Pair.Field;
+    Info.CandidateLabels.emplace_back(Pair.First.AccessLabel,
+                                      Pair.Second.AccessLabel);
+    SynthesizedSource += Info.SourceText + "\n";
+    TestByShape[Shape] = Out.Tests.size();
+    Out.Tests.push_back(std::move(Info));
+  }
+
+  // Final pass: compile library + seeds + synthesized tests together.
+  Result<CompiledProgram> Final =
+      compileProgram(NormalizedSource + "\n" + SynthesizedSource);
+  if (!Final)
+    return Error("internal: synthesized tests failed to compile: " +
+                 Final.error().str() + "\n--- source ---\n" +
+                 SynthesizedSource);
+  Out.Program = Final.take();
+  Out.SynthesisSeconds = SynthesisTimer.seconds();
+  return Out;
+}

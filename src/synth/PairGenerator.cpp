@@ -1,0 +1,110 @@
+//===- synth/PairGenerator.cpp - Narada stage 2a -------------------------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/PairGenerator.h"
+
+#include "support/StringUtils.h"
+
+#include <map>
+#include <set>
+
+using namespace narada;
+
+std::string RacyPair::key() const {
+  std::string A = formatString("%s|%s|%s", First.AccessLabel.c_str(),
+                               First.BasePath.str().c_str(),
+                               First.IsWrite ? "W" : "R");
+  std::string B = formatString("%s|%s|%s", Second.AccessLabel.c_str(),
+                               Second.BasePath.str().c_str(),
+                               Second.IsWrite ? "W" : "R");
+  if (B < A)
+    std::swap(A, B);
+  return formatString("%s.%s {%s ~ %s}", FieldClassName.c_str(),
+                      Field.c_str(), A.c_str(), B.c_str());
+}
+
+std::string RacyPair::str() const {
+  return formatString("race on %s.%s: %s.%s[%s via %s] vs %s.%s[%s via %s]",
+                      FieldClassName.c_str(), Field.c_str(),
+                      First.ClassName.c_str(), First.Method.c_str(),
+                      First.AccessLabel.c_str(), First.BasePath.str().c_str(),
+                      Second.ClassName.c_str(), Second.Method.c_str(),
+                      Second.AccessLabel.c_str(),
+                      Second.BasePath.str().c_str());
+}
+
+bool narada::locksCollideUnderSharing(const AccessRecord &A,
+                                      const AccessRecord &B) {
+  assert(A.BasePath && B.BasePath && "feasibility needs controllable bases");
+  // The synthesized context makes resolve(A.BasePath) == resolve(B.BasePath)
+  // == S, and shares nothing else between the two invocations' parameter
+  // worlds.  Two objects coincide exactly when both are reached *through* S:
+  // lockA = A.Base + suffix and lockB = B.Base + the same suffix.  Monitors
+  // without a client path are per-invocation-fresh and never collide.
+  for (const auto &LockA : A.HeldLockPaths) {
+    if (!LockA || !LockA->hasPrefix(*A.BasePath))
+      continue;
+    std::vector<std::string> SuffixA = LockA->suffixAfter(*A.BasePath);
+    for (const auto &LockB : B.HeldLockPaths) {
+      if (!LockB || !LockB->hasPrefix(*B.BasePath))
+        continue;
+      if (LockB->suffixAfter(*B.BasePath) == SuffixA)
+        return true;
+    }
+  }
+  return false;
+}
+
+std::vector<RacyPair>
+narada::generatePairs(const AnalysisResult &Analysis,
+                      const PairGenOptions &Options) {
+  // Group accesses by the field they touch.
+  std::map<std::string, std::vector<const AccessRecord *>> ByField;
+  for (const AccessRecord &R : Analysis.Accesses) {
+    if (!Options.FocusClass.empty() && R.ClassName != Options.FocusClass)
+      continue;
+    if (Options.DiscardConstructorAccesses && R.InConstructor)
+      continue;
+    if (!R.BasePath)
+      continue; // Not controllable: a client cannot stage the sharing.
+    ByField[R.FieldClassName + "." + R.Field].push_back(&R);
+  }
+
+  std::vector<RacyPair> Pairs;
+  std::set<std::string> Seen;
+
+  auto MakeSide = [](const AccessRecord &R) {
+    RacySide Side;
+    Side.ClassName = R.ClassName;
+    Side.Method = R.Method;
+    Side.AccessLabel = R.staticLabel();
+    Side.BasePath = *R.BasePath;
+    Side.IsWrite = R.IsWrite;
+    return Side;
+  };
+
+  for (const auto &[FieldKey, Records] : ByField) {
+    for (const AccessRecord *A : Records) {
+      if (!A->Unprotected)
+        continue; // Every pair is anchored on an unprotected access.
+      for (const AccessRecord *B : Records) {
+        if (!A->IsWrite && !B->IsWrite)
+          continue; // Read-read never races.
+        if (locksCollideUnderSharing(*A, *B))
+          continue;
+
+        RacyPair Pair;
+        Pair.First = MakeSide(*A);
+        Pair.Second = MakeSide(*B);
+        Pair.Field = A->Field;
+        Pair.FieldClassName = A->FieldClassName;
+        if (Seen.insert(Pair.key()).second)
+          Pairs.push_back(std::move(Pair));
+      }
+    }
+  }
+  return Pairs;
+}

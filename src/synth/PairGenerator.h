@@ -1,0 +1,52 @@
+//===- synth/PairGenerator.h - Narada stage 2a ------------------*- C++ -*-===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds candidate racy pairs from the stage-1 access records (§3.3):
+///
+///  - an unprotected access can race with a concurrent execution of itself
+///    from a second thread, and with any other (un)protected access to the
+///    same field;
+///  - both base objects must be drivable to one shared instance, i.e. both
+///    sides carry a client-rooted base path;
+///  - the pair is kept only if the sharing that makes the bases coincide
+///    does NOT also force a common monitor: two lock objects coincide
+///    exactly when both are reached through the shared object by the same
+///    suffix.  This check is how "the receivers must be distinct or the lock
+///    on them serializes the accesses" falls out (paper §3.3's discussion of
+///    a/a' and Eraser's empty-intersection criterion).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NARADA_SYNTH_PAIRGENERATOR_H
+#define NARADA_SYNTH_PAIRGENERATOR_H
+
+#include "synth/RacyPair.h"
+
+#include <vector>
+
+namespace narada {
+
+/// Options for pair generation.
+struct PairGenOptions {
+  /// Restrict to accesses whose invoked method belongs to this class
+  /// (empty = all classes).  Matches the paper's per-class evaluation.
+  std::string FocusClass;
+  /// Drop pairs whose accesses happen inside constructors (paper §4).
+  bool DiscardConstructorAccesses = true;
+};
+
+/// Whether the sharing required by (\p A, \p B) forces two held monitors to
+/// be one object.  Exposed for testing.
+bool locksCollideUnderSharing(const AccessRecord &A, const AccessRecord &B);
+
+/// Generates all candidate racy pairs from \p Analysis.
+std::vector<RacyPair> generatePairs(const AnalysisResult &Analysis,
+                                    const PairGenOptions &Options = {});
+
+} // namespace narada
+
+#endif // NARADA_SYNTH_PAIRGENERATOR_H

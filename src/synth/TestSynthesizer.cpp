@@ -1,0 +1,491 @@
+//===- synth/TestSynthesizer.cpp - Narada stage 3 ------------------------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/TestSynthesizer.h"
+
+#include "lang/ASTClone.h"
+#include "support/StringUtils.h"
+
+#include <set>
+
+using namespace narada;
+
+//===----------------------------------------------------------------------===//
+// SeedRegistry
+//===----------------------------------------------------------------------===//
+
+/// Extracts the call/new expression in \p S, if any (normalized seeds have
+/// at most one per statement at the outermost position).
+static const Expr *outermostCall(const Stmt *S, std::string *BoundVar) {
+  BoundVar->clear();
+  if (const auto *Decl = dyn_cast<VarDeclStmt>(S)) {
+    if (!Decl->init())
+      return nullptr;
+    if (Decl->init()->kind() == Expr::Kind::Call ||
+        Decl->init()->kind() == Expr::Kind::New) {
+      *BoundVar = Decl->name();
+      return Decl->init();
+    }
+    return nullptr;
+  }
+  if (const auto *ES = dyn_cast<ExprStmt>(S)) {
+    if (ES->expr()->kind() == Expr::Kind::Call ||
+        ES->expr()->kind() == Expr::Kind::New)
+      return ES->expr();
+    return nullptr;
+  }
+  if (const auto *Assign = dyn_cast<AssignStmt>(S)) {
+    if (Assign->value()->kind() == Expr::Kind::Call ||
+        Assign->value()->kind() == Expr::Kind::New) {
+      if (const auto *Var = dyn_cast<VarRefExpr>(Assign->target()))
+        *BoundVar = Var->name();
+      return Assign->value();
+    }
+  }
+  return nullptr;
+}
+
+/// Collects every variable name referenced anywhere in \p S.
+static void collectVarRefs(const Expr *E, std::set<std::string> &Out) {
+  switch (E->kind()) {
+  case Expr::Kind::VarRef:
+    Out.insert(cast<VarRefExpr>(E)->name());
+    return;
+  case Expr::Kind::FieldAccess:
+    collectVarRefs(cast<FieldAccessExpr>(E)->base(), Out);
+    return;
+  case Expr::Kind::Call: {
+    const auto *Call = cast<CallExpr>(E);
+    collectVarRefs(Call->base(), Out);
+    for (const ExprPtr &Arg : Call->args())
+      collectVarRefs(Arg.get(), Out);
+    return;
+  }
+  case Expr::Kind::New:
+    for (const ExprPtr &Arg : cast<NewExpr>(E)->args())
+      collectVarRefs(Arg.get(), Out);
+    return;
+  case Expr::Kind::Unary:
+    collectVarRefs(cast<UnaryExpr>(E)->operand(), Out);
+    return;
+  case Expr::Kind::Binary:
+    collectVarRefs(cast<BinaryExpr>(E)->lhs(), Out);
+    collectVarRefs(cast<BinaryExpr>(E)->rhs(), Out);
+    return;
+  default:
+    return;
+  }
+}
+
+static std::set<std::string> varsReferencedBy(const Stmt *S) {
+  std::set<std::string> Out;
+  if (const auto *Decl = dyn_cast<VarDeclStmt>(S)) {
+    if (Decl->init())
+      collectVarRefs(Decl->init(), Out);
+  } else if (const auto *ES = dyn_cast<ExprStmt>(S)) {
+    collectVarRefs(ES->expr(), Out);
+  } else if (const auto *Assign = dyn_cast<AssignStmt>(S)) {
+    collectVarRefs(Assign->target(), Out);
+    collectVarRefs(Assign->value(), Out);
+  }
+  return Out;
+}
+
+Result<SeedRegistry>
+SeedRegistry::build(const std::vector<const TestDecl *> &Seeds,
+                    const ProgramInfo &Info) {
+  SeedRegistry Out;
+  for (const TestDecl *Seed : Seeds) {
+    const auto &Stmts = Seed->Body->stmts();
+    for (size_t Index = 0; Index != Stmts.size(); ++Index) {
+      const Stmt *S = Stmts[Index].get();
+
+      // Register variable providers.
+      if (const auto *Decl = dyn_cast<VarDeclStmt>(S)) {
+        if (Decl->declaredType().isClass()) {
+          const std::string &ClassName = Decl->declaredType().className();
+          if (!Out.Providers.count(ClassName))
+            Out.Providers[ClassName] =
+                SeedVarProvider{Seed, Index, Index, Decl->name()};
+        }
+      }
+
+      // Track last uses so providers carry their seed-driven state.
+      std::set<std::string> Used = varsReferencedBy(S);
+      for (auto &[ClassName, Provider] : Out.Providers)
+        if (Provider.Test == Seed && Used.count(Provider.VarName))
+          Provider.LastUseIndex = Index;
+
+      // Register call sites.
+      std::string BoundVar;
+      const Expr *CallLike = outermostCall(S, &BoundVar);
+      if (!CallLike)
+        continue;
+
+      SeedCallSite Site;
+      Site.Test = Seed;
+      Site.StmtIndex = Index;
+      Site.ResultVar = BoundVar;
+
+      if (const auto *Call = dyn_cast<CallExpr>(CallLike)) {
+        if (!Call->base()->type().isClass())
+          continue;
+        const auto *RecvVar = dyn_cast<VarRefExpr>(Call->base());
+        if (!RecvVar)
+          return Error(formatString("seed '%s' is not normalized: call "
+                                    "receiver is not a variable",
+                                    Seed->Name.c_str()),
+                       Call->loc().str());
+        Site.ClassName = Call->base()->type().className();
+        Site.Method = Call->method();
+        Site.ReceiverVar = RecvVar->name();
+        for (const ExprPtr &Arg : Call->args()) {
+          if (Arg->kind() != Expr::Kind::VarRef &&
+              Arg->kind() != Expr::Kind::IntLit &&
+              Arg->kind() != Expr::Kind::BoolLit &&
+              Arg->kind() != Expr::Kind::NullLit)
+            return Error(formatString("seed '%s' is not normalized: call "
+                                      "argument is not atomic",
+                                      Seed->Name.c_str()),
+                         Arg->loc().str());
+          Site.Args.push_back(Arg.get());
+        }
+      } else {
+        const auto *New = cast<NewExpr>(CallLike);
+        const ClassInfo *Class = Info.findClass(New->className());
+        if (!Class || !Class->findMethod(ConstructorName))
+          continue; // Plain allocation: not a constructor call site.
+        Site.ClassName = New->className();
+        Site.Method = ConstructorName;
+        Site.IsNew = true;
+        for (const ExprPtr &Arg : New->args())
+          Site.Args.push_back(Arg.get());
+      }
+
+      std::string Key = Site.ClassName + "." + Site.Method;
+      if (!Out.SiteIndex.count(Key))
+        Out.SiteIndex[Key] = Out.Sites.size();
+      Out.Sites.push_back(std::move(Site));
+    }
+  }
+  return Out;
+}
+
+const SeedCallSite *
+SeedRegistry::findMethodSite(const std::string &ClassName,
+                             const std::string &Method) const {
+  auto It = SiteIndex.find(ClassName + "." + Method);
+  return It == SiteIndex.end() ? nullptr : &Sites[It->second];
+}
+
+const SeedVarProvider *
+SeedRegistry::findVarProvider(const std::string &ClassName) const {
+  auto It = Providers.find(ClassName);
+  return It == Providers.end() ? nullptr : &It->second;
+}
+
+//===----------------------------------------------------------------------===//
+// TestSynthesizer
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Builds one synthesized test's statement list.
+class TestBuilder {
+public:
+  TestBuilder(const SeedRegistry &Registry, const ProgramInfo &Info,
+              const std::string &SharedClassName)
+      : Registry(Registry), Info(Info), SharedClassName(SharedClassName) {}
+
+  /// Inlines statements [0, Count) of \p Seed with fresh names; returns the
+  /// rename map used.
+  RenameMap inlinePrefix(const TestDecl *Seed, size_t Count) {
+    RenameMap Renames;
+    std::string Tag = formatString("_b%u", BlockCounter++);
+    for (const StmtPtr &S : Seed->Body->stmts())
+      if (const auto *Decl = dyn_cast<VarDeclStmt>(S.get()))
+        Renames[Decl->name()] = Decl->name() + Tag;
+    for (size_t I = 0; I < Count && I < Seed->Body->stmts().size(); ++I)
+      Stmts.push_back(cloneStmt(Seed->Body->stmts()[I].get(), Renames));
+    return Renames;
+  }
+
+  /// Materializes \p Plan into statements; returns the variable holding the
+  /// produced instance.  \p Hint names an already-materialized instance of
+  /// the right class that a FromSeed leaf may reuse.
+  Result<std::string> applyPlan(const ProvidePlan &Plan,
+                                const std::string &Hint);
+
+  /// Materializes an unconstrained instance of \p ClassName from a seed.
+  Result<std::string> materializeFromSeed(const std::string &ClassName);
+
+  /// Builds argument expressions for a call of \p Site's method where
+  /// parameter \p ConstrainedParam (1-based; 0 = none) is replaced by
+  /// \p ConstrainedVar.  Non-constrained VarRef operands are resolved by
+  /// inlining the site's prefix once.
+  Result<std::vector<ExprPtr>> buildArgs(const SeedCallSite &Site,
+                                         int ConstrainedParam,
+                                         const std::string &ConstrainedVar);
+
+  std::vector<StmtPtr> takeStmts() { return std::move(Stmts); }
+  void append(StmtPtr S) { Stmts.push_back(std::move(S)); }
+
+  std::string freshVar() { return formatString("__v%u", VarCounter++); }
+
+  std::string SharedVar; ///< Materialized lazily on first SharedObject use.
+
+private:
+  const SeedRegistry &Registry;
+  const ProgramInfo &Info;
+  std::string SharedClassName;
+  std::vector<StmtPtr> Stmts;
+  unsigned BlockCounter = 0;
+  unsigned VarCounter = 0;
+};
+
+ExprPtr makeVarRef(const std::string &Name) {
+  return std::make_unique<VarRefExpr>(Name, SourceLoc{});
+}
+
+} // namespace
+
+Result<std::vector<ExprPtr>>
+TestBuilder::buildArgs(const SeedCallSite &Site, int ConstrainedParam,
+                       const std::string &ConstrainedVar) {
+  // Inline the site's prefix only when some non-constrained operand needs
+  // a variable from it.
+  bool NeedsPrefix = false;
+  for (size_t I = 0; I != Site.Args.size(); ++I) {
+    if (static_cast<int>(I) + 1 == ConstrainedParam)
+      continue;
+    if (Site.Args[I]->kind() == Expr::Kind::VarRef)
+      NeedsPrefix = true;
+  }
+  RenameMap Renames;
+  if (NeedsPrefix)
+    Renames = inlinePrefix(Site.Test, Site.StmtIndex);
+
+  std::vector<ExprPtr> Args;
+  for (size_t I = 0; I != Site.Args.size(); ++I) {
+    if (static_cast<int>(I) + 1 == ConstrainedParam) {
+      Args.push_back(makeVarRef(ConstrainedVar));
+      continue;
+    }
+    Args.push_back(cloneExpr(Site.Args[I], Renames));
+  }
+  return Args;
+}
+
+Result<std::string>
+TestBuilder::materializeFromSeed(const std::string &ClassName) {
+  if (const SeedVarProvider *Provider = Registry.findVarProvider(ClassName)) {
+    // Inline through the object's last use: the seed may drive it into the
+    // state conducive for the race (e.g. a queue with elements).
+    RenameMap Renames =
+        inlinePrefix(Provider->Test, Provider->LastUseIndex + 1);
+    return Renames.at(Provider->VarName);
+  }
+  // No seed variable of this type: fall back to direct construction when
+  // the class needs no constructor arguments.
+  const ClassInfo *Class = Info.findClass(ClassName);
+  if (!Class)
+    return Error(formatString("no provider for unknown class '%s'",
+                              ClassName.c_str()));
+  const MethodInfo *Ctor = Class->findMethod(ConstructorName);
+  if (Ctor && !Ctor->ParamTypes.empty())
+    return Error(formatString("no seed provides an instance of '%s'",
+                              ClassName.c_str()));
+  std::string Var = freshVar();
+  auto New = std::make_unique<NewExpr>(ClassName, std::vector<ExprPtr>{},
+                                       SourceLoc{});
+  append(std::make_unique<VarDeclStmt>(Var, Type::classTy(ClassName),
+                                       std::move(New), SourceLoc{}));
+  return Var;
+}
+
+Result<std::string> TestBuilder::applyPlan(const ProvidePlan &Plan,
+                                           const std::string &Hint) {
+  switch (Plan.K) {
+  case ProvidePlan::Kind::SharedObject: {
+    if (!SharedVar.empty())
+      return SharedVar;
+    if (!Hint.empty())
+      return SharedVar = Hint;
+    Result<std::string> Var = materializeFromSeed(Plan.ClassName);
+    if (!Var)
+      return Var;
+    return SharedVar = *Var;
+  }
+
+  case ProvidePlan::Kind::FromSeed:
+    if (!Hint.empty())
+      return Hint;
+    return materializeFromSeed(Plan.ClassName);
+
+  case ProvidePlan::Kind::ViaSetter: {
+    Result<std::string> Base = applyPlan(*Plan.Base, Hint);
+    if (!Base)
+      return Base;
+    Result<std::string> Value = applyPlan(*Plan.Value, "");
+    if (!Value)
+      return Value;
+    const SeedCallSite *Site =
+        Registry.findMethodSite(Plan.ClassName, Plan.Method);
+    if (!Site)
+      return Error(formatString("no seed call site for %s.%s",
+                                Plan.ClassName.c_str(), Plan.Method.c_str()));
+    Result<std::vector<ExprPtr>> Args =
+        buildArgs(*Site, Plan.ConstrainedParam, *Value);
+    if (!Args)
+      return Args.error();
+    auto Call = std::make_unique<CallExpr>(makeVarRef(*Base), Plan.Method,
+                                           Args.take(), SourceLoc{});
+    append(std::make_unique<ExprStmt>(std::move(Call), SourceLoc{}));
+    return Base;
+  }
+
+  case ProvidePlan::Kind::ViaConstructor: {
+    Result<std::string> Value = applyPlan(*Plan.Value, "");
+    if (!Value)
+      return Value;
+    const SeedCallSite *Site =
+        Registry.findMethodSite(Plan.ClassName, ConstructorName);
+    if (!Site)
+      return Error(formatString("no seed constructor site for %s",
+                                Plan.ClassName.c_str()));
+    Result<std::vector<ExprPtr>> Args =
+        buildArgs(*Site, Plan.ConstrainedParam, *Value);
+    if (!Args)
+      return Args.error();
+    std::string Var = freshVar();
+    auto New = std::make_unique<NewExpr>(Plan.ClassName, Args.take(),
+                                         SourceLoc{});
+    append(std::make_unique<VarDeclStmt>(Var, Type::classTy(Plan.ClassName),
+                                         std::move(New), SourceLoc{}));
+    return Var;
+  }
+
+  case ProvidePlan::Kind::ViaFactory: {
+    Result<std::string> Base = applyPlan(*Plan.Base, "");
+    if (!Base)
+      return Base;
+    Result<std::string> Value = applyPlan(*Plan.Value, "");
+    if (!Value)
+      return Value;
+    const SeedCallSite *Site =
+        Registry.findMethodSite(Plan.ClassName, Plan.Method);
+    if (!Site)
+      return Error(formatString("no seed call site for factory %s.%s",
+                                Plan.ClassName.c_str(), Plan.Method.c_str()));
+    const ClassInfo *Class = Info.findClass(Plan.ClassName);
+    assert(Class && "deriver validated the factory class");
+    const MethodInfo *Method = Class->findMethod(Plan.Method);
+    assert(Method && Method->ReturnType.isClass() &&
+           "deriver validated the factory signature");
+
+    Result<std::vector<ExprPtr>> Args =
+        buildArgs(*Site, Plan.ConstrainedParam, *Value);
+    if (!Args)
+      return Args.error();
+    std::string Var = freshVar();
+    auto Call = std::make_unique<CallExpr>(makeVarRef(*Base), Plan.Method,
+                                           Args.take(), SourceLoc{});
+    append(std::make_unique<VarDeclStmt>(
+        Var, Method->ReturnType, std::move(Call), SourceLoc{}));
+    return Var;
+  }
+  }
+  narada_unreachable("unknown plan kind");
+}
+
+Result<std::unique_ptr<TestDecl>>
+TestSynthesizer::synthesize(const RacyPair &Pair, const SharingPlan &Plan,
+                            const std::string &TestName) {
+  TestBuilder Builder(Registry, Info, Plan.SharedClassName);
+
+  struct SideResult {
+    std::string Receiver;
+    std::vector<ExprPtr> Args;
+    std::string Method;
+  };
+
+  auto BuildSide = [&](const RacySide &Side, const SharingPlan::Side &SidePlan)
+      -> Result<SideResult> {
+    const SeedCallSite *Site =
+        Registry.findMethodSite(Side.ClassName, Side.Method);
+    if (!Site)
+      return Error(formatString("no seed call site for racy method %s.%s",
+                                Side.ClassName.c_str(), Side.Method.c_str()));
+    // Collect this side's objects: inline the seed prefix up to (but not
+    // including) the invocation of interest — the "suspend before the
+    // method of interest" of §3.4.
+    RenameMap Renames = Builder.inlinePrefix(Site->Test, Site->StmtIndex);
+
+    SideResult Out;
+    Out.Method = Side.Method;
+    Out.Receiver = Site->ReceiverVar.empty()
+                       ? std::string()
+                       : Renames.at(Site->ReceiverVar);
+
+    // Pre-resolve argument expressions from the site.
+    for (const Expr *Arg : Site->Args)
+      Out.Args.push_back(cloneExpr(Arg, Renames));
+
+    // Constrain the racy root (shareObjects): replace the receiver or the
+    // relevant argument with the plan's product.
+    if (!SidePlan.Plan)
+      return Out;
+    if (SidePlan.Root == 0) {
+      Result<std::string> Recv = Builder.applyPlan(*SidePlan.Plan,
+                                                   Out.Receiver);
+      if (!Recv)
+        return Recv.error();
+      Out.Receiver = *Recv;
+    } else {
+      size_t ArgIndex = static_cast<size_t>(SidePlan.Root) - 1;
+      if (ArgIndex >= Out.Args.size())
+        return Error(formatString("constrained parameter %d out of range "
+                                  "for %s.%s",
+                                  SidePlan.Root, Side.ClassName.c_str(),
+                                  Side.Method.c_str()));
+      std::string Hint;
+      if (const auto *Var = dyn_cast<VarRefExpr>(Out.Args[ArgIndex].get()))
+        Hint = Var->name();
+      Result<std::string> ArgVar = Builder.applyPlan(*SidePlan.Plan, Hint);
+      if (!ArgVar)
+        return ArgVar.error();
+      Out.Args[ArgIndex] = makeVarRef(*ArgVar);
+    }
+    return Out;
+  };
+
+  Result<SideResult> First = BuildSide(Pair.First, Plan.First);
+  if (!First)
+    return First.error();
+  Result<SideResult> Second = BuildSide(Pair.Second, Plan.Second);
+  if (!Second)
+    return Second.error();
+
+  auto MakeSpawn = [](SideResult &Side) {
+    auto Call = std::make_unique<CallExpr>(makeVarRef(Side.Receiver),
+                                           Side.Method, std::move(Side.Args),
+                                           SourceLoc{});
+    std::vector<StmtPtr> Body;
+    Body.push_back(std::make_unique<ExprStmt>(std::move(Call), SourceLoc{}));
+    return std::make_unique<SpawnStmt>(
+        std::make_unique<BlockStmt>(std::move(Body), SourceLoc{}),
+        SourceLoc{});
+  };
+
+  std::vector<StmtPtr> Stmts = Builder.takeStmts();
+  Stmts.push_back(MakeSpawn(*First));
+  Stmts.push_back(MakeSpawn(*Second));
+
+  auto Test = std::make_unique<TestDecl>();
+  Test->Name = TestName;
+  Test->Body = std::make_unique<BlockStmt>(std::move(Stmts), SourceLoc{});
+  return Test;
+}

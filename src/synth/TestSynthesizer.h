@@ -1,0 +1,106 @@
+//===- synth/TestSynthesizer.h - Narada stage 3 -----------------*- C++ -*-===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Algorithm 1 of the paper: turn a racy pair plus its sharing plan into an
+/// executable multithreaded test.  The paper collects live objects by
+/// re-running seed tests and suspending them before the invocation of
+/// interest; because our seed tests are normalized straight-line client
+/// programs, "re-run and suspend before statement k" is realized by
+/// *inlining the statement prefix* with freshly renamed locals — the
+/// inlined locals are exactly the collected object references (O_r, P_r of
+/// Algorithm 1), and parameter substitution in the emitted calls plays the
+/// role of shareObjects.  The output is a genuine MiniJava client program
+/// (cf. the paper's Fig. 3) ending in two spawn blocks that invoke the racy
+/// methods concurrently.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NARADA_SYNTH_TESTSYNTHESIZER_H
+#define NARADA_SYNTH_TESTSYNTHESIZER_H
+
+#include "lang/AST.h"
+#include "lang/Sema.h"
+#include "support/Error.h"
+#include "synth/ContextDeriver.h"
+#include "synth/RacyPair.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace narada {
+
+/// One client call site within a normalized seed test.
+struct SeedCallSite {
+  const TestDecl *Test = nullptr;
+  size_t StmtIndex = 0;           ///< Statement containing the call.
+  std::string ClassName;          ///< Static receiver class.
+  std::string Method;
+  std::string ReceiverVar;        ///< Empty for 'new' (constructor) sites.
+  std::vector<const Expr *> Args; ///< Atomic operands (VarRef or literal).
+  bool IsNew = false;
+  std::string ResultVar;          ///< Variable bound to the result, if any.
+};
+
+/// An object provider: a local of class type within a seed test.
+struct SeedVarProvider {
+  const TestDecl *Test = nullptr;
+  size_t StmtIndex = 0; ///< The declaring statement.
+  /// The last statement referencing the variable.  Materialization inlines
+  /// the prefix up to here so the collected object carries the state the
+  /// seed drove it to (Algorithm 1 collects *live* objects mid-run, not
+  /// freshly constructed ones).
+  size_t LastUseIndex = 0;
+  std::string VarName;
+};
+
+/// Indexes normalized seed tests: which seed provides instances of each
+/// class, and where each library method is invoked.
+class SeedRegistry {
+public:
+  /// Builds the registry.  Seeds must be normalized and sema-annotated.
+  static Result<SeedRegistry> build(const std::vector<const TestDecl *> &Seeds,
+                                    const ProgramInfo &Info);
+
+  /// The first call site of Class.Method across all seeds, or nullptr.
+  const SeedCallSite *findMethodSite(const std::string &ClassName,
+                                     const std::string &Method) const;
+
+  /// The first provider of an instance of \p ClassName, or nullptr.
+  const SeedVarProvider *findVarProvider(const std::string &ClassName) const;
+
+  /// All call sites, for diagnostics.
+  const std::vector<SeedCallSite> &sites() const { return Sites; }
+
+private:
+  std::vector<SeedCallSite> Sites;
+  std::map<std::string, size_t> SiteIndex; ///< "Class.method" -> Sites idx.
+  std::map<std::string, SeedVarProvider> Providers; ///< By class name.
+};
+
+/// Synthesizes one multithreaded test per (racy pair, sharing plan).
+class TestSynthesizer {
+public:
+  TestSynthesizer(const SeedRegistry &Registry, const ProgramInfo &Info)
+      : Registry(Registry), Info(Info) {}
+
+  /// Builds the racy test AST.  The produced test contains: inlined seed
+  /// prefixes (object collection), context-setting calls (the derived
+  /// method sequence Q), and two spawn blocks invoking the racy methods.
+  Result<std::unique_ptr<TestDecl>> synthesize(const RacyPair &Pair,
+                                               const SharingPlan &Plan,
+                                               const std::string &TestName);
+
+private:
+  const SeedRegistry &Registry;
+  const ProgramInfo &Info;
+};
+
+} // namespace narada
+
+#endif // NARADA_SYNTH_TESTSYNTHESIZER_H

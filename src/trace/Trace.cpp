@@ -1,0 +1,132 @@
+//===- trace/Trace.cpp - Recorded traces --------------------------------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Trace.h"
+
+#include "support/StringUtils.h"
+
+using namespace narada;
+
+ExecutionObserver::~ExecutionObserver() = default;
+
+const char *narada::eventKindName(EventKind Kind) {
+  switch (Kind) {
+  case EventKind::Alloc:
+    return "alloc";
+  case EventKind::ReadField:
+    return "read";
+  case EventKind::WriteField:
+    return "write";
+  case EventKind::ReadElem:
+    return "read_elem";
+  case EventKind::WriteElem:
+    return "write_elem";
+  case EventKind::Lock:
+    return "lock";
+  case EventKind::Unlock:
+    return "unlock";
+  case EventKind::ClientCall:
+    return "client_call";
+  case EventKind::ClientCallEnd:
+    return "client_call_end";
+  case EventKind::ThreadStart:
+    return "thread_start";
+  case EventKind::ThreadEnd:
+    return "thread_end";
+  case EventKind::Fault:
+    return "fault";
+  }
+  narada_unreachable("unknown event kind");
+}
+
+std::string TraceEvent::staticLabel() const {
+  if (!Func)
+    return "<unknown>";
+  return formatString("%s:%u", Func->name().c_str(), Pc);
+}
+
+std::vector<const TraceEvent *> Trace::eventsOfKind(EventKind Kind) const {
+  std::vector<const TraceEvent *> Out;
+  for (const TraceEvent &E : Events)
+    if (E.Kind == Kind)
+      Out.push_back(&E);
+  return Out;
+}
+
+std::vector<const TraceEvent *> Trace::accesses() const {
+  std::vector<const TraceEvent *> Out;
+  for (const TraceEvent &E : Events)
+    if (E.isAccess())
+      Out.push_back(&E);
+  return Out;
+}
+
+bool Trace::hasFault() const {
+  for (const TraceEvent &E : Events)
+    if (E.Kind == EventKind::Fault)
+      return true;
+  return false;
+}
+
+std::vector<std::string> Trace::faultMessages() const {
+  std::vector<std::string> Out;
+  for (const TraceEvent &E : Events)
+    if (E.Kind == EventKind::Fault)
+      Out.push_back(E.Message);
+  return Out;
+}
+
+std::string narada::printEvent(const TraceEvent &E) {
+  std::string Out = formatString("%6llu t%u %-15s",
+                                 static_cast<unsigned long long>(E.Label),
+                                 E.Thread, eventKindName(E.Kind));
+  switch (E.Kind) {
+  case EventKind::Alloc:
+    Out += formatString(" @%u : %s", E.Obj, E.ClassName.c_str());
+    break;
+  case EventKind::ReadField:
+  case EventKind::WriteField:
+    Out += formatString(" @%u.%s = %s  [%s]", E.Obj, E.Field.c_str(),
+                        E.Val.str().c_str(), E.staticLabel().c_str());
+    break;
+  case EventKind::ReadElem:
+  case EventKind::WriteElem:
+    Out += formatString(" @%u[%u] = %s  [%s]", E.Obj, E.FieldIndex,
+                        E.Val.str().c_str(), E.staticLabel().c_str());
+    break;
+  case EventKind::Lock:
+  case EventKind::Unlock:
+    Out += formatString(" @%u  [%s]", E.Obj, E.staticLabel().c_str());
+    break;
+  case EventKind::ClientCall: {
+    std::vector<std::string> Args;
+    for (const Value &V : E.Args)
+      Args.push_back(V.str());
+    Out += formatString(" @%u.%s(%s)", E.Receiver, E.Method.c_str(),
+                        join(Args, ", ").c_str());
+    break;
+  }
+  case EventKind::ClientCallEnd:
+    Out += formatString(" -> %s", E.Val.str().c_str());
+    break;
+  case EventKind::ThreadStart:
+  case EventKind::ThreadEnd:
+    break;
+  case EventKind::Fault:
+    Out += " " + E.Message;
+    break;
+  }
+  return Out;
+}
+
+std::string narada::printTrace(const Trace &T) {
+  std::string Out;
+  for (const TraceEvent &E : T.events()) {
+    Out += printEvent(E);
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,437 @@
+//===- tests/analysis_test.cpp - Narada stage-1 analysis unit tests -----------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+// These tests replay the paper's own worked examples: Fig. 1 (Lib/Counter),
+// Fig. 8 (class A with the unprotected t.o write), Fig. 13 (bar/baz context
+// setters) and the Fig. 2 hazelcast motivating example.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AccessAnalysis.h"
+#include "runtime/Execution.h"
+
+#include <gtest/gtest.h>
+
+using namespace narada;
+
+namespace {
+
+struct Analyzed {
+  CompiledProgram Prog;
+  AnalysisResult Result;
+};
+
+Analyzed analyzeSeeds(std::string_view Source,
+                      const std::vector<std::string> &Seeds) {
+  Result<CompiledProgram> P = compileProgram(Source);
+  EXPECT_TRUE(P.hasValue()) << (P ? "" : P.error().str());
+  Analyzed Out;
+  if (!P)
+    return Out;
+  Out.Prog = P.take();
+  for (const std::string &Seed : Seeds) {
+    Result<TestRun> Run = runTestSequential(*Out.Prog.Module, Seed);
+    EXPECT_TRUE(Run.hasValue()) << (Run ? "" : Run.error().str());
+    if (!Run)
+      continue;
+    EXPECT_FALSE(Run->Result.Faulted)
+        << "seed faulted: " << Run->Result.FaultMessages[0];
+    Out.Result.merge(analyzeTrace(Run->TheTrace, *Out.Prog.Info));
+  }
+  return Out;
+}
+
+const AccessRecord *findAccess(const AnalysisResult &R,
+                               const std::string &Method,
+                               const std::string &Field, bool IsWrite) {
+  for (const AccessRecord &A : R.Accesses)
+    if (A.Method == Method && A.Field == Field && A.IsWrite == IsWrite)
+      return &A;
+  return nullptr;
+}
+
+const WriteableAssign *findSetter(const AnalysisResult &R,
+                                  const std::string &ClassName,
+                                  const std::string &Method) {
+  for (const WriteableAssign &W : R.Setters)
+    if (W.ClassName == ClassName && W.Method == Method)
+      return &W;
+  return nullptr;
+}
+
+// The paper's Fig. 1 library.
+constexpr const char *Figure1 =
+    "class Counter {\n"
+    "  field count: int;\n"
+    "  method inc() { this.count = this.count + 1; }\n"
+    "}\n"
+    "class Lib {\n"
+    "  field c: Counter;\n"
+    "  method update() synchronized { this.c.inc(); }\n"
+    "  method set(x: Counter) synchronized { this.c = x; }\n"
+    "}\n"
+    "test seed {\n"
+    "  var r: Counter = new Counter;\n"
+    "  var p: Lib = new Lib;\n"
+    "  p.set(r);\n"
+    "  p.update();\n"
+    "}\n";
+
+} // namespace
+
+TEST(AnalysisTest, Figure1CountWriteIsUnprotected) {
+  auto A = analyzeSeeds(Figure1, {"seed"});
+  // update() holds the lock on the receiver, but the counter it mutates is
+  // this.c — unlocked.  The count write must be flagged unprotected with
+  // base path I0.c.
+  const AccessRecord *W = findAccess(A.Result, "update", "count", true);
+  ASSERT_TRUE(W);
+  EXPECT_TRUE(W->Unprotected);
+  ASSERT_TRUE(W->BasePath.has_value());
+  EXPECT_EQ(W->BasePath->str(), "I0.c");
+  // The held lock at the access is the receiver (I0).
+  ASSERT_EQ(W->HeldLockPaths.size(), 1u);
+  ASSERT_TRUE(W->HeldLockPaths[0].has_value());
+  EXPECT_EQ(W->HeldLockPaths[0]->str(), "I0");
+}
+
+TEST(AnalysisTest, Figure1SetIsAWriteableSetter) {
+  auto A = analyzeSeeds(Figure1, {"seed"});
+  const WriteableAssign *S = findSetter(A.Result, "Lib", "set");
+  ASSERT_TRUE(S);
+  EXPECT_EQ(S->Lhs.str(), "I0.c");
+  EXPECT_EQ(S->Rhs.str(), "I1");
+  EXPECT_FALSE(S->IsConstructor);
+  // And the protected write to this.c in set() is not unprotected.
+  const AccessRecord *W = findAccess(A.Result, "set", "c", true);
+  ASSERT_TRUE(W);
+  EXPECT_FALSE(W->Unprotected);
+  EXPECT_TRUE(W->Writeable);
+}
+
+TEST(AnalysisTest, Figure8UnprotectedAndWriteableBits) {
+  // Fig. 8 / Table 1 of the paper: inside a sync(this) block,
+  //   t := this.x; t.o := rand();  -- write at label 5: unprotected, not
+  //                                   writeable (rand is NC)
+  //   this.y := y;                 -- label 6: writeable, protected
+  auto A = analyzeSeeds("class X { field o: int; }\n"
+                        "class Y { }\n"
+                        "class A {\n"
+                        "  field x: X; field y: Y;\n"
+                        "  method init() { this.x = new X; }\n"
+                        "  method foo(y: Y) {\n"
+                        "    synchronized (this) {\n"
+                        "      var b: A = this;\n"
+                        "      var t: X = b.x;\n"
+                        "      t.o = rand();\n"
+                        "      b.y = y;\n"
+                        "    }\n"
+                        "  }\n"
+                        "}\n"
+                        "test seed {\n"
+                        "  var a: A = new A();\n"
+                        "  var y: Y = new Y;\n"
+                        "  a.foo(y);\n"
+                        "}\n",
+                        {"seed"});
+  // Label 5 analogue: write of X.o through t (= this.x).
+  const AccessRecord *WriteO = findAccess(A.Result, "foo", "o", true);
+  ASSERT_TRUE(WriteO);
+  EXPECT_TRUE(WriteO->Unprotected) << "t is unlocked";
+  EXPECT_FALSE(WriteO->Writeable) << "rand() is not controllable";
+  EXPECT_EQ(WriteO->BasePath->str(), "I0.x");
+
+  // Label 6 analogue: write of A.y through b (= this), which is locked.
+  const AccessRecord *WriteY = findAccess(A.Result, "foo", "y", true);
+  ASSERT_TRUE(WriteY);
+  EXPECT_FALSE(WriteY->Unprotected) << "b is locked";
+  EXPECT_TRUE(WriteY->Writeable) << "both sides controllable";
+
+  // Label 4 analogue: the read of b.x is protected (read of locked this).
+  const AccessRecord *ReadX = findAccess(A.Result, "foo", "x", false);
+  ASSERT_TRUE(ReadX);
+  EXPECT_FALSE(ReadX->Unprotected);
+}
+
+TEST(AnalysisTest, Figure13SetterChain) {
+  // Fig. 13: bar sets A.x from its parameter's field w (I1.w); baz sets
+  // Z.w from its parameter (I1).
+  auto A = analyzeSeeds("class X { field o: int; }\n"
+                        "class Z {\n"
+                        "  field w: X;\n"
+                        "  method baz(x: X) { this.w = x; }\n"
+                        "}\n"
+                        "class A {\n"
+                        "  field x: X; field y: X;\n"
+                        "  method bar(z: Z) { this.x = z.w; }\n"
+                        "}\n"
+                        "test seed {\n"
+                        "  var x: X = new X;\n"
+                        "  var z: Z = new Z;\n"
+                        "  z.baz(x);\n"
+                        "  var a: A = new A;\n"
+                        "  a.bar(z);\n"
+                        "}\n",
+                        {"seed"});
+  const WriteableAssign *Bar = findSetter(A.Result, "A", "bar");
+  ASSERT_TRUE(Bar);
+  EXPECT_EQ(Bar->Lhs.str(), "I0.x");
+  EXPECT_EQ(Bar->Rhs.str(), "I1.w");
+
+  const WriteableAssign *Baz = findSetter(A.Result, "Z", "baz");
+  ASSERT_TRUE(Baz);
+  EXPECT_EQ(Baz->Lhs.str(), "I0.w");
+  EXPECT_EQ(Baz->Rhs.str(), "I1");
+}
+
+TEST(AnalysisTest, ConstructorAssignsAreSettersButAccessesFlagged) {
+  auto A = analyzeSeeds("class Inner { field v: int; }\n"
+                        "class Wrap {\n"
+                        "  field inner: Inner;\n"
+                        "  method init(i: Inner) { this.inner = i; }\n"
+                        "}\n"
+                        "test seed {\n"
+                        "  var i: Inner = new Inner;\n"
+                        "  var w: Wrap = new Wrap(i);\n"
+                        "}\n",
+                        {"seed"});
+  const WriteableAssign *Ctor = findSetter(A.Result, "Wrap", "init");
+  ASSERT_TRUE(Ctor);
+  EXPECT_TRUE(Ctor->IsConstructor);
+  EXPECT_EQ(Ctor->Lhs.str(), "I0.inner");
+  EXPECT_EQ(Ctor->Rhs.str(), "I1");
+  // The write access inside init is flagged InConstructor so the pair
+  // generator can discard it (paper §4).
+  const AccessRecord *W = findAccess(A.Result, "init", "inner", true);
+  ASSERT_TRUE(W);
+  EXPECT_TRUE(W->InConstructor);
+}
+
+TEST(AnalysisTest, FactoryReturnSummary) {
+  // The hazelcast pattern: a factory wires its argument into the returned
+  // wrapper (Fig. 2's createSafeWriteBehindQueue).
+  auto A = analyzeSeeds("class Queue { field size: int;\n"
+                        "  method removeFirst() { this.size = this.size - 1; } }\n"
+                        "class SafeQueue {\n"
+                        "  field queue: Queue;\n"
+                        "  method init(q: Queue) { this.queue = q; }\n"
+                        "  method removeFirst() synchronized {\n"
+                        "    this.queue.removeFirst();\n"
+                        "  }\n"
+                        "}\n"
+                        "class Factory {\n"
+                        "  method createSafe(q: Queue): SafeQueue {\n"
+                        "    return new SafeQueue(q);\n"
+                        "  }\n"
+                        "}\n"
+                        "test seed {\n"
+                        "  var f: Factory = new Factory;\n"
+                        "  var q: Queue = new Queue;\n"
+                        "  var s: SafeQueue = f.createSafe(q);\n"
+                        "  s.removeFirst();\n"
+                        "}\n",
+                        {"seed"});
+  bool FoundFactory = false;
+  for (const ReturnSummary &R : A.Result.Returns)
+    if (R.ClassName == "Factory" && R.Method == "createSafe" &&
+        R.RetPath.str() == "Ir.queue" && R.Rhs.str() == "I1")
+      FoundFactory = true;
+  EXPECT_TRUE(FoundFactory)
+      << "factory should report Ir.queue <- I1";
+
+  // And the size write inside removeFirst is unprotected with base
+  // I0.queue even though the wrapper method is synchronized.
+  const AccessRecord *W = findAccess(A.Result, "removeFirst", "size", true);
+  ASSERT_TRUE(W);
+  EXPECT_TRUE(W->Unprotected);
+  EXPECT_EQ(W->BasePath->str(), "I0.queue");
+}
+
+TEST(AnalysisTest, GetterReturnSummary) {
+  auto A = analyzeSeeds("class Inner { field v: int; }\n"
+                        "class Box {\n"
+                        "  field inner: Inner;\n"
+                        "  method init() { this.inner = new Inner; }\n"
+                        "  method getInner(): Inner { return this.inner; }\n"
+                        "}\n"
+                        "test seed {\n"
+                        "  var b: Box = new Box();\n"
+                        "  var i: Inner = b.getInner();\n"
+                        "}\n",
+                        {"seed"});
+  bool FoundGetter = false;
+  for (const ReturnSummary &R : A.Result.Returns)
+    if (R.Method == "getInner" && R.RetPath.str() == "Ir" &&
+        R.Rhs.str() == "I0.inner")
+      FoundGetter = true;
+  EXPECT_TRUE(FoundGetter) << "getter should report Ir <- I0.inner";
+}
+
+TEST(AnalysisTest, InternalObjectsAreNotControllable) {
+  // An object allocated inside the library is NC: accesses to it get no
+  // base path and are not unprotected in the paper's sense.
+  auto A = analyzeSeeds("class Node { field v: int; }\n"
+                        "class Holder {\n"
+                        "  field n: Node;\n"
+                        "  method churn() {\n"
+                        "    var fresh: Node = new Node;\n"
+                        "    fresh.v = 1;\n"
+                        "  }\n"
+                        "}\n"
+                        "test seed { var h: Holder = new Holder; h.churn(); }\n",
+                        {"seed"});
+  const AccessRecord *W = findAccess(A.Result, "churn", "v", true);
+  ASSERT_TRUE(W);
+  EXPECT_FALSE(W->BasePath.has_value());
+  EXPECT_FALSE(W->Unprotected);
+  EXPECT_FALSE(W->Writeable);
+}
+
+TEST(AnalysisTest, StaleSnapshotPathStillControllable) {
+  // The field this.x is re-bound internally before the access; the accessed
+  // object is the *argument*, which is controllable via I1 regardless.
+  auto A = analyzeSeeds("class X { field o: int; }\n"
+                        "class A {\n"
+                        "  field x: X;\n"
+                        "  method m(p: X) {\n"
+                        "    this.x = p;\n"
+                        "    this.x.o = 1;\n"
+                        "  }\n"
+                        "}\n"
+                        "test seed {\n"
+                        "  var a: A = new A;\n"
+                        "  var p: X = new X;\n"
+                        "  a.m(p);\n"
+                        "}\n",
+                        {"seed"});
+  const AccessRecord *W = findAccess(A.Result, "m", "o", true);
+  ASSERT_TRUE(W);
+  ASSERT_TRUE(W->BasePath.has_value());
+  EXPECT_EQ(W->BasePath->str(), "I1") << "the base is the argument object";
+  EXPECT_TRUE(W->Unprotected);
+}
+
+TEST(AnalysisTest, RebindToInternalMakesAccessUncontrollable) {
+  // this.x is re-bound to a fresh internal object before the access; the
+  // accessed object is NOT client-visible, so no racy pair should use it.
+  auto A = analyzeSeeds("class X { field o: int; }\n"
+                        "class A {\n"
+                        "  field x: X;\n"
+                        "  method m() {\n"
+                        "    this.x = new X;\n"
+                        "    this.x.o = 1;\n"
+                        "  }\n"
+                        "}\n"
+                        "test seed { var a: A = new A; a.m(); }\n",
+                        {"seed"});
+  const AccessRecord *W = findAccess(A.Result, "m", "o", true);
+  ASSERT_TRUE(W);
+  EXPECT_FALSE(W->BasePath.has_value());
+  EXPECT_FALSE(W->Unprotected);
+}
+
+TEST(AnalysisTest, ElementAccessesAreRecorded) {
+  auto A = analyzeSeeds("class Buf {\n"
+                        "  field data: IntArray;\n"
+                        "  method init(d: IntArray) { this.data = d; }\n"
+                        "  method put(v: int) { this.data.set(0, v); }\n"
+                        "}\n"
+                        "test seed {\n"
+                        "  var d: IntArray = new IntArray(4);\n"
+                        "  var b: Buf = new Buf(d);\n"
+                        "  b.put(9);\n"
+                        "}\n",
+                        {"seed"});
+  const AccessRecord *W = findAccess(A.Result, "put", "[]", true);
+  ASSERT_TRUE(W);
+  EXPECT_TRUE(W->IsElem);
+  EXPECT_TRUE(W->Unprotected);
+  EXPECT_EQ(W->BasePath->str(), "I0.data");
+}
+
+TEST(AnalysisTest, DedupAcrossRepeatedInvocations) {
+  auto A = analyzeSeeds("class C { field n: int;\n"
+                        "  method inc() { this.n = this.n + 1; } }\n"
+                        "test seed {\n"
+                        "  var c: C = new C;\n"
+                        "  c.inc(); c.inc(); c.inc();\n"
+                        "}\n",
+                        {"seed"});
+  size_t Writes = 0;
+  for (const AccessRecord &R : A.Result.Accesses)
+    if (R.Method == "inc" && R.IsWrite)
+      ++Writes;
+  EXPECT_EQ(Writes, 1u) << "identical accesses deduplicate";
+}
+
+TEST(AnalysisTest, MergeCombinesSeedSuites) {
+  auto A = analyzeSeeds("class C { field n: int;\n"
+                        "  method inc() { this.n = this.n + 1; }\n"
+                        "  method dec() { this.n = this.n - 1; } }\n"
+                        "test s1 { var c: C = new C; c.inc(); }\n"
+                        "test s2 { var c: C = new C; c.dec(); }\n",
+                        {"s1", "s2"});
+  EXPECT_TRUE(findAccess(A.Result, "inc", "n", true));
+  EXPECT_TRUE(findAccess(A.Result, "dec", "n", true));
+}
+
+TEST(AnalysisTest, LockPathsResolveThroughReceiverFields) {
+  // The mutex is an internal allocation, but by pop()'s entry it is stored
+  // in a receiver field, so it is client-reachable as I0.mutex.  The pair
+  // generator uses exactly this to prove that sharing the receiver shares
+  // the mutex too (mutual exclusion — no race), matching the paper's "the
+  // race cannot manifest because of the lock acquisition on the receivers".
+  auto A = analyzeSeeds("class Mutex { }\n"
+                        "class Q {\n"
+                        "  field mutex: Mutex;\n"
+                        "  field size: int;\n"
+                        "  method init() { this.mutex = new Mutex; }\n"
+                        "  method pop() {\n"
+                        "    synchronized (this.mutex) { this.size = this.size - 1; }\n"
+                        "  }\n"
+                        "}\n"
+                        "test seed { var q: Q = new Q(); q.pop(); }\n",
+                        {"seed"});
+  const AccessRecord *W = findAccess(A.Result, "pop", "size", true);
+  ASSERT_TRUE(W);
+  // Base object is the receiver (controllable), no lock held *on it*.
+  EXPECT_TRUE(W->Unprotected);
+  ASSERT_EQ(W->HeldLockPaths.size(), 1u);
+  ASSERT_TRUE(W->HeldLockPaths[0].has_value());
+  EXPECT_EQ(W->HeldLockPaths[0]->str(), "I0.mutex");
+}
+
+#include "analysis/AnalysisPrinter.h"
+
+TEST(AnalysisPrinterTest, RendersAccessesSettersAndReturns) {
+  auto A = analyzeSeeds(Figure1, {"seed"});
+  std::string Text = printAnalysis(A.Result);
+  EXPECT_NE(Text.find("Lib.update WRITE Counter.count via I0.c"),
+            std::string::npos)
+      << Text;
+  EXPECT_NE(Text.find("[unprotected]"), std::string::npos);
+  EXPECT_NE(Text.find("Lib.set: I0.c <- I1"), std::string::npos);
+  EXPECT_NE(Text.find("locks={I0}"), std::string::npos);
+}
+
+TEST(AnalysisPrinterTest, UnprotectedOnlyFilters) {
+  auto A = analyzeSeeds(Figure1, {"seed"});
+  std::string All = printAnalysis(A.Result, false);
+  std::string Filtered = printAnalysis(A.Result, true);
+  EXPECT_LT(Filtered.size(), All.size());
+  // The protected write to Lib.c (inside synchronized set) appears only in
+  // the unfiltered listing.
+  EXPECT_NE(All.find("Lib.set WRITE Lib.c"), std::string::npos);
+  EXPECT_EQ(Filtered.find("Lib.set WRITE Lib.c"), std::string::npos);
+}
+
+TEST(AnalysisPrinterTest, InternalBasesAreMarked) {
+  auto A = analyzeSeeds("class Node { field v: int; }\n"
+                        "class H { method churn() {\n"
+                        "  var n: Node = new Node; n.v = 1; } }\n"
+                        "test seed { var h: H = new H; h.churn(); }\n",
+                        {"seed"});
+  std::string Text = printAnalysis(A.Result);
+  EXPECT_NE(Text.find("<internal>"), std::string::npos);
+}

@@ -1,0 +1,196 @@
+//===- tests/integration_test.cpp - End-to-end anchors -------------------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+// Full-protocol anchors on the small, stable corpus classes: these pin the
+// end-to-end behavior (synthesis counts, detection outcomes, specific
+// synthesized program structure) so that changes anywhere in the pipeline
+// surface as reviewable diffs here rather than silent drift in the
+// benchmark tables.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "detect/Detection.h"
+#include "support/StringUtils.h"
+#include "support/Timer.h"
+#include "synth/Narada.h"
+
+#include <gtest/gtest.h>
+
+using namespace narada;
+
+namespace {
+
+NaradaResult runClass(const std::string &Id) {
+  const CorpusEntry *Entry = findCorpusEntry(Id);
+  EXPECT_TRUE(Entry);
+  NaradaOptions Options;
+  Options.FocusClass = Entry->ClassName;
+  Result<NaradaResult> R = runNarada(Entry->Source, Entry->SeedNames, Options);
+  EXPECT_TRUE(R.hasValue()) << (R ? "" : R.error().str());
+  return R ? R.take() : NaradaResult{};
+}
+
+struct Summary {
+  unsigned Detected = 0;
+  unsigned Reproduced = 0;
+  unsigned Harmful = 0;
+  unsigned Benign = 0;
+};
+
+Summary detectAll(const NaradaResult &R) {
+  Summary Out;
+  std::set<std::string> Detected, Reproduced, Harmful, Benign;
+  DetectOptions Options;
+  Options.RandomRuns = 6;
+  Options.ConfirmAttempts = 2;
+  for (const SynthesizedTestInfo &T : R.Tests) {
+    Result<TestDetectionResult> D =
+        detectRacesInTest(*R.Program.Module, T.Name, Options,
+                          T.CandidateLabels);
+    EXPECT_TRUE(D.hasValue());
+    if (!D)
+      continue;
+    for (const RaceReport &Race : D->Detected)
+      Detected.insert(Race.key());
+    for (const ConfirmedRace &C : D->Races) {
+      if (!C.Reproduced)
+        continue;
+      Detected.insert(C.Report.key());
+      Reproduced.insert(C.Report.key());
+      (C.Harmful ? Harmful : Benign).insert(C.Report.key());
+    }
+  }
+  Out.Detected = static_cast<unsigned>(Detected.size());
+  Out.Reproduced = static_cast<unsigned>(Reproduced.size());
+  Out.Harmful = static_cast<unsigned>(Harmful.size());
+  Out.Benign = static_cast<unsigned>(Benign.size());
+  return Out;
+}
+
+} // namespace
+
+TEST(IntegrationAnchor, C7EndToEnd) {
+  NaradaResult R = runClass("C7");
+  // Exact synthesis counts: deterministic pipeline, small class.
+  EXPECT_EQ(R.Pairs.size(), 15u);
+  EXPECT_EQ(R.Tests.size(), 15u);
+  EXPECT_TRUE(R.Skipped.empty());
+
+  Summary S = detectAll(R);
+  // Ranges, not exact values: the detection protocol samples schedules.
+  EXPECT_GE(S.Detected, 8u);
+  EXPECT_LE(S.Detected, 20u);
+  EXPECT_GE(S.Harmful, 3u);
+  EXPECT_GE(S.Reproduced, S.Harmful);
+}
+
+TEST(IntegrationAnchor, C9EndToEnd) {
+  NaradaResult R = runClass("C9");
+  EXPECT_EQ(R.Pairs.size(), 9u);
+  EXPECT_EQ(R.Tests.size(), 8u);
+
+  Summary S = detectAll(R);
+  EXPECT_GE(S.Detected, 6u);
+  EXPECT_GE(S.Harmful, 4u);
+}
+
+TEST(IntegrationAnchor, C8EveryTestDetectsARace) {
+  // The Fig. 14 claim for the small h2/hedc-style classes: no silent tests.
+  NaradaResult R = runClass("C8");
+  DetectOptions Options;
+  Options.RandomRuns = 6;
+  Options.ConfirmAttempts = 2;
+  for (const SynthesizedTestInfo &T : R.Tests) {
+    Result<TestDetectionResult> D =
+        detectRacesInTest(*R.Program.Module, T.Name, Options,
+                          T.CandidateLabels);
+    ASSERT_TRUE(D.hasValue());
+    EXPECT_TRUE(!D->Detected.empty() || D->reproducedCount() > 0)
+        << T.Name << " detected nothing:\n" << T.SourceText;
+  }
+}
+
+TEST(IntegrationAnchor, Figure1SynthesizedProgramStructure) {
+  // The update/update test must have the paper's structure: two distinct
+  // Lib receivers, each wired to ONE shared Counter via set(), then two
+  // spawned update() calls.
+  const char *Figure1 =
+      "class Counter {\n"
+      "  field count: int;\n"
+      "  method inc() { this.count = this.count + 1; }\n"
+      "}\n"
+      "class Lib {\n"
+      "  field c: Counter;\n"
+      "  method update() synchronized { this.c.inc(); }\n"
+      "  method set(x: Counter) synchronized { this.c = x; }\n"
+      "}\n"
+      "test seed {\n"
+      "  var r: Counter = new Counter;\n"
+      "  var p: Lib = new Lib;\n"
+      "  p.set(r);\n"
+      "  p.update();\n"
+      "}\n";
+  Result<NaradaResult> R = runNarada(Figure1, {"seed"});
+  ASSERT_TRUE(R.hasValue());
+  const SynthesizedTestInfo *Update = nullptr;
+  for (const SynthesizedTestInfo &T : R->Tests)
+    if (T.Representative.First.Method == "update" &&
+        T.Representative.Second.Method == "update" && T.ContextComplete)
+      Update = &T;
+  ASSERT_TRUE(Update);
+
+  const std::string &Src = Update->SourceText;
+  // Two spawn blocks, each a single update() call.
+  size_t Spawns = 0;
+  for (size_t Pos = Src.find("spawn"); Pos != std::string::npos;
+       Pos = Src.find("spawn", Pos + 1))
+    ++Spawns;
+  EXPECT_EQ(Spawns, 2u) << Src;
+
+  // The two spawned receivers differ.
+  size_t FirstCall = Src.find(".update()");
+  size_t SecondCall = Src.find(".update()", FirstCall + 1);
+  ASSERT_NE(SecondCall, std::string::npos);
+  auto ReceiverOf = [&](size_t CallPos) {
+    size_t Start = Src.rfind('\n', CallPos) + 1;
+    std::string Line = Src.substr(Start, CallPos - Start);
+    return std::string(trim(Line));
+  };
+  EXPECT_NE(ReceiverOf(FirstCall), ReceiverOf(SecondCall))
+      << "receivers must be distinct objects:\n" << Src;
+
+  // The *last* set() applied to each spawned receiver (the context calls;
+  // seed-prefix set() calls may precede them) must install one shared
+  // counter variable.
+  std::string RecvA = ReceiverOf(FirstCall);
+  std::string RecvB = ReceiverOf(SecondCall);
+  auto LastSetArgOf = [&](const std::string &Recv) {
+    size_t Pos = Src.rfind(Recv + ".set(");
+    EXPECT_NE(Pos, std::string::npos) << Recv << " never set:\n" << Src;
+    if (Pos == std::string::npos)
+      return std::string();
+    size_t Open = Src.find('(', Pos);
+    size_t Close = Src.find(')', Open);
+    return Src.substr(Open + 1, Close - Open - 1);
+  };
+  std::string ArgA = LastSetArgOf(RecvA);
+  std::string ArgB = LastSetArgOf(RecvB);
+  EXPECT_EQ(ArgA, ArgB)
+      << "both receivers must share one counter:\n" << Src;
+}
+
+TEST(IntegrationAnchor, WholeCorpusSynthesisUnderOneSecondEach) {
+  // Table 4's headline: synthesis is cheap.  Generous bound to stay
+  // robust on slow CI machines.
+  for (const CorpusEntry &Entry : corpus()) {
+    NaradaOptions Options;
+    Options.FocusClass = Entry.ClassName;
+    Timer Clock;
+    Result<NaradaResult> R =
+        runNarada(Entry.Source, Entry.SeedNames, Options);
+    ASSERT_TRUE(R.hasValue()) << Entry.Id;
+    EXPECT_LT(Clock.seconds(), 5.0) << Entry.Id;
+  }
+}

@@ -1,0 +1,165 @@
+//===- tests/lexer_test.cpp - MiniJava lexer unit tests ----------------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+using namespace narada;
+
+namespace {
+
+std::vector<Token> lexOk(std::string_view Source) {
+  Lexer L(Source);
+  Result<std::vector<Token>> R = L.lexAll();
+  EXPECT_TRUE(R.hasValue()) << (R ? "" : R.error().str());
+  return R ? R.take() : std::vector<Token>{};
+}
+
+} // namespace
+
+TEST(LexerTest, EmptyInputYieldsEof) {
+  auto Tokens = lexOk("");
+  ASSERT_EQ(Tokens.size(), 1u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Eof);
+}
+
+TEST(LexerTest, Keywords) {
+  auto Tokens = lexOk("class field method var test synchronized spawn");
+  ASSERT_EQ(Tokens.size(), 8u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::KwClass);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::KwField);
+  EXPECT_EQ(Tokens[2].Kind, TokenKind::KwMethod);
+  EXPECT_EQ(Tokens[3].Kind, TokenKind::KwVar);
+  EXPECT_EQ(Tokens[4].Kind, TokenKind::KwTest);
+  EXPECT_EQ(Tokens[5].Kind, TokenKind::KwSynchronized);
+  EXPECT_EQ(Tokens[6].Kind, TokenKind::KwSpawn);
+}
+
+TEST(LexerTest, IdentifiersAndLiterals) {
+  auto Tokens = lexOk("queue removeFirst 42 true false null");
+  ASSERT_EQ(Tokens.size(), 7u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Identifier);
+  EXPECT_EQ(Tokens[0].Text, "queue");
+  EXPECT_EQ(Tokens[1].Text, "removeFirst");
+  EXPECT_EQ(Tokens[2].Kind, TokenKind::IntLiteral);
+  EXPECT_EQ(Tokens[2].IntValue, 42);
+  EXPECT_EQ(Tokens[3].Kind, TokenKind::KwTrue);
+  EXPECT_EQ(Tokens[4].Kind, TokenKind::KwFalse);
+  EXPECT_EQ(Tokens[5].Kind, TokenKind::KwNull);
+}
+
+TEST(LexerTest, IdentifierMayContainKeywordPrefix) {
+  auto Tokens = lexOk("classy testing varx");
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Identifier);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::Identifier);
+  EXPECT_EQ(Tokens[2].Kind, TokenKind::Identifier);
+}
+
+TEST(LexerTest, TwoCharOperators) {
+  auto Tokens = lexOk("== != <= >= && ||");
+  ASSERT_EQ(Tokens.size(), 7u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::EqEq);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::BangEq);
+  EXPECT_EQ(Tokens[2].Kind, TokenKind::LessEq);
+  EXPECT_EQ(Tokens[3].Kind, TokenKind::GreaterEq);
+  EXPECT_EQ(Tokens[4].Kind, TokenKind::AmpAmp);
+  EXPECT_EQ(Tokens[5].Kind, TokenKind::PipePipe);
+}
+
+TEST(LexerTest, SingleVsDoubleCharDisambiguation) {
+  auto Tokens = lexOk("= == < <= ! !=");
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Assign);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::EqEq);
+  EXPECT_EQ(Tokens[2].Kind, TokenKind::Less);
+  EXPECT_EQ(Tokens[3].Kind, TokenKind::LessEq);
+  EXPECT_EQ(Tokens[4].Kind, TokenKind::Bang);
+  EXPECT_EQ(Tokens[5].Kind, TokenKind::BangEq);
+}
+
+TEST(LexerTest, LineCommentsAreSkipped) {
+  auto Tokens = lexOk("a // this is ignored\nb");
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[0].Text, "a");
+  EXPECT_EQ(Tokens[1].Text, "b");
+}
+
+TEST(LexerTest, BlockCommentsAreSkipped) {
+  auto Tokens = lexOk("a /* ignored \n multiline */ b");
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[0].Text, "a");
+  EXPECT_EQ(Tokens[1].Text, "b");
+}
+
+TEST(LexerTest, TracksLineAndColumn) {
+  auto Tokens = lexOk("a\n  b");
+  EXPECT_EQ(Tokens[0].Loc.Line, 1);
+  EXPECT_EQ(Tokens[0].Loc.Column, 1);
+  EXPECT_EQ(Tokens[1].Loc.Line, 2);
+  EXPECT_EQ(Tokens[1].Loc.Column, 3);
+}
+
+TEST(LexerTest, RejectsUnknownCharacter) {
+  Lexer L("a # b");
+  Result<std::vector<Token>> R = L.lexAll();
+  ASSERT_FALSE(R.hasValue());
+  EXPECT_NE(R.error().message().find("unexpected character"),
+            std::string::npos);
+}
+
+TEST(LexerTest, LoneAmpersandIsRejected) {
+  Lexer L("a & b");
+  Result<std::vector<Token>> R = L.lexAll();
+  EXPECT_FALSE(R.hasValue());
+}
+
+TEST(LexerTest, PunctuationAndBrackets) {
+  auto Tokens = lexOk("{ } ( ) [ ] ; : , .");
+  ASSERT_EQ(Tokens.size(), 11u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::LBrace);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::RBrace);
+  EXPECT_EQ(Tokens[2].Kind, TokenKind::LParen);
+  EXPECT_EQ(Tokens[3].Kind, TokenKind::RParen);
+  EXPECT_EQ(Tokens[4].Kind, TokenKind::LBracket);
+  EXPECT_EQ(Tokens[5].Kind, TokenKind::RBracket);
+  EXPECT_EQ(Tokens[6].Kind, TokenKind::Semicolon);
+  EXPECT_EQ(Tokens[7].Kind, TokenKind::Colon);
+  EXPECT_EQ(Tokens[8].Kind, TokenKind::Comma);
+  EXPECT_EQ(Tokens[9].Kind, TokenKind::Dot);
+}
+
+TEST(LexerTest, RealisticMethodSnippet) {
+  auto Tokens = lexOk("method removeFirst() synchronized {\n"
+                      "  this.queue.removeFirst();\n"
+                      "}\n");
+  // method, id, (, ), synchronized, {, this, ., queue, ., removeFirst,
+  // (, ), ;, }, eof
+  ASSERT_EQ(Tokens.size(), 16u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::KwMethod);
+  EXPECT_EQ(Tokens[4].Kind, TokenKind::KwSynchronized);
+  EXPECT_EQ(Tokens[6].Kind, TokenKind::KwThis);
+}
+
+TEST(LexerTest, HugeIntegerLiteralIsAnErrorNotACrash) {
+  Lexer L("var x: int = 999999999999999999999999;");
+  Result<std::vector<Token>> R = L.lexAll();
+  ASSERT_FALSE(R.hasValue());
+  EXPECT_NE(R.error().message().find("too large"), std::string::npos);
+}
+
+TEST(LexerTest, MaxInt64LiteralLexes) {
+  Lexer L("9223372036854775807");
+  Result<std::vector<Token>> R = L.lexAll();
+  ASSERT_TRUE(R.hasValue());
+  EXPECT_EQ((*R)[0].IntValue, INT64_MAX);
+}
+
+TEST(LexerTest, JustOverMaxInt64IsRejected) {
+  Lexer L("9223372036854775808");
+  EXPECT_FALSE(L.lexAll().hasValue());
+}

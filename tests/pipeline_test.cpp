@@ -1,0 +1,182 @@
+//===- tests/pipeline_test.cpp - Narada facade robustness ---------------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+// Error paths and behavioral contracts of the end-to-end pipeline: bad
+// inputs fail with actionable messages, multi-seed suites merge, and the
+// bookkeeping (covered pairs, skip accounting, naming) stays consistent.
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/Narada.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace narada;
+
+namespace {
+
+constexpr const char *TwoClassLib =
+    "class Inner { field v: int;\n"
+    "  method poke() { this.v = this.v + 1; } }\n"
+    "class Outer { field i: Inner;\n"
+    "  method set(i: Inner) synchronized { this.i = i; }\n"
+    "  method go() synchronized { this.i.poke(); } }\n"
+    "test seedInner { var i: Inner = new Inner; i.poke(); }\n"
+    "test seedOuter {\n"
+    "  var i: Inner = new Inner;\n"
+    "  var o: Outer = new Outer;\n"
+    "  o.set(i);\n"
+    "  o.go();\n"
+    "}\n";
+
+} // namespace
+
+TEST(PipelineTest, UnknownSeedNameFails) {
+  Result<NaradaResult> R = runNarada(TwoClassLib, {"missing"});
+  ASSERT_FALSE(R.hasValue());
+  EXPECT_NE(R.error().message().find("missing"), std::string::npos);
+}
+
+TEST(PipelineTest, SyntaxErrorSurfacesLocation) {
+  Result<NaradaResult> R = runNarada("class A { field }", {"seed"});
+  ASSERT_FALSE(R.hasValue());
+  EXPECT_NE(R.error().str().find(":"), std::string::npos);
+}
+
+TEST(PipelineTest, TypeErrorSurfaces) {
+  Result<NaradaResult> R =
+      runNarada("class A { method m() { this.x = 1; } }\n"
+                "test seed { var a: A = new A; a.m(); }\n",
+                {"seed"});
+  ASSERT_FALSE(R.hasValue());
+  EXPECT_NE(R.error().message().find("no field"), std::string::npos);
+}
+
+TEST(PipelineTest, FaultingSeedIsRejected) {
+  Result<NaradaResult> R = runNarada(
+      "class A { field next: A; field v: int;\n"
+      "  method boom() { this.next.v = 1; } }\n"
+      "test seed { var a: A = new A; a.boom(); }\n",
+      {"seed"});
+  ASSERT_FALSE(R.hasValue());
+  EXPECT_NE(R.error().message().find("faulted"), std::string::npos);
+}
+
+TEST(PipelineTest, ControlFlowSeedIsRejected) {
+  Result<NaradaResult> R = runNarada(
+      "class A { method m() { } }\n"
+      "test seed { var i: int = 0; while (i < 2) { i = i + 1; } }\n",
+      {"seed"});
+  ASSERT_FALSE(R.hasValue());
+  EXPECT_NE(R.error().message().find("straight-line"), std::string::npos);
+}
+
+TEST(PipelineTest, MultiSeedSuitesMerge) {
+  Result<NaradaResult> R =
+      runNarada(TwoClassLib, {"seedInner", "seedOuter"});
+  ASSERT_TRUE(R.hasValue()) << (R ? "" : R.error().str());
+  // Accesses from both seeds present.
+  bool SawDirectPoke = false, SawViaGo = false;
+  for (const AccessRecord &A : R->Analysis.Accesses) {
+    if (A.Method == "poke")
+      SawDirectPoke = true;
+    if (A.Method == "go")
+      SawViaGo = true;
+  }
+  EXPECT_TRUE(SawDirectPoke);
+  EXPECT_TRUE(SawViaGo);
+}
+
+TEST(PipelineTest, SeedOrderDoesNotChangeResults) {
+  Result<NaradaResult> A =
+      runNarada(TwoClassLib, {"seedInner", "seedOuter"});
+  Result<NaradaResult> B =
+      runNarada(TwoClassLib, {"seedOuter", "seedInner"});
+  ASSERT_TRUE(A.hasValue());
+  ASSERT_TRUE(B.hasValue());
+  std::set<std::string> KeysA, KeysB;
+  for (const RacyPair &Pair : A->Pairs)
+    KeysA.insert(Pair.key());
+  for (const RacyPair &Pair : B->Pairs)
+    KeysB.insert(Pair.key());
+  EXPECT_EQ(KeysA, KeysB);
+}
+
+TEST(PipelineTest, TestNamesAreUniqueAndPrefixed) {
+  NaradaOptions Options;
+  Options.TestNamePrefix = "racer";
+  Result<NaradaResult> R = runNarada(TwoClassLib, {"seedOuter"}, Options);
+  ASSERT_TRUE(R.hasValue());
+  std::set<std::string> Names;
+  for (const SynthesizedTestInfo &T : R->Tests) {
+    EXPECT_EQ(T.Name.rfind("racer", 0), 0u) << T.Name;
+    EXPECT_TRUE(Names.insert(T.Name).second) << "duplicate " << T.Name;
+    EXPECT_TRUE(R->Program.Module->findTest(T.Name))
+        << T.Name << " missing from final module";
+  }
+}
+
+TEST(PipelineTest, EveryPairAccountedForOnce) {
+  Result<NaradaResult> R = runNarada(TwoClassLib, {"seedOuter"});
+  ASSERT_TRUE(R.hasValue());
+  std::set<std::string> Covered;
+  for (const SynthesizedTestInfo &T : R->Tests)
+    for (const std::string &Key : T.CoveredPairKeys)
+      EXPECT_TRUE(Covered.insert(Key).second)
+          << "pair covered twice: " << Key;
+  EXPECT_EQ(Covered.size() + R->Skipped.size(), R->Pairs.size());
+}
+
+TEST(PipelineTest, CandidateLabelsMatchCoveredPairs) {
+  Result<NaradaResult> R = runNarada(TwoClassLib, {"seedOuter"});
+  ASSERT_TRUE(R.hasValue());
+  for (const SynthesizedTestInfo &T : R->Tests)
+    EXPECT_EQ(T.CandidateLabels.size(), T.CoveredPairKeys.size());
+}
+
+TEST(PipelineTest, EmptySeedListYieldsNoPairs) {
+  Result<NaradaResult> R = runNarada(TwoClassLib, {});
+  ASSERT_TRUE(R.hasValue());
+  EXPECT_TRUE(R->Pairs.empty());
+  EXPECT_TRUE(R->Tests.empty());
+}
+
+TEST(PipelineTest, FocusClassWithNoPairsIsEmptyNotError) {
+  NaradaOptions Options;
+  Options.FocusClass = "Inner"; // Only accessed via Outer in this seed.
+  Result<NaradaResult> R = runNarada(
+      "class Inner { field v: int;\n"
+      "  method get(): int { return this.v; } }\n"
+      "test seed { var i: Inner = new Inner; var x: int = i.get(); }\n",
+      {"seed"}, Options);
+  ASSERT_TRUE(R.hasValue());
+  EXPECT_TRUE(R->Pairs.empty()) << "read-only class has no racy pairs";
+}
+
+TEST(PipelineTest, SynthesizedSourceRoundTripsThroughCompiler) {
+  Result<NaradaResult> R = runNarada(TwoClassLib, {"seedOuter"});
+  ASSERT_TRUE(R.hasValue());
+  // Re-compile each synthesized test standalone against the library text.
+  for (const SynthesizedTestInfo &T : R->Tests) {
+    std::string Standalone = std::string(TwoClassLib) + "\n" + T.SourceText;
+    Result<CompiledProgram> P = compileProgram(Standalone);
+    EXPECT_TRUE(P.hasValue())
+        << (P ? "" : P.error().str()) << "\n" << T.SourceText;
+  }
+}
+
+TEST(PipelineTest, AnalysisRecordsOutliveTheIntermediateModule) {
+  // Regression: AccessRecord labels used to point into the normalized
+  // module runNarada builds and destroys internally; reading them after
+  // the pipeline returned was a use-after-free.
+  Result<NaradaResult> R = runNarada(TwoClassLib, {"seedOuter"});
+  ASSERT_TRUE(R.hasValue());
+  for (const AccessRecord &A : R->Analysis.Accesses) {
+    EXPECT_FALSE(A.staticLabel().empty());
+    EXPECT_NE(A.staticLabel().find(':'), std::string::npos)
+        << A.staticLabel();
+  }
+}

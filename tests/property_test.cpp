@@ -1,0 +1,216 @@
+//===- tests/property_test.cpp - Parameterized property sweeps ------------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+// Property-style invariants swept over scheduler seeds and corpus classes:
+//
+//  P1. Determinism: a fixed scheduler seed yields a bit-identical event
+//      trace and final heap.
+//  P2. Sequential equivalence: scheduling policy cannot change the outcome
+//      of a single-threaded program.
+//  P3. Atomicity: a fully synchronized counter reaches the exact expected
+//      value under every schedule.
+//  P4. Monitor integrity: at every trace point, an object's lock/unlock
+//      events balance and nest per thread.
+//  P5. Printer fixpoint: print(parse(print(p))) == print(p) for every
+//      corpus program.
+//  P6. Pipeline determinism: Narada produces identical test suites across
+//      runs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "lang/ASTPrinter.h"
+#include "lang/Parser.h"
+#include "runtime/Execution.h"
+#include "synth/Narada.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace narada;
+
+namespace {
+
+constexpr const char *RacyMix = R"(
+class Shared {
+  field a: int;
+  field b: int;
+  method bumpA() synchronized { this.a = this.a + 1; }
+  method bumpB() { this.b = this.b + 1; }
+  method swap() synchronized {
+    var t: int = this.a;
+    this.a = this.b;
+    this.b = t;
+  }
+}
+test mixed {
+  var s: Shared = new Shared;
+  spawn { s.bumpA(); s.bumpB(); s.swap(); }
+  spawn { s.swap(); s.bumpB(); s.bumpA(); }
+}
+)";
+
+class SeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+// P1: determinism per scheduler seed.
+TEST_P(SeedSweep, IdenticalSeedsGiveIdenticalExecutions) {
+  Result<CompiledProgram> P = compileProgram(RacyMix);
+  ASSERT_TRUE(P.hasValue());
+
+  auto RunOnce = [&] {
+    RandomPolicy Policy(GetParam());
+    Result<TestRun> Run = runTest(*P->Module, "mixed", Policy);
+    EXPECT_TRUE(Run.hasValue());
+    return Run.take();
+  };
+  TestRun A = RunOnce();
+  TestRun B = RunOnce();
+  EXPECT_EQ(A.HeapHash, B.HeapHash);
+  ASSERT_EQ(A.TheTrace.size(), B.TheTrace.size());
+  for (size_t I = 0; I < A.TheTrace.size(); ++I) {
+    EXPECT_EQ(A.TheTrace[I].Kind, B.TheTrace[I].Kind) << I;
+    EXPECT_EQ(A.TheTrace[I].Thread, B.TheTrace[I].Thread) << I;
+    EXPECT_EQ(A.TheTrace[I].Obj, B.TheTrace[I].Obj) << I;
+  }
+}
+
+// P2: policy cannot affect single-threaded outcomes.
+TEST_P(SeedSweep, SequentialProgramsAreScheduleInvariant) {
+  Result<CompiledProgram> P = compileProgram(
+      "class Acc { field total: int;\n"
+      "  method addUpTo(n: int) {\n"
+      "    var i: int = 1;\n"
+      "    while (i <= n) { this.total = this.total + i; i = i + 1; }\n"
+      "  } }\n"
+      "test t { var a: Acc = new Acc; a.addUpTo(12); }\n");
+  ASSERT_TRUE(P.hasValue());
+  RoundRobinPolicy Baseline;
+  Result<TestRun> Ref = runTest(*P->Module, "t", Baseline);
+  ASSERT_TRUE(Ref.hasValue());
+
+  RandomPolicy Policy(GetParam());
+  Result<TestRun> Run = runTest(*P->Module, "t", Policy);
+  ASSERT_TRUE(Run.hasValue());
+  EXPECT_EQ(Run->HeapHash, Ref->HeapHash);
+  EXPECT_EQ(Run->Result.Steps, Ref->Result.Steps);
+}
+
+// P3: full synchronization means exact counts under every schedule.
+TEST_P(SeedSweep, SynchronizedCounterIsExact) {
+  Result<CompiledProgram> P = compileProgram(
+      "class C { field n: int;\n"
+      "  method inc() synchronized { this.n = this.n + 1; }\n"
+      "  method get(): int synchronized { return this.n; } }\n"
+      "test t {\n"
+      "  var c: C = new C;\n"
+      "  spawn { c.inc(); c.inc(); c.inc(); }\n"
+      "  spawn { c.inc(); c.inc(); c.inc(); }\n"
+      "}\n");
+  ASSERT_TRUE(P.hasValue());
+  RandomPolicy Policy(GetParam());
+  Result<TestRun> Run = runTest(*P->Module, "t", Policy);
+  ASSERT_TRUE(Run.hasValue());
+  int64_t Final = -1;
+  for (const TraceEvent &E : Run->TheTrace.events())
+    if (E.Kind == EventKind::WriteField && E.Field == "n")
+      Final = E.Val.asInt();
+  EXPECT_EQ(Final, 6) << "seed " << GetParam();
+}
+
+// P4: lock/unlock events balance and alternate per (thread, object).
+TEST_P(SeedSweep, MonitorEventsBalance) {
+  Result<CompiledProgram> P = compileProgram(RacyMix);
+  ASSERT_TRUE(P.hasValue());
+  RandomPolicy Policy(GetParam());
+  Result<TestRun> Run = runTest(*P->Module, "mixed", Policy);
+  ASSERT_TRUE(Run.hasValue());
+
+  std::map<ObjectId, ThreadId> Holder;
+  for (const TraceEvent &E : Run->TheTrace.events()) {
+    if (E.Kind == EventKind::Lock) {
+      EXPECT_FALSE(Holder.count(E.Obj))
+          << "lock of held monitor @" << E.Obj;
+      Holder[E.Obj] = E.Thread;
+    } else if (E.Kind == EventKind::Unlock) {
+      ASSERT_TRUE(Holder.count(E.Obj)) << "unlock of free monitor";
+      EXPECT_EQ(Holder[E.Obj], E.Thread) << "unlock by non-owner";
+      Holder.erase(E.Obj);
+    }
+  }
+  EXPECT_TRUE(Holder.empty()) << "monitors leaked at exit";
+}
+
+// P3b: preemption-bounded schedules are also sound for exact counts.
+TEST_P(SeedSweep, PreemptionBoundedPolicyPreservesAtomicity) {
+  Result<CompiledProgram> P = compileProgram(
+      "class C { field n: int;\n"
+      "  method inc() synchronized { this.n = this.n + 1; } }\n"
+      "test t {\n"
+      "  var c: C = new C;\n"
+      "  spawn { c.inc(); c.inc(); }\n"
+      "  spawn { c.inc(); c.inc(); }\n"
+      "}\n");
+  ASSERT_TRUE(P.hasValue());
+  PreemptionBoundedPolicy Policy(GetParam(), /*PreemptPercent=*/25);
+  Result<TestRun> Run = runTest(*P->Module, "t", Policy);
+  ASSERT_TRUE(Run.hasValue());
+  EXPECT_FALSE(Run->Result.Deadlocked);
+  int64_t Final = -1;
+  for (const TraceEvent &E : Run->TheTrace.events())
+    if (E.Kind == EventKind::WriteField)
+      Final = E.Val.asInt();
+  EXPECT_EQ(Final, 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(0, 1, 2, 3, 5, 8, 13, 21, 34,
+                                           55, 89, 144));
+
+//===----------------------------------------------------------------------===//
+// Corpus-wide printer and pipeline properties
+//===----------------------------------------------------------------------===//
+
+namespace {
+class CorpusSweep : public ::testing::TestWithParam<std::string> {};
+} // namespace
+
+// P5: pretty-printer fixpoint on every corpus program.
+TEST_P(CorpusSweep, PrinterReachesFixpoint) {
+  const CorpusEntry *Entry = findCorpusEntry(GetParam());
+  ASSERT_TRUE(Entry);
+  Result<std::unique_ptr<Program>> P1 = Parser::parse(Entry->Source);
+  ASSERT_TRUE(P1.hasValue()) << (P1 ? "" : P1.error().str());
+  std::string Once = printProgram(**P1);
+  Result<std::unique_ptr<Program>> P2 = Parser::parse(Once);
+  ASSERT_TRUE(P2.hasValue()) << (P2 ? "" : P2.error().str());
+  EXPECT_EQ(printProgram(**P2), Once);
+}
+
+// P6: the pipeline is deterministic end to end.
+TEST_P(CorpusSweep, PipelineIsDeterministic) {
+  const CorpusEntry *Entry = findCorpusEntry(GetParam());
+  ASSERT_TRUE(Entry);
+  NaradaOptions Options;
+  Options.FocusClass = Entry->ClassName;
+
+  auto RunOnce = [&] {
+    Result<NaradaResult> R =
+        runNarada(Entry->Source, Entry->SeedNames, Options);
+    EXPECT_TRUE(R.hasValue());
+    return R.take();
+  };
+  NaradaResult A = RunOnce();
+  NaradaResult B = RunOnce();
+  EXPECT_EQ(A.Pairs.size(), B.Pairs.size());
+  ASSERT_EQ(A.Tests.size(), B.Tests.size());
+  for (size_t I = 0; I < A.Tests.size(); ++I)
+    EXPECT_EQ(A.Tests[I].SourceText, B.Tests[I].SourceText) << I;
+}
+
+INSTANTIATE_TEST_SUITE_P(Classes, CorpusSweep,
+                         ::testing::Values("C1", "C3", "C7", "C8", "C9"),
+                         [](const auto &Info) { return Info.param; });

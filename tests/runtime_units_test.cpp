@@ -1,0 +1,145 @@
+//===- tests/runtime_units_test.cpp - Value/Heap unit tests --------------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Execution.h"
+#include "runtime/Heap.h"
+#include "runtime/Value.h"
+
+#include <gtest/gtest.h>
+
+using namespace narada;
+
+TEST(ValueTest, KindsAndAccessors) {
+  Value Null = Value::makeNull();
+  EXPECT_TRUE(Null.isNull());
+  EXPECT_EQ(Null.refOrNone(), NoObject);
+
+  Value I = Value::makeInt(-7);
+  EXPECT_TRUE(I.isInt());
+  EXPECT_EQ(I.asInt(), -7);
+
+  Value B = Value::makeBool(true);
+  EXPECT_TRUE(B.isBool());
+  EXPECT_TRUE(B.asBool());
+
+  Value R = Value::makeRef(3);
+  EXPECT_TRUE(R.isRef());
+  EXPECT_EQ(R.asRef(), 3u);
+  EXPECT_EQ(R.refOrNone(), 3u);
+}
+
+TEST(ValueTest, EqualityIsKindAndPayload) {
+  EXPECT_EQ(Value::makeNull(), Value::makeNull());
+  EXPECT_EQ(Value::makeInt(5), Value::makeInt(5));
+  EXPECT_NE(Value::makeInt(5), Value::makeInt(6));
+  EXPECT_NE(Value::makeInt(1), Value::makeBool(true));
+  EXPECT_NE(Value::makeInt(0), Value::makeNull());
+  EXPECT_EQ(Value::makeRef(2), Value::makeRef(2));
+  EXPECT_NE(Value::makeRef(2), Value::makeRef(3));
+}
+
+TEST(ValueTest, StringRendering) {
+  EXPECT_EQ(Value::makeNull().str(), "null");
+  EXPECT_EQ(Value::makeInt(42).str(), "42");
+  EXPECT_EQ(Value::makeBool(false).str(), "false");
+  EXPECT_EQ(Value::makeRef(7).str(), "@7");
+}
+
+namespace {
+
+/// Compiles a trivial program to obtain real ClassInfo instances.
+CompiledProgram smallProgram() {
+  Result<CompiledProgram> P = compileProgram(
+      "class Pair { field a: int; field ok: bool; field next: Pair; }\n");
+  EXPECT_TRUE(P.hasValue());
+  return P.take();
+}
+
+} // namespace
+
+TEST(HeapTest, AllocateInitializesFieldsByType) {
+  CompiledProgram P = smallProgram();
+  Heap H;
+  ObjectId Id = H.allocate(P.Info->findClass("Pair"));
+  ASSERT_TRUE(H.isValid(Id));
+  const HeapObject &Obj = H.object(Id);
+  ASSERT_EQ(Obj.Fields.size(), 3u);
+  EXPECT_EQ(Obj.Fields[0], Value::makeInt(0));
+  EXPECT_EQ(Obj.Fields[1], Value::makeBool(false));
+  EXPECT_TRUE(Obj.Fields[2].isNull());
+  EXPECT_EQ(Obj.MonitorOwner, NoThread);
+}
+
+TEST(HeapTest, IdsAreSequentialAndOneBased) {
+  CompiledProgram P = smallProgram();
+  Heap H;
+  EXPECT_FALSE(H.isValid(NoObject));
+  EXPECT_FALSE(H.isValid(1));
+  ObjectId A = H.allocate(P.Info->findClass("Pair"));
+  ObjectId B = H.allocate(P.Info->findClass("Pair"));
+  EXPECT_EQ(A, 1u);
+  EXPECT_EQ(B, 2u);
+  EXPECT_EQ(H.size(), 2u);
+}
+
+TEST(HeapTest, ArrayAllocation) {
+  CompiledProgram P = smallProgram();
+  Heap H;
+  ObjectId Id = H.allocateArray(P.Info->findClass(IntArrayClassName), 5);
+  const HeapObject &Obj = H.object(Id);
+  EXPECT_TRUE(Obj.isArray());
+  ASSERT_EQ(Obj.Elems.size(), 5u);
+  for (int64_t E : Obj.Elems)
+    EXPECT_EQ(E, 0);
+}
+
+TEST(HeapTest, StateHashReflectsFieldValues) {
+  CompiledProgram P = smallProgram();
+  Heap H1, H2;
+  ObjectId A1 = H1.allocate(P.Info->findClass("Pair"));
+  ObjectId A2 = H2.allocate(P.Info->findClass("Pair"));
+  EXPECT_EQ(H1.stateHash(), H2.stateHash());
+
+  H1.object(A1).Fields[0] = Value::makeInt(9);
+  EXPECT_NE(H1.stateHash(), H2.stateHash());
+
+  H2.object(A2).Fields[0] = Value::makeInt(9);
+  EXPECT_EQ(H1.stateHash(), H2.stateHash());
+}
+
+TEST(HeapTest, StateHashReflectsArrayContents) {
+  CompiledProgram P = smallProgram();
+  Heap H1, H2;
+  ObjectId A1 = H1.allocateArray(P.Info->findClass(IntArrayClassName), 3);
+  ObjectId A2 = H2.allocateArray(P.Info->findClass(IntArrayClassName), 3);
+  EXPECT_EQ(H1.stateHash(), H2.stateHash());
+  H1.object(A1).Elems[1] = 5;
+  EXPECT_NE(H1.stateHash(), H2.stateHash());
+  H2.object(A2).Elems[1] = 5;
+  EXPECT_EQ(H1.stateHash(), H2.stateHash());
+}
+
+TEST(HeapTest, StateHashDistinguishesArraySizes) {
+  CompiledProgram P = smallProgram();
+  Heap H1, H2;
+  (void)H1.allocateArray(P.Info->findClass(IntArrayClassName), 2);
+  (void)H2.allocateArray(P.Info->findClass(IntArrayClassName), 3);
+  EXPECT_NE(H1.stateHash(), H2.stateHash());
+}
+
+TEST(VMUnitTest, AllocateObjectAndHeldMonitors) {
+  CompiledProgram P = smallProgram();
+  VM Machine(*P.Module);
+  ObjectId Id = Machine.allocateObject("Pair");
+  EXPECT_TRUE(Machine.heap().isValid(Id));
+  EXPECT_TRUE(Machine.heldMonitors(0).empty());
+
+  Machine.heap().object(Id).MonitorOwner = 0;
+  Machine.heap().object(Id).MonitorDepth = 1;
+  auto Held = Machine.heldMonitors(0);
+  ASSERT_EQ(Held.size(), 1u);
+  EXPECT_EQ(Held[0], Id);
+}

@@ -1,0 +1,169 @@
+//===- tests/trace_test.cpp - Trace module unit tests -------------------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Execution.h"
+#include "trace/Trace.h"
+
+#include <gtest/gtest.h>
+
+using namespace narada;
+
+namespace {
+
+TraceEvent makeAccess(EventKind Kind, ObjectId Obj, const std::string &Field,
+                      uint64_t Label) {
+  TraceEvent E;
+  E.Kind = Kind;
+  E.Obj = Obj;
+  E.Field = Field;
+  E.Label = Label;
+  E.ClassName = "C";
+  return E;
+}
+
+} // namespace
+
+TEST(TraceTest, AppendAndQuery) {
+  Trace T;
+  EXPECT_TRUE(T.empty());
+  T.append(makeAccess(EventKind::ReadField, 1, "f", 1));
+  T.append(makeAccess(EventKind::WriteField, 1, "f", 2));
+  T.append(makeAccess(EventKind::ReadElem, 2, "", 3));
+  EXPECT_EQ(T.size(), 3u);
+  EXPECT_EQ(T.eventsOfKind(EventKind::ReadField).size(), 1u);
+  EXPECT_EQ(T.accesses().size(), 3u);
+  T.clear();
+  EXPECT_TRUE(T.empty());
+}
+
+TEST(TraceTest, AccessPredicates) {
+  TraceEvent Read = makeAccess(EventKind::ReadField, 1, "f", 1);
+  EXPECT_TRUE(Read.isAccess());
+  EXPECT_FALSE(Read.isWrite());
+  EXPECT_FALSE(Read.isElemAccess());
+
+  TraceEvent WriteElem = makeAccess(EventKind::WriteElem, 1, "", 2);
+  EXPECT_TRUE(WriteElem.isAccess());
+  EXPECT_TRUE(WriteElem.isWrite());
+  EXPECT_TRUE(WriteElem.isElemAccess());
+
+  TraceEvent Lock;
+  Lock.Kind = EventKind::Lock;
+  EXPECT_FALSE(Lock.isAccess());
+}
+
+TEST(TraceTest, FaultQueries) {
+  Trace T;
+  EXPECT_FALSE(T.hasFault());
+  TraceEvent Fault;
+  Fault.Kind = EventKind::Fault;
+  Fault.Message = "null dereference";
+  T.append(Fault);
+  EXPECT_TRUE(T.hasFault());
+  ASSERT_EQ(T.faultMessages().size(), 1u);
+  EXPECT_EQ(T.faultMessages()[0], "null dereference");
+}
+
+TEST(TraceTest, StaticLabelWithoutFunction) {
+  TraceEvent E;
+  EXPECT_EQ(E.staticLabel(), "<unknown>");
+}
+
+TEST(TraceTest, EventKindNamesAreDistinct) {
+  std::set<std::string> Names;
+  for (EventKind K :
+       {EventKind::Alloc, EventKind::ReadField, EventKind::WriteField,
+        EventKind::ReadElem, EventKind::WriteElem, EventKind::Lock,
+        EventKind::Unlock, EventKind::ClientCall, EventKind::ClientCallEnd,
+        EventKind::ThreadStart, EventKind::ThreadEnd, EventKind::Fault})
+    Names.insert(eventKindName(K));
+  EXPECT_EQ(Names.size(), 12u);
+}
+
+TEST(TraceTest, ObserverMuxFansOut) {
+  Trace A, B;
+  TraceRecorder RecA(A), RecB(B);
+  ObserverMux Mux;
+  Mux.add(&RecA);
+  Mux.add(&RecB);
+  Mux.onEvent(makeAccess(EventKind::ReadField, 1, "f", 1));
+  EXPECT_EQ(A.size(), 1u);
+  EXPECT_EQ(B.size(), 1u);
+}
+
+TEST(TraceTest, PrintEventFormats) {
+  TraceEvent Write = makeAccess(EventKind::WriteField, 7, "count", 42);
+  Write.Thread = 2;
+  Write.Val = Value::makeInt(5);
+  std::string Line = printEvent(Write);
+  EXPECT_NE(Line.find("write"), std::string::npos);
+  EXPECT_NE(Line.find("@7.count"), std::string::npos);
+  EXPECT_NE(Line.find("= 5"), std::string::npos);
+  EXPECT_NE(Line.find("t2"), std::string::npos);
+
+  TraceEvent Fault;
+  Fault.Kind = EventKind::Fault;
+  Fault.Message = "boom";
+  EXPECT_NE(printEvent(Fault).find("boom"), std::string::npos);
+}
+
+TEST(TraceTest, PrintTraceOfRealExecution) {
+  Result<CompiledProgram> P = compileProgram(
+      "class A { field n: int;\n"
+      "  method bump() synchronized { this.n = this.n + 1; } }\n"
+      "test t { var a: A = new A; a.bump(); }\n");
+  ASSERT_TRUE(P.hasValue());
+  Result<TestRun> Run = runTestSequential(*P->Module, "t");
+  ASSERT_TRUE(Run.hasValue());
+  std::string Text = printTrace(Run->TheTrace);
+  EXPECT_NE(Text.find("thread_start"), std::string::npos);
+  EXPECT_NE(Text.find("client_call"), std::string::npos);
+  EXPECT_NE(Text.find("lock"), std::string::npos);
+  EXPECT_NE(Text.find("unlock"), std::string::npos);
+  EXPECT_NE(Text.find("A.bump"), std::string::npos);
+  EXPECT_NE(Text.find("thread_end"), std::string::npos);
+}
+
+TEST(TraceTest, SequentialTraceEventOrdering) {
+  // For a sequential run, the client_call must precede the accesses of the
+  // invoked method, which precede client_call_end.
+  Result<CompiledProgram> P = compileProgram(
+      "class A { field n: int;\n"
+      "  method set(v: int) { this.n = v; } }\n"
+      "test t { var a: A = new A; a.set(3); }\n");
+  ASSERT_TRUE(P.hasValue());
+  Result<TestRun> Run = runTestSequential(*P->Module, "t");
+  ASSERT_TRUE(Run.hasValue());
+  int CallIdx = -1, WriteIdx = -1, EndIdx = -1;
+  const auto &Events = Run->TheTrace.events();
+  for (int I = 0; I < static_cast<int>(Events.size()); ++I) {
+    if (Events[I].Kind == EventKind::ClientCall && Events[I].Method == "set")
+      CallIdx = I;
+    if (Events[I].Kind == EventKind::WriteField && Events[I].Field == "n")
+      WriteIdx = I;
+    if (Events[I].Kind == EventKind::ClientCallEnd)
+      EndIdx = I;
+  }
+  ASSERT_GE(CallIdx, 0);
+  ASSERT_GE(WriteIdx, 0);
+  ASSERT_GE(EndIdx, 0);
+  EXPECT_LT(CallIdx, WriteIdx);
+  EXPECT_LT(WriteIdx, EndIdx);
+}
+
+TEST(TraceTest, ThreadStartCarriesParent) {
+  Result<CompiledProgram> P = compileProgram(
+      "class A { method m() { } }\n"
+      "test t { var a: A = new A; spawn { a.m(); } }\n");
+  ASSERT_TRUE(P.hasValue());
+  Result<TestRun> Run = runTestSequential(*P->Module, "t");
+  ASSERT_TRUE(Run.hasValue());
+  auto Starts = Run->TheTrace.eventsOfKind(EventKind::ThreadStart);
+  ASSERT_EQ(Starts.size(), 2u);
+  EXPECT_EQ(Starts[0]->ParentThread, NoThread) << "root thread";
+  EXPECT_EQ(Starts[1]->ParentThread, Starts[0]->Thread)
+      << "spawned thread records its parent";
+}

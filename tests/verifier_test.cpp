@@ -1,0 +1,173 @@
+//===- tests/verifier_test.cpp - IR verifier negative-path tests ---------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+// The verifier guards against bugs in lowering and in the synthesizer's
+// generated tests.  These tests construct malformed IR by hand and check
+// each class of defect is rejected.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace narada;
+
+namespace {
+
+/// A minimal well-formed function: const + ret.
+std::unique_ptr<IRFunction> makeValidFunction() {
+  auto F = std::make_unique<IRFunction>("test$f", IRFunction::Kind::Test);
+  F->setNumRegs(2);
+  Instr Const;
+  Const.Op = Opcode::ConstInt;
+  Const.Dst = 0;
+  Const.Imm = 7;
+  F->append(Const);
+  Instr Ret;
+  Ret.Op = Opcode::Ret;
+  F->append(Ret);
+  return F;
+}
+
+std::string verifyError(const IRFunction &F) {
+  Status S = verifyFunction(F);
+  EXPECT_FALSE(S.ok()) << "expected a verifier failure";
+  return S ? "" : S.error().message();
+}
+
+} // namespace
+
+TEST(VerifierTest, AcceptsValidFunction) {
+  auto F = makeValidFunction();
+  EXPECT_TRUE(verifyFunction(*F).ok());
+}
+
+TEST(VerifierTest, RejectsEmptyBody) {
+  IRFunction F("test$empty", IRFunction::Kind::Test);
+  EXPECT_NE(verifyError(F).find("no body"), std::string::npos);
+}
+
+TEST(VerifierTest, RejectsMissingTerminator) {
+  auto F = std::make_unique<IRFunction>("test$f", IRFunction::Kind::Test);
+  F->setNumRegs(1);
+  Instr Const;
+  Const.Op = Opcode::ConstInt;
+  Const.Dst = 0;
+  F->append(Const);
+  EXPECT_NE(verifyError(*F).find("ret"), std::string::npos);
+}
+
+TEST(VerifierTest, RejectsRegisterOutOfRange) {
+  auto F = makeValidFunction();
+  F->instrs()[0].Dst = 9; // Only 2 registers exist.
+  verifyError(*F);
+}
+
+TEST(VerifierTest, RejectsConstWithoutDestination) {
+  auto F = makeValidFunction();
+  F->instrs()[0].Dst = NoReg;
+  verifyError(*F);
+}
+
+TEST(VerifierTest, RejectsBadJumpTarget) {
+  auto F = makeValidFunction();
+  Instr Jump;
+  Jump.Op = Opcode::Jump;
+  Jump.Target = 99;
+  F->instrs().insert(F->instrs().begin(), Jump);
+  verifyError(*F);
+}
+
+TEST(VerifierTest, RejectsBinOpWithMissingOperand) {
+  auto F = makeValidFunction();
+  Instr Bin;
+  Bin.Op = Opcode::BinOp;
+  Bin.Dst = 0;
+  Bin.A = 0;
+  Bin.B = NoReg;
+  F->instrs().insert(F->instrs().begin(), Bin);
+  verifyError(*F);
+}
+
+TEST(VerifierTest, RejectsFieldAccessWithoutName) {
+  auto F = makeValidFunction();
+  Instr Load;
+  Load.Op = Opcode::LoadField;
+  Load.Dst = 0;
+  Load.A = 1;
+  // Member intentionally empty.
+  F->instrs().insert(F->instrs().begin(), Load);
+  EXPECT_NE(verifyError(*F).find("field name"), std::string::npos);
+}
+
+TEST(VerifierTest, RejectsNewWithoutClass) {
+  auto F = makeValidFunction();
+  Instr New;
+  New.Op = Opcode::NewObject;
+  New.Dst = 0;
+  F->instrs().insert(F->instrs().begin(), New);
+  EXPECT_NE(verifyError(*F).find("class"), std::string::npos);
+}
+
+TEST(VerifierTest, RejectsInvokeWithBadArgRegister) {
+  auto F = makeValidFunction();
+  Instr Call;
+  Call.Op = Opcode::Invoke;
+  Call.Dst = 0;
+  Call.A = 1;
+  Call.Member = "m";
+  Call.Args = {77};
+  F->instrs().insert(F->instrs().begin(), Call);
+  verifyError(*F);
+}
+
+TEST(VerifierTest, RejectsUnresolvedSpawn) {
+  auto F = makeValidFunction();
+  Instr Spawn;
+  Spawn.Op = Opcode::SpawnThread;
+  Spawn.Callee = nullptr;
+  F->instrs().insert(F->instrs().begin(), Spawn);
+  EXPECT_NE(verifyError(*F).find("spawn"), std::string::npos);
+}
+
+TEST(VerifierTest, RejectsSpawnArgCountMismatch) {
+  auto Closure =
+      std::make_unique<IRFunction>("t$spawn0", IRFunction::Kind::Spawn);
+  Closure->setNumParams(2);
+  Closure->setNumRegs(2);
+  Instr Ret;
+  Ret.Op = Opcode::Ret;
+  Closure->append(Ret);
+
+  auto F = makeValidFunction();
+  Instr Spawn;
+  Spawn.Op = Opcode::SpawnThread;
+  Spawn.Callee = Closure.get();
+  Spawn.Args = {0}; // Closure expects two.
+  F->instrs().insert(F->instrs().begin(), Spawn);
+  verifyError(*F);
+}
+
+TEST(VerifierTest, RejectsParamCountBeyondRegisters) {
+  auto F = makeValidFunction();
+  F->setNumParams(5);
+  F->setNumRegs(2);
+  verifyError(*F);
+}
+
+TEST(VerifierTest, RejectsMonitorOperandOutOfRange) {
+  auto F = makeValidFunction();
+  Instr Enter;
+  Enter.Op = Opcode::MonitorEnter;
+  Enter.A = 40;
+  F->instrs().insert(F->instrs().begin(), Enter);
+  verifyError(*F);
+}
+
+TEST(VerifierTest, RejectsReturnValueOutOfRange) {
+  auto F = makeValidFunction();
+  F->instrs().back().A = 12;
+  verifyError(*F);
+}

@@ -1,0 +1,310 @@
+//===- tools/narada-cli.cpp - Command-line driver -------------------------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+// The command-line face of the pipeline, in the spirit of the original
+// Narada artifact.  Usage:
+//
+//   narada-cli run <file.mj> <test> [--seed N]
+//       Execute one test under a seeded random scheduler and report the
+//       outcome (faults, deadlock, final-state hash).
+//
+//   narada-cli trace <file.mj> <test>
+//       Execute a test sequentially and print its full event trace.
+//
+//   narada-cli analyze <file.mj> <seed-test>... [--class C]
+//       Run stage 1+2: print unprotected accesses, the setter/factory
+//       databases, and the racy pairs.
+//
+//   narada-cli synthesize <file.mj> <seed-test>... [--class C]
+//       Run the full pipeline and print every synthesized racy test.
+//
+//   narada-cli detect <file.mj> <seed-test>... [--class C]
+//       Synthesize, then run the detector stack over every synthesized
+//       test and summarize detected/reproduced/harmful/benign races.
+//
+//   narada-cli contege <file.mj> --class C [--tests N]
+//       Run the ConTeGe-style random baseline against class C.
+//
+//   narada-cli corpus
+//       List the built-in C1..C9 benchmark corpus.
+//
+// Corpus shorthand: pass "corpus:C1" instead of a file to load a built-in
+// benchmark (its seeds are implied).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AnalysisPrinter.h"
+#include "contege/Contege.h"
+#include "detect/LockOrderDetector.h"
+#include "corpus/Corpus.h"
+#include "detect/Detection.h"
+#include "support/StringUtils.h"
+#include "synth/Narada.h"
+#include "trace/Trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace narada;
+
+namespace {
+
+struct CliArgs {
+  std::string Command;
+  std::string Input;                 ///< File path or "corpus:Cx".
+  std::vector<std::string> Names;    ///< Test / seed names.
+  std::string FocusClass;
+  uint64_t Seed = 1;
+  unsigned Tests = 400;
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: narada-cli <command> [args]\n"
+      "  run <file.mj|corpus:Cx> <test> [--seed N]\n"
+      "  trace <file.mj|corpus:Cx> <test>\n"
+      "  analyze <file.mj|corpus:Cx> [seed-test]... [--class C]\n"
+      "  synthesize <file.mj|corpus:Cx> [seed-test]... [--class C]\n"
+      "  detect <file.mj|corpus:Cx> [seed-test]... [--class C]\n"
+      "  contege <file.mj|corpus:Cx> --class C [--tests N] [--seed N]\n"
+      "  corpus\n");
+  return 2;
+}
+
+std::optional<CliArgs> parseArgs(int Argc, char **Argv) {
+  if (Argc < 2)
+    return std::nullopt;
+  CliArgs Args;
+  Args.Command = Argv[1];
+  for (int I = 2; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--class" && I + 1 < Argc) {
+      Args.FocusClass = Argv[++I];
+    } else if (Arg == "--seed" && I + 1 < Argc) {
+      Args.Seed = std::stoull(Argv[++I]);
+    } else if (Arg == "--tests" && I + 1 < Argc) {
+      Args.Tests = static_cast<unsigned>(std::stoul(Argv[++I]));
+    } else if (Args.Input.empty()) {
+      Args.Input = Arg;
+    } else {
+      Args.Names.push_back(Arg);
+    }
+  }
+  return Args;
+}
+
+/// Loads the program source: either a corpus entry or a file.  When a
+/// corpus entry is used, its seeds and focus class become the defaults.
+Result<std::string> loadSource(CliArgs &Args) {
+  if (startsWith(Args.Input, "corpus:")) {
+    const CorpusEntry *Entry = findCorpusEntry(Args.Input.substr(7));
+    if (!Entry)
+      return Error("unknown corpus entry '" + Args.Input + "'");
+    if (Args.Names.empty())
+      Args.Names = Entry->SeedNames;
+    if (Args.FocusClass.empty())
+      Args.FocusClass = Entry->ClassName;
+    return Entry->Source;
+  }
+  std::ifstream In(Args.Input);
+  if (!In)
+    return Error("cannot open '" + Args.Input + "'");
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  return Buffer.str();
+}
+
+int cmdRun(CliArgs &Args, const std::string &Source) {
+  if (Args.Names.empty()) {
+    std::fprintf(stderr, "run: missing test name\n");
+    return 2;
+  }
+  Result<CompiledProgram> P = compileProgram(Source);
+  if (!P) {
+    std::fprintf(stderr, "error: %s\n", P.error().str().c_str());
+    return 1;
+  }
+  RandomPolicy Policy(Args.Seed);
+  Result<TestRun> Run = runTest(*P->Module, Args.Names[0], Policy);
+  if (!Run) {
+    std::fprintf(stderr, "error: %s\n", Run.error().str().c_str());
+    return 1;
+  }
+  std::printf("test %s: %llu steps, heap hash %016llx\n",
+              Args.Names[0].c_str(),
+              static_cast<unsigned long long>(Run->Result.Steps),
+              static_cast<unsigned long long>(Run->HeapHash));
+  if (Run->Result.Deadlocked)
+    std::printf("  DEADLOCK\n");
+  for (const std::string &Message : Run->Result.FaultMessages)
+    std::printf("  FAULT: %s\n", Message.c_str());
+  return Run->Result.Faulted || Run->Result.Deadlocked ? 1 : 0;
+}
+
+int cmdTrace(CliArgs &Args, const std::string &Source) {
+  if (Args.Names.empty()) {
+    std::fprintf(stderr, "trace: missing test name\n");
+    return 2;
+  }
+  Result<CompiledProgram> P = compileProgram(Source);
+  if (!P) {
+    std::fprintf(stderr, "error: %s\n", P.error().str().c_str());
+    return 1;
+  }
+  Result<TestRun> Run = runTestSequential(*P->Module, Args.Names[0]);
+  if (!Run) {
+    std::fprintf(stderr, "error: %s\n", Run.error().str().c_str());
+    return 1;
+  }
+  std::fputs(printTrace(Run->TheTrace).c_str(), stdout);
+  return 0;
+}
+
+int cmdAnalyze(CliArgs &Args, const std::string &Source) {
+  NaradaOptions Options;
+  Options.FocusClass = Args.FocusClass;
+  Result<NaradaResult> R = runNarada(Source, Args.Names, Options);
+  if (!R) {
+    std::fprintf(stderr, "error: %s\n", R.error().str().c_str());
+    return 1;
+  }
+  std::fputs(printAnalysis(R->Analysis, /*UnprotectedOnly=*/true).c_str(),
+             stdout);
+  std::printf("\n== racy pairs (%zu) ==\n", R->Pairs.size());
+  for (const RacyPair &Pair : R->Pairs)
+    std::printf("  %s\n", Pair.str().c_str());
+  return 0;
+}
+
+int cmdSynthesize(CliArgs &Args, const std::string &Source) {
+  NaradaOptions Options;
+  Options.FocusClass = Args.FocusClass;
+  Result<NaradaResult> R = runNarada(Source, Args.Names, Options);
+  if (!R) {
+    std::fprintf(stderr, "error: %s\n", R.error().str().c_str());
+    return 1;
+  }
+  std::printf("// %zu racy pairs -> %zu synthesized tests "
+              "(analysis %.3fs, synthesis %.3fs)\n\n",
+              R->Pairs.size(), R->Tests.size(), R->AnalysisSeconds,
+              R->SynthesisSeconds);
+  for (const SynthesizedTestInfo &T : R->Tests) {
+    std::printf("// covers %zu pair(s); shares %s; context %s\n%s\n",
+                T.CoveredPairKeys.size(), T.SharedClassName.c_str(),
+                T.ContextComplete ? "complete" : "partial",
+                T.SourceText.c_str());
+  }
+  return 0;
+}
+
+int cmdDetect(CliArgs &Args, const std::string &Source) {
+  NaradaOptions Options;
+  Options.FocusClass = Args.FocusClass;
+  Result<NaradaResult> R = runNarada(Source, Args.Names, Options);
+  if (!R) {
+    std::fprintf(stderr, "error: %s\n", R.error().str().c_str());
+    return 1;
+  }
+  unsigned Detected = 0, Reproduced = 0, Harmful = 0, Benign = 0;
+  for (const SynthesizedTestInfo &T : R->Tests) {
+    Result<TestDetectionResult> D = detectRacesInTest(
+        *R->Program.Module, T.Name, {}, T.CandidateLabels);
+    if (!D) {
+      std::fprintf(stderr, "error: %s\n", D.error().str().c_str());
+      return 1;
+    }
+    if (D->Detected.empty() && D->reproducedCount() == 0)
+      continue;
+    std::printf("%s:\n", T.Name.c_str());
+    for (const ConfirmedRace &C : D->Races) {
+      if (!C.Reproduced)
+        continue;
+      std::printf("  %s [%s]\n", C.Report.str().c_str(),
+                  C.Harmful ? "HARMFUL" : "benign");
+    }
+    Detected += static_cast<unsigned>(D->Detected.size());
+    Reproduced += D->reproducedCount();
+    Harmful += D->harmfulCount();
+    Benign += D->benignCount();
+
+    // Also surface potential deadlocks (lock-order inversions).
+    LockOrderDetector LockOrder;
+    RandomPolicy Policy(1);
+    (void)runTest(*R->Program.Module, T.Name, Policy, 1, &LockOrder);
+    for (const LockOrderCycle &Cycle : LockOrder.cycles())
+      std::printf("  %s\n", Cycle.str().c_str());
+  }
+  std::printf("\ntotal over %zu tests: %u detected, %u reproduced, "
+              "%u harmful, %u benign\n",
+              R->Tests.size(), Detected, Reproduced, Harmful, Benign);
+  return 0;
+}
+
+int cmdContege(CliArgs &Args, const std::string &Source) {
+  if (Args.FocusClass.empty()) {
+    std::fprintf(stderr, "contege: --class is required\n");
+    return 2;
+  }
+  ContegeOptions Options;
+  Options.MaxTests = Args.Tests;
+  Options.Seed = Args.Seed;
+  Result<ContegeResult> R = runContege(Source, Args.FocusClass, Options);
+  if (!R) {
+    std::fprintf(stderr, "error: %s\n", R.error().str().c_str());
+    return 1;
+  }
+  std::printf("generated %u tests in %.2fs: %u thread-safety violations, "
+              "%u silently racy tests\n",
+              R->TestsGenerated, R->Seconds, R->ViolationsFound,
+              R->SilentRacyTests);
+  if (!R->ViolatingTests.empty())
+    std::printf("\nfirst violating test:\n%s\n",
+                R->ViolatingTests[0].c_str());
+  return 0;
+}
+
+int cmdCorpus() {
+  for (const CorpusEntry &Entry : corpus())
+    std::printf("%s  %-10s %-8s %-30s %u LoC\n", Entry.Id.c_str(),
+                Entry.Benchmark.c_str(), Entry.Version.c_str(),
+                Entry.ClassName.c_str(), Entry.linesOfCode());
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::optional<CliArgs> Args = parseArgs(Argc, Argv);
+  if (!Args)
+    return usage();
+  if (Args->Command == "corpus")
+    return cmdCorpus();
+  if (Args->Input.empty())
+    return usage();
+
+  Result<std::string> Source = loadSource(*Args);
+  if (!Source) {
+    std::fprintf(stderr, "error: %s\n", Source.error().str().c_str());
+    return 1;
+  }
+
+  if (Args->Command == "run")
+    return cmdRun(*Args, *Source);
+  if (Args->Command == "trace")
+    return cmdTrace(*Args, *Source);
+  if (Args->Command == "analyze")
+    return cmdAnalyze(*Args, *Source);
+  if (Args->Command == "synthesize")
+    return cmdSynthesize(*Args, *Source);
+  if (Args->Command == "detect")
+    return cmdDetect(*Args, *Source);
+  if (Args->Command == "contege")
+    return cmdContege(*Args, *Source);
+  return usage();
+}
