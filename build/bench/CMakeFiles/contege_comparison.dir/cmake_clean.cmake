@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contege_comparison.dir/contege_comparison.cpp.o"
+  "CMakeFiles/contege_comparison.dir/contege_comparison.cpp.o.d"
+  "contege_comparison"
+  "contege_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contege_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/perf_pipeline.cpp" "bench/CMakeFiles/perf_pipeline.dir/perf_pipeline.cpp.o" "gcc" "bench/CMakeFiles/perf_pipeline.dir/perf_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/corpus/CMakeFiles/narada_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/contege/CMakeFiles/narada_contege.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/narada_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/narada_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/narada_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/narada_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/narada_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/narada_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/narada_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/narada_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

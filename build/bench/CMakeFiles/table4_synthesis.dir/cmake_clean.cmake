@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_synthesis.dir/table4_synthesis.cpp.o"
+  "CMakeFiles/table4_synthesis.dir/table4_synthesis.cpp.o.d"
+  "table4_synthesis"
+  "table4_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_detection.dir/table5_detection.cpp.o"
+  "CMakeFiles/table5_detection.dir/table5_detection.cpp.o.d"
+  "table5_detection"
+  "table5_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

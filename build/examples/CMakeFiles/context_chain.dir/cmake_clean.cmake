@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/context_chain.dir/context_chain.cpp.o"
+  "CMakeFiles/context_chain.dir/context_chain.cpp.o.d"
+  "context_chain"
+  "context_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/context_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detector_tour.dir/detector_tour.cpp.o"
+  "CMakeFiles/detector_tour.dir/detector_tour.cpp.o.d"
+  "detector_tour"
+  "detector_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detector_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

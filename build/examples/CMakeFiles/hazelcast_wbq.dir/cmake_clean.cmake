@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hazelcast_wbq.dir/hazelcast_wbq.cpp.o"
+  "CMakeFiles/hazelcast_wbq.dir/hazelcast_wbq.cpp.o.d"
+  "hazelcast_wbq"
+  "hazelcast_wbq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hazelcast_wbq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hazelcast_wbq.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/narada_analysis.dir/AccessAnalysis.cpp.o"
+  "CMakeFiles/narada_analysis.dir/AccessAnalysis.cpp.o.d"
+  "CMakeFiles/narada_analysis.dir/AnalysisPrinter.cpp.o"
+  "CMakeFiles/narada_analysis.dir/AnalysisPrinter.cpp.o.d"
+  "CMakeFiles/narada_analysis.dir/HeapMirror.cpp.o"
+  "CMakeFiles/narada_analysis.dir/HeapMirror.cpp.o.d"
+  "libnarada_analysis.a"
+  "libnarada_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/narada_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnarada_analysis.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/narada_contege.dir/Contege.cpp.o"
+  "CMakeFiles/narada_contege.dir/Contege.cpp.o.d"
+  "libnarada_contege.a"
+  "libnarada_contege.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/narada_contege.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnarada_contege.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/C1_WriteBehindQueue.cpp" "src/corpus/CMakeFiles/narada_corpus.dir/C1_WriteBehindQueue.cpp.o" "gcc" "src/corpus/CMakeFiles/narada_corpus.dir/C1_WriteBehindQueue.cpp.o.d"
+  "/root/repo/src/corpus/C2_SynchronizedCollection.cpp" "src/corpus/CMakeFiles/narada_corpus.dir/C2_SynchronizedCollection.cpp.o" "gcc" "src/corpus/CMakeFiles/narada_corpus.dir/C2_SynchronizedCollection.cpp.o.d"
+  "/root/repo/src/corpus/C3_CharArrayWriter.cpp" "src/corpus/CMakeFiles/narada_corpus.dir/C3_CharArrayWriter.cpp.o" "gcc" "src/corpus/CMakeFiles/narada_corpus.dir/C3_CharArrayWriter.cpp.o.d"
+  "/root/repo/src/corpus/C4_DynamicBin1D.cpp" "src/corpus/CMakeFiles/narada_corpus.dir/C4_DynamicBin1D.cpp.o" "gcc" "src/corpus/CMakeFiles/narada_corpus.dir/C4_DynamicBin1D.cpp.o.d"
+  "/root/repo/src/corpus/C5_DoubleIntIndex.cpp" "src/corpus/CMakeFiles/narada_corpus.dir/C5_DoubleIntIndex.cpp.o" "gcc" "src/corpus/CMakeFiles/narada_corpus.dir/C5_DoubleIntIndex.cpp.o.d"
+  "/root/repo/src/corpus/C6_Scanner.cpp" "src/corpus/CMakeFiles/narada_corpus.dir/C6_Scanner.cpp.o" "gcc" "src/corpus/CMakeFiles/narada_corpus.dir/C6_Scanner.cpp.o.d"
+  "/root/repo/src/corpus/C7_PooledExecutor.cpp" "src/corpus/CMakeFiles/narada_corpus.dir/C7_PooledExecutor.cpp.o" "gcc" "src/corpus/CMakeFiles/narada_corpus.dir/C7_PooledExecutor.cpp.o.d"
+  "/root/repo/src/corpus/C8_Sequence.cpp" "src/corpus/CMakeFiles/narada_corpus.dir/C8_Sequence.cpp.o" "gcc" "src/corpus/CMakeFiles/narada_corpus.dir/C8_Sequence.cpp.o.d"
+  "/root/repo/src/corpus/C9_CharArrayReader.cpp" "src/corpus/CMakeFiles/narada_corpus.dir/C9_CharArrayReader.cpp.o" "gcc" "src/corpus/CMakeFiles/narada_corpus.dir/C9_CharArrayReader.cpp.o.d"
+  "/root/repo/src/corpus/Corpus.cpp" "src/corpus/CMakeFiles/narada_corpus.dir/Corpus.cpp.o" "gcc" "src/corpus/CMakeFiles/narada_corpus.dir/Corpus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/narada_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

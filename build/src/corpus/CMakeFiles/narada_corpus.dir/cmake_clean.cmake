@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/narada_corpus.dir/C1_WriteBehindQueue.cpp.o"
+  "CMakeFiles/narada_corpus.dir/C1_WriteBehindQueue.cpp.o.d"
+  "CMakeFiles/narada_corpus.dir/C2_SynchronizedCollection.cpp.o"
+  "CMakeFiles/narada_corpus.dir/C2_SynchronizedCollection.cpp.o.d"
+  "CMakeFiles/narada_corpus.dir/C3_CharArrayWriter.cpp.o"
+  "CMakeFiles/narada_corpus.dir/C3_CharArrayWriter.cpp.o.d"
+  "CMakeFiles/narada_corpus.dir/C4_DynamicBin1D.cpp.o"
+  "CMakeFiles/narada_corpus.dir/C4_DynamicBin1D.cpp.o.d"
+  "CMakeFiles/narada_corpus.dir/C5_DoubleIntIndex.cpp.o"
+  "CMakeFiles/narada_corpus.dir/C5_DoubleIntIndex.cpp.o.d"
+  "CMakeFiles/narada_corpus.dir/C6_Scanner.cpp.o"
+  "CMakeFiles/narada_corpus.dir/C6_Scanner.cpp.o.d"
+  "CMakeFiles/narada_corpus.dir/C7_PooledExecutor.cpp.o"
+  "CMakeFiles/narada_corpus.dir/C7_PooledExecutor.cpp.o.d"
+  "CMakeFiles/narada_corpus.dir/C8_Sequence.cpp.o"
+  "CMakeFiles/narada_corpus.dir/C8_Sequence.cpp.o.d"
+  "CMakeFiles/narada_corpus.dir/C9_CharArrayReader.cpp.o"
+  "CMakeFiles/narada_corpus.dir/C9_CharArrayReader.cpp.o.d"
+  "CMakeFiles/narada_corpus.dir/Corpus.cpp.o"
+  "CMakeFiles/narada_corpus.dir/Corpus.cpp.o.d"
+  "libnarada_corpus.a"
+  "libnarada_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/narada_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

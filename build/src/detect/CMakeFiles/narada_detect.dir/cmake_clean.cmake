@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/narada_detect.dir/Detection.cpp.o"
+  "CMakeFiles/narada_detect.dir/Detection.cpp.o.d"
+  "CMakeFiles/narada_detect.dir/HBDetector.cpp.o"
+  "CMakeFiles/narada_detect.dir/HBDetector.cpp.o.d"
+  "CMakeFiles/narada_detect.dir/LockOrderDetector.cpp.o"
+  "CMakeFiles/narada_detect.dir/LockOrderDetector.cpp.o.d"
+  "CMakeFiles/narada_detect.dir/LockSetDetector.cpp.o"
+  "CMakeFiles/narada_detect.dir/LockSetDetector.cpp.o.d"
+  "CMakeFiles/narada_detect.dir/RaceConfirmer.cpp.o"
+  "CMakeFiles/narada_detect.dir/RaceConfirmer.cpp.o.d"
+  "libnarada_detect.a"
+  "libnarada_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/narada_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

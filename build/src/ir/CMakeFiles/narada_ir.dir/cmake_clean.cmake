@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/narada_ir.dir/IR.cpp.o"
+  "CMakeFiles/narada_ir.dir/IR.cpp.o.d"
+  "CMakeFiles/narada_ir.dir/IRPrinter.cpp.o"
+  "CMakeFiles/narada_ir.dir/IRPrinter.cpp.o.d"
+  "CMakeFiles/narada_ir.dir/Lowering.cpp.o"
+  "CMakeFiles/narada_ir.dir/Lowering.cpp.o.d"
+  "CMakeFiles/narada_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/narada_ir.dir/Verifier.cpp.o.d"
+  "libnarada_ir.a"
+  "libnarada_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/narada_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

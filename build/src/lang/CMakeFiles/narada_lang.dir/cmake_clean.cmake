@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/narada_lang.dir/ASTClone.cpp.o"
+  "CMakeFiles/narada_lang.dir/ASTClone.cpp.o.d"
+  "CMakeFiles/narada_lang.dir/ASTPrinter.cpp.o"
+  "CMakeFiles/narada_lang.dir/ASTPrinter.cpp.o.d"
+  "CMakeFiles/narada_lang.dir/Lexer.cpp.o"
+  "CMakeFiles/narada_lang.dir/Lexer.cpp.o.d"
+  "CMakeFiles/narada_lang.dir/Parser.cpp.o"
+  "CMakeFiles/narada_lang.dir/Parser.cpp.o.d"
+  "CMakeFiles/narada_lang.dir/Sema.cpp.o"
+  "CMakeFiles/narada_lang.dir/Sema.cpp.o.d"
+  "libnarada_lang.a"
+  "libnarada_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/narada_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/Execution.cpp" "src/runtime/CMakeFiles/narada_runtime.dir/Execution.cpp.o" "gcc" "src/runtime/CMakeFiles/narada_runtime.dir/Execution.cpp.o.d"
+  "/root/repo/src/runtime/Heap.cpp" "src/runtime/CMakeFiles/narada_runtime.dir/Heap.cpp.o" "gcc" "src/runtime/CMakeFiles/narada_runtime.dir/Heap.cpp.o.d"
+  "/root/repo/src/runtime/Scheduler.cpp" "src/runtime/CMakeFiles/narada_runtime.dir/Scheduler.cpp.o" "gcc" "src/runtime/CMakeFiles/narada_runtime.dir/Scheduler.cpp.o.d"
+  "/root/repo/src/runtime/VM.cpp" "src/runtime/CMakeFiles/narada_runtime.dir/VM.cpp.o" "gcc" "src/runtime/CMakeFiles/narada_runtime.dir/VM.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/narada_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/narada_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/narada_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/narada_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

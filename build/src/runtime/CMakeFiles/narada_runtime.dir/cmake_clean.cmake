@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/narada_runtime.dir/Execution.cpp.o"
+  "CMakeFiles/narada_runtime.dir/Execution.cpp.o.d"
+  "CMakeFiles/narada_runtime.dir/Heap.cpp.o"
+  "CMakeFiles/narada_runtime.dir/Heap.cpp.o.d"
+  "CMakeFiles/narada_runtime.dir/Scheduler.cpp.o"
+  "CMakeFiles/narada_runtime.dir/Scheduler.cpp.o.d"
+  "CMakeFiles/narada_runtime.dir/VM.cpp.o"
+  "CMakeFiles/narada_runtime.dir/VM.cpp.o.d"
+  "libnarada_runtime.a"
+  "libnarada_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/narada_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/narada_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/narada_support.dir/StringUtils.cpp.o.d"
+  "libnarada_support.a"
+  "libnarada_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/narada_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

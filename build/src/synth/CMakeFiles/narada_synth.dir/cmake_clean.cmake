@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/narada_synth.dir/ContextDeriver.cpp.o"
+  "CMakeFiles/narada_synth.dir/ContextDeriver.cpp.o.d"
+  "CMakeFiles/narada_synth.dir/Narada.cpp.o"
+  "CMakeFiles/narada_synth.dir/Narada.cpp.o.d"
+  "CMakeFiles/narada_synth.dir/PairGenerator.cpp.o"
+  "CMakeFiles/narada_synth.dir/PairGenerator.cpp.o.d"
+  "CMakeFiles/narada_synth.dir/SeedNormalizer.cpp.o"
+  "CMakeFiles/narada_synth.dir/SeedNormalizer.cpp.o.d"
+  "CMakeFiles/narada_synth.dir/TestSynthesizer.cpp.o"
+  "CMakeFiles/narada_synth.dir/TestSynthesizer.cpp.o.d"
+  "libnarada_synth.a"
+  "libnarada_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/narada_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

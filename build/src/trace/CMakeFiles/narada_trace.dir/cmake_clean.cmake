@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/narada_trace.dir/Trace.cpp.o"
+  "CMakeFiles/narada_trace.dir/Trace.cpp.o.d"
+  "libnarada_trace.a"
+  "libnarada_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/narada_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis_test.cpp" "tests/CMakeFiles/narada_tests.dir/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/narada_tests.dir/analysis_test.cpp.o.d"
+  "/root/repo/tests/contege_test.cpp" "tests/CMakeFiles/narada_tests.dir/contege_test.cpp.o" "gcc" "tests/CMakeFiles/narada_tests.dir/contege_test.cpp.o.d"
+  "/root/repo/tests/corpus_test.cpp" "tests/CMakeFiles/narada_tests.dir/corpus_test.cpp.o" "gcc" "tests/CMakeFiles/narada_tests.dir/corpus_test.cpp.o.d"
+  "/root/repo/tests/deriver_test.cpp" "tests/CMakeFiles/narada_tests.dir/deriver_test.cpp.o" "gcc" "tests/CMakeFiles/narada_tests.dir/deriver_test.cpp.o.d"
+  "/root/repo/tests/detect_test.cpp" "tests/CMakeFiles/narada_tests.dir/detect_test.cpp.o" "gcc" "tests/CMakeFiles/narada_tests.dir/detect_test.cpp.o.d"
+  "/root/repo/tests/detector_units_test.cpp" "tests/CMakeFiles/narada_tests.dir/detector_units_test.cpp.o" "gcc" "tests/CMakeFiles/narada_tests.dir/detector_units_test.cpp.o.d"
+  "/root/repo/tests/heapmirror_test.cpp" "tests/CMakeFiles/narada_tests.dir/heapmirror_test.cpp.o" "gcc" "tests/CMakeFiles/narada_tests.dir/heapmirror_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/narada_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/narada_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/lexer_test.cpp" "tests/CMakeFiles/narada_tests.dir/lexer_test.cpp.o" "gcc" "tests/CMakeFiles/narada_tests.dir/lexer_test.cpp.o.d"
+  "/root/repo/tests/lowering_test.cpp" "tests/CMakeFiles/narada_tests.dir/lowering_test.cpp.o" "gcc" "tests/CMakeFiles/narada_tests.dir/lowering_test.cpp.o.d"
+  "/root/repo/tests/pairgen_test.cpp" "tests/CMakeFiles/narada_tests.dir/pairgen_test.cpp.o" "gcc" "tests/CMakeFiles/narada_tests.dir/pairgen_test.cpp.o.d"
+  "/root/repo/tests/parser_test.cpp" "tests/CMakeFiles/narada_tests.dir/parser_test.cpp.o" "gcc" "tests/CMakeFiles/narada_tests.dir/parser_test.cpp.o.d"
+  "/root/repo/tests/pipeline_test.cpp" "tests/CMakeFiles/narada_tests.dir/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/narada_tests.dir/pipeline_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/narada_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/narada_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/runtime_units_test.cpp" "tests/CMakeFiles/narada_tests.dir/runtime_units_test.cpp.o" "gcc" "tests/CMakeFiles/narada_tests.dir/runtime_units_test.cpp.o.d"
+  "/root/repo/tests/sema_test.cpp" "tests/CMakeFiles/narada_tests.dir/sema_test.cpp.o" "gcc" "tests/CMakeFiles/narada_tests.dir/sema_test.cpp.o.d"
+  "/root/repo/tests/support_test.cpp" "tests/CMakeFiles/narada_tests.dir/support_test.cpp.o" "gcc" "tests/CMakeFiles/narada_tests.dir/support_test.cpp.o.d"
+  "/root/repo/tests/synth_test.cpp" "tests/CMakeFiles/narada_tests.dir/synth_test.cpp.o" "gcc" "tests/CMakeFiles/narada_tests.dir/synth_test.cpp.o.d"
+  "/root/repo/tests/trace_test.cpp" "tests/CMakeFiles/narada_tests.dir/trace_test.cpp.o" "gcc" "tests/CMakeFiles/narada_tests.dir/trace_test.cpp.o.d"
+  "/root/repo/tests/verifier_test.cpp" "tests/CMakeFiles/narada_tests.dir/verifier_test.cpp.o" "gcc" "tests/CMakeFiles/narada_tests.dir/verifier_test.cpp.o.d"
+  "/root/repo/tests/vm_test.cpp" "tests/CMakeFiles/narada_tests.dir/vm_test.cpp.o" "gcc" "tests/CMakeFiles/narada_tests.dir/vm_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/corpus/CMakeFiles/narada_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/contege/CMakeFiles/narada_contege.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/narada_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/narada_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/narada_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/narada_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/narada_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/narada_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/narada_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/narada_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

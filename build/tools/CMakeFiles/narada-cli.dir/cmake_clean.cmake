@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/narada-cli.dir/narada-cli.cpp.o"
+  "CMakeFiles/narada-cli.dir/narada-cli.cpp.o.d"
+  "narada-cli"
+  "narada-cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/narada-cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for narada-cli.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_corpus "/root/repo/build/tools/narada-cli" "corpus")
+set_tests_properties(cli_corpus PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run "/root/repo/build/tools/narada-cli" "run" "corpus:C9" "seedC9")
+set_tests_properties(cli_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_trace "/root/repo/build/tools/narada-cli" "trace" "corpus:C7" "seedC7")
+set_tests_properties(cli_trace PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_analyze "/root/repo/build/tools/narada-cli" "analyze" "corpus:C9")
+set_tests_properties(cli_analyze PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_synthesize "/root/repo/build/tools/narada-cli" "synthesize" "corpus:C8")
+set_tests_properties(cli_synthesize PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_detect "/root/repo/build/tools/narada-cli" "detect" "corpus:C9")
+set_tests_properties(cli_detect PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_contege "/root/repo/build/tools/narada-cli" "contege" "corpus:C9" "--tests" "30")
+set_tests_properties(cli_contege PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_usage "/root/repo/build/tools/narada-cli")
+set_tests_properties(cli_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bad_corpus "/root/repo/build/tools/narada-cli" "run" "corpus:C42" "t")
+set_tests_properties(cli_bad_corpus PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;25;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_file_run "/root/repo/build/tools/narada-cli" "run" "/root/repo/examples/fig1.mj" "racy")
+set_tests_properties(cli_file_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;27;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_file_synthesize "/root/repo/build/tools/narada-cli" "synthesize" "/root/repo/examples/fig1.mj" "seed")
+set_tests_properties(cli_file_synthesize PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;29;add_test;/root/repo/tools/CMakeLists.txt;0;")
