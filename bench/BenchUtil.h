@@ -16,8 +16,8 @@
 
 #include "corpus/Corpus.h"
 #include "detect/Detection.h"
+#include "obs/RunReport.h"
 #include "support/StringUtils.h"
-#include "support/Timer.h"
 #include "synth/Narada.h"
 
 #include <cstdio>
@@ -56,7 +56,6 @@ inline ClassRun runSynthesis(const CorpusEntry &Entry,
   NaradaOptions Options = Extra;
   Options.FocusClass = Entry.ClassName;
 
-  Timer Clock;
   Result<NaradaResult> R = runNarada(Entry.Source, Entry.SeedNames, Options);
   if (!R) {
     std::fprintf(stderr, "%s: pipeline error: %s\n", Entry.Id.c_str(),
@@ -64,7 +63,9 @@ inline ClassRun runSynthesis(const CorpusEntry &Entry,
     std::exit(1);
   }
   Out.Narada = R.take();
-  Out.SynthesisSecondsTotal = Clock.seconds();
+  // The pipeline's own phase spans are the single timing source; no second
+  // stopwatch around the call.
+  Out.SynthesisSecondsTotal = Out.Narada.Stages.totalSeconds();
 
   const ClassInfo *Focus =
       Out.Narada.Program.Info->findClass(Entry.ClassName);
@@ -131,6 +132,36 @@ inline void printRule(const std::vector<int> &Widths) {
     Total += static_cast<size_t>(W < 0 ? -W : W) + 2;
   std::printf("%s\n", std::string(Total, '-').c_str());
 }
+
+/// Shared observability surface of the table/figure drivers: construct one
+/// at the top of main() and a JSON run report is written on scope exit when
+/// `--report <file.json>` was passed (or the NARADA_REPORT env var is set).
+class BenchReporter {
+public:
+  BenchReporter(std::string Tool, int Argc = 0, char **Argv = nullptr) {
+    Meta.Tool = std::move(Tool);
+    Meta.Command = "bench";
+    for (int I = 1; I < Argc; ++I)
+      if (std::string(Argv[I]) == "--report" && I + 1 < Argc)
+        Path = Argv[++I];
+    if (Path.empty())
+      if (const char *Env = std::getenv("NARADA_REPORT"))
+        Path = Env;
+  }
+
+  BenchReporter(const BenchReporter &) = delete;
+  BenchReporter &operator=(const BenchReporter &) = delete;
+
+  ~BenchReporter() {
+    if (!Path.empty())
+      obs::writeRunReport(Path, Meta);
+  }
+
+  obs::RunMeta Meta;
+
+private:
+  std::string Path;
+};
 
 } // namespace bench
 } // namespace narada

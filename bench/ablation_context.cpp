@@ -16,7 +16,8 @@
 using namespace narada;
 using namespace narada::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchReporter Reporter("ablation_context", Argc, Argv);
   std::printf("Ablation: context derivation ON vs OFF "
               "(reproduced races per class)\n\n");
   const std::vector<int> Widths = {-4, 10, 13, 10, 13};

@@ -42,7 +42,8 @@ std::set<std::string> detectedWith(ClassRun &Run, bool UseHB,
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchReporter Reporter("ablation_detectors", Argc, Argv);
   std::printf("Ablation: passive detectors on the synthesized tests "
               "(distinct races detected)\n\n");
   const std::vector<int> Widths = {-4, 9, 11, 8};

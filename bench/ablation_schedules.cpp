@@ -15,7 +15,8 @@
 using namespace narada;
 using namespace narada::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchReporter Reporter("ablation_schedules", Argc, Argv);
   const unsigned Budgets[] = {1, 2, 4, 8, 16};
 
   std::printf("Ablation: distinct races detected vs. random-schedule "

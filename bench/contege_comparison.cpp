@@ -22,7 +22,8 @@
 using namespace narada;
 using namespace narada::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchReporter Reporter("contege_comparison", Argc, Argv);
   std::printf("ConTeGe-style random baseline vs. Narada-directed "
               "synthesis\n\n");
   const std::vector<int> Widths = {-4, 10, 12, 12, 13, 13, 11};

@@ -37,7 +37,8 @@ unsigned bucketOf(unsigned Races) {
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchReporter Reporter("fig14_distribution", Argc, Argv);
   std::printf("Figure 14: Distribution of tests w.r.t. the number of "
               "detected races (percent of each class's tests per bucket)\n\n");
   const std::vector<int> Widths = {-4, 6, 6, 6, 6, 6, 6, 7};

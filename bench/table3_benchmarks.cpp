@@ -12,7 +12,8 @@
 using namespace narada;
 using namespace narada::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchReporter Reporter("table3_benchmarks", Argc, Argv);
   std::printf("Table 3: Benchmark Information\n");
   std::printf("(paper: hazelcast/openjdk/colt/hsqldb/hedc/h2/classpath; "
               "this reproduction models each class in MiniJava)\n\n");

@@ -31,7 +31,8 @@
 using namespace narada;
 using namespace narada::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchReporter Reporter("table5_detection", Argc, Argv);
   std::printf("Table 5: Analysis of synthesized tests by the detector "
               "stack (HB + lockset detection, RaceFuzzer-style "
               "confirmation, state-divergence triage)\n\n");

@@ -6,6 +6,7 @@
 
 #include "analysis/AccessAnalysis.h"
 
+#include "obs/Span.h"
 #include "support/StringUtils.h"
 
 #include <deque>
@@ -292,6 +293,17 @@ AnalysisResult TraceAnalyzer::run() {
 
 AnalysisResult narada::analyzeTrace(const Trace &T, const ProgramInfo &Info,
                                     const AnalysisOptions &Options) {
+  // Nested under "pipeline.analyze" when driven by runNarada; benches and
+  // tests calling analyzeTrace directly get a top-level "trace" phase.
+  obs::Span TraceSpan("trace");
   TraceAnalyzer Analyzer(T, Info, Options);
-  return Analyzer.run();
+  AnalysisResult Result = Analyzer.run();
+
+  obs::MetricsRegistry &Metrics = obs::MetricsRegistry::global();
+  Metrics.counter("analysis.traces_analyzed").inc();
+  Metrics.counter("analysis.events_visited").inc(T.events().size());
+  Metrics.counter("analysis.accesses_recorded").inc(Result.Accesses.size());
+  Metrics.counter("analysis.setters_recorded").inc(Result.Setters.size());
+  Metrics.counter("analysis.returns_recorded").inc(Result.Returns.size());
+  return Result;
 }

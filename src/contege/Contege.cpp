@@ -7,6 +7,8 @@
 #include "contege/Contege.h"
 
 #include "detect/HBDetector.h"
+#include "obs/Log.h"
+#include "obs/Span.h"
 #include "support/RNG.h"
 #include "support/StringUtils.h"
 #include "support/Timer.h"
@@ -192,6 +194,8 @@ std::string TestGenerator::generate(const std::string &Name) {
 Result<ContegeResult> narada::runContege(std::string_view LibrarySource,
                                          const std::string &CutClass,
                                          const ContegeOptions &Options) {
+  obs::Span ContegeSpan("contege");
+  obs::MetricsRegistry &Metrics = obs::MetricsRegistry::global();
   Timer Clock;
   // Compile once up front for the symbol tables the generator needs.
   Result<CompiledProgram> Base = compileProgram(LibrarySource);
@@ -221,7 +225,11 @@ Result<ContegeResult> narada::runContege(std::string_view LibrarySource,
       Sources.push_back(TestSource);
       BatchSource += "\n" + TestSource;
     }
-    Result<CompiledProgram> Compiled = compileProgram(BatchSource);
+    Result<CompiledProgram> Compiled = [&]() {
+      obs::Span CompileSpan("compile_batch");
+      return compileProgram(BatchSource);
+    }();
+    Metrics.counter("contege.batches_compiled").inc();
     if (!Compiled)
       return Error("internal: generated ConTeGe batch failed to compile: " +
                    Compiled.error().str());
@@ -229,11 +237,14 @@ Result<ContegeResult> narada::runContege(std::string_view LibrarySource,
     for (unsigned I = 0; I < Batch; ++I) {
       const std::string &Name = Names[I];
       ++Out.TestsGenerated;
+      Metrics.counter("contege.tests_generated").inc();
 
       bool Misbehaved = false;
       bool SilentRace = false;
       for (unsigned Sched = 0;
            Sched < Options.SchedulesPerTest && !Misbehaved; ++Sched) {
+        obs::Span ScheduleSpan("schedule");
+        Metrics.counter("contege.schedules_explored").inc();
         HBDetector HB;
         RandomPolicy Policy(Options.Seed * 7919 + Generated + I + Sched);
         Result<TestRun> Run =
@@ -249,6 +260,7 @@ Result<ContegeResult> narada::runContege(std::string_view LibrarySource,
         // Thread-safety violation only if every linearization is clean.
         bool LinearizationsClean = true;
         for (const char *Suffix : {"_lin1", "_lin2"}) {
+          Metrics.counter("contege.linearization_runs").inc();
           Result<TestRun> Run =
               runTestSequential(*Compiled->Module, Name + Suffix);
           if (!Run)
@@ -258,6 +270,9 @@ Result<ContegeResult> narada::runContege(std::string_view LibrarySource,
         }
         if (LinearizationsClean) {
           ++Out.ViolationsFound;
+          Metrics.counter("contege.violations_found").inc();
+          NARADA_LOG_INFO("contege: violation in test %u (%s)",
+                          Out.TestsGenerated, Name.c_str());
           Out.ViolatingTests.push_back(Sources[I]);
           if (Out.TestsToFirstViolation == 0)
             Out.TestsToFirstViolation = Out.TestsGenerated;
@@ -268,6 +283,7 @@ Result<ContegeResult> narada::runContege(std::string_view LibrarySource,
         }
       } else if (SilentRace) {
         ++Out.SilentRacyTests;
+        Metrics.counter("contege.silent_racy_tests").inc();
       }
     }
     Generated += Batch;

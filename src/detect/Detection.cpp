@@ -9,6 +9,8 @@
 #include "detect/HBDetector.h"
 #include "detect/LockSetDetector.h"
 #include "detect/RaceConfirmer.h"
+#include "obs/Log.h"
+#include "obs/Span.h"
 
 #include <map>
 #include <set>
@@ -96,6 +98,9 @@ Result<ConfirmRun> runConfirm(const IRModule &M, const std::string &TestName,
                               const std::string &LabelA,
                               const std::string &LabelB, uint64_t Seed,
                               bool SecondFirst, uint64_t MaxSteps) {
+  obs::Span ScheduleSpan("schedule");
+  obs::MetricsRegistry::global().counter("detect.schedules_explored").inc();
+  obs::MetricsRegistry::global().counter("detect.confirm_runs").inc();
   RaceConfirmPolicy Policy(LabelA, LabelB, Seed, SecondFirst);
   AccessValueHasher Hasher(LabelA, LabelB);
   Result<TestRun> Run = runTest(M, TestName, Policy, /*RandSeed=*/1, &Hasher,
@@ -119,11 +124,17 @@ Result<TestDetectionResult> narada::detectRacesInTest(
     const IRModule &M, const std::string &TestName,
     const DetectOptions &Options,
     const std::vector<std::pair<std::string, std::string>> &Hints) {
+  obs::Span TestSpan("test");
+  obs::MetricsRegistry &Metrics = obs::MetricsRegistry::global();
+  Metrics.counter("detect.tests_run").inc();
+
   TestDetectionResult Out;
   std::map<std::string, RaceReport> ByKey;
 
   // Phase 1: random schedules with the passive detectors attached.
   for (unsigned RunIdx = 0; RunIdx < Options.RandomRuns; ++RunIdx) {
+    obs::Span ScheduleSpan("schedule");
+    Metrics.counter("detect.schedules_explored").inc();
     HBDetector HB;
     LockSetDetector LockSet;
     ObserverMux Mux;
@@ -148,6 +159,10 @@ Result<TestDetectionResult> narada::detectRacesInTest(
 
   for (const auto &[Key, Report] : ByKey)
     Out.Detected.push_back(Report);
+  Metrics.counter("detect.races_detected").inc(Out.Detected.size());
+  NARADA_LOG_DEBUG("detect %s: %zu distinct races after %u random runs",
+                   TestName.c_str(), Out.Detected.size(),
+                   Options.RandomRuns);
 
   // Phase 2 + 3: confirm and classify each detected race (and each
   // synthesizer hint that no random schedule happened to expose).
@@ -159,15 +174,19 @@ Result<TestDetectionResult> narada::detectRacesInTest(
   }
   for (const auto &[A, B] : Hints) {
     std::string HintKey = A < B ? A + "~" + B : B + "~" + A;
-    if (ConfirmTargets.insert("hint:" + HintKey).second)
+    if (ConfirmTargets.insert("hint:" + HintKey).second) {
       LabelPairs.emplace_back(A, B);
+      Metrics.counter("detect.hint_targets").inc();
+    }
   }
 
   std::set<std::string> Classified;
   for (const auto &[LabelA, LabelB] : LabelPairs) {
+    obs::Span ConfirmSpan("confirm");
     ConfirmedRace Entry;
     for (unsigned Attempt = 0; Attempt < Options.ConfirmAttempts;
          ++Attempt) {
+      Metrics.counter("detect.confirm_attempts").inc();
       uint64_t Seed = Options.BaseSeed + 1000 + Attempt;
       Result<ConfirmRun> FirstOrder =
           runConfirm(M, TestName, LabelA, LabelB, Seed,
@@ -208,5 +227,8 @@ Result<TestDetectionResult> narada::detectRacesInTest(
     if (Classified.insert(Entry.Report.key()).second)
       Out.Races.push_back(std::move(Entry));
   }
+  Metrics.counter("detect.races_reproduced").inc(Out.reproducedCount());
+  Metrics.counter("detect.races_harmful").inc(Out.harmfulCount());
+  Metrics.counter("detect.races_benign").inc(Out.benignCount());
   return Out;
 }

@@ -6,7 +6,15 @@
 
 #include "detect/HBDetector.h"
 
+#include "obs/Metrics.h"
+
 using namespace narada;
+
+HBDetector::~HBDetector() {
+  obs::MetricsRegistry &Metrics = obs::MetricsRegistry::global();
+  Metrics.counter("detect.vc_joins").inc(JoinCount);
+  Metrics.counter("detect.hb_reports").inc(Races.size());
+}
 
 VectorClock &HBDetector::clockOf(ThreadId T) {
   auto It = ThreadClocks.find(T);
@@ -105,6 +113,7 @@ void HBDetector::onEvent(const TraceEvent &Event) {
     if (Event.ParentThread != NoThread) {
       VectorClock &Parent = clockOf(Event.ParentThread);
       Child.joinWith(Parent);
+      ++JoinCount;
       Child.set(Event.Thread, Child.get(Event.Thread) + 1);
       Parent.tick(Event.ParentThread);
     }
@@ -113,8 +122,10 @@ void HBDetector::onEvent(const TraceEvent &Event) {
   case EventKind::Lock: {
     // acquire: C_t := C_t ⊔ L_m.
     auto It = LockClocks.find(Event.Obj);
-    if (It != LockClocks.end())
+    if (It != LockClocks.end()) {
       clockOf(Event.Thread).joinWith(It->second);
+      ++JoinCount;
+    }
     return;
   }
   case EventKind::Unlock: {

@@ -29,6 +29,8 @@ namespace narada {
 /// Happens-before (FastTrack-style) detector.
 class HBDetector : public ExecutionObserver {
 public:
+  ~HBDetector();
+
   void onEvent(const TraceEvent &Event) override;
 
   const std::vector<RaceReport> &races() const { return Races; }
@@ -75,6 +77,9 @@ private:
   std::map<ObjectId, VectorClock> LockClocks;
   std::map<VarKey, VarState> Vars;
   std::vector<RaceReport> Races;
+  /// Joins performed, flushed to the metrics registry once on destruction
+  /// to keep the per-event path free of atomics.
+  uint64_t JoinCount = 0;
 };
 
 } // namespace narada

@@ -6,9 +6,17 @@
 
 #include "detect/LockSetDetector.h"
 
+#include "obs/Metrics.h"
+
 #include <algorithm>
 
 using namespace narada;
+
+LockSetDetector::~LockSetDetector() {
+  obs::MetricsRegistry &Metrics = obs::MetricsRegistry::global();
+  Metrics.counter("detect.lockset_intersections").inc(IntersectionCount);
+  Metrics.counter("detect.lockset_reports").inc(Races.size());
+}
 
 void LockSetDetector::handleAccess(const TraceEvent &Event) {
   VarKey Key{Event.Obj, Event.isElemAccess(), Event.FieldIndex};
@@ -43,6 +51,7 @@ void LockSetDetector::handleAccess(const TraceEvent &Event) {
       S.Candidates = Locks;
       S.CandidatesInitialized = true;
     } else {
+      ++IntersectionCount;
       std::set<ObjectId> Intersection;
       std::set_intersection(S.Candidates.begin(), S.Candidates.end(),
                             Locks.begin(), Locks.end(),

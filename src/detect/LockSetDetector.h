@@ -31,6 +31,8 @@ namespace narada {
 /// Eraser-style lockset detector.
 class LockSetDetector : public ExecutionObserver {
 public:
+  ~LockSetDetector();
+
   void onEvent(const TraceEvent &Event) override;
 
   const std::vector<RaceReport> &races() const { return Races; }
@@ -73,6 +75,9 @@ private:
   std::map<ThreadId, std::set<ObjectId>> Held;
   std::map<VarKey, VarState> Vars;
   std::vector<RaceReport> Races;
+  /// Lockset refinements performed, flushed to the metrics registry once on
+  /// destruction to keep the per-access path free of atomics.
+  uint64_t IntersectionCount = 0;
 };
 
 } // namespace narada

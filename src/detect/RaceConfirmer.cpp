@@ -6,6 +6,7 @@
 
 #include "detect/RaceConfirmer.h"
 
+#include "obs/Metrics.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
@@ -83,6 +84,7 @@ ThreadId RaceConfirmPolicy::pick(const std::vector<ThreadId> &Runnable,
       R.FirstIsWrite = PausedAccess.IsWrite;
       R.SecondIsWrite = Other.IsWrite;
       Confirmed = std::move(R);
+      obs::MetricsRegistry::global().counter("confirm.races_paired").inc();
 
       ThreadId First = SecondFirst ? T : Paused;
       ThreadId Second = SecondFirst ? Paused : T;
@@ -94,6 +96,7 @@ ThreadId RaceConfirmPolicy::pick(const std::vector<ThreadId> &Runnable,
     if (++PausedFor > PauseBudget) {
       // Give up: the partner never arrived (the context may not share the
       // object).  Release the paused thread.
+      obs::MetricsRegistry::global().counter("confirm.pause_timeouts").inc();
       ThreadId Released = Paused;
       Paused = NoThread;
       PausedFor = 0;
@@ -124,6 +127,7 @@ ThreadId RaceConfirmPolicy::pick(const std::vector<ThreadId> &Runnable,
         continue;
       if (Runnable.size() == 1)
         break; // Cannot park the only runnable thread.
+      obs::MetricsRegistry::global().counter("confirm.threads_paused").inc();
       Paused = T;
       PausedAccess = Match->first;
       PausedIsA = Match->second;

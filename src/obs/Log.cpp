@@ -1,0 +1,77 @@
+//===- obs/Log.cpp - Leveled diagnostic logging --------------------------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Log.h"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace narada;
+using namespace narada::obs;
+
+namespace {
+
+LogLevel parseEnvLevel() {
+  const char *Env = std::getenv("NARADA_LOG");
+  if (!Env || !*Env)
+    return LogLevel::Off;
+  if (std::strcmp(Env, "debug") == 0)
+    return LogLevel::Debug;
+  if (std::strcmp(Env, "info") == 0)
+    return LogLevel::Info;
+  if (std::strcmp(Env, "warn") == 0)
+    return LogLevel::Warn;
+  if (std::strcmp(Env, "off") == 0 || std::strcmp(Env, "0") == 0)
+    return LogLevel::Off;
+  std::fprintf(stderr,
+               "narada [warn] NARADA_LOG='%s' not recognized "
+               "(want debug|info|warn|off); logging disabled\n",
+               Env);
+  return LogLevel::Off;
+}
+
+std::atomic<int> CachedLevel{-1};
+
+const char *levelName(LogLevel Level) {
+  switch (Level) {
+  case LogLevel::Warn:
+    return "warn";
+  case LogLevel::Info:
+    return "info";
+  case LogLevel::Debug:
+    return "debug";
+  case LogLevel::Off:
+    break;
+  }
+  return "off";
+}
+
+} // namespace
+
+LogLevel obs::logLevel() {
+  int Level = CachedLevel.load(std::memory_order_relaxed);
+  if (Level < 0) {
+    Level = static_cast<int>(parseEnvLevel());
+    CachedLevel.store(Level, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(Level);
+}
+
+void obs::setLogLevel(LogLevel Level) {
+  CachedLevel.store(static_cast<int>(Level), std::memory_order_relaxed);
+}
+
+void obs::logMessage(LogLevel Level, const char *Fmt, ...) {
+  char Buffer[1024];
+  va_list Args;
+  va_start(Args, Fmt);
+  std::vsnprintf(Buffer, sizeof(Buffer), Fmt, Args);
+  va_end(Args);
+  std::fprintf(stderr, "narada [%s] %s\n", levelName(Level), Buffer);
+}

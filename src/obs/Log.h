@@ -1,0 +1,66 @@
+//===- obs/Log.h - Leveled diagnostic logging -------------------*- C++ -*-===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal leveled logger for pipeline diagnostics, replacing ad-hoc
+/// fprintf(stderr, ...) sprinkles.  Off by default; enabled via the
+/// NARADA_LOG environment variable:
+///
+///   NARADA_LOG=warn   only warnings
+///   NARADA_LOG=info   warnings + per-stage progress lines
+///   NARADA_LOG=debug  everything, including per-pair/per-test detail
+///
+/// Messages go to stderr as "narada [level] message".  The NARADA_LOG_*
+/// macros skip argument evaluation entirely when the level is disabled, so
+/// debug logging in hot loops costs one predictable branch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NARADA_OBS_LOG_H
+#define NARADA_OBS_LOG_H
+
+#include <string>
+
+namespace narada {
+namespace obs {
+
+enum class LogLevel : int { Off = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/// The level parsed from NARADA_LOG (cached after the first call).
+LogLevel logLevel();
+
+/// Overrides the environment-derived level (tests; CLI -v flags later).
+void setLogLevel(LogLevel Level);
+
+inline bool logEnabled(LogLevel Level) {
+  return static_cast<int>(Level) <= static_cast<int>(logLevel()) &&
+         Level != LogLevel::Off;
+}
+
+/// Emits one line to stderr; \p Fmt is printf-style.
+void logMessage(LogLevel Level, const char *Fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+} // namespace obs
+} // namespace narada
+
+#define NARADA_LOG_WARN(...)                                                 \
+  do {                                                                       \
+    if (narada::obs::logEnabled(narada::obs::LogLevel::Warn))                \
+      narada::obs::logMessage(narada::obs::LogLevel::Warn, __VA_ARGS__);     \
+  } while (0)
+#define NARADA_LOG_INFO(...)                                                 \
+  do {                                                                       \
+    if (narada::obs::logEnabled(narada::obs::LogLevel::Info))                \
+      narada::obs::logMessage(narada::obs::LogLevel::Info, __VA_ARGS__);     \
+  } while (0)
+#define NARADA_LOG_DEBUG(...)                                                \
+  do {                                                                       \
+    if (narada::obs::logEnabled(narada::obs::LogLevel::Debug))               \
+      narada::obs::logMessage(narada::obs::LogLevel::Debug, __VA_ARGS__);    \
+  } while (0)
+
+#endif // NARADA_OBS_LOG_H

@@ -1,0 +1,119 @@
+//===- obs/Metrics.cpp - Pipeline metrics registry -----------------------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+
+#include <algorithm>
+
+using namespace narada;
+using namespace narada::obs;
+
+Histogram::Histogram(std::vector<uint64_t> UpperBounds)
+    : Bounds(std::move(UpperBounds)) {
+  std::sort(Bounds.begin(), Bounds.end());
+  Bounds.erase(std::unique(Bounds.begin(), Bounds.end()), Bounds.end());
+  Buckets = std::make_unique<std::atomic<uint64_t>[]>(Bounds.size() + 1);
+  for (size_t I = 0; I <= Bounds.size(); ++I)
+    Buckets[I].store(0, std::memory_order_relaxed);
+}
+
+void Histogram::observe(uint64_t Value) {
+  size_t I =
+      static_cast<size_t>(std::lower_bound(Bounds.begin(), Bounds.end(),
+                                           Value) -
+                          Bounds.begin());
+  Buckets[I].fetch_add(1, std::memory_order_relaxed);
+  Count.fetch_add(1, std::memory_order_relaxed);
+  Sum.fetch_add(Value, std::memory_order_relaxed);
+  uint64_t Prev = Max.load(std::memory_order_relaxed);
+  while (Prev < Value &&
+         !Max.compare_exchange_weak(Prev, Value, std::memory_order_relaxed))
+    ;
+}
+
+void Histogram::reset() {
+  for (size_t I = 0; I <= Bounds.size(); ++I)
+    Buckets[I].store(0, std::memory_order_relaxed);
+  Count.store(0, std::memory_order_relaxed);
+  Sum.store(0, std::memory_order_relaxed);
+  Max.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry &MetricsRegistry::global() {
+  static MetricsRegistry R;
+  return R;
+}
+
+Counter &MetricsRegistry::counter(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Counters.find(Name);
+  if (It == Counters.end())
+    It = Counters.emplace(std::string(Name), std::make_unique<Counter>())
+             .first;
+  return *It->second;
+}
+
+Gauge &MetricsRegistry::gauge(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Gauges.find(Name);
+  if (It == Gauges.end())
+    It = Gauges.emplace(std::string(Name), std::make_unique<Gauge>()).first;
+  return *It->second;
+}
+
+Histogram &MetricsRegistry::histogram(std::string_view Name,
+                                      std::vector<uint64_t> UpperBounds) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Histograms.find(Name);
+  if (It == Histograms.end())
+    It = Histograms
+             .emplace(std::string(Name),
+                      std::make_unique<Histogram>(std::move(UpperBounds)))
+             .first;
+  return *It->second;
+}
+
+void MetricsRegistry::addPhase(std::string_view Path, double Seconds) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Phases.find(Path);
+  if (It == Phases.end())
+    It = Phases.emplace(std::string(Path), PhaseStat{}).first;
+  It->second.Seconds += Seconds;
+  It->second.Count += 1;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> Lock(M);
+  MetricsSnapshot S;
+  for (const auto &[Name, C] : Counters)
+    S.Counters[Name] = C->value();
+  for (const auto &[Name, G] : Gauges)
+    S.Gauges[Name] = G->value();
+  for (const auto &[Name, H] : Histograms) {
+    MetricsSnapshot::HistogramData D;
+    D.Bounds = H->bounds();
+    for (size_t I = 0; I < H->numBuckets(); ++I)
+      D.BucketCounts.push_back(H->bucketCount(I));
+    D.Count = H->count();
+    D.Sum = H->sum();
+    D.Max = H->max();
+    S.Histograms[Name] = std::move(D);
+  }
+  S.Phases.insert(Phases.begin(), Phases.end());
+  return S;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> Lock(M);
+  for (auto &[Name, C] : Counters)
+    C->reset();
+  for (auto &[Name, G] : Gauges)
+    G->reset();
+  for (auto &[Name, H] : Histograms)
+    H->reset();
+  for (auto &[Name, P] : Phases)
+    P = PhaseStat{};
+}

@@ -1,0 +1,160 @@
+//===- obs/Metrics.h - Pipeline metrics registry ----------------*- C++ -*-===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The measurement substrate behind the paper's quantitative evaluation
+/// (Tables 3-5, Fig. 14): named counters, gauges and fixed-bucket
+/// histograms, plus per-phase wall-time accumulators fed by obs::Span.
+///
+/// Design constraints:
+///  - *cheap when idle*: instrumented code resolves a metric once (one
+///    mutex-protected map lookup) and afterwards touches only a relaxed
+///    atomic, so leaving observability compiled in costs nothing
+///    measurable on the hot paths;
+///  - *stable handles*: Counter/Gauge/Histogram references stay valid for
+///    the registry's lifetime, so call sites may cache them in statics;
+///  - *snapshot-based reads*: reporting code takes a consistent Snapshot
+///    instead of iterating live state.
+///
+/// The registry deliberately has a process-global default instance
+/// (MetricsRegistry::global()): the instrumented layers — VM, scheduler,
+/// detectors, synthesizer — share no construction path a registry could be
+/// threaded through, and the pipeline is single-process.  Tests that need
+/// isolation construct their own registry or reset() the global one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NARADA_OBS_METRICS_H
+#define NARADA_OBS_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace narada {
+namespace obs {
+
+/// A monotonically increasing event count.
+class Counter {
+public:
+  void inc(uint64_t N = 1) { V.fetch_add(N, std::memory_order_relaxed); }
+  uint64_t value() const { return V.load(std::memory_order_relaxed); }
+  void reset() { V.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> V{0};
+};
+
+/// A value that can move both ways (e.g. live thread count).
+class Gauge {
+public:
+  void set(int64_t N) { V.store(N, std::memory_order_relaxed); }
+  void add(int64_t N) { V.fetch_add(N, std::memory_order_relaxed); }
+  int64_t value() const { return V.load(std::memory_order_relaxed); }
+  void reset() { V.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<int64_t> V{0};
+};
+
+/// A fixed-bucket histogram: bucket I counts observations <= Bounds[I],
+/// with one implicit overflow bucket above the last bound.
+class Histogram {
+public:
+  explicit Histogram(std::vector<uint64_t> UpperBounds);
+
+  void observe(uint64_t Value);
+
+  const std::vector<uint64_t> &bounds() const { return Bounds; }
+  uint64_t bucketCount(size_t I) const {
+    return Buckets[I].load(std::memory_order_relaxed);
+  }
+  size_t numBuckets() const { return Bounds.size() + 1; } ///< + overflow.
+  uint64_t count() const { return Count.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return Sum.load(std::memory_order_relaxed); }
+  uint64_t max() const { return Max.load(std::memory_order_relaxed); }
+  void reset();
+
+private:
+  std::vector<uint64_t> Bounds; ///< Sorted ascending.
+  std::unique_ptr<std::atomic<uint64_t>[]> Buckets;
+  std::atomic<uint64_t> Count{0};
+  std::atomic<uint64_t> Sum{0};
+  std::atomic<uint64_t> Max{0};
+};
+
+/// Accumulated wall time of one (possibly nested) phase.
+struct PhaseStat {
+  double Seconds = 0.0;
+  uint64_t Count = 0; ///< Completed spans.
+};
+
+/// A point-in-time copy of everything the registry holds, safe to iterate
+/// and serialize while instrumented code keeps running.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> Counters;
+  std::map<std::string, int64_t> Gauges;
+  struct HistogramData {
+    std::vector<uint64_t> Bounds;
+    std::vector<uint64_t> BucketCounts; ///< Bounds.size() + 1 entries.
+    uint64_t Count = 0;
+    uint64_t Sum = 0;
+    uint64_t Max = 0;
+  };
+  std::map<std::string, HistogramData> Histograms;
+  /// Keyed by dotted span path ("pipeline.analyze.trace").
+  std::map<std::string, PhaseStat> Phases;
+
+  uint64_t counter(const std::string &Name) const {
+    auto It = Counters.find(Name);
+    return It == Counters.end() ? 0 : It->second;
+  }
+  double phaseSeconds(const std::string &Path) const {
+    auto It = Phases.find(Path);
+    return It == Phases.end() ? 0.0 : It->second.Seconds;
+  }
+};
+
+/// Owns all metrics.  Registration is mutex-protected; updates through the
+/// returned handles are lock-free.
+class MetricsRegistry {
+public:
+  /// The process-wide default registry every instrumented layer reports to.
+  static MetricsRegistry &global();
+
+  /// Returns the counter named \p Name, creating it on first use.
+  Counter &counter(std::string_view Name);
+  Gauge &gauge(std::string_view Name);
+  /// \p UpperBounds is only consulted on first registration.
+  Histogram &histogram(std::string_view Name,
+                       std::vector<uint64_t> UpperBounds);
+
+  /// Adds one completed span of \p Seconds to phase \p Path (obs::Span's
+  /// accumulation entry point).
+  void addPhase(std::string_view Path, double Seconds);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every metric but keeps registrations (handles stay valid).
+  void reset();
+
+private:
+  mutable std::mutex M;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> Counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> Gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> Histograms;
+  std::map<std::string, PhaseStat, std::less<>> Phases;
+};
+
+} // namespace obs
+} // namespace narada
+
+#endif // NARADA_OBS_METRICS_H

@@ -1,0 +1,118 @@
+//===- obs/RunReport.cpp - Structured JSON run reports -------------------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/RunReport.h"
+
+#include "obs/Json.h"
+#include "obs/Log.h"
+
+#include <fstream>
+
+using namespace narada;
+using namespace narada::obs;
+
+std::string obs::renderRunReport(const RunMeta &Meta,
+                                 const MetricsSnapshot &S) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("schema").value("narada.run_report/v1");
+  W.key("tool").value(Meta.Tool);
+  W.key("command").value(Meta.Command);
+  W.key("input").value(Meta.Input);
+  W.key("corpus_id").value(Meta.CorpusId);
+  W.key("focus_class").value(Meta.FocusClass);
+  W.key("seed").value(Meta.Seed);
+
+  W.key("options").beginObject();
+  for (const auto &[Key, Value] : Meta.Options)
+    W.key(Key).value(Value);
+  W.endObject();
+
+  W.key("phases").beginObject();
+  for (const auto &[Path, Stat] : S.Phases) {
+    W.key(Path).beginObject();
+    W.key("seconds").value(Stat.Seconds);
+    W.key("count").value(Stat.Count);
+    W.endObject();
+  }
+  W.endObject();
+
+  W.key("counters").beginObject();
+  for (const auto &[Name, Value] : S.Counters)
+    W.key(Name).value(Value);
+  W.endObject();
+
+  W.key("gauges").beginObject();
+  for (const auto &[Name, Value] : S.Gauges)
+    W.key(Name).value(Value);
+  W.endObject();
+
+  W.key("histograms").beginObject();
+  for (const auto &[Name, H] : S.Histograms) {
+    W.key(Name).beginObject();
+    W.key("bounds").beginArray();
+    for (uint64_t B : H.Bounds)
+      W.value(B);
+    W.endArray();
+    W.key("bucket_counts").beginArray();
+    for (uint64_t C : H.BucketCounts)
+      W.value(C);
+    W.endArray();
+    W.key("count").value(H.Count);
+    W.key("sum").value(H.Sum);
+    W.key("max").value(H.Max);
+    W.endObject();
+  }
+  W.endObject();
+
+  W.endObject();
+  return W.str();
+}
+
+std::string obs::renderRunReport(const RunMeta &Meta) {
+  return renderRunReport(Meta, MetricsRegistry::global().snapshot());
+}
+
+bool obs::writeRunReport(const std::string &Path, const RunMeta &Meta) {
+  std::ofstream Out(Path, std::ios::trunc);
+  if (!Out) {
+    NARADA_LOG_WARN("cannot open report file '%s'", Path.c_str());
+    return false;
+  }
+  Out << renderRunReport(Meta) << "\n";
+  Out.flush();
+  if (!Out) {
+    NARADA_LOG_WARN("failed writing report file '%s'", Path.c_str());
+    return false;
+  }
+  return true;
+}
+
+void obs::printRunStats(std::FILE *Out, const MetricsSnapshot &S) {
+  std::fprintf(Out, "-- narada run stats --\n");
+  if (!S.Phases.empty()) {
+    std::fprintf(Out, "phases (wall seconds):\n");
+    for (const auto &[Path, Stat] : S.Phases)
+      std::fprintf(Out, "  %-40s %10.4f  x%llu\n", Path.c_str(),
+                   Stat.Seconds,
+                   static_cast<unsigned long long>(Stat.Count));
+  }
+  if (!S.Counters.empty()) {
+    std::fprintf(Out, "counters:\n");
+    for (const auto &[Name, Value] : S.Counters)
+      if (Value != 0)
+        std::fprintf(Out, "  %-40s %10llu\n", Name.c_str(),
+                     static_cast<unsigned long long>(Value));
+  }
+  for (const auto &[Name, H] : S.Histograms) {
+    if (H.Count == 0)
+      continue;
+    std::fprintf(Out, "histogram %s: count=%llu sum=%llu max=%llu\n",
+                 Name.c_str(), static_cast<unsigned long long>(H.Count),
+                 static_cast<unsigned long long>(H.Sum),
+                 static_cast<unsigned long long>(H.Max));
+  }
+}

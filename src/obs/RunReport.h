@@ -1,0 +1,64 @@
+//===- obs/RunReport.h - Structured JSON run reports ------------*- C++ -*-===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pipeline's flight recorder: one JSON document per run, combining
+/// run identity (tool, command, input, corpus id, seed, options) with a
+/// MetricsSnapshot (phase wall times, stage counters, histograms).  The
+/// schema is documented in docs/OBSERVABILITY.md; tools/report-diff.py
+/// compares two reports for regressions.  Every CLI subcommand
+/// (--report/--stats) and every bench driver emits this same document, so
+/// BENCH_*.json trajectories are self-describing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NARADA_OBS_RUNREPORT_H
+#define NARADA_OBS_RUNREPORT_H
+
+#include "obs/Metrics.h"
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace narada {
+namespace obs {
+
+/// Identity of one pipeline run; everything except the metrics.
+struct RunMeta {
+  std::string Tool;    ///< "narada-cli", "table4_synthesis", ...
+  std::string Command; ///< CLI subcommand; empty for bench drivers.
+  std::string Input;   ///< File path or "corpus:Cx".
+  std::string CorpusId; ///< "C1".."C9" when the input is a corpus entry.
+  std::string FocusClass;
+  uint64_t Seed = 0;
+  /// Free-form option key/value pairs worth recording (max tests,
+  /// detection runs, ...), serialized under "options".
+  std::vector<std::pair<std::string, std::string>> Options;
+
+  void addOption(std::string Key, std::string Value) {
+    Options.emplace_back(std::move(Key), std::move(Value));
+  }
+};
+
+/// Renders the complete report document (schema narada.run_report/v1).
+std::string renderRunReport(const RunMeta &Meta, const MetricsSnapshot &S);
+
+/// Renders against the global registry's current state.
+std::string renderRunReport(const RunMeta &Meta);
+
+/// Writes the report to \p Path; false (with a warning log) on I/O error.
+bool writeRunReport(const std::string &Path, const RunMeta &Meta);
+
+/// Prints the human-readable --stats summary (phase times, key counters)
+/// to \p Out (usually stderr).
+void printRunStats(std::FILE *Out, const MetricsSnapshot &S);
+
+} // namespace obs
+} // namespace narada
+
+#endif // NARADA_OBS_RUNREPORT_H

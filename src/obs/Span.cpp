@@ -1,0 +1,41 @@
+//===- obs/Span.cpp - RAII phase timers ----------------------------------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Span.h"
+
+using namespace narada;
+using namespace narada::obs;
+
+namespace {
+/// Innermost open span of this thread.  VM "threads" are cooperative and
+/// share one OS thread, so one stack covers the whole pipeline.
+thread_local Span *CurrentSpan = nullptr;
+} // namespace
+
+Span::Span(std::string_view Name, double *AccumSeconds,
+           MetricsRegistry &Registry)
+    : Registry(Registry), AccumSeconds(AccumSeconds), Parent(CurrentSpan) {
+  if (Parent) {
+    Path.reserve(Parent->Path.size() + 1 + Name.size());
+    Path += Parent->Path;
+    Path += '.';
+  }
+  Path += Name;
+  CurrentSpan = this;
+  Clock.restart(); // Start the clock after the bookkeeping, not before.
+}
+
+Span::~Span() {
+  double Elapsed = Clock.seconds();
+  Registry.addPhase(Path, Elapsed);
+  if (AccumSeconds)
+    *AccumSeconds += Elapsed;
+  CurrentSpan = Parent;
+}
+
+std::string Span::currentPath() {
+  return CurrentSpan ? CurrentSpan->Path : std::string();
+}

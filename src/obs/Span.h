@@ -1,0 +1,68 @@
+//===- obs/Span.h - RAII phase timers ---------------------------*- C++ -*-===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Nesting wall-clock phase timers.  A Span names the phase it covers; its
+/// full dotted path is its name appended to the innermost live span's path
+/// on the same thread, so
+///
+///   Span Pipeline("pipeline");
+///   { Span Analyze("analyze");         // pipeline.analyze
+///     { Span Trace("trace"); ... } }   // pipeline.analyze.trace
+///
+/// accumulates three phase entries.  On destruction the elapsed time (via
+/// support/Timer, the single steady_clock source) is added to the
+/// registry's phase table, and optionally to a caller-provided double for
+/// results that carry their own stage timings.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NARADA_OBS_SPAN_H
+#define NARADA_OBS_SPAN_H
+
+#include "obs/Metrics.h"
+#include "support/Timer.h"
+
+#include <string>
+#include <string_view>
+
+namespace narada {
+namespace obs {
+
+/// Times one phase from construction to destruction.
+class Span {
+public:
+  /// Opens a span named \p Name under the current thread's innermost open
+  /// span.  \p AccumSeconds, when non-null, additionally receives the
+  /// elapsed seconds (added, not assigned, so loops accumulate).
+  explicit Span(std::string_view Name, double *AccumSeconds = nullptr,
+                MetricsRegistry &Registry = MetricsRegistry::global());
+  ~Span();
+
+  Span(const Span &) = delete;
+  Span &operator=(const Span &) = delete;
+
+  /// The dotted path of this span.
+  const std::string &path() const { return Path; }
+
+  /// Elapsed seconds so far (the span keeps running).
+  double seconds() const { return Clock.seconds(); }
+
+  /// The innermost open span's path on this thread ("" outside any span).
+  static std::string currentPath();
+
+private:
+  MetricsRegistry &Registry;
+  double *AccumSeconds;
+  std::string Path;
+  Span *Parent; ///< Enclosing span on this thread, if any.
+  Timer Clock;
+};
+
+} // namespace obs
+} // namespace narada
+
+#endif // NARADA_OBS_SPAN_H

@@ -9,6 +9,7 @@
 #include "ir/Lowering.h"
 #include "ir/Verifier.h"
 #include "lang/Parser.h"
+#include "obs/Metrics.h"
 #include "support/StringUtils.h"
 
 using namespace narada;
@@ -57,6 +58,12 @@ Result<TestRun> narada::runTest(const IRModule &M,
   Machine.spawnThread(Test, {});
   Run.Result = runToCompletion(Machine, Policy, MaxSteps);
   Run.HeapHash = Machine.heap().stateHash();
+
+  const VMStats &Stats = Machine.stats();
+  obs::MetricsRegistry &Metrics = obs::MetricsRegistry::global();
+  Metrics.counter("runtime.threads_spawned").inc(Stats.ThreadsSpawned);
+  Metrics.counter("runtime.monitor_acquires").inc(Stats.MonitorAcquires);
+  Metrics.counter("runtime.monitor_blocks").inc(Stats.MonitorBlocks);
   return Run;
 }
 

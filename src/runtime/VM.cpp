@@ -48,6 +48,7 @@ ThreadId VM::spawnThread(const IRFunction *F, std::vector<Value> Args,
   T.Stack.push_back(std::move(Entry));
 
   Threads.push_back(std::move(T));
+  ++Stats.ThreadsSpawned;
   ThreadState &Created = Threads.back();
 
   TraceEvent Start = makeEvent(EventKind::ThreadStart, Created);
@@ -438,6 +439,8 @@ void VM::execInstr(ThreadState &T, Frame &F, const Instr &I) {
       return;
     HeapObject &Obj = TheHeap.object(LockVal.asRef());
     if (Obj.MonitorOwner != NoThread && Obj.MonitorOwner != T.Id) {
+      if (T.Status != ThreadStatus::Blocked)
+        ++Stats.MonitorBlocks;
       T.Status = ThreadStatus::Blocked;
       T.WaitingOn = LockVal.asRef();
       return; // Pc unchanged: the acquisition is retried when scheduled.
@@ -446,6 +449,7 @@ void VM::execInstr(ThreadState &T, Frame &F, const Instr &I) {
     T.WaitingOn = NoObject;
     Obj.MonitorOwner = T.Id;
     if (++Obj.MonitorDepth == 1) {
+      ++Stats.MonitorAcquires;
       TraceEvent E = makeEvent(EventKind::Lock, T);
       E.Obj = LockVal.asRef();
       emit(E);

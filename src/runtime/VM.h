@@ -77,6 +77,15 @@ struct PendingAccess {
   uint32_t Pc = 0;
 };
 
+/// Per-execution counters.  Accumulated in plain fields — the VM is
+/// single-OS-threaded — and flushed to the metrics registry once per run by
+/// the execution facade, keeping atomics out of the instruction loop.
+struct VMStats {
+  uint64_t ThreadsSpawned = 0;
+  uint64_t MonitorAcquires = 0; ///< Outermost acquisitions (Lock events).
+  uint64_t MonitorBlocks = 0;   ///< Transitions into the Blocked state.
+};
+
 /// The virtual machine.
 class VM {
 public:
@@ -137,6 +146,9 @@ public:
   /// Monitors currently held by thread \p T.
   std::vector<ObjectId> heldMonitors(ThreadId T) const;
 
+  /// Counters accumulated over this VM's lifetime.
+  const VMStats &stats() const { return Stats; }
+
 private:
   void execInstr(ThreadState &T, Frame &F, const Instr &I);
   void execBuiltinInvoke(ThreadState &T, Frame &F, const Instr &I);
@@ -154,6 +166,7 @@ private:
   ExecutionObserver *Observer = nullptr;
   RNG Rand;
   uint64_t LabelCounter = 0;
+  VMStats Stats;
 };
 
 } // namespace narada

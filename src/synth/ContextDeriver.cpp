@@ -6,6 +6,7 @@
 
 #include "synth/ContextDeriver.h"
 
+#include "obs/Metrics.h"
 #include "support/StringUtils.h"
 
 using namespace narada;
@@ -229,6 +230,7 @@ ContextDeriver::derive(const std::string &ClassName,
 }
 
 SharingPlan ContextDeriver::deriveSharing(const RacyPair &Pair) const {
+  obs::MetricsRegistry::global().counter("synth.derivations_attempted").inc();
   SharingPlan Plan;
   std::string FirstRoot = rootClassOf(Pair.First);
   std::string SecondRoot = rootClassOf(Pair.Second);
@@ -256,6 +258,10 @@ SharingPlan ContextDeriver::deriveSharing(const RacyPair &Pair) const {
         Plan.Second.EffectivePath =
             AccessPath(Pair.Second.BasePath.Root, FieldsB);
         Plan.Complete = !Shortened;
+        obs::MetricsRegistry::global()
+            .counter(Plan.Complete ? "synth.derivations_complete"
+                                   : "synth.derivations_prefix_fallback")
+            .inc();
         return Plan;
       }
       // Keep the deepest attempt as the fallback result so a test is
@@ -294,5 +300,6 @@ SharingPlan ContextDeriver::deriveSharing(const RacyPair &Pair) const {
     Plan.Second.EffectivePath = AccessPath(Pair.Second.BasePath.Root, {});
     Plan.Complete = false;
   }
+  obs::MetricsRegistry::global().counter("synth.derivations_incomplete").inc();
   return Plan;
 }

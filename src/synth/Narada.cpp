@@ -8,8 +8,9 @@
 
 #include "analysis/AccessAnalysis.h"
 #include "lang/ASTPrinter.h"
+#include "obs/Log.h"
+#include "obs/Span.h"
 #include "support/StringUtils.h"
-#include "support/Timer.h"
 #include "synth/SeedNormalizer.h"
 #include "synth/TestSynthesizer.h"
 
@@ -17,140 +18,240 @@
 
 using namespace narada;
 
+const char *narada::skipReasonId(SkipReason Reason) {
+  switch (Reason) {
+  case SkipReason::NoSeedProvider:
+    return "no_seed_provider";
+  case SkipReason::NoSeedCallSite:
+    return "no_seed_call_site";
+  case SkipReason::DerivationMismatch:
+    return "derivation_mismatch";
+  case SkipReason::TestBudget:
+    return "test_budget";
+  case SkipReason::Other:
+    break;
+  }
+  return "other";
+}
+
+std::string SkippedPair::str() const {
+  std::string Out = PairKey + ": " + skipReasonId(Reason);
+  if (!Message.empty())
+    Out += ": " + Message;
+  return Out;
+}
+
+namespace {
+
+/// Maps a synthesizer failure onto a skip category.  The synthesizer's
+/// message families are part of its contract (tests assert on them), so
+/// prefix matching here is the lightest classification that keeps Error
+/// a plain message type.
+SkipReason classifySkip(const Error &E) {
+  const std::string &Message = E.message();
+  if (startsWith(Message, "no provider for") ||
+      startsWith(Message, "no seed provides"))
+    return SkipReason::NoSeedProvider;
+  if (startsWith(Message, "no seed call site") ||
+      startsWith(Message, "no seed constructor site"))
+    return SkipReason::NoSeedCallSite;
+  if (startsWith(Message, "constrained parameter") ||
+      Message.find("is not normalized") != std::string::npos)
+    return SkipReason::DerivationMismatch;
+  return SkipReason::Other;
+}
+
+void countSkip(SkipReason Reason) {
+  obs::MetricsRegistry &R = obs::MetricsRegistry::global();
+  R.counter("synth.pairs_skipped").inc();
+  R.counter(std::string("synth.pairs_skipped.") + skipReasonId(Reason))
+      .inc();
+}
+
+} // namespace
+
 Result<NaradaResult>
 narada::runNarada(std::string_view LibrarySource,
                   const std::vector<std::string> &SeedNames,
                   const NaradaOptions &Options) {
-  // Pass 1: compile the library + original seeds.
-  Result<CompiledProgram> Original = compileProgram(LibrarySource);
-  if (!Original)
-    return Original.error();
-
-  // Normalize the seeds so collectObjects is a syntactic prefix inline.
-  std::string NormalizedSource;
-  for (const auto &Class : Original->Ast->Classes)
-    NormalizedSource += printClass(*Class) + "\n";
-  for (const std::string &SeedName : SeedNames) {
-    const TestDecl *Seed = Original->Ast->findTest(SeedName);
-    if (!Seed)
-      return Error(formatString("no seed test named '%s'", SeedName.c_str()));
-    Result<std::unique_ptr<TestDecl>> Norm =
-        normalizeSeed(*Seed, *Original->Info);
-    if (!Norm)
-      return Norm.error();
-    NormalizedSource += printTest(**Norm) + "\n";
-  }
-
-  Result<CompiledProgram> Normalized = compileProgram(NormalizedSource);
-  if (!Normalized)
-    return Error("internal: normalized seeds failed to recompile: " +
-                 Normalized.error().str());
+  obs::MetricsRegistry &Metrics = obs::MetricsRegistry::global();
+  obs::Span PipelineSpan("pipeline");
+  Metrics.counter("pipeline.runs").inc();
 
   NaradaResult Out;
 
+  // Pass 1: compile the library + original seeds, then normalize the seeds
+  // so collectObjects is a syntactic prefix inline.
+  std::string NormalizedSource;
+  Result<CompiledProgram> Normalized = [&]() -> Result<CompiledProgram> {
+    obs::Span FrontendSpan("frontend", &Out.Stages.FrontendSeconds);
+    Result<CompiledProgram> Original = compileProgram(LibrarySource);
+    if (!Original)
+      return Original;
+
+    for (const auto &Class : Original->Ast->Classes)
+      NormalizedSource += printClass(*Class) + "\n";
+    for (const std::string &SeedName : SeedNames) {
+      const TestDecl *Seed = Original->Ast->findTest(SeedName);
+      if (!Seed)
+        return Error(
+            formatString("no seed test named '%s'", SeedName.c_str()));
+      Result<std::unique_ptr<TestDecl>> Norm =
+          normalizeSeed(*Seed, *Original->Info);
+      if (!Norm)
+        return Norm.error();
+      NormalizedSource += printTest(**Norm) + "\n";
+    }
+
+    Result<CompiledProgram> Recompiled = compileProgram(NormalizedSource);
+    if (!Recompiled)
+      return Error("internal: normalized seeds failed to recompile: " +
+                   Recompiled.error().str());
+    return Recompiled;
+  }();
+  if (!Normalized)
+    return Normalized.error();
+
   // Stage 1: execute the sequential seeds and analyze their traces.
-  Timer AnalysisTimer;
-  for (const std::string &SeedName : SeedNames) {
-    Result<TestRun> Run = runTestSequential(*Normalized->Module, SeedName);
-    if (!Run)
-      return Run.error();
-    if (Run->Result.Faulted)
-      return Error(formatString("seed test '%s' faulted: %s",
-                                SeedName.c_str(),
-                                Run->Result.FaultMessages[0].c_str()));
-    Out.Analysis.merge(analyzeTrace(Run->TheTrace, *Normalized->Info));
+  {
+    obs::Span AnalyzeSpan("analyze", &Out.Stages.AnalysisSeconds);
+    for (const std::string &SeedName : SeedNames) {
+      Result<TestRun> Run = runTestSequential(*Normalized->Module, SeedName);
+      if (!Run)
+        return Run.error();
+      if (Run->Result.Faulted)
+        return Error(formatString("seed test '%s' faulted: %s",
+                                  SeedName.c_str(),
+                                  Run->Result.FaultMessages[0].c_str()));
+      Metrics.counter("analysis.seeds_executed").inc();
+      Out.Analysis.merge(analyzeTrace(Run->TheTrace, *Normalized->Info));
+    }
+    NARADA_LOG_INFO("analyze: %zu seeds -> %zu accesses, %zu setters, "
+                    "%zu returns",
+                    SeedNames.size(), Out.Analysis.Accesses.size(),
+                    Out.Analysis.Setters.size(),
+                    Out.Analysis.Returns.size());
   }
 
   // Stage 2a: candidate racy pairs.
-  PairGenOptions PairOptions;
-  PairOptions.FocusClass = Options.FocusClass;
-  Out.Pairs = generatePairs(Out.Analysis, PairOptions);
-  Out.AnalysisSeconds = AnalysisTimer.seconds();
+  {
+    obs::Span PairGenSpan("pairgen", &Out.Stages.PairGenSeconds);
+    PairGenOptions PairOptions;
+    PairOptions.FocusClass = Options.FocusClass;
+    Out.Pairs = generatePairs(Out.Analysis, PairOptions);
+    Metrics.counter("synth.pairs_generated").inc(Out.Pairs.size());
+    NARADA_LOG_INFO("pairgen: %zu candidate racy pairs%s%s",
+                    Out.Pairs.size(),
+                    Options.FocusClass.empty() ? "" : " for class ",
+                    Options.FocusClass.c_str());
+  }
 
   // Stage 2b + 3: contexts and tests.
-  Timer SynthesisTimer;
-  ContextDeriver Deriver(Out.Analysis, *Normalized->Info,
-                         Options.DerivationSeed);
-
-  std::vector<const TestDecl *> Seeds;
-  for (const std::string &SeedName : SeedNames)
-    Seeds.push_back(Normalized->Ast->findTest(SeedName));
-  Result<SeedRegistry> Registry =
-      SeedRegistry::build(Seeds, *Normalized->Info);
-  if (!Registry)
-    return Registry.error();
-  TestSynthesizer Synthesizer(*Registry, *Normalized->Info);
-
-  // One test per unique sharing shape; multiple pairs map onto one test
-  // (the paper synthesizes 15 tests for C1's 65 pairs).
-  std::map<std::string, size_t> TestByShape;
   std::string SynthesizedSource;
+  {
+    obs::Span SynthSpan("synth", &Out.Stages.SynthesisSeconds);
+    ContextDeriver Deriver(Out.Analysis, *Normalized->Info,
+                           Options.DerivationSeed);
 
-  for (const RacyPair &Pair : Out.Pairs) {
-    SharingPlan Plan = Deriver.deriveSharing(Pair);
-    if (!Options.EnableContextDerivation) {
-      // Ablation: strip all constraints; both sides get fresh instances.
-      auto Fresh = [&](SharingPlan::Side &Side, const RacySide &RS) {
-        Side.Plan = std::make_unique<ProvidePlan>();
-        Side.Plan->K = ProvidePlan::Kind::FromSeed;
-        Side.Plan->ClassName = Deriver.rootClassOf(RS);
-        Side.EffectivePath = AccessPath(RS.BasePath.Root, {});
-      };
-      Fresh(Plan.First, Pair.First);
-      Fresh(Plan.Second, Pair.Second);
-      Plan.Complete = false;
-    }
+    std::vector<const TestDecl *> Seeds;
+    for (const std::string &SeedName : SeedNames)
+      Seeds.push_back(Normalized->Ast->findTest(SeedName));
+    Result<SeedRegistry> Registry =
+        SeedRegistry::build(Seeds, *Normalized->Info);
+    if (!Registry)
+      return Registry.error();
+    TestSynthesizer Synthesizer(*Registry, *Normalized->Info);
 
-    std::string Shape = formatString(
-        "%s.%s|%s.%s|%s|%s|%s", Pair.First.ClassName.c_str(),
-        Pair.First.Method.c_str(), Pair.Second.ClassName.c_str(),
-        Pair.Second.Method.c_str(), Plan.First.EffectivePath.str().c_str(),
-        Plan.Second.EffectivePath.str().c_str(),
-        Plan.SharedClassName.c_str());
+    // One test per unique sharing shape; multiple pairs map onto one test
+    // (the paper synthesizes 15 tests for C1's 65 pairs).
+    std::map<std::string, size_t> TestByShape;
 
-    auto Existing = TestByShape.find(Shape);
-    if (Existing != TestByShape.end()) {
-      SynthesizedTestInfo &Test = Out.Tests[Existing->second];
-      Test.CoveredPairKeys.push_back(Pair.key());
-      Test.CandidateLabels.emplace_back(Pair.First.AccessLabel,
+    for (const RacyPair &Pair : Out.Pairs) {
+      SharingPlan Plan;
+      {
+        obs::Span DeriveSpan("derive");
+        Plan = Deriver.deriveSharing(Pair);
+      }
+      if (!Options.EnableContextDerivation) {
+        // Ablation: strip all constraints; both sides get fresh instances.
+        auto Fresh = [&](SharingPlan::Side &Side, const RacySide &RS) {
+          Side.Plan = std::make_unique<ProvidePlan>();
+          Side.Plan->K = ProvidePlan::Kind::FromSeed;
+          Side.Plan->ClassName = Deriver.rootClassOf(RS);
+          Side.EffectivePath = AccessPath(RS.BasePath.Root, {});
+        };
+        Fresh(Plan.First, Pair.First);
+        Fresh(Plan.Second, Pair.Second);
+        Plan.Complete = false;
+      }
+
+      std::string Shape = formatString(
+          "%s.%s|%s.%s|%s|%s|%s", Pair.First.ClassName.c_str(),
+          Pair.First.Method.c_str(), Pair.Second.ClassName.c_str(),
+          Pair.Second.Method.c_str(), Plan.First.EffectivePath.str().c_str(),
+          Plan.Second.EffectivePath.str().c_str(),
+          Plan.SharedClassName.c_str());
+
+      auto Existing = TestByShape.find(Shape);
+      if (Existing != TestByShape.end()) {
+        SynthesizedTestInfo &Test = Out.Tests[Existing->second];
+        Test.CoveredPairKeys.push_back(Pair.key());
+        Test.CandidateLabels.emplace_back(Pair.First.AccessLabel,
+                                          Pair.Second.AccessLabel);
+        Metrics.counter("synth.pairs_deduped").inc();
+        continue;
+      }
+      if (Options.MaxTests && Out.Tests.size() >= Options.MaxTests) {
+        Out.Skipped.push_back({Pair.key(), SkipReason::TestBudget, ""});
+        countSkip(SkipReason::TestBudget);
+        continue;
+      }
+
+      std::string Name = formatString(
+          "%s_%03zu", Options.TestNamePrefix.c_str(), Out.Tests.size());
+      Result<std::unique_ptr<TestDecl>> Test =
+          Synthesizer.synthesize(Pair, Plan, Name);
+      if (!Test) {
+        SkipReason Reason = classifySkip(Test.error());
+        NARADA_LOG_DEBUG("skip %s (%s): %s", Pair.key().c_str(),
+                         skipReasonId(Reason), Test.error().str().c_str());
+        Out.Skipped.push_back(
+            {Pair.key(), Reason, Test.error().str()});
+        countSkip(Reason);
+        continue;
+      }
+
+      SynthesizedTestInfo Info;
+      Info.Name = Name;
+      Info.SourceText = printTest(**Test);
+      Info.Representative = Pair;
+      Info.CoveredPairKeys.push_back(Pair.key());
+      Info.ContextComplete = Plan.Complete;
+      Info.SharedClassName = Plan.SharedClassName;
+      Info.Field = Pair.Field;
+      Info.CandidateLabels.emplace_back(Pair.First.AccessLabel,
                                         Pair.Second.AccessLabel);
-      continue;
+      SynthesizedSource += Info.SourceText + "\n";
+      TestByShape[Shape] = Out.Tests.size();
+      Out.Tests.push_back(std::move(Info));
+      Metrics.counter("synth.tests_synthesized").inc();
+      if (!Plan.Complete)
+        Metrics.counter("synth.tests_partial_context").inc();
     }
-    if (Options.MaxTests && Out.Tests.size() >= Options.MaxTests)
-      continue;
-
-    std::string Name = formatString("%s_%03zu", Options.TestNamePrefix.c_str(),
-                                    Out.Tests.size());
-    Result<std::unique_ptr<TestDecl>> Test =
-        Synthesizer.synthesize(Pair, Plan, Name);
-    if (!Test) {
-      Out.Skipped.push_back(Pair.key() + ": " + Test.error().str());
-      continue;
-    }
-
-    SynthesizedTestInfo Info;
-    Info.Name = Name;
-    Info.SourceText = printTest(**Test);
-    Info.Representative = Pair;
-    Info.CoveredPairKeys.push_back(Pair.key());
-    Info.ContextComplete = Plan.Complete;
-    Info.SharedClassName = Plan.SharedClassName;
-    Info.Field = Pair.Field;
-    Info.CandidateLabels.emplace_back(Pair.First.AccessLabel,
-                                      Pair.Second.AccessLabel);
-    SynthesizedSource += Info.SourceText + "\n";
-    TestByShape[Shape] = Out.Tests.size();
-    Out.Tests.push_back(std::move(Info));
+    NARADA_LOG_INFO("synth: %zu tests from %zu pairs (%zu skipped)",
+                    Out.Tests.size(), Out.Pairs.size(), Out.Skipped.size());
   }
 
   // Final pass: compile library + seeds + synthesized tests together.
-  Result<CompiledProgram> Final =
-      compileProgram(NormalizedSource + "\n" + SynthesizedSource);
-  if (!Final)
-    return Error("internal: synthesized tests failed to compile: " +
-                 Final.error().str() + "\n--- source ---\n" +
-                 SynthesizedSource);
-  Out.Program = Final.take();
-  Out.SynthesisSeconds = SynthesisTimer.seconds();
+  {
+    obs::Span RecompileSpan("recompile", &Out.Stages.RecompileSeconds);
+    Result<CompiledProgram> Final =
+        compileProgram(NormalizedSource + "\n" + SynthesizedSource);
+    if (!Final)
+      return Error("internal: synthesized tests failed to compile: " +
+                   Final.error().str() + "\n--- source ---\n" +
+                   SynthesizedSource);
+    Out.Program = Final.take();
+  }
   return Out;
 }

@@ -59,6 +59,46 @@ struct SynthesizedTestInfo {
   std::vector<std::pair<std::string, std::string>> CandidateLabels;
 };
 
+/// Why a racy pair did not get its own synthesized test.  Stable ids (see
+/// skipReasonId) key the "synth.pairs_skipped.<reason>" counters so run
+/// reports aggregate skip causes instead of carrying free-form strings.
+enum class SkipReason {
+  NoSeedProvider,     ///< No seed test builds an instance of a needed class.
+  NoSeedCallSite,     ///< No seed invocation to template a required call on.
+  DerivationMismatch, ///< The derived plan could not be realized on the
+                      ///< seed material (parameter/normalization mismatch).
+  TestBudget,         ///< Options.MaxTests cap reached.
+  Other,              ///< Anything else (kept for forward compatibility).
+};
+
+/// The stable snake_case id of \p Reason ("no_seed_provider", ...).
+const char *skipReasonId(SkipReason Reason);
+
+/// One pair that was not synthesized: which, why, and the detail message.
+struct SkippedPair {
+  std::string PairKey;
+  SkipReason Reason = SkipReason::Other;
+  std::string Message; ///< Human-readable detail (empty for TestBudget).
+
+  /// "pair-key: reason-id: message" for logs and diagnostics.
+  std::string str() const;
+};
+
+/// Per-stage wall times of one runNarada call, accumulated by the obs
+/// spans that time the run (support/Timer is the single clock source).
+struct NaradaStageTimes {
+  double FrontendSeconds = 0.0;  ///< Library + seed compilation passes.
+  double AnalysisSeconds = 0.0;  ///< Seed execution + trace analysis.
+  double PairGenSeconds = 0.0;   ///< Candidate racy-pair generation.
+  double SynthesisSeconds = 0.0; ///< Context derivation + test emission.
+  double RecompileSeconds = 0.0; ///< Final library+tests compilation.
+
+  double totalSeconds() const {
+    return FrontendSeconds + AnalysisSeconds + PairGenSeconds +
+           SynthesisSeconds + RecompileSeconds;
+  }
+};
+
 /// Everything the pipeline produces.
 struct NaradaResult {
   /// The final compiled program: library + normalized seeds + synthesized
@@ -67,10 +107,9 @@ struct NaradaResult {
   AnalysisResult Analysis;
   std::vector<RacyPair> Pairs;
   std::vector<SynthesizedTestInfo> Tests;
-  /// Pairs that could not be synthesized, with reasons (diagnostic).
-  std::vector<std::string> Skipped;
-  double AnalysisSeconds = 0.0;
-  double SynthesisSeconds = 0.0;
+  /// Pairs that could not be synthesized, with structured reasons.
+  std::vector<SkippedPair> Skipped;
+  NaradaStageTimes Stages;
 };
 
 /// Runs the full pipeline on \p LibrarySource using the tests named in

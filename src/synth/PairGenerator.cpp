@@ -6,6 +6,7 @@
 
 #include "synth/PairGenerator.h"
 
+#include "obs/Metrics.h"
 #include "support/StringUtils.h"
 
 #include <map>
@@ -61,15 +62,22 @@ bool narada::locksCollideUnderSharing(const AccessRecord &A,
 std::vector<RacyPair>
 narada::generatePairs(const AnalysisResult &Analysis,
                       const PairGenOptions &Options) {
+  obs::MetricsRegistry &Metrics = obs::MetricsRegistry::global();
+
   // Group accesses by the field they touch.
   std::map<std::string, std::vector<const AccessRecord *>> ByField;
   for (const AccessRecord &R : Analysis.Accesses) {
     if (!Options.FocusClass.empty() && R.ClassName != Options.FocusClass)
       continue;
-    if (Options.DiscardConstructorAccesses && R.InConstructor)
+    if (Options.DiscardConstructorAccesses && R.InConstructor) {
+      Metrics.counter("pairgen.accesses_dropped.constructor").inc();
       continue;
-    if (!R.BasePath)
-      continue; // Not controllable: a client cannot stage the sharing.
+    }
+    if (!R.BasePath) {
+      // Not controllable: a client cannot stage the sharing.
+      Metrics.counter("pairgen.accesses_dropped.uncontrollable").inc();
+      continue;
+    }
     ByField[R.FieldClassName + "." + R.Field].push_back(&R);
   }
 
@@ -91,10 +99,15 @@ narada::generatePairs(const AnalysisResult &Analysis,
       if (!A->Unprotected)
         continue; // Every pair is anchored on an unprotected access.
       for (const AccessRecord *B : Records) {
-        if (!A->IsWrite && !B->IsWrite)
+        if (!A->IsWrite && !B->IsWrite) {
+          Metrics.counter("pairgen.candidates_rejected.read_read").inc();
           continue; // Read-read never races.
-        if (locksCollideUnderSharing(*A, *B))
+        }
+        if (locksCollideUnderSharing(*A, *B)) {
+          Metrics.counter("pairgen.candidates_rejected.lock_collision")
+              .inc();
           continue;
+        }
 
         RacyPair Pair;
         Pair.First = MakeSide(*A);

@@ -92,7 +92,8 @@ TEST_P(CorpusTest, PipelineProducesPairsAndTests) {
   EXPECT_FALSE(R.Tests.empty()) << E.Id;
   EXPECT_LE(R.Tests.size(), R.Pairs.size()) << E.Id;
   EXPECT_TRUE(R.Skipped.empty())
-      << E.Id << " first skip: " << (R.Skipped.empty() ? "" : R.Skipped[0]);
+      << E.Id << " first skip: "
+      << (R.Skipped.empty() ? std::string() : R.Skipped[0].str());
 }
 
 TEST_P(CorpusTest, SynthesizedTestsTerminate) {

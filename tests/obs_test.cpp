@@ -1,0 +1,209 @@
+//===- tests/obs_test.cpp - Observability layer unit tests ---------------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+#include "obs/Log.h"
+#include "obs/Metrics.h"
+#include "obs/RunReport.h"
+#include "obs/Span.h"
+
+#include <gtest/gtest.h>
+
+using namespace narada;
+using namespace narada::obs;
+
+namespace {
+
+TEST(MetricsRegistryTest, CounterHandlesAreStableAndShared) {
+  MetricsRegistry R;
+  Counter &A = R.counter("x.events");
+  Counter &B = R.counter("x.events");
+  EXPECT_EQ(&A, &B) << "same name must resolve to the same counter";
+
+  A.inc();
+  B.inc(4);
+  EXPECT_EQ(A.value(), 5u);
+  EXPECT_EQ(R.snapshot().counter("x.events"), 5u);
+  EXPECT_EQ(R.snapshot().counter("never.registered"), 0u);
+}
+
+TEST(MetricsRegistryTest, GaugeMovesBothWays) {
+  MetricsRegistry R;
+  Gauge &G = R.gauge("x.live");
+  G.set(10);
+  G.add(-3);
+  EXPECT_EQ(G.value(), 7);
+  auto S = R.snapshot();
+  ASSERT_TRUE(S.Gauges.count("x.live"));
+  EXPECT_EQ(S.Gauges.at("x.live"), 7);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesButKeepsHandlesValid) {
+  MetricsRegistry R;
+  Counter &C = R.counter("x.n");
+  C.inc(42);
+  R.addPhase("x.phase", 1.5);
+  R.reset();
+  EXPECT_EQ(C.value(), 0u);
+  EXPECT_EQ(R.snapshot().phaseSeconds("x.phase"), 0.0);
+  C.inc(); // The old reference still feeds the same registry slot.
+  EXPECT_EQ(R.snapshot().counter("x.n"), 1u);
+}
+
+TEST(HistogramTest, BucketsByUpperBoundWithOverflow) {
+  MetricsRegistry R;
+  Histogram &H = R.histogram("x.h", {10, 100, 1000});
+  ASSERT_EQ(H.numBuckets(), 4u);
+
+  H.observe(5);    // <= 10
+  H.observe(10);   // <= 10 (bounds are inclusive upper limits)
+  H.observe(11);   // <= 100
+  H.observe(1000); // <= 1000
+  H.observe(5000); // overflow
+
+  EXPECT_EQ(H.bucketCount(0), 2u);
+  EXPECT_EQ(H.bucketCount(1), 1u);
+  EXPECT_EQ(H.bucketCount(2), 1u);
+  EXPECT_EQ(H.bucketCount(3), 1u);
+  EXPECT_EQ(H.count(), 5u);
+  EXPECT_EQ(H.sum(), 5u + 10 + 11 + 1000 + 5000);
+  EXPECT_EQ(H.max(), 5000u);
+}
+
+TEST(HistogramTest, UnsortedBoundsAreSortedAndDeduped) {
+  MetricsRegistry R;
+  Histogram &H = R.histogram("x.h2", {100, 10, 100});
+  ASSERT_EQ(H.bounds().size(), 2u);
+  EXPECT_EQ(H.bounds()[0], 10u);
+  EXPECT_EQ(H.bounds()[1], 100u);
+}
+
+TEST(SpanTest, PathsNestAndAccumulateIntoPhases) {
+  MetricsRegistry R;
+  {
+    Span Outer("pipeline", nullptr, R);
+    EXPECT_EQ(Outer.path(), "pipeline");
+    EXPECT_EQ(Span::currentPath(), "pipeline");
+    {
+      Span Inner("analyze", nullptr, R);
+      EXPECT_EQ(Inner.path(), "pipeline.analyze");
+      { Span Leaf("trace", nullptr, R); }
+      { Span Leaf("trace", nullptr, R); }
+    }
+    EXPECT_EQ(Span::currentPath(), "pipeline");
+  }
+  EXPECT_EQ(Span::currentPath(), "");
+
+  auto S = R.snapshot();
+  ASSERT_TRUE(S.Phases.count("pipeline"));
+  ASSERT_TRUE(S.Phases.count("pipeline.analyze"));
+  ASSERT_TRUE(S.Phases.count("pipeline.analyze.trace"));
+  EXPECT_EQ(S.Phases.at("pipeline").Count, 1u);
+  EXPECT_EQ(S.Phases.at("pipeline.analyze.trace").Count, 2u);
+  // An enclosing span covers at least its children's wall time.
+  EXPECT_GE(S.phaseSeconds("pipeline"), S.phaseSeconds("pipeline.analyze"));
+}
+
+TEST(SpanTest, AccumSecondsAddsAcrossSpans) {
+  MetricsRegistry R;
+  double Total = 0.0;
+  { Span A("a", &Total, R); }
+  double AfterFirst = Total;
+  EXPECT_GE(AfterFirst, 0.0);
+  { Span A("a", &Total, R); }
+  EXPECT_GE(Total, AfterFirst) << "out-param accumulates, not assigns";
+  EXPECT_EQ(R.snapshot().Phases.at("a").Count, 2u);
+}
+
+TEST(JsonTest, WriterEscapesAndParserRoundTrips) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("name").value("line\none \"quoted\" \\ tab\t");
+  W.key("n").value(uint64_t{18446744073709551615ull});
+  W.key("neg").value(int64_t{-42});
+  W.key("pi").value(3.25);
+  W.key("flag").value(true);
+  W.key("nothing").null();
+  W.key("list").beginArray().value(uint64_t{1}).value(uint64_t{2}).endArray();
+  W.key("nested").beginObject().key("k").value("v").endObject();
+  W.endObject();
+
+  std::optional<JsonValue> V = parseJson(W.str());
+  ASSERT_TRUE(V.has_value()) << W.str();
+  ASSERT_TRUE(V->isObject());
+  EXPECT_EQ(V->find("name")->StringVal, "line\none \"quoted\" \\ tab\t");
+  EXPECT_EQ(V->find("neg")->numberOr(0), -42.0);
+  EXPECT_EQ(V->find("pi")->numberOr(0), 3.25);
+  EXPECT_TRUE(V->find("flag")->BoolVal);
+  EXPECT_EQ(V->find("nothing")->K, JsonValue::Kind::Null);
+  ASSERT_TRUE(V->find("list")->isArray());
+  EXPECT_EQ(V->find("list")->Elements.size(), 2u);
+  const JsonValue *Nested = V->at({"nested", "k"});
+  ASSERT_NE(Nested, nullptr);
+  EXPECT_EQ(Nested->StringVal, "v");
+}
+
+TEST(JsonTest, ParserRejectsMalformedInput) {
+  EXPECT_FALSE(parseJson("{").has_value());
+  EXPECT_FALSE(parseJson("{} trailing").has_value());
+  EXPECT_FALSE(parseJson("{\"a\":}").has_value());
+  EXPECT_FALSE(parseJson("[1,]").has_value());
+  EXPECT_TRUE(parseJson(" { \"a\" : [ 1 , 2 ] } ").has_value());
+}
+
+TEST(RunReportTest, RendersMetaAndMetricsAndRoundTrips) {
+  MetricsRegistry R;
+  R.counter("synth.pairs_generated").inc(65);
+  R.counter("detect.schedules_explored").inc(120);
+  R.histogram("runtime.steps_per_run", {100, 1000}).observe(250);
+  R.addPhase("pipeline", 1.25);
+  R.addPhase("pipeline.analyze", 0.5);
+
+  RunMeta Meta;
+  Meta.Tool = "narada-cli";
+  Meta.Command = "detect";
+  Meta.Input = "corpus:C1";
+  Meta.CorpusId = "C1";
+  Meta.FocusClass = "BoundedBuffer";
+  Meta.Seed = 7;
+  Meta.addOption("random_runs", "6");
+
+  std::optional<JsonValue> V = parseJson(renderRunReport(Meta, R.snapshot()));
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(V->find("schema")->StringVal, "narada.run_report/v1");
+  EXPECT_EQ(V->find("tool")->StringVal, "narada-cli");
+  EXPECT_EQ(V->find("corpus_id")->StringVal, "C1");
+  EXPECT_EQ(V->find("seed")->numberOr(0), 7.0);
+  EXPECT_EQ(V->at({"options", "random_runs"})->StringVal, "6");
+  EXPECT_EQ(
+      V->at({"counters", "synth.pairs_generated"})->numberOr(0), 65.0);
+  EXPECT_EQ(V->at({"phases", "pipeline", "seconds"})->numberOr(0), 1.25);
+  EXPECT_EQ(V->at({"phases", "pipeline", "count"})->numberOr(0), 1.0);
+  const JsonValue *Hist =
+      V->at({"histograms", "runtime.steps_per_run", "bucket_counts"});
+  ASSERT_NE(Hist, nullptr);
+  ASSERT_EQ(Hist->Elements.size(), 3u); // two bounds + overflow.
+  EXPECT_EQ(Hist->Elements[1].numberOr(0), 1.0); // 250 lands in (100, 1000].
+}
+
+TEST(LogTest, LevelParsingAndMacroGating) {
+  LogLevel Saved = logLevel();
+  setLogLevel(LogLevel::Off);
+  EXPECT_FALSE(logEnabled(LogLevel::Warn));
+  // Disabled macros must not evaluate their arguments.
+  int Evals = 0;
+  auto Count = [&Evals]() { return ++Evals; };
+  NARADA_LOG_DEBUG("never %d", Count());
+  EXPECT_EQ(Evals, 0);
+
+  setLogLevel(LogLevel::Info);
+  EXPECT_TRUE(logEnabled(LogLevel::Warn));
+  EXPECT_TRUE(logEnabled(LogLevel::Info));
+  EXPECT_FALSE(logEnabled(LogLevel::Debug));
+  setLogLevel(Saved);
+}
+
+} // namespace

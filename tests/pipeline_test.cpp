@@ -8,6 +8,10 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "corpus/Corpus.h"
+#include "detect/Detection.h"
+#include "obs/Json.h"
+#include "obs/RunReport.h"
 #include "synth/Narada.h"
 
 #include <gtest/gtest.h>
@@ -179,4 +183,42 @@ TEST(PipelineTest, AnalysisRecordsOutliveTheIntermediateModule) {
     EXPECT_NE(A.staticLabel().find(':'), std::string::npos)
         << A.staticLabel();
   }
+}
+
+TEST(PipelineTest, RunReportCoversSynthesisAndDetection) {
+  // End-to-end observability: run synthesis + detection on a corpus class
+  // and check the rendered run report carries real work in its counters.
+  obs::MetricsRegistry::global().reset();
+
+  const CorpusEntry *Entry = findCorpusEntry("C9");
+  ASSERT_NE(Entry, nullptr);
+  NaradaOptions Options;
+  Options.FocusClass = Entry->ClassName;
+  Result<NaradaResult> R =
+      runNarada(Entry->Source, Entry->SeedNames, Options);
+  ASSERT_TRUE(R.hasValue()) << R.error().str();
+  ASSERT_FALSE(R->Tests.empty());
+
+  DetectOptions Detect;
+  Detect.RandomRuns = 3;
+  Detect.ConfirmAttempts = 1;
+  const SynthesizedTestInfo &T = R->Tests[0];
+  Result<TestDetectionResult> D = detectRacesInTest(
+      *R->Program.Module, T.Name, Detect, T.CandidateLabels);
+  ASSERT_TRUE(D.hasValue()) << D.error().str();
+
+  obs::RunMeta Meta;
+  Meta.Tool = "pipeline_test";
+  Meta.CorpusId = Entry->Id;
+  std::optional<obs::JsonValue> Report =
+      obs::parseJson(obs::renderRunReport(Meta));
+  ASSERT_TRUE(Report.has_value());
+  auto NumberAt = [&](std::initializer_list<const char *> Path) {
+    const obs::JsonValue *V = Report->at(Path);
+    return V ? V->numberOr(-1) : -1.0;
+  };
+  EXPECT_GT(NumberAt({"counters", "synth.pairs_generated"}), 0.0);
+  EXPECT_GT(NumberAt({"counters", "detect.schedules_explored"}), 0.0);
+  EXPECT_GT(NumberAt({"counters", "runtime.steps"}), 0.0);
+  EXPECT_GT(NumberAt({"phases", "pipeline", "seconds"}), 0.0);
 }

@@ -32,6 +32,10 @@
 // Corpus shorthand: pass "corpus:C1" instead of a file to load a built-in
 // benchmark (its seeds are implied).
 //
+// Global flags (any command): --report <file.json> writes a structured run
+// report; --stats prints a metrics summary to stderr.  See
+// docs/OBSERVABILITY.md.
+//
 //===----------------------------------------------------------------------===//
 
 #include "analysis/AnalysisPrinter.h"
@@ -39,6 +43,7 @@
 #include "detect/LockOrderDetector.h"
 #include "corpus/Corpus.h"
 #include "detect/Detection.h"
+#include "obs/RunReport.h"
 #include "support/StringUtils.h"
 #include "synth/Narada.h"
 #include "trace/Trace.h"
@@ -61,6 +66,8 @@ struct CliArgs {
   std::string FocusClass;
   uint64_t Seed = 1;
   unsigned Tests = 400;
+  std::string ReportPath;            ///< --report: JSON run report target.
+  bool Stats = false;                ///< --stats: summary on stderr.
 };
 
 int usage() {
@@ -73,7 +80,12 @@ int usage() {
       "  synthesize <file.mj|corpus:Cx> [seed-test]... [--class C]\n"
       "  detect <file.mj|corpus:Cx> [seed-test]... [--class C]\n"
       "  contege <file.mj|corpus:Cx> --class C [--tests N] [--seed N]\n"
-      "  corpus\n");
+      "  corpus\n"
+      "global flags:\n"
+      "  --report <file.json>  write a structured run report\n"
+      "  --stats               print a metrics summary to stderr\n"
+      "  (see docs/OBSERVABILITY.md; NARADA_LOG=debug|info|warn for "
+      "diagnostics)\n");
   return 2;
 }
 
@@ -90,6 +102,15 @@ std::optional<CliArgs> parseArgs(int Argc, char **Argv) {
       Args.Seed = std::stoull(Argv[++I]);
     } else if (Arg == "--tests" && I + 1 < Argc) {
       Args.Tests = static_cast<unsigned>(std::stoul(Argv[++I]));
+    } else if (Arg == "--report" && I + 1 < Argc) {
+      Args.ReportPath = Argv[++I];
+    } else if (Arg == "--stats") {
+      Args.Stats = true;
+    } else if (Arg.rfind("--", 0) == 0) {
+      // A flag we did not consume above: either unknown or missing its value.
+      std::fprintf(stderr, "error: unknown or incomplete option '%s'\n",
+                   Arg.c_str());
+      return std::nullopt;
     } else if (Args.Input.empty()) {
       Args.Input = Arg;
     } else {
@@ -192,8 +213,9 @@ int cmdSynthesize(CliArgs &Args, const std::string &Source) {
   }
   std::printf("// %zu racy pairs -> %zu synthesized tests "
               "(analysis %.3fs, synthesis %.3fs)\n\n",
-              R->Pairs.size(), R->Tests.size(), R->AnalysisSeconds,
-              R->SynthesisSeconds);
+              R->Pairs.size(), R->Tests.size(),
+              R->Stages.AnalysisSeconds + R->Stages.PairGenSeconds,
+              R->Stages.SynthesisSeconds);
   for (const SynthesizedTestInfo &T : R->Tests) {
     std::printf("// covers %zu pair(s); shares %s; context %s\n%s\n",
                 T.CoveredPairKeys.size(), T.SharedClassName.c_str(),
@@ -277,6 +299,42 @@ int cmdCorpus() {
   return 0;
 }
 
+/// Emits the run report and/or stderr stats summary after a command ran.
+void emitObservability(const CliArgs &Args) {
+  if (Args.ReportPath.empty() && !Args.Stats)
+    return;
+  obs::RunMeta Meta;
+  Meta.Tool = "narada-cli";
+  Meta.Command = Args.Command;
+  Meta.Input = Args.Input;
+  if (startsWith(Args.Input, "corpus:"))
+    Meta.CorpusId = Args.Input.substr(7);
+  Meta.FocusClass = Args.FocusClass;
+  Meta.Seed = Args.Seed;
+  if (Args.Command == "contege")
+    Meta.addOption("tests", std::to_string(Args.Tests));
+  if (!Args.ReportPath.empty())
+    obs::writeRunReport(Args.ReportPath, Meta);
+  if (Args.Stats)
+    obs::printRunStats(stderr, obs::MetricsRegistry::global().snapshot());
+}
+
+int runCommand(CliArgs &Args, const std::string &Source) {
+  if (Args.Command == "run")
+    return cmdRun(Args, Source);
+  if (Args.Command == "trace")
+    return cmdTrace(Args, Source);
+  if (Args.Command == "analyze")
+    return cmdAnalyze(Args, Source);
+  if (Args.Command == "synthesize")
+    return cmdSynthesize(Args, Source);
+  if (Args.Command == "detect")
+    return cmdDetect(Args, Source);
+  if (Args.Command == "contege")
+    return cmdContege(Args, Source);
+  return usage();
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -294,17 +352,8 @@ int main(int Argc, char **Argv) {
     return 1;
   }
 
-  if (Args->Command == "run")
-    return cmdRun(*Args, *Source);
-  if (Args->Command == "trace")
-    return cmdTrace(*Args, *Source);
-  if (Args->Command == "analyze")
-    return cmdAnalyze(*Args, *Source);
-  if (Args->Command == "synthesize")
-    return cmdSynthesize(*Args, *Source);
-  if (Args->Command == "detect")
-    return cmdDetect(*Args, *Source);
-  if (Args->Command == "contege")
-    return cmdContege(*Args, *Source);
-  return usage();
+  int Rc = runCommand(*Args, *Source);
+  if (Rc != 2) // Not a usage error: the pipeline actually ran.
+    emitObservability(*Args);
+  return Rc;
 }

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Compare two narada run reports (narada.run_report/v1 JSON documents).
+
+Usage: report-diff.py BASELINE.json CURRENT.json [--threshold PCT]
+
+Prints every phase whose wall time regressed by more than the threshold
+(default 10%) and summarizes counter drift.  Exit status: 0 when no phase
+regression exceeds the threshold, 1 when at least one does, 2 on bad input.
+Tiny phases (< 1ms in both reports) are ignored: their relative timing is
+noise.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "narada.run_report/v1"
+MIN_SECONDS = 0.001  # Phases below this in both reports are noise.
+
+
+def load_report(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: {path}: {e}", file=sys.stderr)
+        raise SystemExit(2)
+    if doc.get("schema") != SCHEMA:
+        print(f"error: {path}: not a {SCHEMA} document", file=sys.stderr)
+        raise SystemExit(2)
+    return doc
+
+
+def phase_seconds(doc):
+    return {
+        name: data.get("seconds", 0.0)
+        for name, data in doc.get("phases", {}).items()
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--threshold", type=float, default=10.0,
+        help="regression threshold in percent (default: 10)")
+    args = parser.parse_args()
+
+    base = load_report(args.baseline)
+    cur = load_report(args.current)
+
+    base_phases = phase_seconds(base)
+    cur_phases = phase_seconds(cur)
+
+    regressions = []
+    for name in sorted(set(base_phases) | set(cur_phases)):
+        before = base_phases.get(name, 0.0)
+        after = cur_phases.get(name, 0.0)
+        if before < MIN_SECONDS and after < MIN_SECONDS:
+            continue
+        if before <= 0.0:
+            continue  # New phase: nothing to compare against.
+        delta_pct = (after - before) / before * 100.0
+        if delta_pct > args.threshold:
+            regressions.append((name, before, after, delta_pct))
+
+    if regressions:
+        print(f"phase regressions over {args.threshold:.0f}%:")
+        for name, before, after, delta_pct in regressions:
+            print(f"  {name:<40} {before:8.4f}s -> {after:8.4f}s "
+                  f"(+{delta_pct:.1f}%)")
+    else:
+        print(f"no phase regression over {args.threshold:.0f}%")
+
+    base_counters = base.get("counters", {})
+    cur_counters = cur.get("counters", {})
+    drifted = [
+        (name, base_counters.get(name, 0), cur_counters.get(name, 0))
+        for name in sorted(set(base_counters) | set(cur_counters))
+        if base_counters.get(name, 0) != cur_counters.get(name, 0)
+    ]
+    if drifted:
+        print(f"counter drift ({len(drifted)} changed):")
+        for name, before, after in drifted:
+            print(f"  {name}: {before} -> {after}")
+
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
