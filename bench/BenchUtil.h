@@ -18,6 +18,7 @@
 #include "detect/Detection.h"
 #include "obs/RunReport.h"
 #include "support/StringUtils.h"
+#include "support/ThreadPool.h"
 #include "synth/Narada.h"
 
 #include <cstdio>
@@ -46,6 +47,15 @@ struct ClassRun {
   std::vector<unsigned> RacesPerTest;
 };
 
+/// Worker-thread count for the bench drivers: the NARADA_JOBS env var
+/// (0 = all hardware threads), defaulting to 1 (serial, the measured
+/// configuration of the paper's tables).
+inline unsigned benchJobs() {
+  if (const char *Env = std::getenv("NARADA_JOBS"))
+    return static_cast<unsigned>(std::strtoul(Env, nullptr, 10));
+  return 1;
+}
+
 /// Runs synthesis for one class; aborts the process with a message on
 /// pipeline errors (benchmarks are not expected to handle them).
 inline ClassRun runSynthesis(const CorpusEntry &Entry,
@@ -55,6 +65,8 @@ inline ClassRun runSynthesis(const CorpusEntry &Entry,
 
   NaradaOptions Options = Extra;
   Options.FocusClass = Entry.ClassName;
+  if (Options.Jobs == 1)
+    Options.Jobs = benchJobs();
 
   Result<NaradaResult> R = runNarada(Entry.Source, Entry.SeedNames, Options);
   if (!R) {
@@ -74,23 +86,27 @@ inline ClassRun runSynthesis(const CorpusEntry &Entry,
   return Out;
 }
 
-/// Runs the detection protocol over every synthesized test of \p Run.
+/// Runs the detection protocol over every synthesized test of \p Run,
+/// fanning tests across NARADA_JOBS workers (aggregation stays in test
+/// order, so the numbers are jobs-independent).
 inline void runDetection(ClassRun &Run, const DetectOptions &Options) {
-  for (const SynthesizedTestInfo &T : Run.Narada.Tests) {
-    Result<TestDetectionResult> D = detectRacesInTest(
-        *Run.Narada.Program.Module, T.Name, Options, T.CandidateLabels);
-    if (!D) {
-      std::fprintf(stderr, "%s/%s: detection error: %s\n",
-                   Run.Entry->Id.c_str(), T.Name.c_str(),
-                   D.error().str().c_str());
-      std::exit(1);
-    }
+  std::vector<TestDetectJob> Jobs;
+  for (const SynthesizedTestInfo &T : Run.Narada.Tests)
+    Jobs.push_back({T.Name, T.CandidateLabels});
+  Result<std::vector<TestDetectionResult>> Results = detectRacesInTests(
+      *Run.Narada.Program.Module, Jobs, Options, benchJobs());
+  if (!Results) {
+    std::fprintf(stderr, "%s: detection error: %s\n", Run.Entry->Id.c_str(),
+                 Results.error().str().c_str());
+    std::exit(1);
+  }
+  for (const TestDetectionResult &D : *Results) {
     std::set<std::string> PerTest;
-    for (const RaceReport &Race : D->Detected) {
+    for (const RaceReport &Race : D.Detected) {
       Run.Detected.insert(Race.key());
       PerTest.insert(Race.key());
     }
-    for (const ConfirmedRace &C : D->Races) {
+    for (const ConfirmedRace &C : D.Races) {
       if (!C.Reproduced)
         continue;
       Run.Detected.insert(C.Report.key());
@@ -141,6 +157,7 @@ public:
   BenchReporter(std::string Tool, int Argc = 0, char **Argv = nullptr) {
     Meta.Tool = std::move(Tool);
     Meta.Command = "bench";
+    Meta.addOption("jobs", std::to_string(benchJobs()));
     for (int I = 1; I < Argc; ++I)
       if (std::string(Argv[I]) == "--report" && I + 1 < Argc)
         Path = Argv[++I];

@@ -30,7 +30,9 @@ using namespace narada::bench;
 
 int main(int Argc, char **Argv) {
   BenchReporter Reporter("table4_synthesis", Argc, Argv);
-  std::printf("Table 4: Synthesized test count and synthesis time\n\n");
+  std::printf("Table 4: Synthesized test count and synthesis time "
+              "(jobs=%u)\n\n",
+              resolveJobs(benchJobs()));
   const std::vector<int> Widths = {-4, 8, 6, 11, 6, 9, 11};
   printRow({"Id", "Methods", "LoC", "Race pairs", "Tests", "Skipped",
             "Time (s)"},

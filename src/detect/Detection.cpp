@@ -11,8 +11,11 @@
 #include "detect/RaceConfirmer.h"
 #include "obs/Log.h"
 #include "obs/Span.h"
+#include "support/StringUtils.h"
+#include "support/ThreadPool.h"
 
 #include <map>
+#include <optional>
 #include <set>
 
 using namespace narada;
@@ -230,5 +233,44 @@ Result<TestDetectionResult> narada::detectRacesInTest(
   Metrics.counter("detect.races_reproduced").inc(Out.reproducedCount());
   Metrics.counter("detect.races_harmful").inc(Out.harmfulCount());
   Metrics.counter("detect.races_benign").inc(Out.benignCount());
+  return Out;
+}
+
+Result<std::vector<TestDetectionResult>> narada::detectRacesInTests(
+    const IRModule &M, const std::vector<TestDetectJob> &Jobs,
+    const DetectOptions &Options, unsigned JobCount) {
+  const unsigned Workers = resolveJobs(JobCount);
+  std::vector<std::optional<Result<TestDetectionResult>>> Slots(Jobs.size());
+
+  auto RunOne = [&](size_t I) {
+    Slots[I].emplace(
+        detectRacesInTest(M, Jobs[I].TestName, Options, Jobs[I].Hints));
+  };
+
+  if (Workers <= 1 || Jobs.size() <= 1) {
+    for (size_t I = 0; I < Jobs.size(); ++I)
+      RunOne(I);
+  } else {
+    // Independent schedule explorations for different tests run
+    // concurrently; each slot is written by exactly one task.
+    obs::SpanParent Parent{obs::Span::currentPath()};
+    std::vector<std::string> WorkerNames;
+    for (unsigned W = 0; W < Workers; ++W)
+      WorkerNames.push_back(formatString("worker%u", W));
+    ThreadPool Pool(Workers);
+    Pool.parallelFor(Jobs.size(), [&](size_t I, unsigned W) {
+      obs::Span WorkerSpan(WorkerNames[W], Parent);
+      RunOne(I);
+    });
+  }
+
+  // Merge in input order; surface the first error deterministically.
+  std::vector<TestDetectionResult> Out;
+  Out.reserve(Jobs.size());
+  for (std::optional<Result<TestDetectionResult>> &Slot : Slots) {
+    if (!Slot->hasValue())
+      return Slot->error();
+    Out.push_back(Slot->take());
+  }
   return Out;
 }

@@ -74,6 +74,24 @@ detectRacesInTest(const IRModule &M, const std::string &TestName,
                   const std::vector<std::pair<std::string, std::string>>
                       &Hints = {});
 
+/// One unit of the parallel detection stage: a test and its synthesizer
+/// hint pairs.
+struct TestDetectJob {
+  std::string TestName;
+  std::vector<std::pair<std::string, std::string>> Hints;
+};
+
+/// Runs detectRacesInTest for every job on \p JobCount worker threads
+/// (1 = inline on the calling thread, 0 = one per hardware thread).  Each
+/// test's schedule exploration is an independent deterministic function of
+/// (module, test, options) — the VM is rebuilt per run over the shared
+/// read-only module — so results are returned in input order and are
+/// identical for every JobCount.  On failure the first error in input
+/// order is returned.
+Result<std::vector<TestDetectionResult>>
+detectRacesInTests(const IRModule &M, const std::vector<TestDetectJob> &Jobs,
+                   const DetectOptions &Options = {}, unsigned JobCount = 1);
+
 } // namespace narada
 
 #endif // NARADA_DETECT_DETECTION_H

@@ -28,6 +28,19 @@ Span::Span(std::string_view Name, double *AccumSeconds,
   Clock.restart(); // Start the clock after the bookkeeping, not before.
 }
 
+Span::Span(std::string_view Name, const SpanParent &ExplicitParent,
+           MetricsRegistry &Registry)
+    : Registry(Registry), AccumSeconds(nullptr), Parent(CurrentSpan) {
+  if (!ExplicitParent.Path.empty()) {
+    Path.reserve(ExplicitParent.Path.size() + 1 + Name.size());
+    Path += ExplicitParent.Path;
+    Path += '.';
+  }
+  Path += Name;
+  CurrentSpan = this;
+  Clock.restart();
+}
+
 Span::~Span() {
   double Elapsed = Clock.seconds();
   Registry.addPhase(Path, Elapsed);

@@ -32,6 +32,20 @@
 namespace narada {
 namespace obs {
 
+/// An explicit parent path for spans opened on a different thread than the
+/// phase they belong to.  Worker threads have no open spans of their own,
+/// so the submitting thread captures Span::currentPath() and each worker
+/// task roots its spans under it:
+///
+///   // submitting thread, inside "pipeline.synth":
+///   SpanParent Parent{obs::Span::currentPath()};
+///   // worker thread:
+///   Span W("worker3", Parent);            // pipeline.synth.worker3
+///   { Span D("derive"); ... }             // pipeline.synth.worker3.derive
+struct SpanParent {
+  std::string Path;
+};
+
 /// Times one phase from construction to destruction.
 class Span {
 public:
@@ -40,6 +54,12 @@ public:
   /// elapsed seconds (added, not assigned, so loops accumulate).
   explicit Span(std::string_view Name, double *AccumSeconds = nullptr,
                 MetricsRegistry &Registry = MetricsRegistry::global());
+
+  /// Opens a span under the explicit \p Parent path instead of this
+  /// thread's innermost span (cross-thread phase propagation).  Nested
+  /// spans opened on the same thread chain under this one as usual.
+  Span(std::string_view Name, const SpanParent &Parent,
+       MetricsRegistry &Registry = MetricsRegistry::global());
   ~Span();
 
   Span(const Span &) = delete;

@@ -1,0 +1,193 @@
+//===- support/ThreadPool.h - Work-stealing thread pool ---------*- C++ -*-===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small work-stealing executor for the embarrassingly parallel per-pair
+/// and per-test stages of the pipeline.  Each worker owns a deque of tasks:
+/// it pops from the back of its own deque (LIFO, cache-friendly) and steals
+/// from the front of a victim's deque (FIFO, coarse units first) when its
+/// own runs dry.  Determinism is the callers' problem by construction: the
+/// pool promises only that every submitted task runs exactly once; callers
+/// write results into pre-sized slots and merge them in canonical order
+/// (see synth/ParallelDriver).
+///
+/// The deques are mutex-guarded rather than lock-free: tasks here are
+/// whole-pair derivations and whole-test schedule explorations (micro- to
+/// milliseconds), so queue overhead is noise, and mutexes keep the pool
+/// trivially clean under ThreadSanitizer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NARADA_SUPPORT_THREADPOOL_H
+#define NARADA_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace narada {
+
+/// Resolves a --jobs/NARADA_JOBS request: 0 means "all hardware threads".
+inline unsigned resolveJobs(unsigned Requested) {
+  if (Requested != 0)
+    return Requested;
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW == 0 ? 1 : HW;
+}
+
+/// A fixed-size work-stealing thread pool.  Construct with the worker
+/// count; destruction drains nothing — join only happens once all
+/// parallelFor calls returned (the pool is used scoped, per stage).
+class ThreadPool {
+public:
+  explicit ThreadPool(unsigned Workers)
+      : Queues(Workers == 0 ? 1 : Workers) {
+    unsigned N = static_cast<unsigned>(Queues.size());
+    for (auto &Q : Queues)
+      Q = std::make_unique<WorkerQueue>();
+    Threads.reserve(N);
+    for (unsigned I = 0; I < N; ++I)
+      Threads.emplace_back([this, I] { workerLoop(I); });
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> Lock(SleepM);
+      Stopping = true;
+    }
+    SleepCV.notify_all();
+    for (std::thread &T : Threads)
+      T.join();
+  }
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(Threads.size()); }
+
+  /// Runs Body(Item, Worker) for every Item in [0, N), distributing items
+  /// round-robin over the worker deques and blocking until all complete.
+  /// Worker is the executing worker's index in [0, size()) — callers use
+  /// it to pick per-worker scratch state without locking.  Body must not
+  /// throw (the pipeline reports failures through Result values written
+  /// into per-item slots).
+  void parallelFor(size_t N,
+                   const std::function<void(size_t, unsigned)> &Body) {
+    if (N == 0)
+      return;
+    Batch B;
+    B.Remaining.store(N, std::memory_order_relaxed);
+    // Round-robin seeding spreads the canonical index range over the
+    // deques so early stealing is rarely needed for balanced loads.
+    for (size_t Item = 0; Item < N; ++Item) {
+      WorkerQueue &Q = *Queues[Item % Queues.size()];
+      std::lock_guard<std::mutex> Lock(Q.M);
+      Q.Tasks.push_back(Task{&B, &Body, Item});
+    }
+    {
+      // Bump the submission ticket under the sleep lock so a worker that
+      // scanned empty deques before the pushes above cannot go to sleep
+      // without observing the new work (see workerLoop).
+      std::lock_guard<std::mutex> Lock(SleepM);
+      ++SubmitTicket;
+    }
+    SleepCV.notify_all();
+    std::unique_lock<std::mutex> Lock(B.DoneM);
+    B.DoneCV.wait(Lock, [&B] {
+      return B.Remaining.load(std::memory_order_acquire) == 0;
+    });
+  }
+
+private:
+  struct Batch {
+    std::atomic<size_t> Remaining{0};
+    std::mutex DoneM;
+    std::condition_variable DoneCV;
+  };
+
+  struct Task {
+    Batch *Owner = nullptr;
+    const std::function<void(size_t, unsigned)> *Body = nullptr;
+    size_t Item = 0;
+  };
+
+  struct WorkerQueue {
+    std::mutex M;
+    std::deque<Task> Tasks;
+  };
+
+  bool popOwn(unsigned Worker, Task &Out) {
+    WorkerQueue &Q = *Queues[Worker];
+    std::lock_guard<std::mutex> Lock(Q.M);
+    if (Q.Tasks.empty())
+      return false;
+    Out = Q.Tasks.back();
+    Q.Tasks.pop_back();
+    return true;
+  }
+
+  bool steal(unsigned Thief, Task &Out) {
+    for (size_t Offset = 1; Offset < Queues.size(); ++Offset) {
+      WorkerQueue &Victim = *Queues[(Thief + Offset) % Queues.size()];
+      std::lock_guard<std::mutex> Lock(Victim.M);
+      if (Victim.Tasks.empty())
+        continue;
+      Out = Victim.Tasks.front();
+      Victim.Tasks.pop_front();
+      return true;
+    }
+    return false;
+  }
+
+  void runTask(const Task &T, unsigned Worker) {
+    (*T.Body)(T.Item, Worker);
+    if (T.Owner->Remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> Lock(T.Owner->DoneM);
+      T.Owner->DoneCV.notify_all();
+    }
+  }
+
+  void workerLoop(unsigned Worker) {
+    uint64_t SeenTicket = 0;
+    for (;;) {
+      Task T;
+      if (popOwn(Worker, T) || steal(Worker, T)) {
+        runTask(T, Worker);
+        continue;
+      }
+      std::unique_lock<std::mutex> Lock(SleepM);
+      if (Stopping)
+        return;
+      // Sleep only if no submission happened since our (empty) scan of the
+      // deques started; parallelFor bumps the ticket under this lock after
+      // pushing, so the wake-up cannot be lost.
+      if (SubmitTicket == SeenTicket)
+        SleepCV.wait(Lock, [this, SeenTicket] {
+          return Stopping || SubmitTicket != SeenTicket;
+        });
+      if (Stopping)
+        return;
+      SeenTicket = SubmitTicket;
+    }
+  }
+
+  std::vector<std::unique_ptr<WorkerQueue>> Queues;
+  std::vector<std::thread> Threads;
+  std::mutex SleepM;
+  std::condition_variable SleepCV;
+  uint64_t SubmitTicket = 0;
+  bool Stopping = false;
+};
+
+} // namespace narada
+
+#endif // NARADA_SUPPORT_THREADPOOL_H

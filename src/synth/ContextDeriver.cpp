@@ -9,7 +9,56 @@
 #include "obs/Metrics.h"
 #include "support/StringUtils.h"
 
+#include <functional>
+
 using namespace narada;
+
+std::unique_ptr<ProvidePlan> ProvidePlan::clone() const {
+  auto Out = std::make_unique<ProvidePlan>();
+  Out->K = K;
+  Out->ClassName = ClassName;
+  Out->Method = Method;
+  Out->ConstrainedParam = ConstrainedParam;
+  Out->Complete = Complete;
+  if (Base)
+    Out->Base = Base->clone();
+  if (Value)
+    Out->Value = Value->clone();
+  return Out;
+}
+
+std::string DerivationMemo::key(const std::string &ClassName,
+                                const std::vector<std::string> &Fields,
+                                unsigned Depth) {
+  std::string Key = ClassName;
+  Key += '|';
+  for (const std::string &Field : Fields) {
+    Key += Field;
+    Key += '.';
+  }
+  Key += '|';
+  Key += std::to_string(Depth);
+  return Key;
+}
+
+DerivationMemo::Shard &DerivationMemo::shardFor(const std::string &Key) const {
+  return Shards[std::hash<std::string>{}(Key) % NumShards];
+}
+
+std::unique_ptr<ProvidePlan> DerivationMemo::lookup(const std::string &Key) const {
+  Shard &S = shardFor(Key);
+  std::lock_guard<std::mutex> Lock(S.M);
+  auto It = S.Map.find(Key);
+  if (It == S.Map.end())
+    return nullptr;
+  return It->second->clone();
+}
+
+void DerivationMemo::insert(const std::string &Key, const ProvidePlan &Plan) {
+  Shard &S = shardFor(Key);
+  std::lock_guard<std::mutex> Lock(S.M);
+  S.Map.try_emplace(Key, Plan.clone());
+}
 
 std::string ProvidePlan::str() const {
   switch (K) {
@@ -111,6 +160,27 @@ std::unique_ptr<ProvidePlan>
 ContextDeriver::derive(const std::string &ClassName,
                        const std::vector<std::string> &Fields,
                        unsigned Depth) const {
+  return deriveImpl(ClassName, Fields, Depth,
+                    SelectionRand ? &*SelectionRand : nullptr);
+}
+
+std::unique_ptr<ProvidePlan>
+ContextDeriver::deriveImpl(const std::string &ClassName,
+                           const std::vector<std::string> &Fields,
+                           unsigned Depth, RNG *Rand) const {
+  // Memo hits are only sound when the derivation is deterministic: with a
+  // selection stream active the result would depend on which pair (and
+  // which draw) populated the entry.
+  std::string MemoKey;
+  if (Memo && !Rand && !Fields.empty()) {
+    MemoKey = DerivationMemo::key(ClassName, Fields, Depth);
+    if (std::unique_ptr<ProvidePlan> Hit = Memo->lookup(MemoKey)) {
+      obs::MetricsRegistry::global().counter("synth.qmemo_hits").inc();
+      return Hit;
+    }
+    obs::MetricsRegistry::global().counter("synth.qmemo_misses").inc();
+  }
+
   if (Fields.empty()) {
     auto Plan = std::make_unique<ProvidePlan>();
     Plan->K = ProvidePlan::Kind::SharedObject;
@@ -141,7 +211,7 @@ ContextDeriver::derive(const std::string &ClassName,
       Needed.insert(Needed.end(), Fields.begin() + W.Lhs.Fields.size(),
                     Fields.end());
       std::unique_ptr<ProvidePlan> Value =
-          derive(ParamClass, Needed, Depth + 1);
+          deriveImpl(ParamClass, Needed, Depth + 1, Rand);
 
       auto Plan = std::make_unique<ProvidePlan>();
       Plan->ClassName = ClassName;
@@ -189,7 +259,7 @@ ContextDeriver::derive(const std::string &ClassName,
       Needed.insert(Needed.end(), Fields.begin() + R.RetPath.Fields.size(),
                     Fields.end());
       std::unique_ptr<ProvidePlan> Value =
-          derive(ParamClass, Needed, Depth + 1);
+          deriveImpl(ParamClass, Needed, Depth + 1, Rand);
 
       auto Plan = std::make_unique<ProvidePlan>();
       Plan->K = ProvidePlan::Kind::ViaFactory;
@@ -209,27 +279,47 @@ ContextDeriver::derive(const std::string &ClassName,
     }
   }
 
+  // Cache the result under the (class, path, depth) key on the way out;
+  // MemoKey is only set on the deterministic path.
+  auto Finish = [&](std::unique_ptr<ProvidePlan> Plan) {
+    if (!MemoKey.empty())
+      Memo->insert(MemoKey, *Plan);
+    return Plan;
+  };
+
   if (!CompleteCandidates.empty()) {
     // Multiple method sequences can set the same context; the paper's
     // implementation picks one at random (§4).  Without a selection seed
     // the first (setters before factories, database order) wins.
-    size_t Index =
-        SelectionRand ? SelectionRand->nextBelow(CompleteCandidates.size())
-                      : 0;
-    return std::move(CompleteCandidates[Index]);
+    size_t Index = Rand ? Rand->nextBelow(CompleteCandidates.size()) : 0;
+    return Finish(std::move(CompleteCandidates[Index]));
   }
   if (BestIncomplete)
-    return BestIncomplete;
+    return Finish(std::move(BestIncomplete));
 
   // No way to reach the path: an unconstrained instance, marked incomplete.
   auto Fallback = std::make_unique<ProvidePlan>();
   Fallback->K = ProvidePlan::Kind::FromSeed;
   Fallback->ClassName = ClassName;
   Fallback->Complete = false;
-  return Fallback;
+  return Finish(std::move(Fallback));
 }
 
 SharingPlan ContextDeriver::deriveSharing(const RacyPair &Pair) const {
+  return deriveSharingImpl(Pair, SelectionRand ? &*SelectionRand : nullptr);
+}
+
+SharingPlan
+ContextDeriver::deriveSharing(const RacyPair &Pair,
+                              std::optional<uint64_t> PairSeed) const {
+  if (!PairSeed)
+    return deriveSharingImpl(Pair, nullptr);
+  RNG Rand(*PairSeed);
+  return deriveSharingImpl(Pair, &Rand);
+}
+
+SharingPlan ContextDeriver::deriveSharingImpl(const RacyPair &Pair,
+                                              RNG *Rand) const {
   obs::MetricsRegistry::global().counter("synth.derivations_attempted").inc();
   SharingPlan Plan;
   std::string FirstRoot = rootClassOf(Pair.First);
@@ -247,8 +337,8 @@ SharingPlan ContextDeriver::deriveSharing(const RacyPair &Pair) const {
     std::string TypeA = typeAtPath(FirstRoot, FieldsA);
     std::string TypeB = typeAtPath(SecondRoot, FieldsB);
     if (!TypeA.empty() && TypeA == TypeB) {
-      std::unique_ptr<ProvidePlan> PlanA = derive(FirstRoot, FieldsA);
-      std::unique_ptr<ProvidePlan> PlanB = derive(SecondRoot, FieldsB);
+      std::unique_ptr<ProvidePlan> PlanA = deriveImpl(FirstRoot, FieldsA, 0, Rand);
+      std::unique_ptr<ProvidePlan> PlanB = deriveImpl(SecondRoot, FieldsB, 0, Rand);
       if (PlanA->Complete && PlanB->Complete) {
         Plan.SharedClassName = TypeA;
         Plan.First.Plan = std::move(PlanA);
@@ -288,12 +378,12 @@ SharingPlan ContextDeriver::deriveSharing(const RacyPair &Pair) const {
     // Even prefix sharing failed (type mismatch); synthesize with fresh,
     // unconstrained instances.
     Plan.SharedClassName = Pair.FieldClassName;
-    Plan.First.Plan = derive(FirstRoot, {});
+    Plan.First.Plan = deriveImpl(FirstRoot, {}, 0, Rand);
     Plan.First.Plan->Complete = false;
     Plan.First.Plan->K = ProvidePlan::Kind::FromSeed;
     Plan.First.Plan->ClassName = FirstRoot;
     Plan.First.EffectivePath = AccessPath(Pair.First.BasePath.Root, {});
-    Plan.Second.Plan = derive(SecondRoot, {});
+    Plan.Second.Plan = deriveImpl(SecondRoot, {}, 0, Rand);
     Plan.Second.Plan->Complete = false;
     Plan.Second.Plan->K = ProvidePlan::Kind::FromSeed;
     Plan.Second.Plan->ClassName = SecondRoot;

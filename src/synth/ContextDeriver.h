@@ -31,8 +31,10 @@
 #include "synth/RacyPair.h"
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace narada {
@@ -59,8 +61,46 @@ struct ProvidePlan {
   std::unique_ptr<ProvidePlan> Value; ///< The constrained argument.
   bool Complete = true;
 
+  /// Deep copy (plans are immutable trees once derived; the memo hands
+  /// out clones so callers can move them into SharingPlans freely).
+  std::unique_ptr<ProvidePlan> clone() const;
+
   /// "setter[A.bar(#1=plan)]" style rendering for tests and logs.
   std::string str() const;
+};
+
+/// A sharded memo table for Q-query derivations, keyed by (class,
+/// field-path, remaining depth budget).  The same (class, path) target
+/// recurs across pairs — every pair racing on C1's queue.buffer re-derives
+/// the same setter chain — and, with the parallel driver, across worker
+/// threads, so the table is shared and mutex-sharded by key hash.
+///
+/// Only *deterministic* derivations are memoized: with a selection RNG
+/// active the chosen candidate depends on the pair's private stream, and
+/// caching one pair's choice would leak it into another pair's derivation
+/// (breaking the jobs-1 == jobs-N guarantee).  Callers simply get no hits
+/// in that mode.
+class DerivationMemo {
+public:
+  /// Returns a clone of the cached plan for \p Key, or null on miss.
+  std::unique_ptr<ProvidePlan> lookup(const std::string &Key) const;
+
+  /// Caches a clone of \p Plan under \p Key (first writer wins).
+  void insert(const std::string &Key, const ProvidePlan &Plan);
+
+  /// Builds the canonical "class|f1.f2|depth" key.
+  static std::string key(const std::string &ClassName,
+                         const std::vector<std::string> &Fields,
+                         unsigned Depth);
+
+private:
+  static constexpr size_t NumShards = 16;
+  struct Shard {
+    mutable std::mutex M;
+    std::unordered_map<std::string, std::unique_ptr<ProvidePlan>> Map;
+  };
+  Shard &shardFor(const std::string &Key) const;
+  mutable Shard Shards[NumShards];
 };
 
 /// The object-sharing recipe for one racy pair.
@@ -100,8 +140,22 @@ public:
       SelectionRand.emplace(*SelectionSeed);
   }
 
-  /// Derives the context for one racy pair.
+  /// Attaches a (possibly shared, thread-safe) derivation memo; null
+  /// detaches.  Hits are only taken on the deterministic path — see
+  /// DerivationMemo.
+  void setMemo(DerivationMemo *Table) { Memo = Table; }
+
+  /// Derives the context for one racy pair using the construction-time
+  /// selection stream (serial pipeline behavior).
   SharingPlan deriveSharing(const RacyPair &Pair) const;
+
+  /// Derives the context for one racy pair with a private selection
+  /// stream seeded by \p PairSeed (unset = deterministic first-candidate
+  /// choice).  Pair-indexed seeds are what make randomized derivation
+  /// reproducible independent of pair execution order — the parallel
+  /// driver's entry point.
+  SharingPlan deriveSharing(const RacyPair &Pair,
+                            std::optional<uint64_t> PairSeed) const;
 
   /// Derives a recipe for an instance of \p ClassName whose \p Fields path
   /// resolves to the shared object.  Never returns null; incomplete plans
@@ -120,11 +174,21 @@ public:
   std::string rootClassOf(const RacySide &Side) const;
 
 private:
+  /// The recursive worker behind derive(): \p Rand, when non-null, picks
+  /// among complete candidates; null picks the first (and enables memo
+  /// hits).
+  std::unique_ptr<ProvidePlan> deriveImpl(const std::string &ClassName,
+                                          const std::vector<std::string> &Fields,
+                                          unsigned Depth, RNG *Rand) const;
+
+  SharingPlan deriveSharingImpl(const RacyPair &Pair, RNG *Rand) const;
+
   const AnalysisResult &Analysis;
   const ProgramInfo &Info;
   /// Present when random setter selection is enabled; mutable because the
   /// derivation API is logically const.
   mutable std::optional<RNG> SelectionRand;
+  DerivationMemo *Memo = nullptr;
 
   static constexpr unsigned MaxDepth = 5;
 };

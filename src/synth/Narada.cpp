@@ -11,10 +11,9 @@
 #include "obs/Log.h"
 #include "obs/Span.h"
 #include "support/StringUtils.h"
+#include "synth/ParallelDriver.h"
 #include "synth/SeedNormalizer.h"
 #include "synth/TestSynthesizer.h"
-
-#include <map>
 
 using namespace narada;
 
@@ -40,35 +39,6 @@ std::string SkippedPair::str() const {
     Out += ": " + Message;
   return Out;
 }
-
-namespace {
-
-/// Maps a synthesizer failure onto a skip category.  The synthesizer's
-/// message families are part of its contract (tests assert on them), so
-/// prefix matching here is the lightest classification that keeps Error
-/// a plain message type.
-SkipReason classifySkip(const Error &E) {
-  const std::string &Message = E.message();
-  if (startsWith(Message, "no provider for") ||
-      startsWith(Message, "no seed provides"))
-    return SkipReason::NoSeedProvider;
-  if (startsWith(Message, "no seed call site") ||
-      startsWith(Message, "no seed constructor site"))
-    return SkipReason::NoSeedCallSite;
-  if (startsWith(Message, "constrained parameter") ||
-      Message.find("is not normalized") != std::string::npos)
-    return SkipReason::DerivationMismatch;
-  return SkipReason::Other;
-}
-
-void countSkip(SkipReason Reason) {
-  obs::MetricsRegistry &R = obs::MetricsRegistry::global();
-  R.counter("synth.pairs_skipped").inc();
-  R.counter(std::string("synth.pairs_skipped.") + skipReasonId(Reason))
-      .inc();
-}
-
-} // namespace
 
 Result<NaradaResult>
 narada::runNarada(std::string_view LibrarySource,
@@ -146,13 +116,11 @@ narada::runNarada(std::string_view LibrarySource,
                     Options.FocusClass.c_str());
   }
 
-  // Stage 2b + 3: contexts and tests.
+  // Stage 2b + 3: contexts and tests, fanned across pairs by the parallel
+  // driver (Options.Jobs workers; byte-identical output for every count).
   std::string SynthesizedSource;
   {
     obs::Span SynthSpan("synth", &Out.Stages.SynthesisSeconds);
-    ContextDeriver Deriver(Out.Analysis, *Normalized->Info,
-                           Options.DerivationSeed);
-
     std::vector<const TestDecl *> Seeds;
     for (const std::string &SeedName : SeedNames)
       Seeds.push_back(Normalized->Ast->findTest(SeedName));
@@ -160,84 +128,12 @@ narada::runNarada(std::string_view LibrarySource,
         SeedRegistry::build(Seeds, *Normalized->Info);
     if (!Registry)
       return Registry.error();
-    TestSynthesizer Synthesizer(*Registry, *Normalized->Info);
 
-    // One test per unique sharing shape; multiple pairs map onto one test
-    // (the paper synthesizes 15 tests for C1's 65 pairs).
-    std::map<std::string, size_t> TestByShape;
-
-    for (const RacyPair &Pair : Out.Pairs) {
-      SharingPlan Plan;
-      {
-        obs::Span DeriveSpan("derive");
-        Plan = Deriver.deriveSharing(Pair);
-      }
-      if (!Options.EnableContextDerivation) {
-        // Ablation: strip all constraints; both sides get fresh instances.
-        auto Fresh = [&](SharingPlan::Side &Side, const RacySide &RS) {
-          Side.Plan = std::make_unique<ProvidePlan>();
-          Side.Plan->K = ProvidePlan::Kind::FromSeed;
-          Side.Plan->ClassName = Deriver.rootClassOf(RS);
-          Side.EffectivePath = AccessPath(RS.BasePath.Root, {});
-        };
-        Fresh(Plan.First, Pair.First);
-        Fresh(Plan.Second, Pair.Second);
-        Plan.Complete = false;
-      }
-
-      std::string Shape = formatString(
-          "%s.%s|%s.%s|%s|%s|%s", Pair.First.ClassName.c_str(),
-          Pair.First.Method.c_str(), Pair.Second.ClassName.c_str(),
-          Pair.Second.Method.c_str(), Plan.First.EffectivePath.str().c_str(),
-          Plan.Second.EffectivePath.str().c_str(),
-          Plan.SharedClassName.c_str());
-
-      auto Existing = TestByShape.find(Shape);
-      if (Existing != TestByShape.end()) {
-        SynthesizedTestInfo &Test = Out.Tests[Existing->second];
-        Test.CoveredPairKeys.push_back(Pair.key());
-        Test.CandidateLabels.emplace_back(Pair.First.AccessLabel,
-                                          Pair.Second.AccessLabel);
-        Metrics.counter("synth.pairs_deduped").inc();
-        continue;
-      }
-      if (Options.MaxTests && Out.Tests.size() >= Options.MaxTests) {
-        Out.Skipped.push_back({Pair.key(), SkipReason::TestBudget, ""});
-        countSkip(SkipReason::TestBudget);
-        continue;
-      }
-
-      std::string Name = formatString(
-          "%s_%03zu", Options.TestNamePrefix.c_str(), Out.Tests.size());
-      Result<std::unique_ptr<TestDecl>> Test =
-          Synthesizer.synthesize(Pair, Plan, Name);
-      if (!Test) {
-        SkipReason Reason = classifySkip(Test.error());
-        NARADA_LOG_DEBUG("skip %s (%s): %s", Pair.key().c_str(),
-                         skipReasonId(Reason), Test.error().str().c_str());
-        Out.Skipped.push_back(
-            {Pair.key(), Reason, Test.error().str()});
-        countSkip(Reason);
-        continue;
-      }
-
-      SynthesizedTestInfo Info;
-      Info.Name = Name;
-      Info.SourceText = printTest(**Test);
-      Info.Representative = Pair;
-      Info.CoveredPairKeys.push_back(Pair.key());
-      Info.ContextComplete = Plan.Complete;
-      Info.SharedClassName = Plan.SharedClassName;
-      Info.Field = Pair.Field;
-      Info.CandidateLabels.emplace_back(Pair.First.AccessLabel,
-                                        Pair.Second.AccessLabel);
-      SynthesizedSource += Info.SourceText + "\n";
-      TestByShape[Shape] = Out.Tests.size();
-      Out.Tests.push_back(std::move(Info));
-      Metrics.counter("synth.tests_synthesized").inc();
-      if (!Plan.Complete)
-        Metrics.counter("synth.tests_partial_context").inc();
-    }
+    SynthStageOutput Stage = runSynthesisStage(
+        Out.Analysis, *Normalized->Info, *Registry, Out.Pairs, Options);
+    Out.Tests = std::move(Stage.Tests);
+    Out.Skipped = std::move(Stage.Skipped);
+    SynthesizedSource = std::move(Stage.SynthesizedSource);
     NARADA_LOG_INFO("synth: %zu tests from %zu pairs (%zu skipped)",
                     Out.Tests.size(), Out.Pairs.size(), Out.Skipped.size());
   }

@@ -43,6 +43,11 @@ struct NaradaOptions {
   std::optional<uint64_t> DerivationSeed;
   /// Prefix for synthesized test names.
   std::string TestNamePrefix = "narada";
+  /// Worker threads for the per-pair synthesis stage (and, in the CLI, the
+  /// per-test detection/confirmation stages): 1 = serial on the calling
+  /// thread, 0 = one worker per hardware thread.  Output is byte-identical
+  /// for every value — see synth/ParallelDriver.h.
+  unsigned Jobs = 1;
 };
 
 /// Metadata for one synthesized multithreaded test.

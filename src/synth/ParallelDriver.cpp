@@ -1,0 +1,287 @@
+//===- synth/ParallelDriver.cpp - Parallel pair-level executor -----------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/ParallelDriver.h"
+
+#include "lang/ASTPrinter.h"
+#include "obs/Log.h"
+#include "obs/Span.h"
+#include "support/StringUtils.h"
+#include "support/ThreadPool.h"
+
+#include <optional>
+#include <unordered_map>
+
+using namespace narada;
+
+namespace {
+
+/// Maps a synthesizer failure onto a skip category.  The synthesizer's
+/// message families are part of its contract (tests assert on them), so
+/// prefix matching here is the lightest classification that keeps Error
+/// a plain message type.
+SkipReason classifySkip(const Error &E) {
+  const std::string &Message = E.message();
+  if (startsWith(Message, "no provider for") ||
+      startsWith(Message, "no seed provides"))
+    return SkipReason::NoSeedProvider;
+  if (startsWith(Message, "no seed call site") ||
+      startsWith(Message, "no seed constructor site"))
+    return SkipReason::NoSeedCallSite;
+  if (startsWith(Message, "constrained parameter") ||
+      Message.find("is not normalized") != std::string::npos)
+    return SkipReason::DerivationMismatch;
+  return SkipReason::Other;
+}
+
+void countSkip(SkipReason Reason) {
+  obs::MetricsRegistry &R = obs::MetricsRegistry::global();
+  R.counter("synth.pairs_skipped").inc();
+  R.counter(std::string("synth.pairs_skipped.") + skipReasonId(Reason))
+      .inc();
+}
+
+/// The shape key deduplicating pairs onto one test (the paper synthesizes
+/// 15 tests for C1's 65 pairs): method pair + effective sharing paths +
+/// shared class.
+std::string shapeOf(const RacyPair &Pair, const SharingPlan &Plan) {
+  return formatString(
+      "%s.%s|%s.%s|%s|%s|%s", Pair.First.ClassName.c_str(),
+      Pair.First.Method.c_str(), Pair.Second.ClassName.c_str(),
+      Pair.Second.Method.c_str(), Plan.First.EffectivePath.str().c_str(),
+      Plan.Second.EffectivePath.str().c_str(),
+      Plan.SharedClassName.c_str());
+}
+
+/// Synthesized tests are renamed at commit time (names are dense in
+/// canonical order, which workers cannot know); this stand-in never
+/// reaches output.
+constexpr const char *PlaceholderName = "narada_uncommitted";
+
+/// Per-pair state filled by the parallel phases, merged serially.
+struct PairSlot {
+  SharingPlan Plan;
+  std::string Shape;
+  bool Attempted = false;
+  std::optional<Result<std::unique_ptr<TestDecl>>> Attempt;
+};
+
+/// Per-worker pipeline instances: stage objects are cheap wrappers over
+/// the shared read-only databases, so giving each worker its own keeps
+/// them trivially race-free.
+struct WorkerState {
+  WorkerState(const AnalysisResult &Analysis, const ProgramInfo &Info,
+              const SeedRegistry &Registry, DerivationMemo *Memo)
+      : Deriver(Analysis, Info), Synth(Registry, Info) {
+    Deriver.setMemo(Memo);
+  }
+  ContextDeriver Deriver;
+  TestSynthesizer Synth;
+};
+
+} // namespace
+
+uint64_t narada::pairDerivationSeed(uint64_t Base, size_t PairIndex) {
+  // One SplitMix64 step decorrelates the per-pair streams even for
+  // consecutive indices; the xor constant keeps index 0 off the base seed.
+  RNG Mix(Base ^ (0x9e3779b97f4a7c15ULL * (PairIndex + 1)));
+  return Mix.next();
+}
+
+std::vector<CommitDecision>
+narada::planCommit(const std::vector<std::string> &Shapes,
+                   const std::function<bool(size_t)> &SynthesisSucceeds,
+                   unsigned MaxTests) {
+  std::vector<CommitDecision> Out(Shapes.size());
+  std::unordered_map<std::string, size_t> TestByShape;
+  size_t TestCount = 0;
+  for (size_t I = 0; I < Shapes.size(); ++I) {
+    auto Existing = TestByShape.find(Shapes[I]);
+    if (Existing != TestByShape.end()) {
+      Out[I] = {CommitDecision::Kind::Join, Existing->second};
+      continue;
+    }
+    if (MaxTests && TestCount >= MaxTests) {
+      Out[I] = {CommitDecision::Kind::BudgetSkip, 0};
+      continue;
+    }
+    if (SynthesisSucceeds(I)) {
+      Out[I] = {CommitDecision::Kind::NewTest, TestCount};
+      TestByShape[Shapes[I]] = TestCount++;
+    } else {
+      // Not recorded: a later pair of this shape re-attempts, like the
+      // serial loop (failures are deterministic, so it fails the same
+      // way and yields its own skip entry).
+      Out[I] = {CommitDecision::Kind::FailSkip, 0};
+    }
+  }
+  return Out;
+}
+
+SynthStageOutput
+narada::runSynthesisStage(const AnalysisResult &Analysis,
+                          const ProgramInfo &Info,
+                          const SeedRegistry &Registry,
+                          const std::vector<RacyPair> &Pairs,
+                          const NaradaOptions &Options) {
+  obs::MetricsRegistry &Metrics = obs::MetricsRegistry::global();
+  const size_t N = Pairs.size();
+  const unsigned Jobs = resolveJobs(Options.Jobs == 0 ? 0 : Options.Jobs);
+
+  DerivationMemo Memo;
+  std::vector<std::unique_ptr<WorkerState>> Workers;
+  const unsigned WorkerCount = Jobs > 1 ? Jobs : 1;
+  Workers.reserve(WorkerCount);
+  for (unsigned W = 0; W < WorkerCount; ++W)
+    Workers.push_back(
+        std::make_unique<WorkerState>(Analysis, Info, Registry, &Memo));
+
+  std::vector<PairSlot> Slots(N);
+
+  // Worker spans root under the submitting thread's innermost span
+  // (normally "pipeline.synth"); precomputed names keep the hot loop free
+  // of formatting.
+  obs::SpanParent Parent{obs::Span::currentPath()};
+  std::vector<std::string> WorkerNames;
+  for (unsigned W = 0; W < WorkerCount; ++W)
+    WorkerNames.push_back(formatString("worker%u", W));
+
+  std::optional<ThreadPool> Pool;
+  if (Jobs > 1)
+    Pool.emplace(Jobs);
+  Metrics.gauge("synth.jobs").set(static_cast<int64_t>(WorkerCount));
+
+  // Runs Body over [0, Count) item indices: inline at --jobs 1 (serial
+  // span layout, zero thread overhead), stolen-from-deques otherwise.
+  auto ForEach = [&](size_t Count,
+                     const std::function<void(size_t, unsigned)> &Body) {
+    if (!Pool) {
+      for (size_t I = 0; I < Count; ++I)
+        Body(I, 0);
+      return;
+    }
+    Pool->parallelFor(Count, [&](size_t I, unsigned W) {
+      obs::Span WorkerSpan(WorkerNames[W], Parent);
+      Body(I, W);
+    });
+  };
+
+  // Phase A: derive every pair's sharing plan and shape key.
+  ForEach(N, [&](size_t I, unsigned W) {
+    WorkerState &WS = *Workers[W];
+    PairSlot &Slot = Slots[I];
+    const RacyPair &Pair = Pairs[I];
+    {
+      obs::Span DeriveSpan("derive");
+      std::optional<uint64_t> PairSeed;
+      if (Options.DerivationSeed)
+        PairSeed = pairDerivationSeed(*Options.DerivationSeed, I);
+      Slot.Plan = WS.Deriver.deriveSharing(Pair, PairSeed);
+    }
+    if (!Options.EnableContextDerivation) {
+      // Ablation: strip all constraints; both sides get fresh instances.
+      auto Fresh = [&](SharingPlan::Side &Side, const RacySide &RS) {
+        Side.Plan = std::make_unique<ProvidePlan>();
+        Side.Plan->K = ProvidePlan::Kind::FromSeed;
+        Side.Plan->ClassName = WS.Deriver.rootClassOf(RS);
+        Side.EffectivePath = AccessPath(RS.BasePath.Root, {});
+      };
+      Fresh(Slot.Plan.First, Pair.First);
+      Fresh(Slot.Plan.Second, Pair.Second);
+      Slot.Plan.Complete = false;
+    }
+    Slot.Shape = shapeOf(Pair, Slot.Plan);
+  });
+
+  // Phase B: synthesize each shape's first pair under a placeholder name.
+  // Later pairs of a shape only need their own attempt when the first one
+  // failed (rare) — the commit walk triggers those on demand.
+  std::vector<size_t> Leads;
+  {
+    std::unordered_map<std::string, size_t> FirstOfShape;
+    for (size_t I = 0; I < N; ++I)
+      if (FirstOfShape.try_emplace(Slots[I].Shape, I).second)
+        Leads.push_back(I);
+  }
+  ForEach(Leads.size(), [&](size_t LeadIdx, unsigned W) {
+    size_t I = Leads[LeadIdx];
+    PairSlot &Slot = Slots[I];
+    obs::Span SynthesizeSpan("synthesize");
+    Slot.Attempt.emplace(
+        Workers[W]->Synth.synthesize(Pairs[I], Slot.Plan, PlaceholderName));
+    Slot.Attempted = true;
+  });
+
+  // Commit: replay the serial bookkeeping in canonical pair order.
+  std::vector<std::string> Shapes;
+  Shapes.reserve(N);
+  for (const PairSlot &Slot : Slots)
+    Shapes.push_back(Slot.Shape);
+
+  auto SynthesisSucceeds = [&](size_t I) {
+    PairSlot &Slot = Slots[I];
+    if (!Slot.Attempted) {
+      obs::Span SynthesizeSpan("synthesize");
+      Slot.Attempt.emplace(Workers[0]->Synth.synthesize(
+          Pairs[I], Slot.Plan, PlaceholderName));
+      Slot.Attempted = true;
+    }
+    return Slot.Attempt->hasValue();
+  };
+  std::vector<CommitDecision> Decisions =
+      planCommit(Shapes, SynthesisSucceeds, Options.MaxTests);
+
+  SynthStageOutput Out;
+  for (size_t I = 0; I < N; ++I) {
+    const RacyPair &Pair = Pairs[I];
+    PairSlot &Slot = Slots[I];
+    switch (Decisions[I].K) {
+    case CommitDecision::Kind::Join: {
+      SynthesizedTestInfo &Test = Out.Tests[Decisions[I].TestIndex];
+      Test.CoveredPairKeys.push_back(Pair.key());
+      Test.CandidateLabels.emplace_back(Pair.First.AccessLabel,
+                                        Pair.Second.AccessLabel);
+      Metrics.counter("synth.pairs_deduped").inc();
+      break;
+    }
+    case CommitDecision::Kind::BudgetSkip:
+      Out.Skipped.push_back({Pair.key(), SkipReason::TestBudget, ""});
+      countSkip(SkipReason::TestBudget);
+      break;
+    case CommitDecision::Kind::FailSkip: {
+      const Error &E = Slot.Attempt->error();
+      SkipReason Reason = classifySkip(E);
+      NARADA_LOG_DEBUG("skip %s (%s): %s", Pair.key().c_str(),
+                       skipReasonId(Reason), E.str().c_str());
+      Out.Skipped.push_back({Pair.key(), Reason, E.str()});
+      countSkip(Reason);
+      break;
+    }
+    case CommitDecision::Kind::NewTest: {
+      std::unique_ptr<TestDecl> Test = Slot.Attempt->take();
+      SynthesizedTestInfo TestInfo;
+      TestInfo.Name = formatString("%s_%03zu", Options.TestNamePrefix.c_str(),
+                                   Out.Tests.size());
+      Test->Name = TestInfo.Name;
+      TestInfo.SourceText = printTest(*Test);
+      TestInfo.Representative = Pair;
+      TestInfo.CoveredPairKeys.push_back(Pair.key());
+      TestInfo.ContextComplete = Slot.Plan.Complete;
+      TestInfo.SharedClassName = Slot.Plan.SharedClassName;
+      TestInfo.Field = Pair.Field;
+      TestInfo.CandidateLabels.emplace_back(Pair.First.AccessLabel,
+                                            Pair.Second.AccessLabel);
+      Out.SynthesizedSource += TestInfo.SourceText + "\n";
+      Out.Tests.push_back(std::move(TestInfo));
+      Metrics.counter("synth.tests_synthesized").inc();
+      if (!Slot.Plan.Complete)
+        Metrics.counter("synth.tests_partial_context").inc();
+      break;
+    }
+    }
+  }
+  return Out;
+}

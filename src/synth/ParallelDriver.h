@@ -1,0 +1,94 @@
+//===- synth/ParallelDriver.h - Parallel pair-level executor ----*- C++ -*-===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fans the post-PairGenerator stages — context derivation (the Q queries
+/// of Fig. 10) and test synthesis (Algorithm 1) — out across racy pair
+/// candidates on a work-stealing thread pool, then commits the results in
+/// canonical pair order so the output is byte-identical to a serial run:
+///
+///   phase A (parallel): derive every pair's SharingPlan + shape key.
+///       Randomized setter selection stays reproducible because each pair
+///       gets a private RNG split from DerivationSeed by pair *index*, not
+///       a shared sequential stream.
+///   phase B (parallel): synthesize one test per first-of-shape pair,
+///       under a placeholder name (final names depend on commit order).
+///   commit (serial):   walk pairs in canonical order, dedup by shape,
+///       apply the test budget, assign final dense names, and classify
+///       failures — exactly the serial loop's semantics, driven by
+///       planCommit() below.
+///
+/// Workers hold their own ContextDeriver/TestSynthesizer instances and
+/// share one DerivationMemo; per-worker obs::Spans
+/// ("pipeline.synth.worker<K>.derive") keep the phase tree honest across
+/// threads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NARADA_SYNTH_PARALLELDRIVER_H
+#define NARADA_SYNTH_PARALLELDRIVER_H
+
+#include "synth/Narada.h"
+#include "synth/TestSynthesizer.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace narada {
+
+/// What the commit walk decided for one canonical pair index.
+struct CommitDecision {
+  enum class Kind {
+    NewTest,    ///< First successful synthesis of its shape: a new test.
+    Join,       ///< Its shape already has a test: covered by that test.
+    BudgetSkip, ///< MaxTests was reached before its shape got a test.
+    FailSkip,   ///< Synthesis failed (its shape has no test yet).
+  };
+  Kind K = Kind::FailSkip;
+  size_t TestIndex = 0; ///< Index into the emitted tests (NewTest/Join).
+};
+
+/// The deterministic commit step: walks \p Shapes in canonical order and
+/// replays the serial loop's bookkeeping — dedup onto the first success of
+/// each shape, budget-skip new shapes once \p MaxTests (0 = unlimited)
+/// tests exist, and re-attempt shapes whose earlier pairs all failed.
+/// \p SynthesisSucceeds is consulted lazily, exactly for the pairs the
+/// serial loop would have attempted.  Pure apart from that callback, and
+/// independent of how phases A/B were scheduled — this is what makes the
+/// parallel run's output order-identical to the serial run's (exercised
+/// directly by tests/property_test.cpp on randomized shape sets).
+std::vector<CommitDecision>
+planCommit(const std::vector<std::string> &Shapes,
+           const std::function<bool(size_t)> &SynthesisSucceeds,
+           unsigned MaxTests);
+
+/// Splits the user-visible derivation seed into an independent stream
+/// seed for pair \p PairIndex (SplitMix over base xor index).
+uint64_t pairDerivationSeed(uint64_t Base, size_t PairIndex);
+
+/// Everything the synthesis stage produces; spliced into NaradaResult.
+struct SynthStageOutput {
+  std::vector<SynthesizedTestInfo> Tests;
+  std::vector<SkippedPair> Skipped;
+  /// All synthesized test sources, newline-joined, for the final
+  /// recompile pass.
+  std::string SynthesizedSource;
+};
+
+/// Runs stages 2b+3 over \p Pairs with Options.Jobs workers (1 = inline on
+/// the calling thread, 0 = one per hardware thread).  The output is
+/// byte-identical for every job count given the same inputs and
+/// DerivationSeed.
+SynthStageOutput runSynthesisStage(const AnalysisResult &Analysis,
+                                   const ProgramInfo &Info,
+                                   const SeedRegistry &Registry,
+                                   const std::vector<RacyPair> &Pairs,
+                                   const NaradaOptions &Options);
+
+} // namespace narada
+
+#endif // NARADA_SYNTH_PARALLELDRIVER_H

@@ -1,0 +1,99 @@
+//===- tests/golden_test.cpp - Synthesized-source golden files -----------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+// Pins the exact printed source of three representative synthesized tests
+// (one per corpus flavor: C1's factory-wrapped queue, C5's deep-path
+// composite, C9's minimal pair) against golden files in tests/golden/.
+// Any change to derivation, synthesis, printing, or the parallel commit
+// order shows up here as a readable diff.
+//
+// To regenerate after an intentional output change:
+//
+//   NARADA_REGEN_GOLDEN=1 ./build/tests/narada_tests \
+//       --gtest_filter='GoldenTest.*'
+//
+// then review the diff under tests/golden/ and commit it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "synth/Narada.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+using namespace narada;
+
+namespace {
+
+#ifndef NARADA_GOLDEN_DIR
+#error "NARADA_GOLDEN_DIR must point at tests/golden (set by CMake)"
+#endif
+
+std::string goldenPath(const std::string &Name) {
+  return std::string(NARADA_GOLDEN_DIR) + "/" + Name + ".mj.golden";
+}
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return {};
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  return Buffer.str();
+}
+
+/// Compares \p Actual against the golden file, or rewrites the file when
+/// NARADA_REGEN_GOLDEN is set.
+void checkGolden(const std::string &Name, const std::string &Actual) {
+  const std::string Path = goldenPath(Name);
+  if (std::getenv("NARADA_REGEN_GOLDEN")) {
+    std::ofstream Out(Path);
+    ASSERT_TRUE(Out.good()) << "cannot write " << Path;
+    Out << Actual;
+    GTEST_SKIP() << "regenerated " << Path;
+  }
+  std::string Expected = readFile(Path);
+  ASSERT_FALSE(Expected.empty())
+      << "missing golden file " << Path
+      << " (regenerate with NARADA_REGEN_GOLDEN=1)";
+  EXPECT_EQ(Expected, Actual) << Name
+                              << ": synthesized source drifted from golden"
+                                 " (NARADA_REGEN_GOLDEN=1 to accept)";
+}
+
+/// First synthesized test of \p CorpusId, the class's representative pair.
+SynthesizedTestInfo firstTest(const std::string &CorpusId) {
+  const CorpusEntry &E = *findCorpusEntry(CorpusId);
+  NaradaOptions Options;
+  Options.FocusClass = E.ClassName;
+  Result<NaradaResult> R = runNarada(E.Source, E.SeedNames, Options);
+  EXPECT_TRUE(R.hasValue()) << (R ? "" : R.error().str());
+  if (!R || R->Tests.empty())
+    return {};
+  return R->Tests[0];
+}
+
+} // namespace
+
+TEST(GoldenTest, C1FactoryWrappedQueue) {
+  SynthesizedTestInfo T = firstTest("C1");
+  ASSERT_FALSE(T.SourceText.empty());
+  checkGolden("c1_first", T.SourceText);
+}
+
+TEST(GoldenTest, C5DeepPathComposite) {
+  SynthesizedTestInfo T = firstTest("C5");
+  ASSERT_FALSE(T.SourceText.empty());
+  checkGolden("c5_first", T.SourceText);
+}
+
+TEST(GoldenTest, C9MinimalPair) {
+  SynthesizedTestInfo T = firstTest("C9");
+  ASSERT_FALSE(T.SourceText.empty());
+  checkGolden("c9_first", T.SourceText);
+}

@@ -9,6 +9,7 @@
 #include "obs/Metrics.h"
 #include "obs/RunReport.h"
 #include "obs/Span.h"
+#include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
 
@@ -187,6 +188,39 @@ TEST(RunReportTest, RendersMetaAndMetricsAndRoundTrips) {
   ASSERT_NE(Hist, nullptr);
   ASSERT_EQ(Hist->Elements.size(), 3u); // two bounds + overflow.
   EXPECT_EQ(Hist->Elements[1].numberOr(0), 1.0); // 250 lands in (100, 1000].
+}
+
+// The parallel driver increments counters and registers spans from worker
+// threads while the main thread snapshots for reports: registration,
+// increments, phase accumulation, and flush must all be safe concurrently
+// and lose nothing.
+TEST(MetricsRegistryTest, ConcurrentIncrementsAndSnapshotsLoseNothing) {
+  MetricsRegistry R;
+  constexpr size_t Tasks = 64;
+  constexpr unsigned IncsPerTask = 250;
+
+  ThreadPool Pool(4);
+  Pool.parallelFor(Tasks, [&](size_t I, unsigned) {
+    // Mix of one hot shared counter, per-task lazily registered counters,
+    // and phase spans — the registry's three write paths.
+    Counter &Hot = R.counter("stress.hot");
+    Counter &Mine = R.counter("stress.task" + std::to_string(I % 8));
+    for (unsigned K = 0; K < IncsPerTask; ++K) {
+      Hot.inc();
+      Mine.inc();
+    }
+    R.addPhase("stress.phase" + std::to_string(I % 4), 0.001);
+    // Concurrent flush: snapshots taken mid-run must be internally
+    // consistent (no torn maps), though counts are in flux.
+    (void)R.snapshot();
+  });
+
+  MetricsSnapshot Final = R.snapshot();
+  EXPECT_EQ(Final.counter("stress.hot"), Tasks * IncsPerTask);
+  uint64_t PerTaskSum = 0;
+  for (int I = 0; I < 8; ++I)
+    PerTaskSum += Final.counter("stress.task" + std::to_string(I));
+  EXPECT_EQ(PerTaskSum, Tasks * IncsPerTask);
 }
 
 TEST(LogTest, LevelParsingAndMacroGating) {

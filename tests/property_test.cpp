@@ -16,6 +16,12 @@
 //      corpus program.
 //  P6. Pipeline determinism: Narada produces identical test suites across
 //      runs.
+//  P7. Pair uniqueness: the PairGenerator never emits two candidates with
+//      the same pair key.
+//  P8. Merge order: the parallel driver's commit plan replays the serial
+//      loop exactly on randomized shape sets — same decisions, dense test
+//      numbering, and synthesis attempted for precisely the pairs the
+//      serial loop would attempt.
 //
 //===----------------------------------------------------------------------===//
 
@@ -23,11 +29,14 @@
 #include "lang/ASTPrinter.h"
 #include "lang/Parser.h"
 #include "runtime/Execution.h"
+#include "support/RNG.h"
 #include "synth/Narada.h"
+#include "synth/ParallelDriver.h"
 
 #include <gtest/gtest.h>
 
 #include <map>
+#include <set>
 
 using namespace narada;
 
@@ -211,6 +220,108 @@ TEST_P(CorpusSweep, PipelineIsDeterministic) {
     EXPECT_EQ(A.Tests[I].SourceText, B.Tests[I].SourceText) << I;
 }
 
+// P7: no duplicate pair keys out of the generator, on any corpus class.
+TEST_P(CorpusSweep, PairGeneratorEmitsNoDuplicateKeys) {
+  const CorpusEntry *Entry = findCorpusEntry(GetParam());
+  ASSERT_TRUE(Entry);
+  NaradaOptions Options;
+  Options.FocusClass = Entry->ClassName;
+  Result<NaradaResult> R =
+      runNarada(Entry->Source, Entry->SeedNames, Options);
+  ASSERT_TRUE(R.hasValue()) << (R ? "" : R.error().str());
+
+  std::set<std::string> Keys;
+  for (const RacyPair &Pair : R->Pairs)
+    EXPECT_TRUE(Keys.insert(Pair.key()).second)
+        << "duplicate pair key " << Pair.key();
+}
+
 INSTANTIATE_TEST_SUITE_P(Classes, CorpusSweep,
                          ::testing::Values("C1", "C3", "C7", "C8", "C9"),
                          [](const auto &Info) { return Info.param; });
+
+//===----------------------------------------------------------------------===//
+// P8: commit-plan merge properties on randomized shape sets
+//===----------------------------------------------------------------------===//
+
+namespace {
+class MergeSweep : public ::testing::TestWithParam<uint64_t> {};
+} // namespace
+
+// The commit walk must be indistinguishable from the serial loop no matter
+// how shapes repeat, which shapes fail, or where the budget lands.
+TEST_P(MergeSweep, CommitPlanReplaysSerialLoop) {
+  RNG Rand(GetParam());
+  const size_t N = 20 + Rand.nextBelow(60);
+  const size_t Alphabet = 1 + Rand.nextBelow(12);
+  const unsigned MaxTests = static_cast<unsigned>(Rand.nextBelow(5)); // 0 = off
+
+  // Randomized pair stream: shapes repeat, some shapes always fail
+  // (failures are a deterministic function of the shape, as in the real
+  // synthesizer).
+  std::vector<std::string> Shapes;
+  std::set<std::string> Failing;
+  for (size_t I = 0; I < N; ++I)
+    Shapes.push_back("shape" + std::to_string(Rand.nextBelow(Alphabet)));
+  for (size_t S = 0; S < Alphabet; ++S)
+    if (Rand.chance(1, 3))
+      Failing.insert("shape" + std::to_string(S));
+
+  std::vector<size_t> Attempted;
+  auto Succeeds = [&](size_t I) {
+    Attempted.push_back(I);
+    return !Failing.count(Shapes[I]);
+  };
+  std::vector<CommitDecision> Plan = planCommit(Shapes, Succeeds, MaxTests);
+
+  // Reference: the serial loop, written out independently.
+  std::map<std::string, size_t> ByShape;
+  std::vector<size_t> ExpectAttempted;
+  size_t Tests = 0;
+  for (size_t I = 0; I < N; ++I) {
+    if (ByShape.count(Shapes[I])) {
+      EXPECT_EQ(Plan[I].K, CommitDecision::Kind::Join) << I;
+      EXPECT_EQ(Plan[I].TestIndex, ByShape[Shapes[I]]) << I;
+      continue;
+    }
+    if (MaxTests && Tests >= MaxTests) {
+      EXPECT_EQ(Plan[I].K, CommitDecision::Kind::BudgetSkip) << I;
+      continue;
+    }
+    ExpectAttempted.push_back(I);
+    if (!Failing.count(Shapes[I])) {
+      EXPECT_EQ(Plan[I].K, CommitDecision::Kind::NewTest) << I;
+      EXPECT_EQ(Plan[I].TestIndex, Tests) << I;
+      ByShape[Shapes[I]] = Tests++;
+    } else {
+      EXPECT_EQ(Plan[I].K, CommitDecision::Kind::FailSkip) << I;
+    }
+  }
+
+  // The lazy callback ran for exactly the serial loop's attempts, in
+  // canonical order — nothing extra was synthesized, nothing was lost.
+  EXPECT_EQ(Attempted, ExpectAttempted);
+
+  // Test numbering is dense in canonical pair order.
+  size_t Next = 0;
+  for (size_t I = 0; I < N; ++I)
+    if (Plan[I].K == CommitDecision::Kind::NewTest)
+      EXPECT_EQ(Plan[I].TestIndex, Next++) << I;
+  EXPECT_EQ(Next, Tests);
+}
+
+// Splitting the derivation seed by pair index must give distinct streams
+// per pair and the same stream for the same pair regardless of call order.
+TEST_P(MergeSweep, PairSeedsAreStableAndDecorrelated) {
+  const uint64_t Base = GetParam();
+  std::set<uint64_t> Seen;
+  for (size_t I = 0; I < 64; ++I) {
+    uint64_t S = pairDerivationSeed(Base, I);
+    EXPECT_EQ(S, pairDerivationSeed(Base, I)) << "unstable seed, pair " << I;
+    EXPECT_TRUE(Seen.insert(S).second) << "colliding seed, pair " << I;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MergeSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10,
+                                           1234, 99991));

@@ -1,0 +1,121 @@
+//===- tests/stress_test.cpp - Parallel-driver stress loop ---------------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+// Hammers the parallel executor: 50 back-to-back pipeline + confirmation
+// runs at the maximum job count, asserting after every run that no
+// SkippedPair entry was lost or duplicated relative to the serial
+// baseline.  Built into its own binary and labelled `stress` in ctest so
+// the quick suite skips it (`ctest -L stress` runs it); under
+// -DNARADA_TSAN=ON this is the test that puts ThreadSanitizer to work on
+// the pool, the memo table, and the metrics registry.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "detect/Detection.h"
+#include "support/ThreadPool.h"
+#include "synth/Narada.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace narada;
+
+namespace {
+
+constexpr unsigned StressRounds = 50;
+
+NaradaResult runPipeline(const CorpusEntry &Entry, unsigned Jobs,
+                         unsigned MaxTests = 0) {
+  NaradaOptions Options;
+  Options.FocusClass = Entry.ClassName;
+  Options.Jobs = Jobs;
+  Options.MaxTests = MaxTests;
+  Result<NaradaResult> R = runNarada(Entry.Source, Entry.SeedNames, Options);
+  EXPECT_TRUE(R.hasValue()) << (R ? "" : R.error().str());
+  return R ? R.take() : NaradaResult{};
+}
+
+/// Pair-key -> occurrence count; the lost/duplicate check compares these.
+std::map<std::string, unsigned> skipCounts(const NaradaResult &R) {
+  std::map<std::string, unsigned> Out;
+  for (const SkippedPair &S : R.Skipped)
+    ++Out[S.PairKey];
+  return Out;
+}
+
+} // namespace
+
+// C5 has the most pairs in the corpus; a tight test budget makes every
+// pair past the cap a SkippedPair, so any entry a racy merge loses or
+// commits twice moves these counts.
+TEST(StressTest, FiftyParallelRunsLoseNoSkippedPairs) {
+  const CorpusEntry &E = *findCorpusEntry("C5");
+  const unsigned MaxJobs = resolveJobs(0);
+  const unsigned MaxTests = 40;
+
+  NaradaResult Baseline = runPipeline(E, 1, MaxTests);
+  std::map<std::string, unsigned> Expected = skipCounts(Baseline);
+  ASSERT_FALSE(Expected.empty()) << "budgeted C5 should produce skips";
+
+  for (unsigned Round = 0; Round < StressRounds; ++Round) {
+    NaradaResult R = runPipeline(E, MaxJobs, MaxTests);
+    ASSERT_EQ(R.Skipped.size(), Baseline.Skipped.size()) << "round " << Round;
+    EXPECT_EQ(skipCounts(R), Expected) << "round " << Round;
+    // Order must match too, not just the multiset.
+    for (size_t I = 0; I < R.Skipped.size(); ++I)
+      ASSERT_EQ(R.Skipped[I].str(), Baseline.Skipped[I].str())
+          << "round " << Round << " entry " << I;
+  }
+}
+
+// Concurrent schedule explorations for different tests: repeated parallel
+// confirmation sweeps must keep returning the serial sweep's verdicts.
+TEST(StressTest, ParallelConfirmationSweepsAreStable) {
+  const CorpusEntry &E = *findCorpusEntry("C1");
+  NaradaResult R = runPipeline(E, resolveJobs(0));
+  ASSERT_FALSE(R.Tests.empty());
+
+  std::vector<TestDetectJob> Jobs;
+  for (const SynthesizedTestInfo &T : R.Tests)
+    Jobs.push_back({T.Name, T.CandidateLabels});
+
+  DetectOptions Options;
+  Options.RandomRuns = 2;
+  Options.ConfirmAttempts = 1;
+
+  Result<std::vector<TestDetectionResult>> Serial =
+      detectRacesInTests(*R.Program.Module, Jobs, Options, 1);
+  ASSERT_TRUE(Serial.hasValue()) << Serial.error().str();
+
+  for (unsigned Round = 0; Round < 4; ++Round) {
+    Result<std::vector<TestDetectionResult>> Parallel =
+        detectRacesInTests(*R.Program.Module, Jobs, Options, resolveJobs(0));
+    ASSERT_TRUE(Parallel.hasValue()) << Parallel.error().str();
+    ASSERT_EQ(Parallel->size(), Serial->size());
+    for (size_t I = 0; I < Serial->size(); ++I) {
+      EXPECT_EQ((*Parallel)[I].Detected.size(), (*Serial)[I].Detected.size())
+          << Jobs[I].TestName;
+      EXPECT_EQ((*Parallel)[I].reproducedCount(),
+                (*Serial)[I].reproducedCount())
+          << Jobs[I].TestName;
+      EXPECT_EQ((*Parallel)[I].harmfulCount(), (*Serial)[I].harmfulCount())
+          << Jobs[I].TestName;
+    }
+  }
+}
+
+// The pool itself: many tiny batches back to back, every task exactly once.
+TEST(StressTest, ThreadPoolRunsEveryTaskExactlyOnce) {
+  ThreadPool Pool(resolveJobs(0));
+  for (unsigned Round = 0; Round < 200; ++Round) {
+    std::vector<std::atomic<unsigned>> Hits(97);
+    Pool.parallelFor(Hits.size(), [&](size_t I, unsigned) {
+      Hits[I].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t I = 0; I < Hits.size(); ++I)
+      ASSERT_EQ(Hits[I].load(), 1u) << "round " << Round << " task " << I;
+  }
+}

@@ -49,6 +49,7 @@
 #include "trace/Trace.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <optional>
 #include <sstream>
@@ -68,6 +69,7 @@ struct CliArgs {
   unsigned Tests = 400;
   std::string ReportPath;            ///< --report: JSON run report target.
   bool Stats = false;                ///< --stats: summary on stderr.
+  unsigned Jobs = 1;                 ///< --jobs: worker threads (0 = all).
 };
 
 int usage() {
@@ -82,6 +84,10 @@ int usage() {
       "  contege <file.mj|corpus:Cx> --class C [--tests N] [--seed N]\n"
       "  corpus\n"
       "global flags:\n"
+      "  --jobs N              worker threads for synthesis/detection\n"
+      "                        (0 = all hardware threads; default\n"
+      "                        $NARADA_JOBS or 1; output is identical\n"
+      "                        for every N)\n"
       "  --report <file.json>  write a structured run report\n"
       "  --stats               print a metrics summary to stderr\n"
       "  (see docs/OBSERVABILITY.md; NARADA_LOG=debug|info|warn for "
@@ -94,6 +100,8 @@ std::optional<CliArgs> parseArgs(int Argc, char **Argv) {
     return std::nullopt;
   CliArgs Args;
   Args.Command = Argv[1];
+  if (const char *EnvJobs = std::getenv("NARADA_JOBS"))
+    Args.Jobs = static_cast<unsigned>(std::strtoul(EnvJobs, nullptr, 10));
   for (int I = 2; I < Argc; ++I) {
     std::string Arg = Argv[I];
     if (Arg == "--class" && I + 1 < Argc) {
@@ -102,6 +110,8 @@ std::optional<CliArgs> parseArgs(int Argc, char **Argv) {
       Args.Seed = std::stoull(Argv[++I]);
     } else if (Arg == "--tests" && I + 1 < Argc) {
       Args.Tests = static_cast<unsigned>(std::stoul(Argv[++I]));
+    } else if (Arg == "--jobs" && I + 1 < Argc) {
+      Args.Jobs = static_cast<unsigned>(std::stoul(Argv[++I]));
     } else if (Arg == "--report" && I + 1 < Argc) {
       Args.ReportPath = Argv[++I];
     } else if (Arg == "--stats") {
@@ -190,6 +200,7 @@ int cmdTrace(CliArgs &Args, const std::string &Source) {
 int cmdAnalyze(CliArgs &Args, const std::string &Source) {
   NaradaOptions Options;
   Options.FocusClass = Args.FocusClass;
+  Options.Jobs = Args.Jobs;
   Result<NaradaResult> R = runNarada(Source, Args.Names, Options);
   if (!R) {
     std::fprintf(stderr, "error: %s\n", R.error().str().c_str());
@@ -206,6 +217,7 @@ int cmdAnalyze(CliArgs &Args, const std::string &Source) {
 int cmdSynthesize(CliArgs &Args, const std::string &Source) {
   NaradaOptions Options;
   Options.FocusClass = Args.FocusClass;
+  Options.Jobs = Args.Jobs;
   Result<NaradaResult> R = runNarada(Source, Args.Names, Options);
   if (!R) {
     std::fprintf(stderr, "error: %s\n", R.error().str().c_str());
@@ -228,32 +240,43 @@ int cmdSynthesize(CliArgs &Args, const std::string &Source) {
 int cmdDetect(CliArgs &Args, const std::string &Source) {
   NaradaOptions Options;
   Options.FocusClass = Args.FocusClass;
+  Options.Jobs = Args.Jobs;
   Result<NaradaResult> R = runNarada(Source, Args.Names, Options);
   if (!R) {
     std::fprintf(stderr, "error: %s\n", R.error().str().c_str());
     return 1;
   }
+
+  // Schedule explorations for different tests are independent; fan them
+  // out across the worker pool.  Results come back in test order, so the
+  // printed summary is identical for every --jobs value.
+  std::vector<TestDetectJob> Jobs;
+  for (const SynthesizedTestInfo &T : R->Tests)
+    Jobs.push_back({T.Name, T.CandidateLabels});
+  Result<std::vector<TestDetectionResult>> Results =
+      detectRacesInTests(*R->Program.Module, Jobs, {}, Args.Jobs);
+  if (!Results) {
+    std::fprintf(stderr, "error: %s\n", Results.error().str().c_str());
+    return 1;
+  }
+
   unsigned Detected = 0, Reproduced = 0, Harmful = 0, Benign = 0;
-  for (const SynthesizedTestInfo &T : R->Tests) {
-    Result<TestDetectionResult> D = detectRacesInTest(
-        *R->Program.Module, T.Name, {}, T.CandidateLabels);
-    if (!D) {
-      std::fprintf(stderr, "error: %s\n", D.error().str().c_str());
-      return 1;
-    }
-    if (D->Detected.empty() && D->reproducedCount() == 0)
+  for (size_t I = 0; I < R->Tests.size(); ++I) {
+    const SynthesizedTestInfo &T = R->Tests[I];
+    const TestDetectionResult &D = (*Results)[I];
+    if (D.Detected.empty() && D.reproducedCount() == 0)
       continue;
     std::printf("%s:\n", T.Name.c_str());
-    for (const ConfirmedRace &C : D->Races) {
+    for (const ConfirmedRace &C : D.Races) {
       if (!C.Reproduced)
         continue;
       std::printf("  %s [%s]\n", C.Report.str().c_str(),
                   C.Harmful ? "HARMFUL" : "benign");
     }
-    Detected += static_cast<unsigned>(D->Detected.size());
-    Reproduced += D->reproducedCount();
-    Harmful += D->harmfulCount();
-    Benign += D->benignCount();
+    Detected += static_cast<unsigned>(D.Detected.size());
+    Reproduced += D.reproducedCount();
+    Harmful += D.harmfulCount();
+    Benign += D.benignCount();
 
     // Also surface potential deadlocks (lock-order inversions).
     LockOrderDetector LockOrder;
@@ -311,6 +334,7 @@ void emitObservability(const CliArgs &Args) {
     Meta.CorpusId = Args.Input.substr(7);
   Meta.FocusClass = Args.FocusClass;
   Meta.Seed = Args.Seed;
+  Meta.addOption("jobs", std::to_string(Args.Jobs));
   if (Args.Command == "contege")
     Meta.addOption("tests", std::to_string(Args.Tests));
   if (!Args.ReportPath.empty())

@@ -8,6 +8,11 @@ Prints every phase whose wall time regressed by more than the threshold
 regression exceeds the threshold, 1 when at least one does, 2 on bad input.
 Tiny phases (< 1ms in both reports) are ignored: their relative timing is
 noise.
+
+Reports may legitimately have different phase sets — a --jobs 4 run has
+per-worker spans (pipeline.synth.worker0...) that a --jobs 1 run lacks.
+A phase present in only one report is treated as 0s on the other side and
+reported as a warning, never as a regression.
 """
 
 import argparse
@@ -38,6 +43,51 @@ def phase_seconds(doc):
     }
 
 
+def diff_reports(base, cur, threshold):
+    """Compares two parsed reports.
+
+    Returns (regressions, warnings, drifted):
+      regressions: [(phase, before_s, after_s, delta_pct)] over threshold;
+      warnings:    [str] for phases present in only one report;
+      drifted:     [(counter, before, after)] for changed counters.
+    """
+    base_phases = phase_seconds(base)
+    cur_phases = phase_seconds(cur)
+
+    regressions = []
+    warnings = []
+    for name in sorted(set(base_phases) | set(cur_phases)):
+        in_base = name in base_phases
+        in_cur = name in cur_phases
+        before = base_phases.get(name, 0.0)
+        after = cur_phases.get(name, 0.0)
+        if not in_base or not in_cur:
+            # Differing phase sets (e.g. worker spans only at --jobs > 1):
+            # missing side counts as 0, and this is never a regression.
+            if max(before, after) >= MIN_SECONDS:
+                where = "baseline" if not in_base else "current"
+                warnings.append(
+                    f"phase '{name}' missing from {where} report "
+                    f"(treating as 0s)")
+            continue
+        if before < MIN_SECONDS and after < MIN_SECONDS:
+            continue
+        if before <= 0.0:
+            continue  # Zero-time baseline phase: nothing to compare against.
+        delta_pct = (after - before) / before * 100.0
+        if delta_pct > threshold:
+            regressions.append((name, before, after, delta_pct))
+
+    base_counters = base.get("counters", {})
+    cur_counters = cur.get("counters", {})
+    drifted = [
+        (name, base_counters.get(name, 0), cur_counters.get(name, 0))
+        for name in sorted(set(base_counters) | set(cur_counters))
+        if base_counters.get(name, 0) != cur_counters.get(name, 0)
+    ]
+    return regressions, warnings, drifted
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
@@ -49,21 +99,10 @@ def main():
 
     base = load_report(args.baseline)
     cur = load_report(args.current)
+    regressions, warnings, drifted = diff_reports(base, cur, args.threshold)
 
-    base_phases = phase_seconds(base)
-    cur_phases = phase_seconds(cur)
-
-    regressions = []
-    for name in sorted(set(base_phases) | set(cur_phases)):
-        before = base_phases.get(name, 0.0)
-        after = cur_phases.get(name, 0.0)
-        if before < MIN_SECONDS and after < MIN_SECONDS:
-            continue
-        if before <= 0.0:
-            continue  # New phase: nothing to compare against.
-        delta_pct = (after - before) / before * 100.0
-        if delta_pct > args.threshold:
-            regressions.append((name, before, after, delta_pct))
+    for warning in warnings:
+        print(f"warning: {warning}", file=sys.stderr)
 
     if regressions:
         print(f"phase regressions over {args.threshold:.0f}%:")
@@ -73,13 +112,6 @@ def main():
     else:
         print(f"no phase regression over {args.threshold:.0f}%")
 
-    base_counters = base.get("counters", {})
-    cur_counters = cur.get("counters", {})
-    drifted = [
-        (name, base_counters.get(name, 0), cur_counters.get(name, 0))
-        for name in sorted(set(base_counters) | set(cur_counters))
-        if base_counters.get(name, 0) != cur_counters.get(name, 0)
-    ]
     if drifted:
         print(f"counter drift ({len(drifted)} changed):")
         for name, before, after in drifted:

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Unit tests for report-diff.py (invoked by ctest as report_diff_unit)."""
+
+import importlib.util
+import os
+import unittest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "report_diff",
+    os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                 "report-diff.py"))
+report_diff = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(report_diff)
+
+
+def report(phases=None, counters=None):
+    doc = {"schema": "narada.run_report/v1"}
+    doc["phases"] = {
+        name: {"seconds": seconds} for name, seconds in (phases or {}).items()
+    }
+    doc["counters"] = dict(counters or {})
+    return doc
+
+
+class DiffReportsTest(unittest.TestCase):
+    def test_no_change_is_clean(self):
+        base = report({"pipeline": 1.0, "pipeline.synth": 0.4})
+        regressions, warnings, drifted = report_diff.diff_reports(
+            base, base, 10.0)
+        self.assertEqual(regressions, [])
+        self.assertEqual(warnings, [])
+        self.assertEqual(drifted, [])
+
+    def test_regression_over_threshold_is_flagged(self):
+        base = report({"pipeline": 1.0})
+        cur = report({"pipeline": 1.5})
+        regressions, _, _ = report_diff.diff_reports(base, cur, 10.0)
+        self.assertEqual(len(regressions), 1)
+        name, before, after, delta = regressions[0]
+        self.assertEqual(name, "pipeline")
+        self.assertEqual((before, after), (1.0, 1.5))
+        self.assertAlmostEqual(delta, 50.0)
+
+    def test_improvement_is_not_flagged(self):
+        base = report({"pipeline": 1.0})
+        cur = report({"pipeline": 0.5})
+        regressions, _, _ = report_diff.diff_reports(base, cur, 10.0)
+        self.assertEqual(regressions, [])
+
+    def test_phase_only_in_current_warns_not_regresses(self):
+        # A --jobs 4 report has worker spans the serial baseline lacks.
+        base = report({"pipeline.synth": 0.4})
+        cur = report({"pipeline.synth": 0.4,
+                      "pipeline.synth.worker0": 0.2,
+                      "pipeline.synth.worker1": 0.2})
+        regressions, warnings, _ = report_diff.diff_reports(base, cur, 10.0)
+        self.assertEqual(regressions, [])
+        self.assertEqual(len(warnings), 2)
+        self.assertIn("worker0", warnings[0])
+        self.assertIn("missing from baseline", warnings[0])
+
+    def test_phase_only_in_baseline_warns_not_regresses(self):
+        base = report({"pipeline.synth": 0.4, "pipeline.synth.worker0": 0.2})
+        cur = report({"pipeline.synth": 0.4})
+        regressions, warnings, _ = report_diff.diff_reports(base, cur, 10.0)
+        self.assertEqual(regressions, [])
+        self.assertEqual(len(warnings), 1)
+        self.assertIn("missing from current", warnings[0])
+
+    def test_missing_tiny_phase_does_not_warn(self):
+        base = report({"pipeline": 1.0})
+        cur = report({"pipeline": 1.0, "pipeline.blip": 0.0002})
+        _, warnings, _ = report_diff.diff_reports(base, cur, 10.0)
+        self.assertEqual(warnings, [])
+
+    def test_tiny_phases_ignored_for_regressions(self):
+        base = report({"pipeline.blip": 0.0001})
+        cur = report({"pipeline.blip": 0.0009})  # 800% but sub-millisecond.
+        regressions, _, _ = report_diff.diff_reports(base, cur, 10.0)
+        self.assertEqual(regressions, [])
+
+    def test_counter_drift_treats_missing_as_zero(self):
+        base = report(counters={"synth.tests_synthesized": 15})
+        cur = report(counters={"synth.tests_synthesized": 15,
+                               "synth.qmemo_hits": 40})
+        _, _, drifted = report_diff.diff_reports(base, cur, 10.0)
+        self.assertEqual(drifted, [("synth.qmemo_hits", 0, 40)])
+
+    def test_empty_reports_diff_cleanly(self):
+        regressions, warnings, drifted = report_diff.diff_reports(
+            report(), report(), 10.0)
+        self.assertEqual((regressions, warnings, drifted), ([], [], []))
+
+
+if __name__ == "__main__":
+    unittest.main()
