@@ -24,6 +24,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -49,24 +50,36 @@ struct ClassRun {
 
 /// Worker-thread count for the bench drivers: the NARADA_JOBS env var
 /// (0 = all hardware threads), defaulting to 1 (serial, the measured
-/// configuration of the paper's tables).
+/// configuration of the paper's tables).  Unparseable values fall back to
+/// the serial default with a warning rather than escalating to 0/"all".
 inline unsigned benchJobs() {
-  if (const char *Env = std::getenv("NARADA_JOBS"))
-    return static_cast<unsigned>(std::strtoul(Env, nullptr, 10));
-  return 1;
+  const char *Env = std::getenv("NARADA_JOBS");
+  if (!Env)
+    return 1;
+  unsigned Jobs = 1;
+  if (!parseJobs(Env, Jobs))
+    std::fprintf(stderr,
+                 "warning: ignoring unparseable NARADA_JOBS='%s'; "
+                 "running serial\n",
+                 Env);
+  return Jobs;
 }
 
 /// Runs synthesis for one class; aborts the process with a message on
 /// pipeline errors (benchmarks are not expected to handle them).
+/// Worker count: \p JobsOverride when given, otherwise NARADA_JOBS via
+/// benchJobs().  Extra.Jobs is deliberately ignored — a default-constructed
+/// NaradaOptions is indistinguishable from one explicitly requesting a
+/// serial run, so callers that need a pinned count pass JobsOverride.
 inline ClassRun runSynthesis(const CorpusEntry &Entry,
-                             const NaradaOptions &Extra = {}) {
+                             const NaradaOptions &Extra = {},
+                             std::optional<unsigned> JobsOverride = {}) {
   ClassRun Out;
   Out.Entry = &Entry;
 
   NaradaOptions Options = Extra;
   Options.FocusClass = Entry.ClassName;
-  if (Options.Jobs == 1)
-    Options.Jobs = benchJobs();
+  Options.Jobs = JobsOverride ? *JobsOverride : benchJobs();
 
   Result<NaradaResult> R = runNarada(Entry.Source, Entry.SeedNames, Options);
   if (!R) {

@@ -24,11 +24,13 @@
 #ifndef NARADA_SUPPORT_THREADPOOL_H
 #define NARADA_SUPPORT_THREADPOOL_H
 
-#include <atomic>
 #include <condition_variable>
+#include <cerrno>
 #include <cstddef>
+#include <cstdlib>
 #include <deque>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -42,6 +44,26 @@ inline unsigned resolveJobs(unsigned Requested) {
     return Requested;
   unsigned HW = std::thread::hardware_concurrency();
   return HW == 0 ? 1 : HW;
+}
+
+/// Parses a --jobs/NARADA_JOBS value: a base-10 unsigned integer where 0
+/// means "all hardware threads".  Returns false and leaves \p Out untouched
+/// on empty, non-numeric, or out-of-range input, so callers keep their
+/// default instead of silently escalating to maximum parallelism.
+inline bool parseJobs(const char *Text, unsigned &Out) {
+  if (!Text || *Text == '\0')
+    return false;
+  for (const char *P = Text; *P; ++P)
+    if (*P < '0' || *P > '9')
+      return false;
+  errno = 0;
+  char *End = nullptr;
+  unsigned long Value = std::strtoul(Text, &End, 10);
+  if (End == Text || *End != '\0' || errno == ERANGE ||
+      Value > std::numeric_limits<unsigned>::max())
+    return false;
+  Out = static_cast<unsigned>(Value);
+  return true;
 }
 
 /// A fixed-size work-stealing thread pool.  Construct with the worker
@@ -85,7 +107,7 @@ public:
     if (N == 0)
       return;
     Batch B;
-    B.Remaining.store(N, std::memory_order_relaxed);
+    B.Remaining = N; // No worker can see B until the pushes below publish it.
     // Round-robin seeding spreads the canonical index range over the
     // deques so early stealing is rarely needed for balanced loads.
     for (size_t Item = 0; Item < N; ++Item) {
@@ -102,14 +124,12 @@ public:
     }
     SleepCV.notify_all();
     std::unique_lock<std::mutex> Lock(B.DoneM);
-    B.DoneCV.wait(Lock, [&B] {
-      return B.Remaining.load(std::memory_order_acquire) == 0;
-    });
+    B.DoneCV.wait(Lock, [&B] { return B.Remaining == 0; });
   }
 
 private:
   struct Batch {
-    std::atomic<size_t> Remaining{0};
+    size_t Remaining = 0; ///< Guarded by DoneM once workers can see Batch.
     std::mutex DoneM;
     std::condition_variable DoneCV;
   };
@@ -150,10 +170,14 @@ private:
 
   void runTask(const Task &T, unsigned Worker) {
     (*T.Body)(T.Item, Worker);
-    if (T.Owner->Remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      std::lock_guard<std::mutex> Lock(T.Owner->DoneM);
-      T.Owner->DoneCV.notify_all();
-    }
+    // Decrement and notify while holding DoneM: the waiter's predicate runs
+    // under the same mutex, so it cannot observe Remaining == 0 and destroy
+    // the stack-allocated Batch until this unlock completes — after which no
+    // thread touches the Batch again.
+    Batch &B = *T.Owner;
+    std::lock_guard<std::mutex> Lock(B.DoneM);
+    if (--B.Remaining == 0)
+      B.DoneCV.notify_all();
   }
 
   void workerLoop(unsigned Worker) {

@@ -45,6 +45,7 @@
 #include "detect/Detection.h"
 #include "obs/RunReport.h"
 #include "support/StringUtils.h"
+#include "support/ThreadPool.h"
 #include "synth/Narada.h"
 #include "trace/Trace.h"
 
@@ -101,7 +102,10 @@ std::optional<CliArgs> parseArgs(int Argc, char **Argv) {
   CliArgs Args;
   Args.Command = Argv[1];
   if (const char *EnvJobs = std::getenv("NARADA_JOBS"))
-    Args.Jobs = static_cast<unsigned>(std::strtoul(EnvJobs, nullptr, 10));
+    if (!parseJobs(EnvJobs, Args.Jobs))
+      std::fprintf(stderr,
+                   "warning: ignoring unparseable NARADA_JOBS='%s'\n",
+                   EnvJobs);
   for (int I = 2; I < Argc; ++I) {
     std::string Arg = Argv[I];
     if (Arg == "--class" && I + 1 < Argc) {
