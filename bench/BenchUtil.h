@@ -46,6 +46,10 @@ struct ClassRun {
   std::set<std::string> Benign;
   /// Distinct race keys confirmed per test, for the Fig. 14 distribution.
   std::vector<unsigned> RacesPerTest;
+  /// Tests pulled from detection (budget exhausted / contained fault); their
+  /// partial results still count above, but a non-zero value means the
+  /// table's numbers are a lower bound — see docs/ROBUSTNESS.md.
+  unsigned Quarantined = 0;
 };
 
 /// Worker-thread count for the bench drivers: the NARADA_JOBS env var
@@ -113,7 +117,14 @@ inline void runDetection(ClassRun &Run, const DetectOptions &Options) {
                  Results.error().str().c_str());
     std::exit(1);
   }
-  for (const TestDetectionResult &D : *Results) {
+  for (size_t I = 0; I < Results->size(); ++I) {
+    const TestDetectionResult &D = (*Results)[I];
+    if (D.Quarantined) {
+      ++Run.Quarantined;
+      std::fprintf(stderr, "%s: warning: test %s quarantined: %s\n",
+                   Run.Entry->Id.c_str(), Jobs[I].TestName.c_str(),
+                   D.QuarantineReason.c_str());
+    }
     std::set<std::string> PerTest;
     for (const RaceReport &Race : D.Detected) {
       Run.Detected.insert(Race.key());

@@ -11,8 +11,10 @@
 #include "detect/RaceConfirmer.h"
 #include "obs/Log.h"
 #include "obs/Span.h"
+#include "support/FaultInjection.h"
 #include "support/StringUtils.h"
 #include "support/ThreadPool.h"
+#include "support/Timer.h"
 
 #include <map>
 #include <optional>
@@ -95,6 +97,7 @@ struct ConfirmRun {
   uint64_t ObservedHash = 0; ///< Values seen at the racy accesses.
   bool Faulted = false;
   bool Deadlocked = false;
+  bool HitStepLimit = false; ///< Ran into its step budget (see retries).
 };
 
 Result<ConfirmRun> runConfirm(const IRModule &M, const std::string &TestName,
@@ -104,6 +107,14 @@ Result<ConfirmRun> runConfirm(const IRModule &M, const std::string &TestName,
   obs::Span ScheduleSpan("schedule");
   obs::MetricsRegistry::global().counter("detect.schedules_explored").inc();
   obs::MetricsRegistry::global().counter("detect.confirm_runs").inc();
+  fault::probe("detect.confirm");
+  if (fault::timeoutProbe("detect.confirm.steps")) {
+    // Simulated watchdog expiry: report a step-limited, unconfirmed run
+    // without executing, so tests can drive the retry/quarantine path.
+    ConfirmRun Out;
+    Out.HitStepLimit = true;
+    return Out;
+  }
   RaceConfirmPolicy Policy(LabelA, LabelB, Seed, SecondFirst);
   AccessValueHasher Hasher(LabelA, LabelB);
   Result<TestRun> Run = runTest(M, TestName, Policy, /*RandSeed=*/1, &Hasher,
@@ -118,7 +129,65 @@ Result<ConfirmRun> runConfirm(const IRModule &M, const std::string &TestName,
   Out.ObservedHash = Hasher.hash();
   Out.Faulted = Run->Result.Faulted;
   Out.Deadlocked = Run->Result.Deadlocked;
+  Out.HitStepLimit = Run->Result.HitStepLimit;
   return Out;
+}
+
+/// The escalated step budget for retry \p Try (0 = first attempt).
+uint64_t escalatedBudget(const DetectOptions &Options, unsigned Try) {
+  uint64_t Budget = Options.MaxSteps;
+  uint64_t Factor =
+      Options.StepBudgetEscalation < 2 ? 2 : Options.StepBudgetEscalation;
+  for (unsigned I = 0; I < Try; ++I)
+    Budget *= Factor;
+  return Budget;
+}
+
+/// runConfirm with the watchdog-retry protocol: a step-limited run is
+/// retried under an escalating budget up to Options.StepLimitRetries
+/// times.  The returned run still has HitStepLimit set when even the last
+/// budget was exhausted — the caller quarantines then.  \p SawStepLimit is
+/// latched when any attempt (retried or not) hit its ceiling.
+Result<ConfirmRun>
+runConfirmWithRetry(const IRModule &M, const std::string &TestName,
+                    const std::string &LabelA, const std::string &LabelB,
+                    uint64_t Seed, bool SecondFirst,
+                    const DetectOptions &Options, bool &SawStepLimit) {
+  obs::MetricsRegistry &Metrics = obs::MetricsRegistry::global();
+  for (unsigned Try = 0;; ++Try) {
+    Result<ConfirmRun> Run =
+        runConfirm(M, TestName, LabelA, LabelB, Seed, SecondFirst,
+                   escalatedBudget(Options, Try));
+    if (!Run)
+      return Run;
+    if (!Run->HitStepLimit)
+      return Run;
+    SawStepLimit = true;
+    Metrics.counter("detect.step_limit_runs").inc();
+    if (Try >= Options.StepLimitRetries)
+      return Run; // Budget exhausted even after every escalation.
+    Metrics.counter("detect.retries").inc();
+    NARADA_LOG_DEBUG("confirm run of %s hit step budget %llu, retrying "
+                     "with x%llu budget",
+                     TestName.c_str(),
+                     static_cast<unsigned long long>(
+                         escalatedBudget(Options, Try)),
+                     static_cast<unsigned long long>(
+                         Options.StepBudgetEscalation));
+  }
+}
+
+/// Marks \p Out quarantined with \p Reason (first reason wins) and counts
+/// it; detection results gathered so far stay attached.
+void quarantine(TestDetectionResult &Out, const std::string &TestName,
+                std::string Reason) {
+  if (Out.Quarantined)
+    return;
+  Out.Quarantined = true;
+  Out.QuarantineReason = std::move(Reason);
+  obs::MetricsRegistry::global().counter("detect.quarantined").inc();
+  NARADA_LOG_WARN("quarantined test %s: %s", TestName.c_str(),
+                  Out.QuarantineReason.c_str());
 }
 
 } // namespace
@@ -130,34 +199,79 @@ Result<TestDetectionResult> narada::detectRacesInTest(
   obs::Span TestSpan("test");
   obs::MetricsRegistry &Metrics = obs::MetricsRegistry::global();
   Metrics.counter("detect.tests_run").inc();
+  fault::probe("detect.test");
 
   TestDetectionResult Out;
   std::map<std::string, RaceReport> ByKey;
 
-  // Phase 1: random schedules with the passive detectors attached.
+  // Watchdog: per-test wall-clock budget (0 = unlimited), checked at run
+  // boundaries — a runaway single run is bounded by the step budget below.
+  Timer Wall;
+  auto WallExpired = [&] {
+    return Options.WallBudgetSeconds > 0.0 &&
+           Wall.seconds() > Options.WallBudgetSeconds;
+  };
+  auto WallReason = [&] {
+    return formatString("wall-clock budget of %.3fs exceeded after %.3fs",
+                        Options.WallBudgetSeconds, Wall.seconds());
+  };
+
+  // Phase 1: random schedules with the passive detectors attached.  A run
+  // that exhausts its step budget is retried with an escalated budget; if
+  // even the last escalation hits the ceiling the test is quarantined —
+  // a runaway schedule must never pass for a clean one.
   for (unsigned RunIdx = 0; RunIdx < Options.RandomRuns; ++RunIdx) {
+    if (WallExpired()) {
+      quarantine(Out, TestName, WallReason());
+      return Out;
+    }
     obs::Span ScheduleSpan("schedule");
     Metrics.counter("detect.schedules_explored").inc();
-    HBDetector HB;
-    LockSetDetector LockSet;
-    ObserverMux Mux;
-    if (Options.UseHB)
-      Mux.add(&HB);
-    if (Options.UseLockSet)
-      Mux.add(&LockSet);
+    fault::probe("detect.random_run");
+    for (unsigned Try = 0;; ++Try) {
+      // Detectors and policy are rebuilt per attempt so a retry replays
+      // the identical schedule, only with more budget.
+      HBDetector HB;
+      LockSetDetector LockSet;
+      ObserverMux Mux;
+      if (Options.UseHB)
+        Mux.add(&HB);
+      if (Options.UseLockSet)
+        Mux.add(&LockSet);
 
-    RandomPolicy Policy(Options.BaseSeed + RunIdx);
-    Result<TestRun> Run = runTest(M, TestName, Policy, /*RandSeed=*/1, &Mux,
-                                  Options.MaxSteps);
-    if (!Run)
-      return Run.error();
-    Out.SawFault = Out.SawFault || Run->Result.Faulted;
-    Out.SawDeadlock = Out.SawDeadlock || Run->Result.Deadlocked;
-
-    for (const RaceReport &R : HB.races())
-      ByKey.emplace(R.key(), R);
-    for (const RaceReport &R : LockSet.races())
-      ByKey.emplace(R.key(), R);
+      bool Limited = fault::timeoutProbe("detect.random.steps");
+      if (!Limited) {
+        RandomPolicy Policy(Options.BaseSeed + RunIdx);
+        Result<TestRun> Run =
+            runTest(M, TestName, Policy, /*RandSeed=*/1, &Mux,
+                    escalatedBudget(Options, Try));
+        if (!Run)
+          return Run.error();
+        Limited = Run->Result.HitStepLimit;
+        if (!Limited) {
+          Out.SawFault = Out.SawFault || Run->Result.Faulted;
+          Out.SawDeadlock = Out.SawDeadlock || Run->Result.Deadlocked;
+          for (const RaceReport &R : HB.races())
+            ByKey.emplace(R.key(), R);
+          for (const RaceReport &R : LockSet.races())
+            ByKey.emplace(R.key(), R);
+          break;
+        }
+      }
+      Out.SawStepLimit = true;
+      Metrics.counter("detect.step_limit_runs").inc();
+      if (Try >= Options.StepLimitRetries) {
+        quarantine(Out, TestName,
+                   formatString("random-schedule run %u exceeded its step "
+                                "budget (%llu steps after %u retries)",
+                                RunIdx,
+                                static_cast<unsigned long long>(
+                                    escalatedBudget(Options, Try)),
+                                Try));
+        return Out;
+      }
+      Metrics.counter("detect.retries").inc();
+    }
   }
 
   for (const auto &[Key, Report] : ByKey)
@@ -185,25 +299,54 @@ Result<TestDetectionResult> narada::detectRacesInTest(
 
   std::set<std::string> Classified;
   for (const auto &[LabelA, LabelB] : LabelPairs) {
+    if (WallExpired()) {
+      quarantine(Out, TestName, WallReason());
+      return Out;
+    }
     obs::Span ConfirmSpan("confirm");
     ConfirmedRace Entry;
     for (unsigned Attempt = 0; Attempt < Options.ConfirmAttempts;
          ++Attempt) {
       Metrics.counter("detect.confirm_attempts").inc();
       uint64_t Seed = Options.BaseSeed + 1000 + Attempt;
-      Result<ConfirmRun> FirstOrder =
-          runConfirm(M, TestName, LabelA, LabelB, Seed,
-                     /*SecondFirst=*/false, Options.MaxSteps);
+      Result<ConfirmRun> FirstOrder = runConfirmWithRetry(
+          M, TestName, LabelA, LabelB, Seed,
+          /*SecondFirst=*/false, Options, Out.SawStepLimit);
       if (!FirstOrder)
         return FirstOrder.error();
+      if (FirstOrder->HitStepLimit) {
+        // Even the escalated budgets were exhausted: quarantine — this
+        // confirmation can not be trusted to have run clean.
+        quarantine(Out, TestName,
+                   formatString("confirmation of %s~%s exceeded its step "
+                                "budget (%llu steps after %u retries)",
+                                LabelA.c_str(), LabelB.c_str(),
+                                static_cast<unsigned long long>(
+                                    escalatedBudget(
+                                        Options, Options.StepLimitRetries)),
+                                Options.StepLimitRetries));
+        return Out;
+      }
       if (!FirstOrder->Confirmed)
         continue;
 
-      Result<ConfirmRun> SecondOrder =
-          runConfirm(M, TestName, LabelA, LabelB, Seed,
-                     /*SecondFirst=*/true, Options.MaxSteps);
+      Result<ConfirmRun> SecondOrder = runConfirmWithRetry(
+          M, TestName, LabelA, LabelB, Seed,
+          /*SecondFirst=*/true, Options, Out.SawStepLimit);
       if (!SecondOrder)
         return SecondOrder.error();
+      if (SecondOrder->HitStepLimit) {
+        quarantine(Out, TestName,
+                   formatString("confirmation of %s~%s (reversed order) "
+                                "exceeded its step budget (%llu steps "
+                                "after %u retries)",
+                                LabelA.c_str(), LabelB.c_str(),
+                                static_cast<unsigned long long>(
+                                    escalatedBudget(
+                                        Options, Options.StepLimitRetries)),
+                                Options.StepLimitRetries));
+        return Out;
+      }
 
       Entry.Reproduced = true;
       Entry.Report = FirstOrder->Report;
@@ -216,8 +359,13 @@ Result<TestDetectionResult> narada::detectRacesInTest(
       bool ObservationDiverges =
           SecondOrder->Confirmed &&
           FirstOrder->ObservedHash != SecondOrder->ObservedHash;
+      // Step-limited runs count as misbehaving (defense in depth: the
+      // retry protocol above normally quarantines them first) — a
+      // schedule that ran away is anything but clean.
       bool Misbehaved = FirstOrder->Faulted || FirstOrder->Deadlocked ||
-                        SecondOrder->Faulted || SecondOrder->Deadlocked;
+                        FirstOrder->HitStepLimit ||
+                        SecondOrder->Faulted || SecondOrder->Deadlocked ||
+                        SecondOrder->HitStepLimit;
       Entry.Harmful = StateDiverges || ObservationDiverges || Misbehaved;
       break;
     }
@@ -242,9 +390,29 @@ Result<std::vector<TestDetectionResult>> narada::detectRacesInTests(
   const unsigned Workers = resolveJobs(JobCount);
   std::vector<std::optional<Result<TestDetectionResult>>> Slots(Jobs.size());
 
+  // Captures a crash inside one test's detection and degrades it to a
+  // quarantined result: one misbehaving synthesized test must cost its own
+  // results, never the whole batch (let alone the process).
+  auto Quarantined = [&](size_t I, std::exception_ptr E) {
+    TestDetectionResult Q;
+    Q.Quarantined = true;
+    Q.QuarantineReason = "internal fault: " + describeException(E);
+    obs::MetricsRegistry &Metrics = obs::MetricsRegistry::global();
+    Metrics.counter("detect.quarantined").inc();
+    Metrics.counter("detect.internal_faults").inc();
+    NARADA_LOG_WARN("quarantined test %s: %s", Jobs[I].TestName.c_str(),
+                    Q.QuarantineReason.c_str());
+    return Q;
+  };
+
   auto RunOne = [&](size_t I) {
-    Slots[I].emplace(
-        detectRacesInTest(M, Jobs[I].TestName, Options, Jobs[I].Hints));
+    fault::ScopedUnit Unit(I);
+    try {
+      Slots[I].emplace(
+          detectRacesInTest(M, Jobs[I].TestName, Options, Jobs[I].Hints));
+    } catch (...) {
+      Slots[I].emplace(Quarantined(I, std::current_exception()));
+    }
   };
 
   if (Workers <= 1 || Jobs.size() <= 1) {
@@ -258,10 +426,15 @@ Result<std::vector<TestDetectionResult>> narada::detectRacesInTests(
     for (unsigned W = 0; W < Workers; ++W)
       WorkerNames.push_back(formatString("worker%u", W));
     ThreadPool Pool(Workers);
-    Pool.parallelFor(Jobs.size(), [&](size_t I, unsigned W) {
-      obs::Span WorkerSpan(WorkerNames[W], Parent);
-      RunOne(I);
-    });
+    std::vector<ThreadPool::TaskFailure> Failures =
+        Pool.parallelFor(Jobs.size(), [&](size_t I, unsigned W) {
+          obs::Span WorkerSpan(WorkerNames[W], Parent);
+          RunOne(I);
+        });
+    // RunOne contains exceptions itself; the pool barrier is the backstop
+    // for anything escaping the slot bookkeeping.
+    for (ThreadPool::TaskFailure &F : Failures)
+      Slots[F.Item].emplace(Quarantined(F.Item, std::move(F.Error)));
   }
 
   // Merge in input order; surface the first error deterministically.

@@ -43,6 +43,17 @@ struct DetectOptions {
   uint64_t MaxSteps = 400'000;
   bool UseHB = true;
   bool UseLockSet = true;
+  /// Watchdog budgets.  A run that exhausts its step budget is retried
+  /// with an escalated budget (MaxSteps * StepBudgetEscalation^try) up to
+  /// StepLimitRetries times; if the final retry still hits the ceiling the
+  /// test is quarantined — never reported as a clean schedule.
+  unsigned StepLimitRetries = 2;
+  uint64_t StepBudgetEscalation = 4; ///< Budget multiplier per retry (>= 2).
+  /// Per-test wall-clock budget in seconds; exceeded => the test is
+  /// quarantined with whatever results were already gathered.  0 disables
+  /// the watchdog (the default: wall-clock cutoffs are inherently timing-
+  /// dependent, so they are opt-in to keep default runs deterministic).
+  double WallBudgetSeconds = 0.0;
 };
 
 /// One race after confirmation and classification.
@@ -60,6 +71,15 @@ struct TestDetectionResult {
   std::vector<ConfirmedRace> Races; ///< One entry per detected race.
   bool SawFault = false;
   bool SawDeadlock = false;
+  /// Some run hit its step ceiling (even if a budget-escalated retry then
+  /// completed) — the schedule was NOT clean end to end.
+  bool SawStepLimit = false;
+  /// The test was pulled from the run: its step/wall budget was exhausted
+  /// after retries, or its detection crashed (exception contained by
+  /// detectRacesInTests).  Results gathered before quarantine are kept,
+  /// but the test must not be counted as having run clean.
+  bool Quarantined = false;
+  std::string QuarantineReason; ///< Human-readable; empty when !Quarantined.
 
   unsigned reproducedCount() const;
   unsigned harmfulCount() const;
@@ -88,6 +108,12 @@ struct TestDetectJob {
 /// read-only module — so results are returned in input order and are
 /// identical for every JobCount.  On failure the first error in input
 /// order is returned.
+///
+/// Fault containment: an exception escaping one test's detection (e.g. an
+/// injected fault — see support/FaultInjection.h; jobs run under
+/// fault::ScopedUnit(index)) is captured per test and converted into a
+/// quarantined TestDetectionResult carrying the exception message; every
+/// other test's results are unaffected and the call still succeeds.
 Result<std::vector<TestDetectionResult>>
 detectRacesInTests(const IRModule &M, const std::vector<TestDetectJob> &Jobs,
                    const DetectOptions &Options = {}, unsigned JobCount = 1);

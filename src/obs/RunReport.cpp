@@ -8,6 +8,7 @@
 
 #include "obs/Json.h"
 #include "obs/Log.h"
+#include "support/StringUtils.h"
 
 #include <fstream>
 
@@ -89,6 +90,204 @@ bool obs::writeRunReport(const std::string &Path, const RunMeta &Meta) {
     return false;
   }
   return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Parsing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Fetches a member of \p Doc that, when present, must be a string.
+/// Absent members default to "" — older reports may predate a field.
+Result<std::string> stringMember(const JsonValue &Doc, const char *Name) {
+  const JsonValue *V = Doc.find(Name);
+  if (!V)
+    return std::string();
+  if (!V->isString())
+    return Error(formatString("run report member '%s' is not a string", Name));
+  return V->StringVal;
+}
+
+/// Fetches a member that, when present, must be a non-negative number
+/// representable as uint64_t.
+Result<uint64_t> u64Member(const JsonValue &Obj, const char *Context,
+                           const char *Name) {
+  const JsonValue *V = Obj.find(Name);
+  if (!V)
+    return static_cast<uint64_t>(0);
+  if (!V->isNumber() || V->NumberVal < 0)
+    return Error(formatString(
+        "run report member '%s.%s' is not a non-negative number", Context,
+        Name));
+  return static_cast<uint64_t>(V->NumberVal);
+}
+
+/// Fetches an optional object-valued member; null pointer when absent.
+Result<const JsonValue *> objectMember(const JsonValue &Doc,
+                                       const char *Name) {
+  const JsonValue *V = Doc.find(Name);
+  if (!V)
+    return static_cast<const JsonValue *>(nullptr);
+  if (!V->isObject())
+    return Error(
+        formatString("run report member '%s' is not an object", Name));
+  return V;
+}
+
+Result<std::vector<uint64_t>> u64ArrayMember(const JsonValue &Obj,
+                                             const char *Context,
+                                             const char *Name) {
+  std::vector<uint64_t> Out;
+  const JsonValue *V = Obj.find(Name);
+  if (!V)
+    return Out;
+  if (!V->isArray())
+    return Error(formatString("run report member '%s.%s' is not an array",
+                              Context, Name));
+  for (const JsonValue &E : V->Elements) {
+    if (!E.isNumber() || E.NumberVal < 0)
+      return Error(formatString(
+          "run report member '%s.%s' has a non-numeric element", Context,
+          Name));
+    Out.push_back(static_cast<uint64_t>(E.NumberVal));
+  }
+  return Out;
+}
+
+} // namespace
+
+Result<ParsedRunReport> obs::parseRunReport(std::string_view Text) {
+  std::optional<JsonValue> Doc = parseJson(Text);
+  if (!Doc)
+    return Error("run report is not valid JSON (truncated or malformed)");
+  if (!Doc->isObject())
+    return Error("run report top level is not a JSON object");
+
+  const JsonValue *Schema = Doc->find("schema");
+  if (!Schema)
+    return Error("run report has no 'schema' member");
+  if (!Schema->isString() || Schema->StringVal != "narada.run_report/v1")
+    return Error(formatString(
+        "unsupported run report schema '%s' (expected narada.run_report/v1)",
+        Schema->isString() ? Schema->StringVal.c_str() : "<non-string>"));
+
+  ParsedRunReport Report;
+
+  // Identity. Unknown extra members are ignored; the five string fields
+  // and the seed must have the right type when present.
+  for (auto [Field, Dest] :
+       {std::pair<const char *, std::string *>{"tool", &Report.Meta.Tool},
+        {"command", &Report.Meta.Command},
+        {"input", &Report.Meta.Input},
+        {"corpus_id", &Report.Meta.CorpusId},
+        {"focus_class", &Report.Meta.FocusClass}}) {
+    Result<std::string> S = stringMember(*Doc, Field);
+    if (!S)
+      return S.error();
+    *Dest = S.take();
+  }
+  if (const JsonValue *Seed = Doc->find("seed")) {
+    if (!Seed->isNumber() || Seed->NumberVal < 0)
+      return Error("run report member 'seed' is not a non-negative number");
+    Report.Meta.Seed = static_cast<uint64_t>(Seed->NumberVal);
+  }
+
+  if (Result<const JsonValue *> Options = objectMember(*Doc, "options")) {
+    if (*Options)
+      for (const auto &[Key, Value] : (*Options)->Members) {
+        if (!Value.isString())
+          return Error(formatString(
+              "run report member 'options.%s' is not a string", Key.c_str()));
+        Report.Meta.Options.emplace_back(Key, Value.StringVal);
+      }
+  } else {
+    return Options.error();
+  }
+
+  // Metrics. All maps are open-ended: unknown phase/counter names parse
+  // fine — only their value *types* are validated.
+  if (Result<const JsonValue *> Phases = objectMember(*Doc, "phases")) {
+    if (*Phases)
+      for (const auto &[Path, Stat] : (*Phases)->Members) {
+        if (!Stat.isObject())
+          return Error(formatString(
+              "run report member 'phases.%s' is not an object", Path.c_str()));
+        const JsonValue *Seconds = Stat.find("seconds");
+        if (!Seconds || !Seconds->isNumber())
+          return Error(formatString(
+              "run report member 'phases.%s.seconds' is not a number",
+              Path.c_str()));
+        Result<uint64_t> Count = u64Member(Stat, Path.c_str(), "count");
+        if (!Count)
+          return Count.error();
+        Report.Metrics.Phases[Path] = {Seconds->NumberVal, *Count};
+      }
+  } else {
+    return Phases.error();
+  }
+
+  if (Result<const JsonValue *> Counters = objectMember(*Doc, "counters")) {
+    if (*Counters)
+      for (const auto &[Name, Value] : (*Counters)->Members) {
+        if (!Value.isNumber() || Value.NumberVal < 0)
+          return Error(formatString(
+              "run report member 'counters.%s' is not a non-negative number",
+              Name.c_str()));
+        Report.Metrics.Counters[Name] =
+            static_cast<uint64_t>(Value.NumberVal);
+      }
+  } else {
+    return Counters.error();
+  }
+
+  if (Result<const JsonValue *> Gauges = objectMember(*Doc, "gauges")) {
+    if (*Gauges)
+      for (const auto &[Name, Value] : (*Gauges)->Members) {
+        if (!Value.isNumber())
+          return Error(formatString(
+              "run report member 'gauges.%s' is not a number", Name.c_str()));
+        Report.Metrics.Gauges[Name] = static_cast<int64_t>(Value.NumberVal);
+      }
+  } else {
+    return Gauges.error();
+  }
+
+  if (Result<const JsonValue *> Histograms =
+          objectMember(*Doc, "histograms")) {
+    if (*Histograms)
+      for (const auto &[Name, H] : (*Histograms)->Members) {
+        if (!H.isObject())
+          return Error(formatString(
+              "run report member 'histograms.%s' is not an object",
+              Name.c_str()));
+        MetricsSnapshot::HistogramData Data;
+        Result<std::vector<uint64_t>> Bounds =
+            u64ArrayMember(H, Name.c_str(), "bounds");
+        if (!Bounds)
+          return Bounds.error();
+        Data.Bounds = Bounds.take();
+        Result<std::vector<uint64_t>> Buckets =
+            u64ArrayMember(H, Name.c_str(), "bucket_counts");
+        if (!Buckets)
+          return Buckets.error();
+        Data.BucketCounts = Buckets.take();
+        for (auto [Field, Dest] :
+             {std::pair<const char *, uint64_t *>{"count", &Data.Count},
+              {"sum", &Data.Sum},
+              {"max", &Data.Max}}) {
+          Result<uint64_t> V = u64Member(H, Name.c_str(), Field);
+          if (!V)
+            return V.error();
+          *Dest = *V;
+        }
+        Report.Metrics.Histograms[Name] = std::move(Data);
+      }
+  } else {
+    return Histograms.error();
+  }
+
+  return Report;
 }
 
 void obs::printRunStats(std::FILE *Out, const MetricsSnapshot &S) {

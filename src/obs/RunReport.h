@@ -19,9 +19,11 @@
 #define NARADA_OBS_RUNREPORT_H
 
 #include "obs/Metrics.h"
+#include "support/Error.h"
 
 #include <cstdio>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -57,6 +59,22 @@ bool writeRunReport(const std::string &Path, const RunMeta &Meta);
 /// Prints the human-readable --stats summary (phase times, key counters)
 /// to \p Out (usually stderr).
 void printRunStats(std::FILE *Out, const MetricsSnapshot &S);
+
+/// A parsed narada.run_report/v1 document: identity plus the recorded
+/// metrics, reconstructed into the same types the writer consumed.
+struct ParsedRunReport {
+  RunMeta Meta;
+  MetricsSnapshot Metrics;
+};
+
+/// Parses and validates a run-report document.  Malformed input — a
+/// truncated or non-JSON buffer, a wrong/missing schema marker, or a
+/// member of the wrong type ("phases" not an object, a counter that is a
+/// string, ...) — yields a structured Error naming the offending member,
+/// never a crash.  Unknown phase/counter/option names are preserved
+/// verbatim: the schema's maps are open-ended by design, so a newer
+/// writer's report stays readable.
+Result<ParsedRunReport> parseRunReport(std::string_view Text);
 
 } // namespace obs
 } // namespace narada

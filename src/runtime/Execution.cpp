@@ -10,6 +10,7 @@
 #include "ir/Verifier.h"
 #include "lang/Parser.h"
 #include "obs/Metrics.h"
+#include "support/FaultInjection.h"
 #include "support/StringUtils.h"
 
 using namespace narada;
@@ -44,6 +45,11 @@ Result<TestRun> narada::runTest(const IRModule &M,
   const IRFunction *Test = M.findTest(TestName);
   if (!Test)
     return Error(formatString("no such test '%s'", TestName.c_str()));
+
+  // Injection point for the containment sweep: only fires inside a
+  // fault::ScopedUnit (the detection stage's per-test scope) — seed
+  // executions during analysis run unscoped and are never injected.
+  fault::probe("runtime.run_test");
 
   TestRun Run;
   VM Machine(M, RandSeed);

@@ -1,0 +1,219 @@
+//===- support/FaultInjection.cpp - Deterministic fault injection --------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjection.h"
+
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+using namespace narada;
+using namespace narada::fault;
+
+namespace {
+
+struct SiteInfo {
+  uint64_t Hits = 0;
+  bool Throwable = false; ///< Registered by probe().
+  bool Timeout = false;   ///< Registered by timeoutProbe().
+  std::optional<uint64_t> MinUnit;
+};
+
+struct ArmedSpec {
+  std::string Site;
+  uint64_t Unit = 0;
+  Mode M = Mode::Throw;
+};
+
+struct State {
+  std::mutex M;
+  std::map<std::string, SiteInfo> Sites;
+  std::optional<ArmedSpec> Armed;
+};
+
+State &state() {
+  static State S;
+  return S;
+}
+
+thread_local std::optional<uint64_t> CurrentUnit;
+
+/// Installs NARADA_FAULT_INJECT exactly once, before the first probe is
+/// consulted, so CLI runs can inject without code changes.
+void initFromEnvOnce() {
+  static std::once_flag Once;
+  std::call_once(Once, [] {
+    const char *Spec = std::getenv("NARADA_FAULT_INJECT");
+    if (!Spec || !*Spec)
+      return;
+    std::string Why;
+    if (!armFromSpec(Spec, &Why))
+      std::fprintf(stderr,
+                   "warning: ignoring malformed NARADA_FAULT_INJECT='%s': "
+                   "%s\n",
+                   Spec, Why.c_str());
+  });
+}
+
+/// Registers a hit of \p Site and reports whether the armed spec (if any,
+/// in mode \p M) fires for the current unit.
+bool registerHit(const char *Site, Mode M, bool Throwable, uint64_t *Unit) {
+  initFromEnvOnce();
+  State &S = state();
+  std::lock_guard<std::mutex> Lock(S.M);
+  SiteInfo &Info = S.Sites[Site];
+  ++Info.Hits;
+  if (Throwable)
+    Info.Throwable = true;
+  else
+    Info.Timeout = true;
+  if (CurrentUnit &&
+      (!Info.MinUnit || *CurrentUnit < *Info.MinUnit))
+    Info.MinUnit = *CurrentUnit;
+  if (!S.Armed || S.Armed->M != M || S.Armed->Site != Site)
+    return false;
+  if (!CurrentUnit || *CurrentUnit != S.Armed->Unit)
+    return false;
+  *Unit = S.Armed->Unit;
+  return true;
+}
+
+} // namespace
+
+void fault::arm(std::string Site, uint64_t Unit, Mode M) {
+  State &S = state();
+  std::lock_guard<std::mutex> Lock(S.M);
+  S.Armed = ArmedSpec{std::move(Site), Unit, M};
+}
+
+void fault::disarm() {
+  State &S = state();
+  std::lock_guard<std::mutex> Lock(S.M);
+  S.Armed.reset();
+}
+
+bool fault::armed() {
+  State &S = state();
+  std::lock_guard<std::mutex> Lock(S.M);
+  return S.Armed.has_value();
+}
+
+bool fault::armFromSpec(const std::string &Spec, std::string *Why) {
+  auto Fail = [&](const char *Message) {
+    if (Why)
+      *Why = Message;
+    return false;
+  };
+  size_t FirstColon = Spec.find(':');
+  if (FirstColon == std::string::npos || FirstColon == 0)
+    return Fail("expected <site>:<unit>[:throw|:timeout]");
+  std::string Site = Spec.substr(0, FirstColon);
+
+  size_t SecondColon = Spec.find(':', FirstColon + 1);
+  std::string UnitText =
+      Spec.substr(FirstColon + 1, SecondColon == std::string::npos
+                                      ? std::string::npos
+                                      : SecondColon - FirstColon - 1);
+  if (UnitText.empty())
+    return Fail("missing unit index");
+  uint64_t Unit = 0;
+  for (char C : UnitText) {
+    if (C < '0' || C > '9')
+      return Fail("unit index is not a base-10 integer");
+    Unit = Unit * 10 + static_cast<uint64_t>(C - '0');
+  }
+
+  Mode M = Mode::Throw;
+  if (SecondColon != std::string::npos) {
+    std::string ModeText = Spec.substr(SecondColon + 1);
+    if (ModeText == "throw")
+      M = Mode::Throw;
+    else if (ModeText == "timeout")
+      M = Mode::Timeout;
+    else
+      return Fail("mode must be 'throw' or 'timeout'");
+  }
+  arm(std::move(Site), Unit, M);
+  return true;
+}
+
+fault::ScopedUnit::ScopedUnit(uint64_t Unit) : Previous(CurrentUnit) {
+  CurrentUnit = Unit;
+}
+
+fault::ScopedUnit::~ScopedUnit() { CurrentUnit = Previous; }
+
+std::optional<uint64_t> fault::currentUnit() { return CurrentUnit; }
+
+void fault::probe(const char *Site) {
+  uint64_t Unit = 0;
+  if (registerHit(Site, Mode::Throw, /*Throwable=*/true, &Unit))
+    throw InjectedFault(formatString(
+        "injected fault at probe site '%s' (unit %llu)", Site,
+        static_cast<unsigned long long>(Unit)));
+}
+
+bool fault::timeoutProbe(const char *Site) {
+  uint64_t Unit = 0;
+  return registerHit(Site, Mode::Timeout, /*Throwable=*/false, &Unit);
+}
+
+namespace {
+
+std::vector<std::string> sitesWhere(bool SiteInfo::*Member) {
+  State &S = state();
+  std::lock_guard<std::mutex> Lock(S.M);
+  std::vector<std::string> Out;
+  for (const auto &[Site, Info] : S.Sites)
+    if (Info.*Member)
+      Out.push_back(Site);
+  return Out;
+}
+
+} // namespace
+
+std::vector<std::string> fault::throwSites() {
+  return sitesWhere(&SiteInfo::Throwable);
+}
+
+std::vector<std::string> fault::timeoutSites() {
+  return sitesWhere(&SiteInfo::Timeout);
+}
+
+uint64_t fault::hitCount(const std::string &Site) {
+  State &S = state();
+  std::lock_guard<std::mutex> Lock(S.M);
+  auto It = S.Sites.find(Site);
+  return It == S.Sites.end() ? 0 : It->second.Hits;
+}
+
+std::optional<uint64_t> fault::minUnitOf(const std::string &Site) {
+  State &S = state();
+  std::lock_guard<std::mutex> Lock(S.M);
+  auto It = S.Sites.find(Site);
+  return It == S.Sites.end() ? std::nullopt : It->second.MinUnit;
+}
+
+void fault::resetRegistry() {
+  State &S = state();
+  std::lock_guard<std::mutex> Lock(S.M);
+  S.Sites.clear();
+}
+
+std::string narada::describeException(std::exception_ptr E) {
+  if (!E)
+    return "unknown failure (no exception captured)";
+  try {
+    std::rethrow_exception(E);
+  } catch (const std::exception &Ex) {
+    return Ex.what();
+  } catch (...) {
+    return "unknown exception type";
+  }
+}

@@ -24,11 +24,13 @@
 #ifndef NARADA_SUPPORT_THREADPOOL_H
 #define NARADA_SUPPORT_THREADPOOL_H
 
+#include <algorithm>
 #include <condition_variable>
 #include <cerrno>
 #include <cstddef>
 #include <cstdlib>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <limits>
 #include <memory>
@@ -96,16 +98,26 @@ public:
 
   unsigned size() const { return static_cast<unsigned>(Threads.size()); }
 
+  /// One pooled task that threw: which item, and what escaped it.  The
+  /// barrier in runTask captures the exception instead of letting it
+  /// unwind the worker thread (which would std::terminate the process and
+  /// lose every other item's results).
+  struct TaskFailure {
+    size_t Item = 0;
+    std::exception_ptr Error;
+  };
+
   /// Runs Body(Item, Worker) for every Item in [0, N), distributing items
   /// round-robin over the worker deques and blocking until all complete.
   /// Worker is the executing worker's index in [0, size()) — callers use
-  /// it to pick per-worker scratch state without locking.  Body must not
-  /// throw (the pipeline reports failures through Result values written
-  /// into per-item slots).
-  void parallelFor(size_t N,
-                   const std::function<void(size_t, unsigned)> &Body) {
+  /// it to pick per-worker scratch state without locking.  A Body that
+  /// throws does not take the process down: the exception is captured
+  /// per-task and returned (sorted by item index, so the caller's handling
+  /// is deterministic); all other items still run.
+  [[nodiscard]] std::vector<TaskFailure>
+  parallelFor(size_t N, const std::function<void(size_t, unsigned)> &Body) {
     if (N == 0)
-      return;
+      return {};
     Batch B;
     B.Remaining = N; // No worker can see B until the pushes below publish it.
     // Round-robin seeding spreads the canonical index range over the
@@ -123,13 +135,23 @@ public:
       ++SubmitTicket;
     }
     SleepCV.notify_all();
-    std::unique_lock<std::mutex> Lock(B.DoneM);
-    B.DoneCV.wait(Lock, [&B] { return B.Remaining == 0; });
+    std::vector<TaskFailure> Failures;
+    {
+      std::unique_lock<std::mutex> Lock(B.DoneM);
+      B.DoneCV.wait(Lock, [&B] { return B.Remaining == 0; });
+      Failures = std::move(B.Failures);
+    }
+    std::sort(Failures.begin(), Failures.end(),
+              [](const TaskFailure &A, const TaskFailure &C) {
+                return A.Item < C.Item;
+              });
+    return Failures;
   }
 
 private:
   struct Batch {
     size_t Remaining = 0; ///< Guarded by DoneM once workers can see Batch.
+    std::vector<TaskFailure> Failures; ///< Guarded by DoneM.
     std::mutex DoneM;
     std::condition_variable DoneCV;
   };
@@ -169,13 +191,23 @@ private:
   }
 
   void runTask(const Task &T, unsigned Worker) {
-    (*T.Body)(T.Item, Worker);
+    // Exception barrier: a throw must never unwind the worker loop — that
+    // escapes the thread and std::terminates the process, killing every
+    // other task's results with it.  Capture and hand it to the waiter.
+    std::exception_ptr Failure;
+    try {
+      (*T.Body)(T.Item, Worker);
+    } catch (...) {
+      Failure = std::current_exception();
+    }
     // Decrement and notify while holding DoneM: the waiter's predicate runs
     // under the same mutex, so it cannot observe Remaining == 0 and destroy
     // the stack-allocated Batch until this unlock completes — after which no
     // thread touches the Batch again.
     Batch &B = *T.Owner;
     std::lock_guard<std::mutex> Lock(B.DoneM);
+    if (Failure)
+      B.Failures.push_back({T.Item, std::move(Failure)});
     if (--B.Remaining == 0)
       B.DoneCV.notify_all();
   }

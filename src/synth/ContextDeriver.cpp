@@ -7,6 +7,7 @@
 #include "synth/ContextDeriver.h"
 
 #include "obs/Metrics.h"
+#include "support/FaultInjection.h"
 #include "support/StringUtils.h"
 
 #include <functional>
@@ -320,6 +321,10 @@ ContextDeriver::deriveSharing(const RacyPair &Pair,
 
 SharingPlan ContextDeriver::deriveSharingImpl(const RacyPair &Pair,
                                               RNG *Rand) const {
+  // Injection point for the containment sweep: a crash inside context
+  // derivation must degrade the owning pair to internal_fault, nothing
+  // more (ParallelDriver's barrier catches it).
+  fault::probe("synth.derive");
   obs::MetricsRegistry::global().counter("synth.derivations_attempted").inc();
   SharingPlan Plan;
   std::string FirstRoot = rootClassOf(Pair.First);

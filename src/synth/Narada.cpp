@@ -27,6 +27,8 @@ const char *narada::skipReasonId(SkipReason Reason) {
     return "derivation_mismatch";
   case SkipReason::TestBudget:
     return "test_budget";
+  case SkipReason::InternalFault:
+    return "internal_fault";
   case SkipReason::Other:
     break;
   }

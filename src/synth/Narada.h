@@ -73,6 +73,9 @@ enum class SkipReason {
   DerivationMismatch, ///< The derived plan could not be realized on the
                       ///< seed material (parameter/normalization mismatch).
   TestBudget,         ///< Options.MaxTests cap reached.
+  InternalFault,      ///< The pair's derivation/synthesis task crashed
+                      ///< (exception captured by the containment barrier);
+                      ///< the rest of the run proceeded without it.
   Other,              ///< Anything else (kept for forward compatibility).
 };
 

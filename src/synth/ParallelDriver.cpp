@@ -9,6 +9,7 @@
 #include "lang/ASTPrinter.h"
 #include "obs/Log.h"
 #include "obs/Span.h"
+#include "support/FaultInjection.h"
 #include "support/StringUtils.h"
 #include "support/ThreadPool.h"
 
@@ -67,7 +68,21 @@ struct PairSlot {
   std::string Shape;
   bool Attempted = false;
   std::optional<Result<std::unique_ptr<TestDecl>>> Attempt;
+  /// Set when this pair's derivation/synthesis task threw: the pair is
+  /// committed as an internal_fault skip and never re-attempted (the fault
+  /// is assumed deterministic, like every other per-pair outcome).
+  bool Faulted = false;
+  std::string FaultMessage;
 };
+
+/// Marks \p Slot faulted with the message of \p E.  The shape becomes a
+/// per-pair sentinel no real shape can collide with, so a faulted lead
+/// never absorbs healthy pairs of its (unknown) shape.
+void markFaulted(PairSlot &Slot, size_t PairIndex, std::exception_ptr E) {
+  Slot.Faulted = true;
+  Slot.FaultMessage = describeException(E);
+  Slot.Shape = formatString("<internal-fault>#%zu", PairIndex);
+}
 
 /// Per-worker pipeline instances: stage objects are cheap wrappers over
 /// the shared read-only databases, so giving each worker its own keeps
@@ -156,24 +171,37 @@ narada::runSynthesisStage(const AnalysisResult &Analysis,
 
   // Runs Body over [0, Count) item indices: inline at --jobs 1 (serial
   // span layout, zero thread overhead), stolen-from-deques otherwise.
+  // Either way a throwing Body is captured per-item and returned instead
+  // of unwinding the stage, so serial and parallel runs degrade the same
+  // way.
   auto ForEach = [&](size_t Count,
-                     const std::function<void(size_t, unsigned)> &Body) {
+                     const std::function<void(size_t, unsigned)> &Body)
+      -> std::vector<ThreadPool::TaskFailure> {
     if (!Pool) {
-      for (size_t I = 0; I < Count; ++I)
-        Body(I, 0);
-      return;
+      std::vector<ThreadPool::TaskFailure> Failures;
+      for (size_t I = 0; I < Count; ++I) {
+        try {
+          Body(I, 0);
+        } catch (...) {
+          Failures.push_back({I, std::current_exception()});
+        }
+      }
+      return Failures;
     }
-    Pool->parallelFor(Count, [&](size_t I, unsigned W) {
+    return Pool->parallelFor(Count, [&](size_t I, unsigned W) {
       obs::Span WorkerSpan(WorkerNames[W], Parent);
       Body(I, W);
     });
   };
 
   // Phase A: derive every pair's sharing plan and shape key.
-  ForEach(N, [&](size_t I, unsigned W) {
+  std::vector<ThreadPool::TaskFailure> DeriveFailures =
+      ForEach(N, [&](size_t I, unsigned W) {
     WorkerState &WS = *Workers[W];
     PairSlot &Slot = Slots[I];
     const RacyPair &Pair = Pairs[I];
+    fault::ScopedUnit Unit(I);
+    fault::probe("synth.pair_task");
     {
       obs::Span DeriveSpan("derive");
       std::optional<uint64_t> PairSeed;
@@ -195,25 +223,36 @@ narada::runSynthesisStage(const AnalysisResult &Analysis,
     }
     Slot.Shape = shapeOf(Pair, Slot.Plan);
   });
+  for (ThreadPool::TaskFailure &F : DeriveFailures)
+    markFaulted(Slots[F.Item], F.Item, std::move(F.Error));
 
   // Phase B: synthesize each shape's first pair under a placeholder name.
   // Later pairs of a shape only need their own attempt when the first one
-  // failed (rare) — the commit walk triggers those on demand.
+  // failed (rare) — the commit walk triggers those on demand.  Faulted
+  // pairs carry sentinel shapes, so each stays a lead of its own and never
+  // absorbs healthy pairs.
   std::vector<size_t> Leads;
   {
     std::unordered_map<std::string, size_t> FirstOfShape;
     for (size_t I = 0; I < N; ++I)
-      if (FirstOfShape.try_emplace(Slots[I].Shape, I).second)
+      if (!Slots[I].Faulted &&
+          FirstOfShape.try_emplace(Slots[I].Shape, I).second)
         Leads.push_back(I);
   }
-  ForEach(Leads.size(), [&](size_t LeadIdx, unsigned W) {
+  std::vector<ThreadPool::TaskFailure> SynthFailures =
+      ForEach(Leads.size(), [&](size_t LeadIdx, unsigned W) {
     size_t I = Leads[LeadIdx];
     PairSlot &Slot = Slots[I];
+    fault::ScopedUnit Unit(I);
     obs::Span SynthesizeSpan("synthesize");
     Slot.Attempt.emplace(
         Workers[W]->Synth.synthesize(Pairs[I], Slot.Plan, PlaceholderName));
     Slot.Attempted = true;
   });
+  for (ThreadPool::TaskFailure &F : SynthFailures) {
+    size_t I = Leads[F.Item];
+    markFaulted(Slots[I], I, std::move(F.Error));
+  }
 
   // Commit: replay the serial bookkeeping in canonical pair order.
   std::vector<std::string> Shapes;
@@ -223,11 +262,19 @@ narada::runSynthesisStage(const AnalysisResult &Analysis,
 
   auto SynthesisSucceeds = [&](size_t I) {
     PairSlot &Slot = Slots[I];
+    if (Slot.Faulted)
+      return false;
     if (!Slot.Attempted) {
-      obs::Span SynthesizeSpan("synthesize");
-      Slot.Attempt.emplace(Workers[0]->Synth.synthesize(
-          Pairs[I], Slot.Plan, PlaceholderName));
-      Slot.Attempted = true;
+      try {
+        fault::ScopedUnit Unit(I);
+        obs::Span SynthesizeSpan("synthesize");
+        Slot.Attempt.emplace(Workers[0]->Synth.synthesize(
+            Pairs[I], Slot.Plan, PlaceholderName));
+        Slot.Attempted = true;
+      } catch (...) {
+        markFaulted(Slot, I, std::current_exception());
+        return false;
+      }
     }
     return Slot.Attempt->hasValue();
   };
@@ -238,6 +285,17 @@ narada::runSynthesisStage(const AnalysisResult &Analysis,
   for (size_t I = 0; I < N; ++I) {
     const RacyPair &Pair = Pairs[I];
     PairSlot &Slot = Slots[I];
+    if (Slot.Faulted) {
+      // Contained crash: the pair degrades to a structured skip no matter
+      // what the commit plan would have decided (its sentinel shape can
+      // only yield FailSkip or BudgetSkip anyway).
+      NARADA_LOG_WARN("pair %s crashed during synthesis, contained: %s",
+                      Pair.key().c_str(), Slot.FaultMessage.c_str());
+      Out.Skipped.push_back(
+          {Pair.key(), SkipReason::InternalFault, Slot.FaultMessage});
+      countSkip(SkipReason::InternalFault);
+      continue;
+    }
     switch (Decisions[I].K) {
     case CommitDecision::Kind::Join: {
       SynthesizedTestInfo &Test = Out.Tests[Decisions[I].TestIndex];

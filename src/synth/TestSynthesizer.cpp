@@ -7,6 +7,7 @@
 #include "synth/TestSynthesizer.h"
 
 #include "lang/ASTClone.h"
+#include "support/FaultInjection.h"
 #include "support/StringUtils.h"
 
 #include <set>
@@ -404,6 +405,9 @@ Result<std::string> TestBuilder::applyPlan(const ProvidePlan &Plan,
 Result<std::unique_ptr<TestDecl>>
 TestSynthesizer::synthesize(const RacyPair &Pair, const SharingPlan &Plan,
                             const std::string &TestName) {
+  // Injection point for the containment sweep: a crash while emitting a
+  // test must degrade its pair to internal_fault (see ParallelDriver).
+  fault::probe("synth.synthesize");
   TestBuilder Builder(Registry, Info, Plan.SharedClassName);
 
   struct SideResult {

@@ -200,7 +200,7 @@ TEST(MetricsRegistryTest, ConcurrentIncrementsAndSnapshotsLoseNothing) {
   constexpr unsigned IncsPerTask = 250;
 
   ThreadPool Pool(4);
-  Pool.parallelFor(Tasks, [&](size_t I, unsigned) {
+  auto Failures = Pool.parallelFor(Tasks, [&](size_t I, unsigned) {
     // Mix of one hot shared counter, per-task lazily registered counters,
     // and phase spans — the registry's three write paths.
     Counter &Hot = R.counter("stress.hot");
@@ -214,6 +214,7 @@ TEST(MetricsRegistryTest, ConcurrentIncrementsAndSnapshotsLoseNothing) {
     // consistent (no torn maps), though counts are in flux.
     (void)R.snapshot();
   });
+  EXPECT_TRUE(Failures.empty());
 
   MetricsSnapshot Final = R.snapshot();
   EXPECT_EQ(Final.counter("stress.hot"), Tasks * IncsPerTask);

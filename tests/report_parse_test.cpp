@@ -1,0 +1,189 @@
+//===- tests/report_parse_test.cpp - Run-report parser robustness --------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+// parseRunReport is the C++ twin of tools/report-diff.py's loader: any
+// malformed document — truncated, mistyped members, wrong schema — must
+// come back as a structured Error naming the offending member, and a
+// well-formed document must round-trip through render → parse without
+// losing anything.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+#include "obs/RunReport.h"
+
+#include <gtest/gtest.h>
+
+using namespace narada;
+using namespace narada::obs;
+
+namespace {
+
+RunMeta sampleMeta() {
+  RunMeta Meta;
+  Meta.Tool = "narada-cli";
+  Meta.Command = "detect";
+  Meta.Input = "corpus:C1";
+  Meta.CorpusId = "C1";
+  Meta.FocusClass = "Counter";
+  Meta.Seed = 42;
+  Meta.addOption("max_steps", "400000");
+  Meta.addOption("step_retries", "2");
+  return Meta;
+}
+
+MetricsSnapshot sampleMetrics() {
+  MetricsSnapshot S;
+  S.Counters["detect.quarantined"] = 1;
+  S.Counters["detect.retries"] = 3;
+  S.Counters["synth.pairs_skipped.internal_fault"] = 2;
+  S.Gauges["synth.jobs"] = 4;
+  S.Phases["pipeline"] = {1.25, 1};
+  S.Phases["pipeline.synth"] = {0.75, 1};
+  MetricsSnapshot::HistogramData H;
+  H.Bounds = {10, 100, 1000};
+  H.BucketCounts = {1, 2, 3, 0};
+  H.Count = 6;
+  H.Sum = 420;
+  H.Max = 250;
+  S.Histograms["detect.steps"] = H;
+  return S;
+}
+
+/// Expects failure and returns the error message for content checks.
+std::string parseError(const std::string &Text) {
+  Result<ParsedRunReport> R = parseRunReport(Text);
+  EXPECT_FALSE(R.hasValue()) << "expected a parse error";
+  return R ? "" : R.error().message();
+}
+
+} // namespace
+
+TEST(RunReportParseTest, RenderParseRoundTripPreservesEverything) {
+  RunMeta Meta = sampleMeta();
+  MetricsSnapshot S = sampleMetrics();
+  Result<ParsedRunReport> R = parseRunReport(renderRunReport(Meta, S));
+  ASSERT_TRUE(R.hasValue()) << R.error().str();
+
+  EXPECT_EQ(R->Meta.Tool, Meta.Tool);
+  EXPECT_EQ(R->Meta.Command, Meta.Command);
+  EXPECT_EQ(R->Meta.Input, Meta.Input);
+  EXPECT_EQ(R->Meta.CorpusId, Meta.CorpusId);
+  EXPECT_EQ(R->Meta.FocusClass, Meta.FocusClass);
+  EXPECT_EQ(R->Meta.Seed, Meta.Seed);
+  EXPECT_EQ(R->Meta.Options, Meta.Options);
+
+  EXPECT_EQ(R->Metrics.Counters, S.Counters);
+  EXPECT_EQ(R->Metrics.Gauges, S.Gauges);
+  ASSERT_EQ(R->Metrics.Phases.size(), S.Phases.size());
+  for (const auto &[Path, Stat] : S.Phases) {
+    ASSERT_TRUE(R->Metrics.Phases.count(Path)) << Path;
+    EXPECT_DOUBLE_EQ(R->Metrics.Phases[Path].Seconds, Stat.Seconds);
+    EXPECT_EQ(R->Metrics.Phases[Path].Count, Stat.Count);
+  }
+  ASSERT_EQ(R->Metrics.Histograms.size(), 1u);
+  const MetricsSnapshot::HistogramData &H =
+      R->Metrics.Histograms["detect.steps"];
+  EXPECT_EQ(H.Bounds, S.Histograms["detect.steps"].Bounds);
+  EXPECT_EQ(H.BucketCounts, S.Histograms["detect.steps"].BucketCounts);
+  EXPECT_EQ(H.Count, 6u);
+  EXPECT_EQ(H.Sum, 420u);
+  EXPECT_EQ(H.Max, 250u);
+}
+
+TEST(RunReportParseTest, RobustnessCountersSurviveTheRoundTrip) {
+  // The acceptance path: quarantine/retry/internal-fault counters recorded
+  // during a run are readable back out of the serialized report.
+  Result<ParsedRunReport> R =
+      parseRunReport(renderRunReport(sampleMeta(), sampleMetrics()));
+  ASSERT_TRUE(R.hasValue());
+  EXPECT_EQ(R->Metrics.counter("detect.quarantined"), 1u);
+  EXPECT_EQ(R->Metrics.counter("detect.retries"), 3u);
+  EXPECT_EQ(R->Metrics.counter("synth.pairs_skipped.internal_fault"), 2u);
+}
+
+TEST(RunReportParseTest, TruncatedDocumentIsAStructuredError) {
+  std::string Full = renderRunReport(sampleMeta(), sampleMetrics());
+  for (size_t Cut : {size_t(0), size_t(1), Full.size() / 2, Full.size() - 1})
+    EXPECT_NE(parseError(Full.substr(0, Cut)).find("not valid JSON"),
+              std::string::npos)
+        << "cut at " << Cut;
+}
+
+TEST(RunReportParseTest, NonObjectTopLevelIsRejected) {
+  EXPECT_NE(parseError("[1, 2, 3]").find("not a JSON object"),
+            std::string::npos);
+}
+
+TEST(RunReportParseTest, MissingOrWrongSchemaIsRejected) {
+  EXPECT_NE(parseError("{}").find("no 'schema'"), std::string::npos);
+  EXPECT_NE(parseError("{\"schema\": \"narada.run_report/v999\"}")
+                .find("unsupported run report schema"),
+            std::string::npos);
+  EXPECT_NE(parseError("{\"schema\": 7}").find("unsupported"),
+            std::string::npos);
+}
+
+TEST(RunReportParseTest, WrongTypedMembersNameTheOffender) {
+  const char *Prefix = "{\"schema\": \"narada.run_report/v1\", ";
+  struct Case {
+    const char *Body;
+    const char *ExpectInError;
+  } Cases[] = {
+      {"\"tool\": 5}", "'tool' is not a string"},
+      {"\"seed\": \"abc\"}", "'seed' is not a non-negative number"},
+      {"\"options\": [1]}", "'options' is not an object"},
+      {"\"options\": {\"max_steps\": 7}}",
+       "'options.max_steps' is not a string"},
+      {"\"phases\": [\"pipeline\"]}", "'phases' is not an object"},
+      {"\"phases\": {\"pipeline\": 1.5}}",
+       "'phases.pipeline' is not an object"},
+      {"\"phases\": {\"pipeline\": {\"seconds\": \"fast\"}}}",
+       "'phases.pipeline.seconds' is not a number"},
+      {"\"counters\": 3}", "'counters' is not an object"},
+      {"\"counters\": {\"detect.retries\": \"many\"}}",
+       "'counters.detect.retries' is not a non-negative number"},
+      {"\"counters\": {\"detect.retries\": -4}}",
+       "'counters.detect.retries' is not a non-negative number"},
+      {"\"gauges\": {\"synth.jobs\": \"all\"}}",
+       "'gauges.synth.jobs' is not a number"},
+      {"\"histograms\": {\"h\": 9}}", "'histograms.h' is not an object"},
+      {"\"histograms\": {\"h\": {\"bounds\": {}}}}",
+       "'h.bounds' is not an array"},
+      {"\"histograms\": {\"h\": {\"bounds\": [1, \"two\"]}}}",
+       "'h.bounds' has a non-numeric element"},
+      {"\"histograms\": {\"h\": {\"count\": \"six\"}}}",
+       "'h.count' is not a non-negative number"},
+  };
+  for (const Case &C : Cases) {
+    std::string Error = parseError(std::string(Prefix) + C.Body);
+    EXPECT_NE(Error.find(C.ExpectInError), std::string::npos)
+        << C.Body << " produced: " << Error;
+  }
+}
+
+TEST(RunReportParseTest, UnknownNamesAndMembersAreForwardCompatible) {
+  // Phases/counters the parser has never heard of are data; unknown
+  // top-level members from a future writer are ignored.
+  Result<ParsedRunReport> R = parseRunReport(
+      "{\"schema\": \"narada.run_report/v1\","
+      " \"phases\": {\"phase.from.the.future\": "
+      "{\"seconds\": 2.5, \"count\": 4}},"
+      " \"counters\": {\"counter.from.the.future\": 7},"
+      " \"member_from_the_future\": {\"nested\": [1, 2]}}");
+  ASSERT_TRUE(R.hasValue()) << R.error().str();
+  EXPECT_DOUBLE_EQ(R->Metrics.phaseSeconds("phase.from.the.future"), 2.5);
+  EXPECT_EQ(R->Metrics.counter("counter.from.the.future"), 7u);
+}
+
+TEST(RunReportParseTest, MissingMetricSectionsParseAsEmpty) {
+  // A minimal document (schema only) is a valid empty report — older
+  // writers did not emit every section.
+  Result<ParsedRunReport> R =
+      parseRunReport("{\"schema\": \"narada.run_report/v1\"}");
+  ASSERT_TRUE(R.hasValue()) << R.error().str();
+  EXPECT_TRUE(R->Metrics.Counters.empty());
+  EXPECT_TRUE(R->Metrics.Phases.empty());
+  EXPECT_TRUE(R->Meta.Options.empty());
+}

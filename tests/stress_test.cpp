@@ -112,9 +112,10 @@ TEST(StressTest, ThreadPoolRunsEveryTaskExactlyOnce) {
   ThreadPool Pool(resolveJobs(0));
   for (unsigned Round = 0; Round < 200; ++Round) {
     std::vector<std::atomic<unsigned>> Hits(97);
-    Pool.parallelFor(Hits.size(), [&](size_t I, unsigned) {
+    auto Failures = Pool.parallelFor(Hits.size(), [&](size_t I, unsigned) {
       Hits[I].fetch_add(1, std::memory_order_relaxed);
     });
+    ASSERT_TRUE(Failures.empty()) << "round " << Round;
     for (size_t I = 0; I < Hits.size(); ++I)
       ASSERT_EQ(Hits[I].load(), 1u) << "round " << Round << " task " << I;
   }

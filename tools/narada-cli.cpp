@@ -71,6 +71,7 @@ struct CliArgs {
   std::string ReportPath;            ///< --report: JSON run report target.
   bool Stats = false;                ///< --stats: summary on stderr.
   unsigned Jobs = 1;                 ///< --jobs: worker threads (0 = all).
+  DetectOptions Detect;              ///< Watchdog/budget knobs for detect.
 };
 
 int usage() {
@@ -91,8 +92,14 @@ int usage() {
       "                        for every N)\n"
       "  --report <file.json>  write a structured run report\n"
       "  --stats               print a metrics summary to stderr\n"
+      "detect watchdog flags (see docs/ROBUSTNESS.md):\n"
+      "  --max-steps N         per-run step budget (default 400000)\n"
+      "  --step-retries N      escalated-budget retries for step-limit\n"
+      "                        hits before quarantining (default 2)\n"
+      "  --wall-budget SECS    per-test wall-clock budget (default: off)\n"
       "  (see docs/OBSERVABILITY.md; NARADA_LOG=debug|info|warn for "
-      "diagnostics)\n");
+      "diagnostics; NARADA_FAULT_INJECT=<site>:<unit>[:throw|:timeout] "
+      "injects a deterministic fault)\n");
   return 2;
 }
 
@@ -118,6 +125,13 @@ std::optional<CliArgs> parseArgs(int Argc, char **Argv) {
       Args.Jobs = static_cast<unsigned>(std::stoul(Argv[++I]));
     } else if (Arg == "--report" && I + 1 < Argc) {
       Args.ReportPath = Argv[++I];
+    } else if (Arg == "--max-steps" && I + 1 < Argc) {
+      Args.Detect.MaxSteps = std::stoull(Argv[++I]);
+    } else if (Arg == "--step-retries" && I + 1 < Argc) {
+      Args.Detect.StepLimitRetries =
+          static_cast<unsigned>(std::stoul(Argv[++I]));
+    } else if (Arg == "--wall-budget" && I + 1 < Argc) {
+      Args.Detect.WallBudgetSeconds = std::stod(Argv[++I]);
     } else if (Arg == "--stats") {
       Args.Stats = true;
     } else if (Arg.rfind("--", 0) == 0) {
@@ -258,16 +272,24 @@ int cmdDetect(CliArgs &Args, const std::string &Source) {
   for (const SynthesizedTestInfo &T : R->Tests)
     Jobs.push_back({T.Name, T.CandidateLabels});
   Result<std::vector<TestDetectionResult>> Results =
-      detectRacesInTests(*R->Program.Module, Jobs, {}, Args.Jobs);
+      detectRacesInTests(*R->Program.Module, Jobs, Args.Detect, Args.Jobs);
   if (!Results) {
     std::fprintf(stderr, "error: %s\n", Results.error().str().c_str());
     return 1;
   }
 
   unsigned Detected = 0, Reproduced = 0, Harmful = 0, Benign = 0;
+  unsigned Quarantined = 0;
   for (size_t I = 0; I < R->Tests.size(); ++I) {
     const SynthesizedTestInfo &T = R->Tests[I];
     const TestDetectionResult &D = (*Results)[I];
+    if (D.Quarantined) {
+      // Contained failure: the test is reported, not trusted — and the
+      // rest of the batch ran to completion regardless.
+      std::printf("%s: QUARANTINED: %s\n", T.Name.c_str(),
+                  D.QuarantineReason.c_str());
+      ++Quarantined;
+    }
     if (D.Detected.empty() && D.reproducedCount() == 0)
       continue;
     std::printf("%s:\n", T.Name.c_str());
@@ -290,8 +312,11 @@ int cmdDetect(CliArgs &Args, const std::string &Source) {
       std::printf("  %s\n", Cycle.str().c_str());
   }
   std::printf("\ntotal over %zu tests: %u detected, %u reproduced, "
-              "%u harmful, %u benign\n",
+              "%u harmful, %u benign",
               R->Tests.size(), Detected, Reproduced, Harmful, Benign);
+  if (Quarantined)
+    std::printf(", %u quarantined", Quarantined);
+  std::printf("\n");
   return 0;
 }
 
@@ -341,6 +366,14 @@ void emitObservability(const CliArgs &Args) {
   Meta.addOption("jobs", std::to_string(Args.Jobs));
   if (Args.Command == "contege")
     Meta.addOption("tests", std::to_string(Args.Tests));
+  if (Args.Command == "detect") {
+    Meta.addOption("max_steps", std::to_string(Args.Detect.MaxSteps));
+    Meta.addOption("step_retries",
+                   std::to_string(Args.Detect.StepLimitRetries));
+    if (Args.Detect.WallBudgetSeconds > 0.0)
+      Meta.addOption("wall_budget_seconds",
+                     std::to_string(Args.Detect.WallBudgetSeconds));
+  }
   if (!Args.ReportPath.empty())
     obs::writeRunReport(Args.ReportPath, Meta);
   if (Args.Stats)

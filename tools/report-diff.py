@@ -23,16 +23,46 @@ SCHEMA = "narada.run_report/v1"
 MIN_SECONDS = 0.001  # Phases below this in both reports are noise.
 
 
+def _bad_input(path, why):
+    print(f"error: {path}: {why}", file=sys.stderr)
+    raise SystemExit(2)
+
+
 def load_report(path):
+    """Loads and validates one report.
+
+    Every member this script later touches is type-checked here, so a
+    malformed report (truncated file, "phases" as a list, a counter that is
+    a string, ...) exits 2 with a message naming the offending member
+    instead of crashing with a traceback deep inside diff_reports.
+    """
     try:
         with open(path, encoding="utf-8") as f:
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
-        print(f"error: {path}: {e}", file=sys.stderr)
-        raise SystemExit(2)
+        _bad_input(path, e)
+    if not isinstance(doc, dict):
+        _bad_input(path, "top level is not a JSON object")
     if doc.get("schema") != SCHEMA:
-        print(f"error: {path}: not a {SCHEMA} document", file=sys.stderr)
-        raise SystemExit(2)
+        _bad_input(path, f"not a {SCHEMA} document")
+
+    phases = doc.get("phases", {})
+    if not isinstance(phases, dict):
+        _bad_input(path, "'phases' is not an object")
+    for name, data in phases.items():
+        if not isinstance(data, dict):
+            _bad_input(path, f"'phases.{name}' is not an object")
+        seconds = data.get("seconds", 0.0)
+        if isinstance(seconds, bool) or not isinstance(seconds, (int, float)):
+            _bad_input(path, f"'phases.{name}.seconds' is not a number")
+
+    counters = doc.get("counters", {})
+    if not isinstance(counters, dict):
+        _bad_input(path, "'counters' is not an object")
+    for name, value in counters.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            _bad_input(path, f"'counters.{name}' is not a number")
+
     return doc
 
 

@@ -1,8 +1,12 @@
 #!/usr/bin/env python3
 """Unit tests for report-diff.py (invoked by ctest as report_diff_unit)."""
 
+import contextlib
 import importlib.util
+import io
+import json
 import os
+import tempfile
 import unittest
 
 _SPEC = importlib.util.spec_from_file_location(
@@ -90,6 +94,93 @@ class DiffReportsTest(unittest.TestCase):
         regressions, warnings, drifted = report_diff.diff_reports(
             report(), report(), 10.0)
         self.assertEqual((regressions, warnings, drifted), ([], [], []))
+
+
+class LoadReportMalformedInputTest(unittest.TestCase):
+    """Malformed reports must exit 2 with a message, never traceback."""
+
+    def _write(self, text):
+        f = tempfile.NamedTemporaryFile(
+            "w", suffix=".json", delete=False, encoding="utf-8")
+        self.addCleanup(os.unlink, f.name)
+        f.write(text)
+        f.close()
+        return f.name
+
+    def _expect_exit2(self, text, expect_in_message):
+        path = self._write(text)
+        stderr = io.StringIO()
+        with contextlib.redirect_stderr(stderr):
+            with self.assertRaises(SystemExit) as raised:
+                report_diff.load_report(path)
+        self.assertEqual(raised.exception.code, 2)
+        self.assertIn(expect_in_message, stderr.getvalue())
+
+    def test_truncated_json(self):
+        full = json.dumps(report({"pipeline": 1.0}))
+        self._expect_exit2(full[: len(full) // 2], "error")
+
+    def test_empty_file(self):
+        self._expect_exit2("", "error")
+
+    def test_top_level_not_object(self):
+        self._expect_exit2("[1, 2, 3]", "top level is not a JSON object")
+
+    def test_missing_schema(self):
+        self._expect_exit2(json.dumps({"phases": {}}), "not a")
+
+    def test_wrong_schema(self):
+        self._expect_exit2(
+            json.dumps({"schema": "narada.run_report/v999"}), "not a")
+
+    def test_phases_is_a_list(self):
+        doc = report()
+        doc["phases"] = ["pipeline"]
+        self._expect_exit2(json.dumps(doc), "'phases' is not an object")
+
+    def test_phase_entry_is_a_number(self):
+        doc = report()
+        doc["phases"] = {"pipeline": 1.0}
+        self._expect_exit2(
+            json.dumps(doc), "'phases.pipeline' is not an object")
+
+    def test_phase_seconds_is_a_string(self):
+        doc = report()
+        doc["phases"] = {"pipeline": {"seconds": "fast"}}
+        self._expect_exit2(
+            json.dumps(doc), "'phases.pipeline.seconds' is not a number")
+
+    def test_counters_is_a_list(self):
+        doc = report()
+        doc["counters"] = [1]
+        self._expect_exit2(json.dumps(doc), "'counters' is not an object")
+
+    def test_counter_value_is_a_string(self):
+        doc = report(counters={})
+        doc["counters"]["synth.tests_synthesized"] = "many"
+        self._expect_exit2(
+            json.dumps(doc),
+            "'counters.synth.tests_synthesized' is not a number")
+
+    def test_unknown_phases_and_counters_load_fine(self):
+        # Forward compatibility: names the differ has never heard of are
+        # data, not errors.
+        doc = report({"phase.from.the.future": 1.0},
+                     {"counter.from.the.future": 7})
+        loaded = report_diff.load_report(self._write(json.dumps(doc)))
+        self.assertEqual(loaded["phases"]["phase.from.the.future"],
+                         {"seconds": 1.0})
+
+    def test_valid_report_round_trips_through_diff(self):
+        base = report({"pipeline": 1.0}, {"c": 1})
+        cur = report({"pipeline": 1.0}, {"c": 2})
+        base_doc = report_diff.load_report(self._write(json.dumps(base)))
+        cur_doc = report_diff.load_report(self._write(json.dumps(cur)))
+        regressions, warnings, drifted = report_diff.diff_reports(
+            base_doc, cur_doc, 10.0)
+        self.assertEqual(regressions, [])
+        self.assertEqual(warnings, [])
+        self.assertEqual(drifted, [("c", 1, 2)])
 
 
 if __name__ == "__main__":
