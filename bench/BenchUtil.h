@@ -142,11 +142,32 @@ inline void runDetection(ClassRun &Run, const DetectOptions &Options) {
   }
 }
 
+/// Phase-1 schedule source for the bench drivers: the NARADA_EXPLORE env
+/// var ("random", "pct", "systematic"), defaulting to random — the
+/// measured configuration of the paper's tables.  Unparseable values fall
+/// back to random with a warning, mirroring benchJobs(); "replay" needs a
+/// trace file and has no env spelling.
+inline ExplorationMode benchExplorationMode() {
+  const char *Env = std::getenv("NARADA_EXPLORE");
+  if (!Env)
+    return ExplorationMode::Random;
+  ExplorationMode Mode = ExplorationMode::Random;
+  if (!parseExplorationMode(Env, Mode) || Mode == ExplorationMode::Replay) {
+    std::fprintf(stderr,
+                 "warning: ignoring unusable NARADA_EXPLORE='%s'; "
+                 "using random schedules\n",
+                 Env);
+    return ExplorationMode::Random;
+  }
+  return Mode;
+}
+
 /// Moderate detection options keeping the full-corpus benches fast.
 inline DetectOptions defaultDetectOptions() {
   DetectOptions Options;
   Options.RandomRuns = 6;
   Options.ConfirmAttempts = 2;
+  Options.Mode = benchExplorationMode();
   return Options;
 }
 
@@ -182,6 +203,7 @@ public:
     Meta.Tool = std::move(Tool);
     Meta.Command = "bench";
     Meta.addOption("jobs", std::to_string(benchJobs()));
+    Meta.addOption("explore", explorationModeName(benchExplorationMode()));
     for (int I = 1; I < Argc; ++I)
       if (std::string(Argv[I]) == "--report" && I + 1 < Argc)
         Path = Argv[++I];

@@ -9,6 +9,8 @@
 #include "detect/HBDetector.h"
 #include "detect/LockSetDetector.h"
 #include "detect/RaceConfirmer.h"
+#include "explore/Explorer.h"
+#include "explore/WitnessMinimizer.h"
 #include "obs/Log.h"
 #include "obs/Span.h"
 #include "support/FaultInjection.h"
@@ -21,6 +23,35 @@
 #include <set>
 
 using namespace narada;
+
+bool narada::parseExplorationMode(const std::string &Name,
+                                  ExplorationMode &Mode) {
+  if (Name == "random")
+    Mode = ExplorationMode::Random;
+  else if (Name == "pct")
+    Mode = ExplorationMode::PCT;
+  else if (Name == "systematic")
+    Mode = ExplorationMode::Systematic;
+  else if (Name == "replay")
+    Mode = ExplorationMode::Replay;
+  else
+    return false;
+  return true;
+}
+
+const char *narada::explorationModeName(ExplorationMode Mode) {
+  switch (Mode) {
+  case ExplorationMode::Random:
+    return "random";
+  case ExplorationMode::PCT:
+    return "pct";
+  case ExplorationMode::Systematic:
+    return "systematic";
+  case ExplorationMode::Replay:
+    return "replay";
+  }
+  narada_unreachable("unknown exploration mode");
+}
 
 unsigned TestDetectionResult::reproducedCount() const {
   unsigned N = 0;
@@ -216,70 +247,309 @@ Result<TestDetectionResult> narada::detectRacesInTest(
                         Options.WallBudgetSeconds, Wall.seconds());
   };
 
-  // Phase 1: random schedules with the passive detectors attached.  A run
-  // that exhausts its step budget is retried with an escalated budget; if
-  // even the last escalation hits the ceiling the test is quarantined —
-  // a runaway schedule must never pass for a clean one.
-  for (unsigned RunIdx = 0; RunIdx < Options.RandomRuns; ++RunIdx) {
+  // Phase 1: pick schedules per Options.Mode with the passive detectors
+  // attached.  First-witness traces are kept per race key so witness
+  // emission works uniformly across modes.
+  const bool WantWitness = !Options.WitnessDir.empty();
+  std::map<std::string, explore::ScheduleTrace> WitnessTraces;
+  std::optional<Error> PhaseError;
+
+  auto NoteRace = [&](const RaceReport &R,
+                      const explore::ScheduleTrace &Trace) {
+    if (!ByKey.emplace(R.key(), R).second || !WantWitness)
+      return;
+    explore::ScheduleTrace T = Trace;
+    T.RaceKeys = {R.key()};
+    WitnessTraces.emplace(R.key(), std::move(T));
+  };
+
+  // The randomized loop (modes Random and PCT, and the Systematic
+  // fallback).  A run that exhausts its step budget is retried with an
+  // escalated budget; if even the last escalation hits the ceiling the
+  // test is quarantined — a runaway schedule must never pass for a clean
+  // one.  Returns false when the caller must return immediately (either
+  // PhaseError is set or Out was quarantined).
+  auto runRandomPhase = [&]() -> bool {
+    for (unsigned RunIdx = 0; RunIdx < Options.RandomRuns; ++RunIdx) {
+      if (WallExpired()) {
+        quarantine(Out, TestName, WallReason());
+        return false;
+      }
+      obs::Span ScheduleSpan("schedule");
+      Metrics.counter("detect.schedules_explored").inc();
+      ++Out.SchedulesRun;
+      fault::probe("detect.random_run");
+      for (unsigned Try = 0;; ++Try) {
+        // Detectors and policy are rebuilt per attempt so a retry replays
+        // the identical schedule, only with more budget.
+        HBDetector HB;
+        LockSetDetector LockSet;
+        ObserverMux Mux;
+        if (Options.UseHB)
+          Mux.add(&HB);
+        if (Options.UseLockSet)
+          Mux.add(&LockSet);
+
+        bool Limited = fault::timeoutProbe("detect.random.steps");
+        if (!Limited) {
+          RandomPolicy Random(Options.BaseSeed + RunIdx);
+          PCTPolicy PCT(Options.BaseSeed + RunIdx);
+          SchedulingPolicy &Inner =
+              Options.Mode == ExplorationMode::PCT
+                  ? static_cast<SchedulingPolicy &>(PCT)
+                  : static_cast<SchedulingPolicy &>(Random);
+          // Recording delegates every pick, so wrapping is transparent to
+          // the inner policy's schedule.
+          explore::RecordingPolicy Recorder(Inner);
+          SchedulingPolicy &Policy =
+              WantWitness ? static_cast<SchedulingPolicy &>(Recorder)
+                          : Inner;
+          Result<TestRun> Run =
+              runTest(M, TestName, Policy, /*RandSeed=*/1, &Mux,
+                      escalatedBudget(Options, Try));
+          if (!Run) {
+            PhaseError = Run.error();
+            return false;
+          }
+          Limited = Run->Result.HitStepLimit;
+          if (!Limited) {
+            Out.SawFault = Out.SawFault || Run->Result.Faulted;
+            Out.SawDeadlock = Out.SawDeadlock || Run->Result.Deadlocked;
+            explore::ScheduleTrace Trace;
+            if (WantWitness)
+              Trace = Recorder.trace(TestName, /*RandSeed=*/1);
+            for (const RaceReport &R : HB.races())
+              NoteRace(R, Trace);
+            for (const RaceReport &R : LockSet.races())
+              NoteRace(R, Trace);
+            break;
+          }
+        }
+        Out.SawStepLimit = true;
+        Metrics.counter("detect.step_limit_runs").inc();
+        if (Try >= Options.StepLimitRetries) {
+          quarantine(Out, TestName,
+                     formatString("random-schedule run %u exceeded its step "
+                                  "budget (%llu steps after %u retries)",
+                                  RunIdx,
+                                  static_cast<unsigned long long>(
+                                      escalatedBudget(Options, Try)),
+                                  Try));
+          return false;
+        }
+        Metrics.counter("detect.retries").inc();
+      }
+    }
+    return true;
+  };
+
+  // The bounded DFS (mode Systematic), degrading to the randomized loop
+  // when the schedule budget was hit before the pruned space was covered.
+  auto runSystematicPhase = [&]() -> bool {
+    struct Visitor final : explore::ScheduleVisitor {
+      const DetectOptions &Options;
+      TestDetectionResult &Out;
+      std::function<void(const RaceReport &, const explore::ScheduleTrace &)>
+          Note;
+      std::function<bool()> Expired;
+      std::optional<HBDetector> HB;
+      std::optional<LockSetDetector> LockSet;
+      ObserverMux Mux;
+
+      Visitor(const DetectOptions &Options, TestDetectionResult &Out,
+              decltype(Note) Note, decltype(Expired) Expired)
+          : Options(Options), Out(Out), Note(std::move(Note)),
+            Expired(std::move(Expired)) {}
+
+      ExecutionObserver *beginSchedule(unsigned) override {
+        HB.emplace();
+        LockSet.emplace();
+        Mux = ObserverMux();
+        if (Options.UseHB)
+          Mux.add(&*HB);
+        if (Options.UseLockSet)
+          Mux.add(&*LockSet);
+        return &Mux;
+      }
+
+      bool endSchedule(const explore::ScheduleTrace &Trace,
+                       const TestRun &Run) override {
+        Out.SawFault = Out.SawFault || Run.Result.Faulted;
+        Out.SawDeadlock = Out.SawDeadlock || Run.Result.Deadlocked;
+        if (Run.Result.HitStepLimit) {
+          // A step-limited schedule is recorded (its prefix branches were
+          // still expanded) but the test can no longer count as clean.
+          Out.SawStepLimit = true;
+          obs::MetricsRegistry::global()
+              .counter("detect.step_limit_runs")
+              .inc();
+        }
+        for (const RaceReport &R : HB->races())
+          Note(R, Trace);
+        for (const RaceReport &R : LockSet->races())
+          Note(R, Trace);
+        return !Expired();
+      }
+    };
+
+    explore::ExploreOptions ExOpts = Options.Explore;
+    // Keep the step budget and VM seed uniform with the randomized loop so
+    // the two phases explore the same per-schedule universe.
+    ExOpts.MaxSteps = Options.MaxSteps;
+    ExOpts.RandSeed = 1;
+    Visitor V(Options, Out, NoteRace, WallExpired);
+    Result<explore::ExploreOutcome> Outcome =
+        explore::exploreSchedules(M, TestName, ExOpts, V);
+    if (!Outcome) {
+      PhaseError = Outcome.error();
+      return false;
+    }
+    Out.SchedulesRun += Outcome->SchedulesRun;
+    Out.SchedulesPruned += Outcome->Pruned;
+    Out.ExplorationExhausted = Outcome->Exhausted;
     if (WallExpired()) {
       quarantine(Out, TestName, WallReason());
-      return Out;
+      return false;
+    }
+    if (!Outcome->Exhausted) {
+      // Budget ladder bottom: the bounded space was too large, fall back
+      // to the randomized policies over what remains.
+      Metrics.counter("explore.fallbacks").inc();
+      NARADA_LOG_DEBUG("systematic exploration of %s hit its budget after "
+                       "%u schedules; falling back to %u random runs",
+                       TestName.c_str(), Outcome->SchedulesRun,
+                       Options.RandomRuns);
+      return runRandomPhase();
+    }
+    return true;
+  };
+
+  // Mode Replay: exactly one execution of the recorded trace.
+  auto runReplayPhase = [&]() -> bool {
+    if (!Options.ReplayTrace) {
+      PhaseError = Error("replay mode requires a schedule trace");
+      return false;
+    }
+    if (Options.ReplayTrace->TestName != TestName) {
+      PhaseError = Error(formatString(
+          "schedule trace was recorded for test '%s', not '%s'",
+          Options.ReplayTrace->TestName.c_str(), TestName.c_str()));
+      return false;
     }
     obs::Span ScheduleSpan("schedule");
     Metrics.counter("detect.schedules_explored").inc();
-    fault::probe("detect.random_run");
-    for (unsigned Try = 0;; ++Try) {
-      // Detectors and policy are rebuilt per attempt so a retry replays
-      // the identical schedule, only with more budget.
-      HBDetector HB;
-      LockSetDetector LockSet;
-      ObserverMux Mux;
-      if (Options.UseHB)
-        Mux.add(&HB);
-      if (Options.UseLockSet)
-        Mux.add(&LockSet);
-
-      bool Limited = fault::timeoutProbe("detect.random.steps");
-      if (!Limited) {
-        RandomPolicy Policy(Options.BaseSeed + RunIdx);
-        Result<TestRun> Run =
-            runTest(M, TestName, Policy, /*RandSeed=*/1, &Mux,
-                    escalatedBudget(Options, Try));
-        if (!Run)
-          return Run.error();
-        Limited = Run->Result.HitStepLimit;
-        if (!Limited) {
-          Out.SawFault = Out.SawFault || Run->Result.Faulted;
-          Out.SawDeadlock = Out.SawDeadlock || Run->Result.Deadlocked;
-          for (const RaceReport &R : HB.races())
-            ByKey.emplace(R.key(), R);
-          for (const RaceReport &R : LockSet.races())
-            ByKey.emplace(R.key(), R);
-          break;
-        }
-      }
-      Out.SawStepLimit = true;
-      Metrics.counter("detect.step_limit_runs").inc();
-      if (Try >= Options.StepLimitRetries) {
-        quarantine(Out, TestName,
-                   formatString("random-schedule run %u exceeded its step "
-                                "budget (%llu steps after %u retries)",
-                                RunIdx,
-                                static_cast<unsigned long long>(
-                                    escalatedBudget(Options, Try)),
-                                Try));
-        return Out;
-      }
-      Metrics.counter("detect.retries").inc();
+    Metrics.counter("explore.replays").inc();
+    ++Out.SchedulesRun;
+    HBDetector HB;
+    LockSetDetector LockSet;
+    ObserverMux Mux;
+    if (Options.UseHB)
+      Mux.add(&HB);
+    if (Options.UseLockSet)
+      Mux.add(&LockSet);
+    explore::ReplayPolicy Policy(*Options.ReplayTrace);
+    // Replays get the fully escalated budget up front: the recorded run
+    // already fit in some budget, so there is nothing to ladder.
+    Result<TestRun> Run =
+        runTest(M, TestName, Policy, Options.ReplayTrace->RandSeed, &Mux,
+                escalatedBudget(Options, Options.StepLimitRetries));
+    if (!Run) {
+      PhaseError = Run.error();
+      return false;
     }
+    if (Policy.diverged())
+      NARADA_LOG_WARN("replay of %s diverged from its recorded schedule "
+                      "(trace from a different module or build?)",
+                      TestName.c_str());
+    Out.SawFault = Out.SawFault || Run->Result.Faulted;
+    Out.SawDeadlock = Out.SawDeadlock || Run->Result.Deadlocked;
+    Out.SawStepLimit = Out.SawStepLimit || Run->Result.HitStepLimit;
+    for (const RaceReport &R : HB.races())
+      ByKey.emplace(R.key(), R);
+    for (const RaceReport &R : LockSet.races())
+      ByKey.emplace(R.key(), R);
+    return true;
+  };
+
+  bool PhaseOk = false;
+  switch (Options.Mode) {
+  case ExplorationMode::Random:
+  case ExplorationMode::PCT:
+    PhaseOk = runRandomPhase();
+    break;
+  case ExplorationMode::Systematic:
+    PhaseOk = runSystematicPhase();
+    break;
+  case ExplorationMode::Replay:
+    PhaseOk = runReplayPhase();
+    break;
+  }
+  if (!PhaseOk) {
+    if (PhaseError)
+      return *PhaseError;
+    return Out; // Quarantined with partial results attached.
   }
 
   for (const auto &[Key, Report] : ByKey)
     Out.Detected.push_back(Report);
   Metrics.counter("detect.races_detected").inc(Out.Detected.size());
-  NARADA_LOG_DEBUG("detect %s: %zu distinct races after %u random runs",
-                   TestName.c_str(), Out.Detected.size(),
-                   Options.RandomRuns);
+  NARADA_LOG_DEBUG("detect %s: %zu distinct races after %u phase-1 "
+                   "schedules",
+                   TestName.c_str(), Out.Detected.size(), Out.SchedulesRun);
+
+  // Witness emission: minimize each race's first-witness schedule to a
+  // minimal preemption set, then write it as a replayable trace file.
+  // WitnessTraces is a sorted map and file names are derived from
+  // (test, index), so output is deterministic and --jobs-independent.
+  if (WantWitness && !WitnessTraces.empty()) {
+    obs::Span WitnessSpan("witness");
+    unsigned Index = 0;
+    for (auto &[Key, Trace] : WitnessTraces) {
+      // The oracle replays a relaxed segment candidate and hands back the
+      // exact re-recorded schedule iff this race key still manifests.
+      explore::MinimizeOracle Oracle =
+          [&, &Key = Key, &Trace = Trace](
+              const std::vector<explore::SegmentReplayPolicy::Segment>
+                  &Candidate) -> std::optional<explore::ScheduleTrace> {
+        HBDetector HB;
+        LockSetDetector LockSet;
+        ObserverMux Mux;
+        if (Options.UseHB)
+          Mux.add(&HB);
+        if (Options.UseLockSet)
+          Mux.add(&LockSet);
+        explore::SegmentReplayPolicy Inner(Candidate);
+        explore::RecordingPolicy Recorder(Inner);
+        Result<TestRun> Run = runTest(M, TestName, Recorder, Trace.RandSeed,
+                                      &Mux, Options.MaxSteps);
+        if (!Run || Run->Result.HitStepLimit)
+          return std::nullopt;
+        bool Seen = false;
+        for (const RaceReport &R : HB.races())
+          Seen = Seen || R.key() == Key;
+        for (const RaceReport &R : LockSet.races())
+          Seen = Seen || R.key() == Key;
+        if (!Seen)
+          return std::nullopt;
+        return Recorder.trace(TestName, Trace.RandSeed);
+      };
+      explore::MinimizeOutcome Min = explore::minimizeWitness(Trace, Oracle);
+      Metrics.counter("explore.minimized_steps").inc(Min.PreemptionsRemoved);
+      std::string Path = formatString("%s/%s.w%u.trace",
+                                      Options.WitnessDir.c_str(),
+                                      TestName.c_str(), Index);
+      ++Index;
+      if (Status S = Min.Minimized.writeFile(Path); !S.ok())
+        return S.error();
+      Metrics.counter("explore.witnesses").inc();
+      Out.WitnessFiles.push_back(std::move(Path));
+      NARADA_LOG_DEBUG("witness for %s written to %s (%u -> %u "
+                       "preemptions, %u candidates)",
+                       Key.c_str(), Out.WitnessFiles.back().c_str(),
+                       Trace.preemptions(), Min.Minimized.preemptions(),
+                       Min.CandidatesTried);
+    }
+  }
 
   // Phase 2 + 3: confirm and classify each detected race (and each
   // synthesizer hint that no random schedule happened to expose).

@@ -26,14 +26,32 @@
 #define NARADA_DETECT_DETECTION_H
 
 #include "detect/RaceReport.h"
+#include "explore/Explorer.h"
+#include "explore/ScheduleTrace.h"
 #include "runtime/Execution.h"
 #include "support/Error.h"
 
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 namespace narada {
+
+/// How phase 1 chooses the schedules it runs (see src/explore/).
+enum class ExplorationMode {
+  Random,     ///< RandomRuns executions under RandomPolicy (the default).
+  PCT,        ///< RandomRuns executions under PCTPolicy.
+  Systematic, ///< Bounded DFS via explore::exploreSchedules; degrades to
+              ///< the random loop when the schedule budget is hit before
+              ///< the bounded space is exhausted.
+  Replay,     ///< Exactly one execution of DetectOptions::ReplayTrace.
+};
+
+/// Parses "random" / "pct" / "systematic" / "replay"; false on anything
+/// else (\p Mode untouched).
+bool parseExplorationMode(const std::string &Name, ExplorationMode &Mode);
+const char *explorationModeName(ExplorationMode Mode);
 
 /// Options for the detection protocol.
 struct DetectOptions {
@@ -43,6 +61,18 @@ struct DetectOptions {
   uint64_t MaxSteps = 400'000;
   bool UseHB = true;
   bool UseLockSet = true;
+  /// Schedule source for phase 1.  Confirmation (phases 2 + 3) is
+  /// identical in every mode.
+  ExplorationMode Mode = ExplorationMode::Random;
+  /// Budgets for Mode == Systematic.  MaxSteps/RandSeed in here are
+  /// overridden from the fields above so budget escalation stays uniform.
+  explore::ExploreOptions Explore;
+  /// When non-empty, every race found in phase 1 emits a minimized,
+  /// replayable witness trace file under this directory (all modes).
+  std::string WitnessDir;
+  /// The trace to execute when Mode == Replay.  Shared because
+  /// DetectOptions is copied per worker; the trace is read-only.
+  std::shared_ptr<const explore::ScheduleTrace> ReplayTrace;
   /// Watchdog budgets.  A run that exhausts its step budget is retried
   /// with an escalated budget (MaxSteps * StepBudgetEscalation^try) up to
   /// StepLimitRetries times; if the final retry still hits the ceiling the
@@ -80,6 +110,16 @@ struct TestDetectionResult {
   /// but the test must not be counted as having run clean.
   bool Quarantined = false;
   std::string QuarantineReason; ///< Human-readable; empty when !Quarantined.
+  /// Phase-1 schedule accounting: executions performed (random runs,
+  /// systematic schedules, or the single replay) and, for Systematic,
+  /// subtrees the DPOR/preemption-bound pruning discarded.
+  unsigned SchedulesRun = 0;
+  uint64_t SchedulesPruned = 0;
+  /// Systematic mode covered its whole bounded space (no random fallback
+  /// was needed).
+  bool ExplorationExhausted = false;
+  /// Witness trace files written for this test (sorted by race key).
+  std::vector<std::string> WitnessFiles;
 
   unsigned reproducedCount() const;
   unsigned harmfulCount() const;

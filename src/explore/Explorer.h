@@ -1,0 +1,107 @@
+//===- explore/Explorer.h - Systematic schedule search ----------*- C++ -*-===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bounded systematic search over SchedulingPolicy decision points, in the
+/// stateless-model-checking style: every schedule re-executes the test from
+/// scratch under a forced prefix of pick() decisions, then continues
+/// non-preemptively; backtracking flips the deepest decision with an
+/// unexplored alternative.  Two prunings keep the space tractable:
+///
+///  - sleep-set discipline: an alternative explored at a decision point is
+///    never re-added, so each (prefix, choice) is executed exactly once;
+///  - DPOR-style conflict filtering keyed on the VM's *pending* shared-
+///    memory accesses (VM::peekAccess): preemptive switches are only
+///    scheduled at steps where the running thread is about to perform a
+///    shared access (preempting elsewhere commutes with local ops), and a
+///    switch to a thread that is itself paused at an access is pruned
+///    unless the two accesses conflict (same location, at least one
+///    write).  Switches at yield points (the running thread blocked or
+///    finished) are always branched, since they reorder whole thread
+///    bodies for free.
+///
+/// The search is bounded by a budget ladder — max schedules, max
+/// preemptions per schedule, and an optional wall budget — and reports
+/// whether the bounded space was exhausted, so callers can degrade
+/// gracefully to randomized policies when it was not (see
+/// detect/Detection.cpp).  Approximation notes: monitor operations are not
+/// branch points (peekAccess only describes heap accesses), so lock-order
+/// interleavings beyond those forced by yields are not enumerated; within
+/// the preemption bound the search is exhaustive over the pruned space.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NARADA_EXPLORE_EXPLORER_H
+#define NARADA_EXPLORE_EXPLORER_H
+
+#include "explore/ScheduleTrace.h"
+#include "runtime/Execution.h"
+#include "support/Error.h"
+
+#include <string>
+
+namespace narada {
+namespace explore {
+
+/// The budget ladder bounding one systematic search.
+struct ExploreOptions {
+  /// Maximum schedules to execute before giving up on exhausting the
+  /// space.  Degenerate values are still honored (1 = baseline run only).
+  unsigned MaxSchedules = 256;
+  /// Maximum preemptive context switches per schedule (the PCT/CHESS bound
+  /// d); yield switches are free.  Races of depth d need d-1 preemptions.
+  unsigned MaxPreemptions = 2;
+  /// Wall-clock budget in seconds for the whole search (0 = off).  Checked
+  /// between schedules; inherently timing-dependent, so opt-in.
+  double WallBudgetSeconds = 0.0;
+  /// Per-schedule step ceiling.
+  uint64_t MaxSteps = 400'000;
+  /// VM rand() stream seed (schedules are deterministic given it).
+  uint64_t RandSeed = 1;
+};
+
+/// What one search did and why it stopped.
+struct ExploreOutcome {
+  unsigned SchedulesRun = 0;
+  /// Alternatives discarded by the conflict filter or the preemption
+  /// bound — each is a subtree the bounded search never entered.
+  uint64_t Pruned = 0;
+  bool Exhausted = false;         ///< The pruned, bounded space was covered.
+  bool HitScheduleBudget = false; ///< Stopped at MaxSchedules.
+  bool HitWallBudget = false;     ///< Stopped at WallBudgetSeconds.
+  bool Stopped = false;           ///< The visitor asked to stop.
+};
+
+/// Callbacks driving one search.  The visitor owns the per-schedule
+/// observers (detectors) and decides when to stop early.
+class ScheduleVisitor {
+public:
+  virtual ~ScheduleVisitor();
+
+  /// Called before schedule \p Index executes; the returned observer (may
+  /// be null) watches that execution.
+  virtual ExecutionObserver *beginSchedule(unsigned Index) = 0;
+
+  /// Called after a schedule ran, with the exact trace it executed.
+  /// Return false to stop the search (ExploreOutcome::Stopped).
+  virtual bool endSchedule(const ScheduleTrace &Trace, const TestRun &Run) = 0;
+};
+
+/// Runs the bounded DFS for \p TestName over \p M.  Deterministic: the
+/// same (module, test, options) always explores the same schedules in the
+/// same order, which is what keeps per-test exploration identical across
+/// --jobs values.  Errors surface only for harness-level failures (unknown
+/// test); schedule-level misbehavior (faults, deadlocks, step limits) is
+/// reported per run through the visitor.
+Result<ExploreOutcome> exploreSchedules(const IRModule &M,
+                                        const std::string &TestName,
+                                        const ExploreOptions &Options,
+                                        ScheduleVisitor &Visitor);
+
+} // namespace explore
+} // namespace narada
+
+#endif // NARADA_EXPLORE_EXPLORER_H

@@ -1,0 +1,75 @@
+//===- explore/WitnessMinimizer.cpp - Delta-debug racy schedules ---------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+
+#include "explore/WitnessMinimizer.h"
+
+#include <utility>
+
+using namespace narada;
+using namespace narada::explore;
+
+namespace {
+
+using Segment = SegmentReplayPolicy::Segment;
+
+/// Removes the preemption at segment boundary \p B (between Segments[B]
+/// and Segments[B+1]) by letting Segments[B]'s thread keep running: its
+/// next segment on the same thread is merged into it, so the work the
+/// preemption deferred happens immediately instead.  When the thread never
+/// runs again in the trace, its segment becomes unbounded (Len 0 = run
+/// until not runnable), which subsumes any tail it might have.
+std::vector<Segment> coalesce(std::vector<Segment> Segments, size_t B) {
+  size_t J = B + 1;
+  while (J < Segments.size() && Segments[J].T != Segments[B].T)
+    ++J;
+  if (J < Segments.size()) {
+    if (Segments[B].Len == 0 || Segments[J].Len == 0)
+      Segments[B].Len = 0;
+    else
+      Segments[B].Len += Segments[J].Len;
+    Segments.erase(Segments.begin() + static_cast<ptrdiff_t>(J));
+  } else {
+    Segments[B].Len = 0;
+  }
+  return Segments;
+}
+
+} // namespace
+
+MinimizeOutcome explore::minimizeWitness(const ScheduleTrace &Recorded,
+                                         const MinimizeOracle &Oracle,
+                                         unsigned MaxCandidates) {
+  MinimizeOutcome Out;
+  Out.Minimized = Recorded;
+
+  bool Improved = true;
+  while (Improved && Out.CandidatesTried < MaxCandidates &&
+         Out.Minimized.preemptions() > 0) {
+    Improved = false;
+    SegmentedTrace Seg = segmentTrace(Out.Minimized);
+    for (size_t B = 0; B < Seg.PreemptiveBoundary.size(); ++B) {
+      if (Out.CandidatesTried >= MaxCandidates)
+        break;
+      if (!Seg.PreemptiveBoundary[B])
+        continue;
+      ++Out.CandidatesTried;
+      std::optional<ScheduleTrace> Replayed =
+          Oracle(coalesce(Seg.Segments, B));
+      if (!Replayed ||
+          Replayed->preemptions() >= Out.Minimized.preemptions())
+        continue;
+      // Exact re-recorded trace with fewer preemptions: adopt it and
+      // re-segment, since coalescing may have moved every boundary.
+      Replayed->RaceKeys = Out.Minimized.RaceKeys;
+      Out.Minimized = std::move(*Replayed);
+      Improved = true;
+      break;
+    }
+  }
+  Out.PreemptionsRemoved =
+      Recorded.preemptions() - Out.Minimized.preemptions();
+  return Out;
+}

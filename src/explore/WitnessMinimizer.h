@@ -1,0 +1,64 @@
+//===- explore/WitnessMinimizer.h - Delta-debug racy schedules --*- C++ -*-===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shrinks a recorded racy schedule to a minimal preemption set before it
+/// is reported, in the delta-debugging style: each candidate removes one
+/// preemptive boundary by coalescing the preempted thread's segments, the
+/// caller-supplied oracle replays it, and the candidate is kept only when
+/// the target race still manifests with strictly fewer preemptions.
+///
+/// The oracle contract does the heavy lifting for exactness.  Candidates
+/// are *relaxed* segment schedules (SegmentReplayPolicy) — coalescing
+/// changes where threads block, so the literal pick sequence cannot be
+/// predicted up front.  The oracle therefore re-records the actual run it
+/// executed and returns that exact trace iff the race reproduced; the
+/// minimizer only ever adopts exact re-recorded traces, so its result is
+/// replayable byte-for-byte like any other witness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NARADA_EXPLORE_WITNESSMINIMIZER_H
+#define NARADA_EXPLORE_WITNESSMINIMIZER_H
+
+#include "explore/ScheduleTrace.h"
+
+#include <functional>
+#include <optional>
+
+namespace narada {
+namespace explore {
+
+/// Replays one relaxed candidate schedule.  Returns the exact re-recorded
+/// trace of that run when the target race still manifested, std::nullopt
+/// when it did not (or the run misbehaved).  See detect/Detection.cpp for
+/// the production oracle (SegmentReplayPolicy wrapped in RecordingPolicy,
+/// race key checked against fresh detectors).
+using MinimizeOracle = std::function<std::optional<ScheduleTrace>(
+    const std::vector<SegmentReplayPolicy::Segment> &Candidate)>;
+
+struct MinimizeOutcome {
+  /// The best witness found — the recorded trace itself when nothing
+  /// smaller reproduced the race.  RaceKeys are carried over from the
+  /// input.
+  ScheduleTrace Minimized;
+  unsigned CandidatesTried = 0;
+  /// Recorded.preemptions() - Minimized.preemptions().
+  unsigned PreemptionsRemoved = 0;
+};
+
+/// Greedily minimizes \p Recorded: repeated passes over the preemptive
+/// segment boundaries, coalescing one per candidate, until a full pass
+/// yields no accepted candidate or \p MaxCandidates replays were spent.
+/// Deterministic given a deterministic oracle.
+MinimizeOutcome minimizeWitness(const ScheduleTrace &Recorded,
+                                const MinimizeOracle &Oracle,
+                                unsigned MaxCandidates = 64);
+
+} // namespace explore
+} // namespace narada
+
+#endif // NARADA_EXPLORE_WITNESSMINIMIZER_H

@@ -42,6 +42,7 @@ PCTPolicy::PCTPolicy(uint64_t Seed, unsigned Depth, uint64_t MaxSteps)
   for (unsigned I = 0; I + 1 < Depth; ++I)
     ChangePoints.push_back(Rand.nextBelow(MaxSteps));
   std::sort(ChangePoints.begin(), ChangePoints.end());
+  PlannedDrops = static_cast<unsigned>(ChangePoints.size());
 }
 
 uint64_t PCTPolicy::priorityOf(ThreadId T) {
@@ -61,13 +62,34 @@ ThreadId PCTPolicy::pick(const std::vector<ThreadId> &Runnable, VM &M) {
       BestPriority = priorityOf(T);
     }
   }
-  // At a change point the chosen thread's priority drops into the low band.
-  if (!ChangePoints.empty() && Step == ChangePoints.front()) {
+  // At a change point the chosen thread's priority drops into the low
+  // band.  Duplicate change points (the RNG may draw the same step twice)
+  // each perform a drop, so exactly d-1 drops happen overall.
+  while (!ChangePoints.empty() && Step == ChangePoints.front()) {
     ChangePoints.erase(ChangePoints.begin());
     Priorities[Best] = NextLowPriority++;
+    ++DropsPerformed;
   }
   ++Step;
   return Best;
+}
+
+std::unique_ptr<SchedulingPolicy> narada::makePolicy(std::string_view Name,
+                                                     uint64_t Seed) {
+  if (Name == "roundrobin")
+    return std::make_unique<RoundRobinPolicy>();
+  if (Name == "random")
+    return std::make_unique<RandomPolicy>(Seed);
+  if (Name == "preempt")
+    return std::make_unique<PreemptionBoundedPolicy>(Seed,
+                                                     /*PreemptPercent=*/25);
+  if (Name == "pct")
+    return std::make_unique<PCTPolicy>(Seed);
+  return nullptr;
+}
+
+const char *narada::knownPolicyNames() {
+  return "roundrobin, random, preempt, pct";
 }
 
 RunResult narada::runToCompletion(VM &M, SchedulingPolicy &Policy,

@@ -20,6 +20,8 @@
 #include "support/RNG.h"
 
 #include <cstdint>
+#include <memory>
+#include <string_view>
 #include <vector>
 
 namespace narada {
@@ -88,6 +90,13 @@ public:
 
   ThreadId pick(const std::vector<ThreadId> &Runnable, VM &M) override;
 
+  /// Change points drawn at construction: always d-1, even when the RNG
+  /// lands several on the same step (each still causes its own drop).
+  unsigned plannedDrops() const { return PlannedDrops; }
+  /// Priority drops performed so far; reaches plannedDrops() once the run
+  /// stepped past the last change point.
+  unsigned dropsPerformed() const { return DropsPerformed; }
+
 private:
   uint64_t priorityOf(ThreadId T);
 
@@ -96,7 +105,17 @@ private:
   std::vector<uint64_t> Priorities;   ///< Indexed by thread id.
   uint64_t Step = 0;
   uint64_t NextLowPriority = 1; ///< Counts down: later drops rank lower.
+  unsigned PlannedDrops = 0;
+  unsigned DropsPerformed = 0;
 };
+
+/// Builds the named policy ("roundrobin", "random", "preempt", "pct") —
+/// the user-facing policy registry behind narada-cli's --policy flag.
+/// Returns nullptr on an unknown name; knownPolicyNames() lists the valid
+/// spellings for diagnostics.
+std::unique_ptr<SchedulingPolicy> makePolicy(std::string_view Name,
+                                             uint64_t Seed);
+const char *knownPolicyNames();
 
 /// The outcome of driving a VM to quiescence.
 struct RunResult {

@@ -51,7 +51,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -72,13 +74,15 @@ struct CliArgs {
   bool Stats = false;                ///< --stats: summary on stderr.
   unsigned Jobs = 1;                 ///< --jobs: worker threads (0 = all).
   DetectOptions Detect;              ///< Watchdog/budget knobs for detect.
+  std::string PolicyName = "random"; ///< --policy: scheduler for `run`.
+  std::string ReplayPath;            ///< --replay: witness trace to re-run.
 };
 
 int usage() {
   std::fprintf(
       stderr,
       "usage: narada-cli <command> [args]\n"
-      "  run <file.mj|corpus:Cx> <test> [--seed N]\n"
+      "  run <file.mj|corpus:Cx> <test> [--seed N] [--policy P]\n"
       "  trace <file.mj|corpus:Cx> <test>\n"
       "  analyze <file.mj|corpus:Cx> [seed-test]... [--class C]\n"
       "  synthesize <file.mj|corpus:Cx> [seed-test]... [--class C]\n"
@@ -92,6 +96,18 @@ int usage() {
       "                        for every N)\n"
       "  --report <file.json>  write a structured run report\n"
       "  --stats               print a metrics summary to stderr\n"
+      "scheduling flags (see docs/EXPLORATION.md):\n"
+      "  --policy P            scheduler for `run`: roundrobin, random,\n"
+      "                        preempt, pct (default random)\n"
+      "  --explore MODE        detect phase-1 schedules: random, pct,\n"
+      "                        systematic, replay (default random)\n"
+      "  --max-schedules N     systematic schedule budget (default 256)\n"
+      "  --replay <trace>      re-run a recorded witness trace\n"
+      "                        (implies --explore replay)\n"
+      "  --emit-witness <dir>  write a minimized replayable trace per\n"
+      "                        phase-1 race into <dir>\n"
+      "  --confirm-attempts N  scheduler seeds per confirmation\n"
+      "                        (default 4, never 0)\n"
       "detect watchdog flags (see docs/ROBUSTNESS.md):\n"
       "  --max-steps N         per-run step budget (default 400000)\n"
       "  --step-retries N      escalated-budget retries for step-limit\n"
@@ -101,6 +117,17 @@ int usage() {
       "diagnostics; NARADA_FAULT_INJECT=<site>:<unit>[:throw|:timeout] "
       "injects a deterministic fault)\n");
   return 2;
+}
+
+/// Parses a strictly positive count the way parseJobs() parses worker
+/// counts: digits-only base-10, and additionally rejects 0 — callers keep
+/// their default (with a warning) instead of degrading to "never try".
+bool parsePositiveCount(const char *Text, unsigned &Out) {
+  unsigned Value = 0;
+  if (!parseJobs(Text, Value) || Value == 0)
+    return false;
+  Out = Value;
+  return true;
 }
 
 std::optional<CliArgs> parseArgs(int Argc, char **Argv) {
@@ -132,6 +159,41 @@ std::optional<CliArgs> parseArgs(int Argc, char **Argv) {
           static_cast<unsigned>(std::stoul(Argv[++I]));
     } else if (Arg == "--wall-budget" && I + 1 < Argc) {
       Args.Detect.WallBudgetSeconds = std::stod(Argv[++I]);
+    } else if (Arg == "--policy" && I + 1 < Argc) {
+      Args.PolicyName = Argv[++I];
+      if (!makePolicy(Args.PolicyName, /*Seed=*/1)) {
+        std::fprintf(stderr, "error: unknown policy '%s' (known: %s)\n",
+                     Args.PolicyName.c_str(), knownPolicyNames());
+        return std::nullopt;
+      }
+    } else if (Arg == "--explore" && I + 1 < Argc) {
+      std::string Mode = Argv[++I];
+      if (!parseExplorationMode(Mode, Args.Detect.Mode)) {
+        std::fprintf(stderr,
+                     "error: unknown exploration mode '%s' (known: "
+                     "random, pct, systematic, replay)\n",
+                     Mode.c_str());
+        return std::nullopt;
+      }
+    } else if (Arg == "--max-schedules" && I + 1 < Argc) {
+      const char *Value = Argv[++I];
+      if (!parsePositiveCount(Value, Args.Detect.Explore.MaxSchedules))
+        std::fprintf(stderr,
+                     "warning: ignoring invalid --max-schedules '%s' "
+                     "(keeping %u)\n",
+                     Value, Args.Detect.Explore.MaxSchedules);
+    } else if (Arg == "--confirm-attempts" && I + 1 < Argc) {
+      const char *Value = Argv[++I];
+      if (!parsePositiveCount(Value, Args.Detect.ConfirmAttempts))
+        std::fprintf(stderr,
+                     "warning: ignoring invalid --confirm-attempts '%s' "
+                     "(keeping %u)\n",
+                     Value, Args.Detect.ConfirmAttempts);
+    } else if (Arg == "--replay" && I + 1 < Argc) {
+      Args.ReplayPath = Argv[++I];
+      Args.Detect.Mode = ExplorationMode::Replay;
+    } else if (Arg == "--emit-witness" && I + 1 < Argc) {
+      Args.Detect.WitnessDir = Argv[++I];
     } else if (Arg == "--stats") {
       Args.Stats = true;
     } else if (Arg.rfind("--", 0) == 0) {
@@ -179,8 +241,14 @@ int cmdRun(CliArgs &Args, const std::string &Source) {
     std::fprintf(stderr, "error: %s\n", P.error().str().c_str());
     return 1;
   }
-  RandomPolicy Policy(Args.Seed);
-  Result<TestRun> Run = runTest(*P->Module, Args.Names[0], Policy);
+  std::unique_ptr<SchedulingPolicy> Policy =
+      makePolicy(Args.PolicyName, Args.Seed);
+  if (!Policy) { // parseArgs validated; defensive for programmatic use.
+    std::fprintf(stderr, "run: unknown policy '%s'\n",
+                 Args.PolicyName.c_str());
+    return 2;
+  }
+  Result<TestRun> Run = runTest(*P->Module, Args.Names[0], *Policy);
   if (!Run) {
     std::fprintf(stderr, "error: %s\n", Run.error().str().c_str());
     return 1;
@@ -256,6 +324,34 @@ int cmdSynthesize(CliArgs &Args, const std::string &Source) {
 }
 
 int cmdDetect(CliArgs &Args, const std::string &Source) {
+  // Replay: load the witness trace up front so detection can be narrowed
+  // to the test it was recorded for.
+  if (!Args.ReplayPath.empty()) {
+    Result<explore::ScheduleTrace> Trace =
+        explore::ScheduleTrace::readFile(Args.ReplayPath);
+    if (!Trace) {
+      std::fprintf(stderr, "error: %s\n", Trace.error().str().c_str());
+      return 1;
+    }
+    Args.Detect.ReplayTrace =
+        std::make_shared<const explore::ScheduleTrace>(Trace.take());
+  }
+  if (Args.Detect.Mode == ExplorationMode::Replay &&
+      !Args.Detect.ReplayTrace) {
+    std::fprintf(stderr,
+                 "detect: --explore replay requires --replay <trace>\n");
+    return 2;
+  }
+  if (!Args.Detect.WitnessDir.empty()) {
+    std::error_code EC;
+    std::filesystem::create_directories(Args.Detect.WitnessDir, EC);
+    if (EC) {
+      std::fprintf(stderr, "error: cannot create witness directory '%s': %s\n",
+                   Args.Detect.WitnessDir.c_str(), EC.message().c_str());
+      return 1;
+    }
+  }
+
   NaradaOptions Options;
   Options.FocusClass = Args.FocusClass;
   Options.Jobs = Args.Jobs;
@@ -269,8 +365,18 @@ int cmdDetect(CliArgs &Args, const std::string &Source) {
   // out across the worker pool.  Results come back in test order, so the
   // printed summary is identical for every --jobs value.
   std::vector<TestDetectJob> Jobs;
-  for (const SynthesizedTestInfo &T : R->Tests)
+  for (const SynthesizedTestInfo &T : R->Tests) {
+    if (Args.Detect.ReplayTrace &&
+        T.Name != Args.Detect.ReplayTrace->TestName)
+      continue;
     Jobs.push_back({T.Name, T.CandidateLabels});
+  }
+  if (Args.Detect.ReplayTrace && Jobs.empty()) {
+    std::fprintf(stderr,
+                 "error: trace test '%s' was not synthesized in this run\n",
+                 Args.Detect.ReplayTrace->TestName.c_str());
+    return 1;
+  }
   Result<std::vector<TestDetectionResult>> Results =
       detectRacesInTests(*R->Program.Module, Jobs, Args.Detect, Args.Jobs);
   if (!Results) {
@@ -279,26 +385,39 @@ int cmdDetect(CliArgs &Args, const std::string &Source) {
   }
 
   unsigned Detected = 0, Reproduced = 0, Harmful = 0, Benign = 0;
-  unsigned Quarantined = 0;
-  for (size_t I = 0; I < R->Tests.size(); ++I) {
-    const SynthesizedTestInfo &T = R->Tests[I];
+  unsigned Quarantined = 0, Witnesses = 0;
+  unsigned long long Schedules = 0, Pruned = 0;
+  for (size_t I = 0; I < Jobs.size(); ++I) {
+    const std::string &TestName = Jobs[I].TestName;
     const TestDetectionResult &D = (*Results)[I];
+    Schedules += D.SchedulesRun;
+    Pruned += D.SchedulesPruned;
+    Witnesses += static_cast<unsigned>(D.WitnessFiles.size());
     if (D.Quarantined) {
       // Contained failure: the test is reported, not trusted — and the
       // rest of the batch ran to completion regardless.
-      std::printf("%s: QUARANTINED: %s\n", T.Name.c_str(),
+      std::printf("%s: QUARANTINED: %s\n", TestName.c_str(),
                   D.QuarantineReason.c_str());
       ++Quarantined;
     }
     if (D.Detected.empty() && D.reproducedCount() == 0)
       continue;
-    std::printf("%s:\n", T.Name.c_str());
+    std::printf("%s:\n", TestName.c_str());
+    if (Args.Detect.ReplayTrace) {
+      // A replayed schedule's value is what it detected, reproduced or
+      // not — print the phase-1 reports so witness round trips can be
+      // compared byte for byte.
+      for (const RaceReport &Rep : D.Detected)
+        std::printf("  replayed: %s\n", Rep.str().c_str());
+    }
     for (const ConfirmedRace &C : D.Races) {
       if (!C.Reproduced)
         continue;
       std::printf("  %s [%s]\n", C.Report.str().c_str(),
                   C.Harmful ? "HARMFUL" : "benign");
     }
+    for (const std::string &W : D.WitnessFiles)
+      std::printf("  witness: %s\n", W.c_str());
     Detected += static_cast<unsigned>(D.Detected.size());
     Reproduced += D.reproducedCount();
     Harmful += D.harmfulCount();
@@ -307,16 +426,19 @@ int cmdDetect(CliArgs &Args, const std::string &Source) {
     // Also surface potential deadlocks (lock-order inversions).
     LockOrderDetector LockOrder;
     RandomPolicy Policy(1);
-    (void)runTest(*R->Program.Module, T.Name, Policy, 1, &LockOrder);
+    (void)runTest(*R->Program.Module, TestName, Policy, 1, &LockOrder);
     for (const LockOrderCycle &Cycle : LockOrder.cycles())
       std::printf("  %s\n", Cycle.str().c_str());
   }
   std::printf("\ntotal over %zu tests: %u detected, %u reproduced, "
               "%u harmful, %u benign",
-              R->Tests.size(), Detected, Reproduced, Harmful, Benign);
+              Jobs.size(), Detected, Reproduced, Harmful, Benign);
   if (Quarantined)
     std::printf(", %u quarantined", Quarantined);
-  std::printf("\n");
+  std::printf("\n%llu schedules explored (%llu pruned)\n", Schedules,
+              Pruned);
+  if (Witnesses)
+    std::printf("%u witness trace(s) written\n", Witnesses);
   return 0;
 }
 
@@ -366,6 +488,8 @@ void emitObservability(const CliArgs &Args) {
   Meta.addOption("jobs", std::to_string(Args.Jobs));
   if (Args.Command == "contege")
     Meta.addOption("tests", std::to_string(Args.Tests));
+  if (Args.Command == "run")
+    Meta.addOption("policy", Args.PolicyName);
   if (Args.Command == "detect") {
     Meta.addOption("max_steps", std::to_string(Args.Detect.MaxSteps));
     Meta.addOption("step_retries",
@@ -373,6 +497,16 @@ void emitObservability(const CliArgs &Args) {
     if (Args.Detect.WallBudgetSeconds > 0.0)
       Meta.addOption("wall_budget_seconds",
                      std::to_string(Args.Detect.WallBudgetSeconds));
+    Meta.addOption("explore", explorationModeName(Args.Detect.Mode));
+    Meta.addOption("confirm_attempts",
+                   std::to_string(Args.Detect.ConfirmAttempts));
+    if (Args.Detect.Mode == ExplorationMode::Systematic)
+      Meta.addOption("max_schedules",
+                     std::to_string(Args.Detect.Explore.MaxSchedules));
+    if (!Args.ReplayPath.empty())
+      Meta.addOption("replay", Args.ReplayPath);
+    if (!Args.Detect.WitnessDir.empty())
+      Meta.addOption("witness_dir", Args.Detect.WitnessDir);
   }
   if (!Args.ReportPath.empty())
     obs::writeRunReport(Args.ReportPath, Meta);

@@ -10,9 +10,12 @@ Tiny phases (< 1ms in both reports) are ignored: their relative timing is
 noise.
 
 Reports may legitimately have different phase sets — a --jobs 4 run has
-per-worker spans (pipeline.synth.worker0...) that a --jobs 1 run lacks.
-A phase present in only one report is treated as 0s on the other side and
-reported as a warning, never as a regression.
+per-worker spans (pipeline.synth.worker0...) that a --jobs 1 run lacks,
+and an --explore systematic run has explore/schedule/witness spans that a
+random-mode run lacks.  A phase present in only one report is treated as
+0s on the other side and never as a regression; known configuration-
+dependent phases (workers, exploration) get an informational note, any
+other one-sided phase a warning.
 """
 
 import argparse
@@ -21,6 +24,27 @@ import sys
 
 SCHEMA = "narada.run_report/v1"
 MIN_SECONDS = 0.001  # Phases below this in both reports are noise.
+
+# Dotted-path segments of phases that exist only under certain run
+# configurations: worker spans only at --jobs > 1, exploration spans only
+# under --explore systematic / --replay.  Their absence from one side of a
+# diff is expected, not suspicious.
+_VARIABLE_SEGMENT_PREFIXES = ("worker",)
+_VARIABLE_SEGMENTS = {"explore", "schedule", "witness"}
+
+# Counters whose values are expected to differ across exploration modes;
+# drift in them is annotated rather than left to look like a anomaly.
+MODE_DEPENDENT_COUNTER_PREFIXES = ("explore.",)
+
+
+def is_config_dependent_phase(name):
+    """True for phases whose presence depends on run configuration."""
+    for segment in name.split("."):
+        if segment in _VARIABLE_SEGMENTS:
+            return True
+        if any(segment.startswith(p) for p in _VARIABLE_SEGMENT_PREFIXES):
+            return True
+    return False
 
 
 def _bad_input(path, why):
@@ -76,9 +100,10 @@ def phase_seconds(doc):
 def diff_reports(base, cur, threshold):
     """Compares two parsed reports.
 
-    Returns (regressions, warnings, drifted):
+    Returns (regressions, warnings, notes, drifted):
       regressions: [(phase, before_s, after_s, delta_pct)] over threshold;
-      warnings:    [str] for phases present in only one report;
+      warnings:    [str] for unexpected phases present in only one report;
+      notes:       [str] for known config-dependent one-sided phases;
       drifted:     [(counter, before, after)] for changed counters.
     """
     base_phases = phase_seconds(base)
@@ -86,19 +111,25 @@ def diff_reports(base, cur, threshold):
 
     regressions = []
     warnings = []
+    notes = []
     for name in sorted(set(base_phases) | set(cur_phases)):
         in_base = name in base_phases
         in_cur = name in cur_phases
         before = base_phases.get(name, 0.0)
         after = cur_phases.get(name, 0.0)
         if not in_base or not in_cur:
-            # Differing phase sets (e.g. worker spans only at --jobs > 1):
-            # missing side counts as 0, and this is never a regression.
+            # Differing phase sets: missing side counts as 0, and this is
+            # never a regression.  Worker and exploration spans are known
+            # to come and go with --jobs / --explore, so they only rate a
+            # note; anything else one-sided is worth a warning.
             if max(before, after) >= MIN_SECONDS:
                 where = "baseline" if not in_base else "current"
-                warnings.append(
-                    f"phase '{name}' missing from {where} report "
-                    f"(treating as 0s)")
+                message = (f"phase '{name}' missing from {where} report "
+                           f"(treating as 0s)")
+                if is_config_dependent_phase(name):
+                    notes.append(message + " [config-dependent]")
+                else:
+                    warnings.append(message)
             continue
         if before < MIN_SECONDS and after < MIN_SECONDS:
             continue
@@ -115,7 +146,7 @@ def diff_reports(base, cur, threshold):
         for name in sorted(set(base_counters) | set(cur_counters))
         if base_counters.get(name, 0) != cur_counters.get(name, 0)
     ]
-    return regressions, warnings, drifted
+    return regressions, warnings, notes, drifted
 
 
 def main():
@@ -129,8 +160,11 @@ def main():
 
     base = load_report(args.baseline)
     cur = load_report(args.current)
-    regressions, warnings, drifted = diff_reports(base, cur, args.threshold)
+    regressions, warnings, notes, drifted = diff_reports(
+        base, cur, args.threshold)
 
+    for note in notes:
+        print(f"note: {note}", file=sys.stderr)
     for warning in warnings:
         print(f"warning: {warning}", file=sys.stderr)
 
@@ -145,7 +179,10 @@ def main():
     if drifted:
         print(f"counter drift ({len(drifted)} changed):")
         for name, before, after in drifted:
-            print(f"  {name}: {before} -> {after}")
+            mode_dependent = any(
+                name.startswith(p) for p in MODE_DEPENDENT_COUNTER_PREFIXES)
+            suffix = " [mode-dependent]" if mode_dependent else ""
+            print(f"  {name}: {before} -> {after}{suffix}")
 
     return 1 if regressions else 0
 

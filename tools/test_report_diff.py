@@ -29,16 +29,17 @@ def report(phases=None, counters=None):
 class DiffReportsTest(unittest.TestCase):
     def test_no_change_is_clean(self):
         base = report({"pipeline": 1.0, "pipeline.synth": 0.4})
-        regressions, warnings, drifted = report_diff.diff_reports(
+        regressions, warnings, notes, drifted = report_diff.diff_reports(
             base, base, 10.0)
         self.assertEqual(regressions, [])
         self.assertEqual(warnings, [])
+        self.assertEqual(notes, [])
         self.assertEqual(drifted, [])
 
     def test_regression_over_threshold_is_flagged(self):
         base = report({"pipeline": 1.0})
         cur = report({"pipeline": 1.5})
-        regressions, _, _ = report_diff.diff_reports(base, cur, 10.0)
+        regressions, _, _, _ = report_diff.diff_reports(base, cur, 10.0)
         self.assertEqual(len(regressions), 1)
         name, before, after, delta = regressions[0]
         self.assertEqual(name, "pipeline")
@@ -48,52 +49,90 @@ class DiffReportsTest(unittest.TestCase):
     def test_improvement_is_not_flagged(self):
         base = report({"pipeline": 1.0})
         cur = report({"pipeline": 0.5})
-        regressions, _, _ = report_diff.diff_reports(base, cur, 10.0)
+        regressions, _, _, _ = report_diff.diff_reports(base, cur, 10.0)
         self.assertEqual(regressions, [])
 
-    def test_phase_only_in_current_warns_not_regresses(self):
-        # A --jobs 4 report has worker spans the serial baseline lacks.
+    def test_worker_phase_only_in_current_notes_not_regresses(self):
+        # A --jobs 4 report has worker spans the serial baseline lacks;
+        # those are known config-dependent, so they rate notes, not
+        # warnings.
         base = report({"pipeline.synth": 0.4})
         cur = report({"pipeline.synth": 0.4,
                       "pipeline.synth.worker0": 0.2,
                       "pipeline.synth.worker1": 0.2})
-        regressions, warnings, _ = report_diff.diff_reports(base, cur, 10.0)
+        regressions, warnings, notes, _ = report_diff.diff_reports(
+            base, cur, 10.0)
         self.assertEqual(regressions, [])
-        self.assertEqual(len(warnings), 2)
-        self.assertIn("worker0", warnings[0])
-        self.assertIn("missing from baseline", warnings[0])
+        self.assertEqual(warnings, [])
+        self.assertEqual(len(notes), 2)
+        self.assertIn("worker0", notes[0])
+        self.assertIn("missing from baseline", notes[0])
+        self.assertIn("[config-dependent]", notes[0])
 
-    def test_phase_only_in_baseline_warns_not_regresses(self):
+    def test_worker_phase_only_in_baseline_notes_not_regresses(self):
         base = report({"pipeline.synth": 0.4, "pipeline.synth.worker0": 0.2})
         cur = report({"pipeline.synth": 0.4})
-        regressions, warnings, _ = report_diff.diff_reports(base, cur, 10.0)
+        regressions, warnings, notes, _ = report_diff.diff_reports(
+            base, cur, 10.0)
         self.assertEqual(regressions, [])
+        self.assertEqual(warnings, [])
+        self.assertEqual(len(notes), 1)
+        self.assertIn("missing from current", notes[0])
+
+    def test_explore_phase_only_in_current_notes_not_warns(self):
+        # An --explore systematic run has exploration spans a random-mode
+        # baseline lacks.
+        base = report({"detect": 1.0})
+        cur = report({"detect": 1.2,
+                      "detect.explore": 0.8,
+                      "detect.explore.schedule": 0.7,
+                      "detect.witness": 0.1})
+        _, warnings, notes, _ = report_diff.diff_reports(base, cur, 10.0)
+        self.assertEqual(warnings, [])
+        self.assertEqual(len(notes), 3)
+
+    def test_unexpected_one_sided_phase_still_warns(self):
+        base = report({"pipeline": 1.0})
+        cur = report({"pipeline": 1.0, "pipeline.mystery": 0.5})
+        _, warnings, notes, _ = report_diff.diff_reports(base, cur, 10.0)
+        self.assertEqual(notes, [])
         self.assertEqual(len(warnings), 1)
-        self.assertIn("missing from current", warnings[0])
+        self.assertIn("mystery", warnings[0])
+
+    def test_is_config_dependent_phase(self):
+        for name in ("pipeline.synth.worker0", "detect.explore",
+                     "detect.explore.schedule", "detect.witness"):
+            self.assertTrue(report_diff.is_config_dependent_phase(name), name)
+        for name in ("pipeline", "detect", "pipeline.synth",
+                     "detect.exploreish"):
+            self.assertFalse(report_diff.is_config_dependent_phase(name),
+                             name)
 
     def test_missing_tiny_phase_does_not_warn(self):
         base = report({"pipeline": 1.0})
         cur = report({"pipeline": 1.0, "pipeline.blip": 0.0002})
-        _, warnings, _ = report_diff.diff_reports(base, cur, 10.0)
+        _, warnings, notes, _ = report_diff.diff_reports(base, cur, 10.0)
         self.assertEqual(warnings, [])
+        self.assertEqual(notes, [])
 
     def test_tiny_phases_ignored_for_regressions(self):
         base = report({"pipeline.blip": 0.0001})
         cur = report({"pipeline.blip": 0.0009})  # 800% but sub-millisecond.
-        regressions, _, _ = report_diff.diff_reports(base, cur, 10.0)
+        regressions, _, _, _ = report_diff.diff_reports(base, cur, 10.0)
         self.assertEqual(regressions, [])
 
     def test_counter_drift_treats_missing_as_zero(self):
         base = report(counters={"synth.tests_synthesized": 15})
         cur = report(counters={"synth.tests_synthesized": 15,
                                "synth.qmemo_hits": 40})
-        _, _, drifted = report_diff.diff_reports(base, cur, 10.0)
+        _, _, _, drifted = report_diff.diff_reports(base, cur, 10.0)
         self.assertEqual(drifted, [("synth.qmemo_hits", 0, 40)])
 
     def test_empty_reports_diff_cleanly(self):
-        regressions, warnings, drifted = report_diff.diff_reports(
+        regressions, warnings, notes, drifted = report_diff.diff_reports(
             report(), report(), 10.0)
-        self.assertEqual((regressions, warnings, drifted), ([], [], []))
+        self.assertEqual((regressions, warnings, notes, drifted),
+                         ([], [], [], []))
 
 
 class LoadReportMalformedInputTest(unittest.TestCase):
@@ -176,7 +215,7 @@ class LoadReportMalformedInputTest(unittest.TestCase):
         cur = report({"pipeline": 1.0}, {"c": 2})
         base_doc = report_diff.load_report(self._write(json.dumps(base)))
         cur_doc = report_diff.load_report(self._write(json.dumps(cur)))
-        regressions, warnings, drifted = report_diff.diff_reports(
+        regressions, warnings, notes, drifted = report_diff.diff_reports(
             base_doc, cur_doc, 10.0)
         self.assertEqual(regressions, [])
         self.assertEqual(warnings, [])
