@@ -31,6 +31,12 @@ struct RaceReport {
 
   std::string FirstLabel;     ///< Static label of the earlier access.
   std::string SecondLabel;    ///< Static label of the later access.
+  /// Verdict name of the static pre-analysis for this label pair
+  /// ("MayRace"/"Unknown"/"MustGuarded"); empty when the run was
+  /// dynamic-only.  Annotated after detection from the classified pairs —
+  /// see staticVerdictsByRaceKey() — so reports distinguish
+  /// static-predicted from dynamic-only races.
+  std::string StaticVerdict;
   ThreadId FirstThread = 0;
   ThreadId SecondThread = 0;
   bool FirstIsWrite = false;

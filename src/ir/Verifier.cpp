@@ -8,6 +8,8 @@
 
 #include "support/StringUtils.h"
 
+#include <vector>
+
 using namespace narada;
 
 static Error verifyError(const IRFunction &F, size_t Index,
@@ -111,6 +113,83 @@ Status narada::verifyFunction(const IRFunction &F) {
   if (Last.Op != Opcode::Ret)
     return Error(formatString("verifier: '%s' does not end with ret",
                               F.name().c_str()));
+
+  return verifyMonitorBalance(F);
+}
+
+Status narada::verifyMonitorBalance(const IRFunction &F) {
+  // Flow-sensitive monitor-depth check: every program point must be
+  // reached with one consistent count of open monitors, MonitorExit must
+  // never fire with none open, and every Ret must leave all of them
+  // closed.  Lowering guarantees this (sync blocks nest lexically and
+  // unwindMonitors() closes them before early returns); the check catches
+  // hand-built or future-lowering IR that acquires on one branch and
+  // releases on another.  The static lockset analysis leans on this
+  // invariant — see docs/STATIC.md.
+  const std::vector<Instr> &Instrs = F.instrs();
+  constexpr int Unreached = -1;
+  std::vector<int> DepthAt(Instrs.size(), Unreached);
+  std::vector<size_t> Worklist;
+
+  auto Flow = [&](size_t To, int Depth, size_t From,
+                  Status &Out) -> bool {
+    if (To >= Instrs.size())
+      return true; // Jump-to-end: structurally checked above.
+    if (DepthAt[To] == Unreached) {
+      DepthAt[To] = Depth;
+      Worklist.push_back(To);
+      return true;
+    }
+    if (DepthAt[To] != Depth) {
+      Out = verifyError(
+          F, From,
+          formatString("inconsistent monitor depth at join %zu (%d vs %d)",
+                       To, DepthAt[To], Depth));
+      return false;
+    }
+    return true;
+  };
+
+  DepthAt[0] = 0;
+  Worklist.push_back(0);
+  while (!Worklist.empty()) {
+    size_t Index = Worklist.back();
+    Worklist.pop_back();
+    const Instr &I = Instrs[Index];
+    int Depth = DepthAt[Index];
+    Status Conflict = Status::success();
+    switch (I.Op) {
+    case Opcode::MonitorEnter:
+      if (!Flow(Index + 1, Depth + 1, Index, Conflict))
+        return Conflict;
+      break;
+    case Opcode::MonitorExit:
+      if (Depth == 0)
+        return verifyError(F, Index, "monitor_exit without open monitor");
+      if (!Flow(Index + 1, Depth - 1, Index, Conflict))
+        return Conflict;
+      break;
+    case Opcode::Ret:
+      if (Depth != 0)
+        return verifyError(
+            F, Index,
+            formatString("ret with %d open monitor(s)", Depth));
+      break;
+    case Opcode::Jump:
+      if (!Flow(I.Target, Depth, Index, Conflict))
+        return Conflict;
+      break;
+    case Opcode::Branch:
+      if (!Flow(I.Target, Depth, Index, Conflict) ||
+          !Flow(Index + 1, Depth, Index, Conflict))
+        return Conflict;
+      break;
+    default:
+      if (!Flow(Index + 1, Depth, Index, Conflict))
+        return Conflict;
+      break;
+    }
+  }
   return Status::success();
 }
 

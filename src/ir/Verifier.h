@@ -20,8 +20,14 @@
 
 namespace narada {
 
-/// Verifies one function.
+/// Verifies one function.  Includes the monitor-balance check below.
 Status verifyFunction(const IRFunction &F);
+
+/// Flow-sensitive monitor acquire/release balance: every program point is
+/// reached at one consistent monitor depth, no exit without a matching
+/// enter, no return with a monitor still open.  Lowered IR always
+/// satisfies this; the check guards hand-built IR and future lowerings.
+Status verifyMonitorBalance(const IRFunction &F);
 
 /// Verifies every function in \p M.
 Status verifyModule(const IRModule &M);

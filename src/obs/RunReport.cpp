@@ -10,6 +10,7 @@
 #include "obs/Log.h"
 #include "support/StringUtils.h"
 
+#include <algorithm>
 #include <fstream>
 
 using namespace narada;
@@ -31,6 +32,26 @@ std::string obs::renderRunReport(const RunMeta &Meta,
   for (const auto &[Key, Value] : Meta.Options)
     W.key(Key).value(Value);
   W.endObject();
+
+  if (Meta.RecordRaces) {
+    std::vector<const RaceEntry *> Sorted;
+    for (const RaceEntry &Race : Meta.Races)
+      Sorted.push_back(&Race);
+    std::sort(Sorted.begin(), Sorted.end(),
+              [](const RaceEntry *A, const RaceEntry *B) {
+                return A->Key < B->Key;
+              });
+    W.key("races").beginArray();
+    for (const RaceEntry *Race : Sorted) {
+      W.beginObject();
+      W.key("key").value(Race->Key);
+      W.key("static_verdict").value(Race->StaticVerdict);
+      W.key("reproduced").value(Race->Reproduced);
+      W.key("harmful").value(Race->Harmful);
+      W.endObject();
+    }
+    W.endArray();
+  }
 
   W.key("phases").beginObject();
   for (const auto &[Path, Stat] : S.Phases) {
@@ -203,6 +224,39 @@ Result<ParsedRunReport> obs::parseRunReport(std::string_view Text) {
       }
   } else {
     return Options.error();
+  }
+
+  if (const JsonValue *Races = Doc->find("races")) {
+    if (!Races->isArray())
+      return Error("run report member 'races' is not an array");
+    Report.Meta.RecordRaces = true;
+    for (size_t I = 0; I < Races->Elements.size(); ++I) {
+      const JsonValue &E = Races->Elements[I];
+      if (!E.isObject())
+        return Error(formatString(
+            "run report member 'races[%zu]' is not an object", I));
+      RaceEntry Race;
+      const JsonValue *Key = E.find("key");
+      if (!Key || !Key->isString())
+        return Error(formatString(
+            "run report member 'races[%zu].key' is not a string", I));
+      Race.Key = Key->StringVal;
+      Result<std::string> Verdict = stringMember(E, "static_verdict");
+      if (!Verdict)
+        return Verdict.error();
+      Race.StaticVerdict = Verdict.take();
+      for (auto [Field, Dest] :
+           {std::pair<const char *, bool *>{"reproduced", &Race.Reproduced},
+            {"harmful", &Race.Harmful}}) {
+        if (const JsonValue *V = E.find(Field)) {
+          if (V->K != JsonValue::Kind::Bool)
+            return Error(formatString(
+                "run report member 'races[%zu].%s' is not a bool", I, Field));
+          *Dest = V->BoolVal;
+        }
+      }
+      Report.Meta.Races.push_back(std::move(Race));
+    }
   }
 
   // Metrics. All maps are open-ended: unknown phase/counter names parse

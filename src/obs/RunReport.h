@@ -30,6 +30,17 @@
 namespace narada {
 namespace obs {
 
+/// One race in a report's "races" array: identity plus outcome, so two
+/// runs' confirmed-race sets can be compared structurally (the CI
+/// prefilter-soundness sweep does exactly that via report-diff.py --races).
+struct RaceEntry {
+  std::string Key;           ///< RaceReport::key() ("Class.field{A~B}").
+  std::string StaticVerdict; ///< Static pre-analysis verdict; "" when the
+                             ///< run was dynamic-only.
+  bool Reproduced = false;   ///< Confirmed by the RaceFuzzer protocol.
+  bool Harmful = false;      ///< Reproduction diverged from serial runs.
+};
+
 /// Identity of one pipeline run; everything except the metrics.
 struct RunMeta {
   std::string Tool;    ///< "narada-cli", "table4_synthesis", ...
@@ -41,9 +52,21 @@ struct RunMeta {
   /// Free-form option key/value pairs worth recording (max tests,
   /// detection runs, ...), serialized under "options".
   std::vector<std::pair<std::string, std::string>> Options;
+  /// Deduplicated races of the run; serialized (sorted by key) only when
+  /// RecordRaces is set, so reports without a detection phase stay
+  /// byte-compatible with older readers.
+  std::vector<RaceEntry> Races;
+  bool RecordRaces = false;
 
   void addOption(std::string Key, std::string Value) {
     Options.emplace_back(std::move(Key), std::move(Value));
+  }
+
+  void addRace(std::string Key, std::string StaticVerdict, bool Reproduced,
+               bool Harmful) {
+    Races.push_back(
+        {std::move(Key), std::move(StaticVerdict), Reproduced, Harmful});
+    RecordRaces = true;
   }
 };
 

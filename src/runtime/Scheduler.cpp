@@ -74,22 +74,58 @@ ThreadId PCTPolicy::pick(const std::vector<ThreadId> &Runnable, VM &M) {
   return Best;
 }
 
+namespace {
+
+/// One entry of the policy registry.  makePolicy() and knownPolicyNames()
+/// both read this table, so adding a policy here is the whole change —
+/// the --policy validation and the --help text can no longer drift.
+struct PolicyEntry {
+  const char *Name;
+  std::unique_ptr<SchedulingPolicy> (*Make)(uint64_t Seed);
+};
+
+const PolicyEntry PolicyRegistry[] = {
+    {"roundrobin",
+     [](uint64_t) -> std::unique_ptr<SchedulingPolicy> {
+       return std::make_unique<RoundRobinPolicy>();
+     }},
+    {"random",
+     [](uint64_t Seed) -> std::unique_ptr<SchedulingPolicy> {
+       return std::make_unique<RandomPolicy>(Seed);
+     }},
+    {"preempt",
+     [](uint64_t Seed) -> std::unique_ptr<SchedulingPolicy> {
+       return std::make_unique<PreemptionBoundedPolicy>(
+           Seed, /*PreemptPercent=*/25);
+     }},
+    {"pct",
+     [](uint64_t Seed) -> std::unique_ptr<SchedulingPolicy> {
+       return std::make_unique<PCTPolicy>(Seed);
+     }},
+};
+
+} // namespace
+
 std::unique_ptr<SchedulingPolicy> narada::makePolicy(std::string_view Name,
                                                      uint64_t Seed) {
-  if (Name == "roundrobin")
-    return std::make_unique<RoundRobinPolicy>();
-  if (Name == "random")
-    return std::make_unique<RandomPolicy>(Seed);
-  if (Name == "preempt")
-    return std::make_unique<PreemptionBoundedPolicy>(Seed,
-                                                     /*PreemptPercent=*/25);
-  if (Name == "pct")
-    return std::make_unique<PCTPolicy>(Seed);
+  for (const PolicyEntry &Entry : PolicyRegistry)
+    if (Name == Entry.Name)
+      return Entry.Make(Seed);
   return nullptr;
 }
 
 const char *narada::knownPolicyNames() {
-  return "roundrobin, random, preempt, pct";
+  // Rendered from the registry once; the names never change at run time.
+  static const std::string Names = [] {
+    std::string Out;
+    for (const PolicyEntry &Entry : PolicyRegistry) {
+      if (!Out.empty())
+        Out += ", ";
+      Out += Entry.Name;
+    }
+    return Out;
+  }();
+  return Names.c_str();
 }
 
 RunResult narada::runToCompletion(VM &M, SchedulingPolicy &Policy,

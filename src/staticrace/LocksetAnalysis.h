@@ -1,0 +1,69 @@
+//===- staticrace/LocksetAnalysis.h - Must-lockset abstract interp *- C++ -*-=//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A flow-sensitive abstract interpretation over the lowered IR that
+/// computes the per-method summaries of StaticSummary.h without executing
+/// anything:
+///
+///  - register domain: Bottom < {Path(entry-rooted access path), Fresh}
+///    < Unknown; loads extend paths, stores invalidate, joins meet;
+///  - lock domain: a must-held multiset of entry-rooted monitor paths plus
+///    a count of unknown-identity monitors; joins intersect (take minimum
+///    counts), so a monitor survives a join only when held on both edges —
+///    exactly the shape a lock imbalance across branches produces;
+///  - call digests: callee summaries are rebased through the actual
+///    argument values at each call site over a bounded number of rounds,
+///    adding the caller's own must-locks, while accesses keep their
+///    innermost static label so they line up with dynamic AccessRecords.
+///
+/// Soundness contract (held by tests/staticrace_test.cpp and the CI
+/// prefilter sweep): a reported must-lock is held on *every* concrete
+/// execution reaching the access, and a summary without Incomplete lists
+/// *every* access the method can perform.  See docs/STATIC.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NARADA_STATICRACE_LOCKSETANALYSIS_H
+#define NARADA_STATICRACE_LOCKSETANALYSIS_H
+
+#include "staticrace/StaticSummary.h"
+
+namespace narada {
+
+class IRModule;
+class IRFunction;
+
+namespace staticrace {
+
+/// Knobs bounding the abstraction; the defaults comfortably cover the
+/// C1–C9 corpus.
+struct SummaryOptions {
+  /// Maximum access-path depth tracked; deeper paths abstract to Unknown.
+  unsigned MaxPathDepth = 8;
+  /// Monitor re-entrancy counts saturate here (a lower bound stays sound).
+  unsigned MaxLockCount = 4;
+  /// Rounds of call-digest composition; recursion deeper than this marks
+  /// the affected summaries Incomplete.
+  unsigned MaxInlineRounds = 8;
+  /// Cap on accesses per method summary; overflow marks it Incomplete.
+  unsigned MaxAccessesPerMethod = 512;
+};
+
+/// Summarizes every Kind::Method function of \p M.  Bumps the
+/// "staticrace.methods_summarized" counter.
+ModuleSummary summarizeModule(const IRModule &M,
+                              const SummaryOptions &Options = {});
+
+/// Summarizes one function in isolation (no call composition beyond
+/// built-ins); exposed for unit tests over hand-built IR.
+MethodSummary summarizeFunctionIntra(const IRFunction &F,
+                                     const SummaryOptions &Options = {});
+
+} // namespace staticrace
+} // namespace narada
+
+#endif // NARADA_STATICRACE_LOCKSETANALYSIS_H

@@ -1,0 +1,72 @@
+//===- staticrace/StaticSummary.cpp - Summary domain helpers -------------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+
+#include "staticrace/StaticSummary.h"
+
+#include "support/StringUtils.h"
+
+using namespace narada;
+using namespace narada::staticrace;
+
+const char *staticrace::verdictName(PairVerdict V) {
+  switch (V) {
+  case PairVerdict::MustGuarded:
+    return "MustGuarded";
+  case PairVerdict::MayRace:
+    return "MayRace";
+  case PairVerdict::Unknown:
+    break;
+  }
+  return "Unknown";
+}
+
+const char *staticrace::controllabilityName(Controllability C) {
+  switch (C) {
+  case Controllability::Param:
+    return "param";
+  case Controllability::NotParam:
+    return "internal";
+  case Controllability::Unknown:
+    break;
+  }
+  return "unknown";
+}
+
+static std::string lockSetString(const StaticAccess &A) {
+  std::string Out = "{";
+  bool First = true;
+  for (const auto &[Path, Count] : A.MustLocks) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += Path.str();
+    if (Count > 1)
+      Out += formatString("*%u", Count);
+  }
+  if (A.UnknownLocks) {
+    if (!First)
+      Out += ", ";
+    Out += formatString("?*%u", A.UnknownLocks);
+  }
+  Out += "}";
+  return Out;
+}
+
+std::string StaticAccess::fingerprint() const {
+  return formatString("%s|%s.%s|%s|%s|%s|%s", Label.c_str(),
+                      FieldClassName.c_str(), Field.c_str(),
+                      IsWrite ? "W" : "R", controllabilityName(Ctrl),
+                      BasePath ? BasePath->str().c_str() : "-",
+                      lockSetString(*this).c_str());
+}
+
+std::string StaticAccess::str() const {
+  return formatString("%s %s.%s %s base=%s(%s) locks=%s", Label.c_str(),
+                      FieldClassName.c_str(), Field.c_str(),
+                      IsWrite ? "write" : "read",
+                      BasePath ? BasePath->str().c_str() : "-",
+                      controllabilityName(Ctrl), lockSetString(*this).c_str());
+}

@@ -10,6 +10,7 @@
 #include "lang/ASTPrinter.h"
 #include "obs/Log.h"
 #include "obs/Span.h"
+#include "staticrace/LocksetAnalysis.h"
 #include "support/StringUtils.h"
 #include "synth/ParallelDriver.h"
 #include "synth/SeedNormalizer.h"
@@ -105,11 +106,25 @@ narada::runNarada(std::string_view LibrarySource,
                     Out.Analysis.Returns.size());
   }
 
+  // Optional static pre-analysis: per-method must-lockset summaries over
+  // the lowered module (same lowering the detectors run on, so static
+  // labels line up with dynamic ones).
+  if (Options.StaticPrefilter || Options.StaticRank) {
+    obs::Span StaticSpan("staticrace", &Out.Stages.StaticRaceSeconds);
+    Out.Static = std::make_shared<const staticrace::ModuleSummary>(
+        staticrace::summarizeModule(*Normalized->Module));
+    NARADA_LOG_INFO("staticrace: %zu method summaries",
+                    Out.Static->Methods.size());
+  }
+
   // Stage 2a: candidate racy pairs.
   {
     obs::Span PairGenSpan("pairgen", &Out.Stages.PairGenSeconds);
     PairGenOptions PairOptions;
     PairOptions.FocusClass = Options.FocusClass;
+    PairOptions.Static = Out.Static.get();
+    PairOptions.StaticPrefilter = Options.StaticPrefilter;
+    PairOptions.StaticRank = Options.StaticRank;
     Out.Pairs = generatePairs(Out.Analysis, PairOptions);
     Metrics.counter("synth.pairs_generated").inc(Out.Pairs.size());
     NARADA_LOG_INFO("pairgen: %zu candidate racy pairs%s%s",

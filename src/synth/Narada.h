@@ -21,11 +21,16 @@
 #include "synth/PairGenerator.h"
 #include "synth/RacyPair.h"
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 namespace narada {
+
+namespace staticrace {
+struct ModuleSummary;
+}
 
 /// Pipeline options.
 struct NaradaOptions {
@@ -48,6 +53,16 @@ struct NaradaOptions {
   /// thread, 0 = one worker per hardware thread.  Output is byte-identical
   /// for every value — see synth/ParallelDriver.h.
   unsigned Jobs = 1;
+  /// Run the static race pre-analysis (src/staticrace/) over the lowered
+  /// module and drop candidate pairs it proves MustGuarded before
+  /// derivation.  Conservative: the generated pair set is unchanged (see
+  /// docs/STATIC.md), only provably serialized candidates disappear from
+  /// the candidate space.
+  bool StaticPrefilter = false;
+  /// Run the pre-analysis and stable-sort candidate pairs most-racy-first
+  /// (MayRace < Unknown < MustGuarded) before synthesis; byte-identical
+  /// across --jobs because ranking happens before the parallel stage.
+  bool StaticRank = false;
 };
 
 /// Metadata for one synthesized multithreaded test.
@@ -97,13 +112,14 @@ struct SkippedPair {
 struct NaradaStageTimes {
   double FrontendSeconds = 0.0;  ///< Library + seed compilation passes.
   double AnalysisSeconds = 0.0;  ///< Seed execution + trace analysis.
+  double StaticRaceSeconds = 0.0; ///< Static pre-analysis (when enabled).
   double PairGenSeconds = 0.0;   ///< Candidate racy-pair generation.
   double SynthesisSeconds = 0.0; ///< Context derivation + test emission.
   double RecompileSeconds = 0.0; ///< Final library+tests compilation.
 
   double totalSeconds() const {
-    return FrontendSeconds + AnalysisSeconds + PairGenSeconds +
-           SynthesisSeconds + RecompileSeconds;
+    return FrontendSeconds + AnalysisSeconds + StaticRaceSeconds +
+           PairGenSeconds + SynthesisSeconds + RecompileSeconds;
   }
 };
 
@@ -117,6 +133,9 @@ struct NaradaResult {
   std::vector<SynthesizedTestInfo> Tests;
   /// Pairs that could not be synthesized, with structured reasons.
   std::vector<SkippedPair> Skipped;
+  /// Static per-method summaries; null unless StaticPrefilter/StaticRank
+  /// ran.  Shared so callers can annotate detection output.
+  std::shared_ptr<const staticrace::ModuleSummary> Static;
   NaradaStageTimes Stages;
 };
 

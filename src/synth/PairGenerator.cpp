@@ -7,8 +7,10 @@
 #include "synth/PairGenerator.h"
 
 #include "obs/Metrics.h"
+#include "staticrace/PairClassifier.h"
 #include "support/StringUtils.h"
 
+#include <algorithm>
 #include <map>
 #include <set>
 
@@ -94,30 +96,123 @@ narada::generatePairs(const AnalysisResult &Analysis,
     return Side;
   };
 
+  const staticrace::ModuleSummary *Static = Options.Static;
+  const bool Prefilter = Static && Options.StaticPrefilter;
+  std::set<std::string> PrunedKeys;
+
+  auto MakePair = [&](const AccessRecord &A, const AccessRecord &B) {
+    RacyPair Pair;
+    Pair.First = MakeSide(A);
+    Pair.Second = MakeSide(B);
+    Pair.Field = A.Field;
+    Pair.FieldClassName = A.FieldClassName;
+    return Pair;
+  };
+
   for (const auto &[FieldKey, Records] : ByField) {
     for (const AccessRecord *A : Records) {
-      if (!A->Unprotected)
-        continue; // Every pair is anchored on an unprotected access.
+      // Every generated pair is anchored on an unprotected access; with
+      // the prefilter on, protected anchors are still scanned so the
+      // guarded candidate space can be counted as pruned.
+      const bool Anchor = A->Unprotected;
+      if (!Anchor && !Prefilter)
+        continue;
       for (const AccessRecord *B : Records) {
         if (!A->IsWrite && !B->IsWrite) {
-          Metrics.counter("pairgen.candidates_rejected.read_read").inc();
+          if (Anchor)
+            Metrics.counter("pairgen.candidates_rejected.read_read").inc();
           continue; // Read-read never races.
         }
+        std::optional<staticrace::PairVerdict> Verdict;
+        if (Static)
+          Verdict = staticrace::classifyRecordPair(*Static, *A, *B);
+        if (Prefilter &&
+            Verdict == staticrace::PairVerdict::MustGuarded) {
+          // Provably serialized under the staged sharing: prune before
+          // the dynamic feasibility checks even look at it.
+          PrunedKeys.insert(MakePair(*A, *B).key());
+          continue;
+        }
+        if (!Anchor)
+          continue; // Scanned for pruning accounting only.
         if (locksCollideUnderSharing(*A, *B)) {
           Metrics.counter("pairgen.candidates_rejected.lock_collision")
               .inc();
           continue;
         }
 
-        RacyPair Pair;
-        Pair.First = MakeSide(*A);
-        Pair.Second = MakeSide(*B);
-        Pair.Field = A->Field;
-        Pair.FieldClassName = A->FieldClassName;
+        RacyPair Pair = MakePair(*A, *B);
+        if (Verdict) {
+          Pair.Verdict = *Verdict;
+          Pair.Classified = true;
+        }
         if (Seen.insert(Pair.key()).second)
           Pairs.push_back(std::move(Pair));
       }
     }
   }
+
+  if (Static) {
+    if (Prefilter) {
+      // Count keys that exist *only* in the pruned space: a key that some
+      // other (unprotected, non-guarded) record combination still
+      // generated was not removed from the pipeline.
+      size_t Pruned = 0;
+      for (const std::string &Key : PrunedKeys)
+        if (!Seen.count(Key))
+          ++Pruned;
+      Metrics.counter("staticrace.pairs_pruned").inc(Pruned);
+    }
+    size_t Unknowns = 0;
+    for (const RacyPair &Pair : Pairs)
+      if (Pair.Verdict == staticrace::PairVerdict::Unknown)
+        ++Unknowns;
+    Metrics.counter("staticrace.unknown").inc(Unknowns);
+    if (Options.StaticRank) {
+      auto Rank = [](const RacyPair &Pair) {
+        switch (Pair.Verdict) {
+        case staticrace::PairVerdict::MayRace:
+          return 0;
+        case staticrace::PairVerdict::Unknown:
+          return 1;
+        case staticrace::PairVerdict::MustGuarded:
+          break;
+        }
+        return 2;
+      };
+      std::stable_sort(Pairs.begin(), Pairs.end(),
+                       [&](const RacyPair &A, const RacyPair &B) {
+                         return Rank(A) < Rank(B);
+                       });
+      Metrics.counter("staticrace.pairs_ranked").inc(Pairs.size());
+    }
+  }
   return Pairs;
+}
+
+std::map<std::string, std::string>
+narada::staticVerdictsByRaceKey(const std::vector<RacyPair> &Pairs) {
+  auto RankOf = [](const std::string &Name) {
+    if (Name == "MayRace")
+      return 0;
+    if (Name == "Unknown")
+      return 1;
+    return 2; // MustGuarded
+  };
+  std::map<std::string, std::string> Out;
+  for (const RacyPair &Pair : Pairs) {
+    if (!Pair.Classified)
+      continue;
+    // Reproduce RaceReport::key(): "Class.field{A~B}" with sorted labels.
+    std::string A = Pair.First.AccessLabel, B = Pair.Second.AccessLabel;
+    if (B < A)
+      std::swap(A, B);
+    std::string Key =
+        Pair.FieldClassName + "." + Pair.Field + "{" + A + "~" + B + "}";
+    std::string Name = staticrace::verdictName(Pair.Verdict);
+    auto [It, Inserted] = Out.emplace(Key, Name);
+    if (!Inserted && RankOf(Name) < RankOf(It->second))
+      It->second = Name;
+  }
+  return Out;
 }

@@ -26,9 +26,14 @@
 
 #include "synth/RacyPair.h"
 
+#include <map>
 #include <vector>
 
 namespace narada {
+
+namespace staticrace {
+struct ModuleSummary;
+}
 
 /// Options for pair generation.
 struct PairGenOptions {
@@ -37,6 +42,22 @@ struct PairGenOptions {
   std::string FocusClass;
   /// Drop pairs whose accesses happen inside constructors (paper §4).
   bool DiscardConstructorAccesses = true;
+
+  /// Static module summary; when set every generated pair carries a
+  /// staticrace::PairVerdict.  Null leaves generation byte-identical to
+  /// the classic (dynamic-only) behaviour.
+  const staticrace::ModuleSummary *Static = nullptr;
+  /// With Static: additionally scan the protected candidate space and drop
+  /// every candidate classified MustGuarded before the feasibility checks,
+  /// counting distinct pruned keys in "staticrace.pairs_pruned".  Sound by
+  /// construction: a MustGuarded candidate is serialized under the staged
+  /// sharing (see docs/STATIC.md), so the generated pair set is unchanged.
+  bool StaticPrefilter = false;
+  /// With Static: stable-sort the generated pairs MayRace < Unknown <
+  /// MustGuarded (original order within a rank), so the synthesis budget
+  /// is spent on the most promising candidates first.  Runs before the
+  /// parallel synthesis stage, hence byte-identical across --jobs.
+  bool StaticRank = false;
 };
 
 /// Whether the sharing required by (\p A, \p B) forces two held monitors to
@@ -46,6 +67,14 @@ bool locksCollideUnderSharing(const AccessRecord &A, const AccessRecord &B);
 /// Generates all candidate racy pairs from \p Analysis.
 std::vector<RacyPair> generatePairs(const AnalysisResult &Analysis,
                                     const PairGenOptions &Options = {});
+
+/// Maps RaceReport::key()-formatted race keys ("Class.field{A~B}") to the
+/// static verdict name of the classified pairs that predicted them, so
+/// detection output can carry the static verdict without detect/ depending
+/// on the static analysis.  When several pairs share a label pair the most
+/// race-like verdict wins (MayRace over Unknown over MustGuarded).
+std::map<std::string, std::string>
+staticVerdictsByRaceKey(const std::vector<RacyPair> &Pairs);
 
 } // namespace narada
 

@@ -16,6 +16,7 @@
 #define NARADA_SYNTH_RACYPAIR_H
 
 #include "analysis/AccessAnalysis.h"
+#include "staticrace/Verdict.h"
 
 #include <string>
 
@@ -37,6 +38,11 @@ struct RacyPair {
   RacySide Second;
   std::string Field;          ///< Raced-on field name ("[]" for elements).
   std::string FieldClassName; ///< Dynamic class declaring the field.
+
+  /// Verdict of the static pre-analysis (docs/STATIC.md); meaningful only
+  /// when Classified is set (pair generation ran with a module summary).
+  staticrace::PairVerdict Verdict = staticrace::PairVerdict::Unknown;
+  bool Classified = false;
 
   /// True when both sides are the same dynamic access (the "concurrent
   /// access at the same label from a different thread" case).

@@ -6,7 +6,11 @@
 // (one per corpus flavor: C1's factory-wrapped queue, C5's deep-path
 // composite, C9's minimal pair) against golden files in tests/golden/.
 // Any change to derivation, synthesis, printing, or the parallel commit
-// order shows up here as a readable diff.
+// order shows up here as a readable diff.  Also pins the lowered IR of C7
+// and C8 (the two synchronized-method corpus classes): the static lockset
+// analysis interprets exactly this IR, so a lowering change that moves a
+// MonitorEnter or renumbers a label shows up here before it shows up as a
+// verdict change.
 //
 // To regenerate after an intentional output change:
 //
@@ -18,6 +22,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "corpus/Corpus.h"
+#include "ir/IRPrinter.h"
 #include "synth/Narada.h"
 
 #include <gtest/gtest.h>
@@ -35,7 +40,7 @@ namespace {
 #endif
 
 std::string goldenPath(const std::string &Name) {
-  return std::string(NARADA_GOLDEN_DIR) + "/" + Name + ".mj.golden";
+  return std::string(NARADA_GOLDEN_DIR) + "/" + Name + ".golden";
 }
 
 std::string readFile(const std::string &Path) {
@@ -80,20 +85,42 @@ SynthesizedTestInfo firstTest(const std::string &CorpusId) {
 
 } // namespace
 
+/// Lowered-IR print of a whole corpus module.
+std::string loweredIR(const std::string &CorpusId) {
+  const CorpusEntry &E = *findCorpusEntry(CorpusId);
+  Result<CompiledProgram> P = compileProgram(E.Source);
+  EXPECT_TRUE(P.hasValue()) << (P ? "" : P.error().str());
+  if (!P)
+    return {};
+  return printModule(*P->Module);
+}
+
 TEST(GoldenTest, C1FactoryWrappedQueue) {
   SynthesizedTestInfo T = firstTest("C1");
   ASSERT_FALSE(T.SourceText.empty());
-  checkGolden("c1_first", T.SourceText);
+  checkGolden("c1_first.mj", T.SourceText);
 }
 
 TEST(GoldenTest, C5DeepPathComposite) {
   SynthesizedTestInfo T = firstTest("C5");
   ASSERT_FALSE(T.SourceText.empty());
-  checkGolden("c5_first", T.SourceText);
+  checkGolden("c5_first.mj", T.SourceText);
 }
 
 TEST(GoldenTest, C9MinimalPair) {
   SynthesizedTestInfo T = firstTest("C9");
   ASSERT_FALSE(T.SourceText.empty());
-  checkGolden("c9_first", T.SourceText);
+  checkGolden("c9_first.mj", T.SourceText);
+}
+
+TEST(GoldenTest, C7LoweredIR) {
+  std::string IR = loweredIR("C7");
+  ASSERT_FALSE(IR.empty());
+  checkGolden("c7_ir", IR);
+}
+
+TEST(GoldenTest, C8LoweredIR) {
+  std::string IR = loweredIR("C8");
+  ASSERT_FALSE(IR.empty());
+  checkGolden("c8_ir", IR);
 }

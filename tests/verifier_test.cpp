@@ -171,3 +171,159 @@ TEST(VerifierTest, RejectsReturnValueOutOfRange) {
   F->instrs().back().A = 12;
   verifyError(*F);
 }
+
+//===----------------------------------------------------------------------===//
+// Monitor balance.  Lowering always emits balanced monitors (sync blocks
+// nest lexically; unwindMonitors closes them before early returns), so
+// these tests hand-build the imbalanced shapes the lowering can't produce.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+Instr monitor(Opcode Op, Reg R) {
+  Instr I;
+  I.Op = Op;
+  I.A = R;
+  return I;
+}
+
+Instr branchTo(Reg Cond, size_t Target) {
+  Instr I;
+  I.Op = Opcode::Branch;
+  I.A = Cond;
+  I.Target = Target;
+  return I;
+}
+
+Instr jumpTo(size_t Target) {
+  Instr I;
+  I.Op = Opcode::Jump;
+  I.Target = Target;
+  return I;
+}
+
+/// Builds a Kind::Test function from the given body (numRegs=2).
+std::unique_ptr<IRFunction> makeFunction(std::vector<Instr> Body) {
+  auto F = std::make_unique<IRFunction>("test$mon", IRFunction::Kind::Test);
+  F->setNumRegs(2);
+  for (Instr &I : Body)
+    F->append(I);
+  return F;
+}
+
+} // namespace
+
+TEST(VerifierMonitorTest, AcceptsBalancedMonitorPair) {
+  Instr Const;
+  Const.Op = Opcode::ConstInt;
+  Const.Dst = 0;
+  Instr Ret;
+  Ret.Op = Opcode::Ret;
+  auto F = makeFunction({Const, monitor(Opcode::MonitorEnter, 0),
+                         monitor(Opcode::MonitorExit, 0), Ret});
+  EXPECT_TRUE(verifyFunction(*F).ok());
+}
+
+TEST(VerifierMonitorTest, AcceptsBalancedNesting) {
+  Instr Const;
+  Const.Op = Opcode::ConstInt;
+  Const.Dst = 0;
+  Instr Ret;
+  Ret.Op = Opcode::Ret;
+  auto F = makeFunction(
+      {Const, monitor(Opcode::MonitorEnter, 0),
+       monitor(Opcode::MonitorEnter, 0), monitor(Opcode::MonitorExit, 0),
+       monitor(Opcode::MonitorExit, 0), Ret});
+  EXPECT_TRUE(verifyFunction(*F).ok());
+}
+
+TEST(VerifierMonitorTest, RejectsExitWithoutEnter) {
+  Instr Const;
+  Const.Op = Opcode::ConstInt;
+  Const.Dst = 0;
+  Instr Ret;
+  Ret.Op = Opcode::Ret;
+  auto F = makeFunction({Const, monitor(Opcode::MonitorExit, 0), Ret});
+  EXPECT_NE(verifyError(*F).find("without open monitor"),
+            std::string::npos);
+}
+
+TEST(VerifierMonitorTest, RejectsReturnWithOpenMonitor) {
+  Instr Const;
+  Const.Op = Opcode::ConstInt;
+  Const.Dst = 0;
+  Instr Ret;
+  Ret.Op = Opcode::Ret;
+  auto F = makeFunction({Const, monitor(Opcode::MonitorEnter, 0), Ret});
+  EXPECT_NE(verifyError(*F).find("open monitor"), std::string::npos);
+}
+
+TEST(VerifierMonitorTest, RejectsAcquireOnOneBranchOnly) {
+  // r0 = const; branch r0 -> 3; monitor_enter r0; ret
+  // The join at pc 3 is reached at depth 0 (branch taken) and depth 1
+  // (fall-through): the classic across-branches imbalance.
+  Instr Const;
+  Const.Op = Opcode::ConstBool;
+  Const.Dst = 0;
+  Instr Ret;
+  Ret.Op = Opcode::Ret;
+  auto F = makeFunction({Const, branchTo(0, 3),
+                         monitor(Opcode::MonitorEnter, 0), Ret});
+  std::string Message = verifyError(*F);
+  EXPECT_TRUE(Message.find("inconsistent monitor depth") !=
+                  std::string::npos ||
+              Message.find("open monitor") != std::string::npos)
+      << Message;
+}
+
+TEST(VerifierMonitorTest, RejectsReleaseOnOneBranchOnly) {
+  // Enter unconditionally, exit only when the branch falls through.
+  Instr Const;
+  Const.Op = Opcode::ConstBool;
+  Const.Dst = 0;
+  Instr Ret;
+  Ret.Op = Opcode::Ret;
+  auto F = makeFunction({Const, monitor(Opcode::MonitorEnter, 0),
+                         branchTo(0, 4), monitor(Opcode::MonitorExit, 0),
+                         Ret});
+  std::string Message = verifyError(*F);
+  EXPECT_TRUE(Message.find("inconsistent monitor depth") !=
+                  std::string::npos ||
+              Message.find("open monitor") != std::string::npos)
+      << Message;
+}
+
+TEST(VerifierMonitorTest, AcceptsAcquireOnBothBranchArms) {
+  // Diamond: each arm acquires once, the join releases once.  Balanced on
+  // every path even though the enters are on different arms.
+  Instr Const;
+  Const.Op = Opcode::ConstBool;
+  Const.Dst = 0;
+  Instr Ret;
+  Ret.Op = Opcode::Ret;
+  auto F = makeFunction({Const,                             // 0
+                         branchTo(0, 4),                    // 1
+                         monitor(Opcode::MonitorEnter, 0),  // 2
+                         jumpTo(5),                         // 3
+                         monitor(Opcode::MonitorEnter, 0),  // 4
+                         monitor(Opcode::MonitorExit, 0),   // 5
+                         Ret});                             // 6
+  EXPECT_TRUE(verifyFunction(*F).ok());
+}
+
+TEST(VerifierMonitorTest, BalancedLoopBodyIsAccepted) {
+  // A loop whose body holds the monitor only inside one iteration keeps a
+  // consistent depth at the back edge.
+  Instr Const;
+  Const.Op = Opcode::ConstBool;
+  Const.Dst = 0;
+  Instr Ret;
+  Ret.Op = Opcode::Ret;
+  auto F = makeFunction({Const,                             // 0
+                         branchTo(0, 5),                    // 1: exit loop
+                         monitor(Opcode::MonitorEnter, 0),  // 2
+                         monitor(Opcode::MonitorExit, 0),   // 3
+                         jumpTo(1),                         // 4: back edge
+                         Ret});                             // 5
+  EXPECT_TRUE(verifyFunction(*F).ok());
+}

@@ -44,6 +44,10 @@
 #include "corpus/Corpus.h"
 #include "detect/Detection.h"
 #include "obs/RunReport.h"
+#include "obs/Span.h"
+#include "staticrace/LocksetAnalysis.h"
+#include "staticrace/PairClassifier.h"
+#include "synth/PairGenerator.h"
 #include "support/StringUtils.h"
 #include "support/ThreadPool.h"
 #include "synth/Narada.h"
@@ -53,6 +57,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <optional>
 #include <sstream>
@@ -62,6 +67,15 @@
 using namespace narada;
 
 namespace {
+
+/// Races collected by cmdDetect() for the run report.  emitObservability()
+/// runs after the command returns, so the detect command stashes its
+/// deduplicated race set here instead of threading a RunMeta through every
+/// cmd* signature.  DetectionRan distinguishes "detect ran and found
+/// nothing" (empty races array in the report) from commands that never
+/// detect (no races member at all).
+std::vector<obs::RaceEntry> CollectedRaces;
+bool DetectionRan = false;
 
 struct CliArgs {
   std::string Command;
@@ -76,6 +90,9 @@ struct CliArgs {
   DetectOptions Detect;              ///< Watchdog/budget knobs for detect.
   std::string PolicyName = "random"; ///< --policy: scheduler for `run`.
   std::string ReplayPath;            ///< --replay: witness trace to re-run.
+  bool StaticPrefilter = false;      ///< --static-prefilter.
+  bool StaticRank = false;           ///< --static-rank.
+  bool StaticOnly = false;           ///< --static-only: triage, no seeds.
 };
 
 int usage() {
@@ -96,9 +113,15 @@ int usage() {
       "                        for every N)\n"
       "  --report <file.json>  write a structured run report\n"
       "  --stats               print a metrics summary to stderr\n"
+      "static pre-analysis flags (see docs/STATIC.md):\n"
+      "  --static-prefilter    prune candidate pairs proven MustGuarded\n"
+      "                        (conservative; confirmed races unchanged)\n"
+      "  --static-rank         synthesize most-racy candidates first\n"
+      "  --static-only         classify pairs purely statically and print\n"
+      "                        the triage listing (no seed tests needed)\n"
       "scheduling flags (see docs/EXPLORATION.md):\n"
-      "  --policy P            scheduler for `run`: roundrobin, random,\n"
-      "                        preempt, pct (default random)\n"
+      "  --policy P            scheduler for `run` (default random):\n"
+      "                        %s\n"
       "  --explore MODE        detect phase-1 schedules: random, pct,\n"
       "                        systematic, replay (default random)\n"
       "  --max-schedules N     systematic schedule budget (default 256)\n"
@@ -115,7 +138,8 @@ int usage() {
       "  --wall-budget SECS    per-test wall-clock budget (default: off)\n"
       "  (see docs/OBSERVABILITY.md; NARADA_LOG=debug|info|warn for "
       "diagnostics; NARADA_FAULT_INJECT=<site>:<unit>[:throw|:timeout] "
-      "injects a deterministic fault)\n");
+      "injects a deterministic fault)\n",
+      knownPolicyNames());
   return 2;
 }
 
@@ -194,6 +218,12 @@ std::optional<CliArgs> parseArgs(int Argc, char **Argv) {
       Args.Detect.Mode = ExplorationMode::Replay;
     } else if (Arg == "--emit-witness" && I + 1 < Argc) {
       Args.Detect.WitnessDir = Argv[++I];
+    } else if (Arg == "--static-prefilter") {
+      Args.StaticPrefilter = true;
+    } else if (Arg == "--static-rank") {
+      Args.StaticRank = true;
+    } else if (Arg == "--static-only") {
+      Args.StaticOnly = true;
     } else if (Arg == "--stats") {
       Args.Stats = true;
     } else if (Arg.rfind("--", 0) == 0) {
@@ -287,6 +317,8 @@ int cmdAnalyze(CliArgs &Args, const std::string &Source) {
   NaradaOptions Options;
   Options.FocusClass = Args.FocusClass;
   Options.Jobs = Args.Jobs;
+  Options.StaticPrefilter = Args.StaticPrefilter;
+  Options.StaticRank = Args.StaticRank;
   Result<NaradaResult> R = runNarada(Source, Args.Names, Options);
   if (!R) {
     std::fprintf(stderr, "error: %s\n", R.error().str().c_str());
@@ -295,8 +327,35 @@ int cmdAnalyze(CliArgs &Args, const std::string &Source) {
   std::fputs(printAnalysis(R->Analysis, /*UnprotectedOnly=*/true).c_str(),
              stdout);
   std::printf("\n== racy pairs (%zu) ==\n", R->Pairs.size());
-  for (const RacyPair &Pair : R->Pairs)
-    std::printf("  %s\n", Pair.str().c_str());
+  for (const RacyPair &Pair : R->Pairs) {
+    std::string Line = Pair.str();
+    if (Pair.Classified)
+      Line += std::string(" [static: ") +
+              staticrace::verdictName(Pair.Verdict) + "]";
+    std::printf("  %s\n", Line.c_str());
+  }
+  return 0;
+}
+
+/// --static-only: classify candidate pairs without running a single seed
+/// test.  Only the frontend runs — no traces, no synthesis — so it works
+/// on modules that have no seed tests at all and its output depends only
+/// on the source text (deterministic by construction).
+int cmdStaticTriage(CliArgs &Args, const std::string &Source) {
+  Result<CompiledProgram> P = compileProgram(Source);
+  if (!P) {
+    std::fprintf(stderr, "error: %s\n", P.error().str().c_str());
+    return 1;
+  }
+  double Seconds = 0.0;
+  staticrace::ModuleSummary Summary;
+  {
+    obs::Span StaticSpan("staticrace", &Seconds);
+    Summary = staticrace::summarizeModule(*P->Module);
+  }
+  std::fputs(
+      staticrace::renderStaticTriage(Summary, Args.FocusClass).c_str(),
+      stdout);
   return 0;
 }
 
@@ -304,6 +363,8 @@ int cmdSynthesize(CliArgs &Args, const std::string &Source) {
   NaradaOptions Options;
   Options.FocusClass = Args.FocusClass;
   Options.Jobs = Args.Jobs;
+  Options.StaticPrefilter = Args.StaticPrefilter;
+  Options.StaticRank = Args.StaticRank;
   Result<NaradaResult> R = runNarada(Source, Args.Names, Options);
   if (!R) {
     std::fprintf(stderr, "error: %s\n", R.error().str().c_str());
@@ -355,6 +416,8 @@ int cmdDetect(CliArgs &Args, const std::string &Source) {
   NaradaOptions Options;
   Options.FocusClass = Args.FocusClass;
   Options.Jobs = Args.Jobs;
+  Options.StaticPrefilter = Args.StaticPrefilter;
+  Options.StaticRank = Args.StaticRank;
   Result<NaradaResult> R = runNarada(Source, Args.Names, Options);
   if (!R) {
     std::fprintf(stderr, "error: %s\n", R.error().str().c_str());
@@ -383,10 +446,29 @@ int cmdDetect(CliArgs &Args, const std::string &Source) {
     std::fprintf(stderr, "error: %s\n", Results.error().str().c_str());
     return 1;
   }
+  DetectionRan = true;
+
+  // Annotate every report with the static verdict of its label pair (the
+  // map is empty when no static pass ran, leaving verdicts blank).
+  const std::map<std::string, std::string> Verdicts =
+      staticVerdictsByRaceKey(R->Pairs);
+  for (TestDetectionResult &D : *Results) {
+    for (RaceReport &Rep : D.Detected) {
+      auto V = Verdicts.find(Rep.key());
+      if (V != Verdicts.end())
+        Rep.StaticVerdict = V->second;
+    }
+    for (ConfirmedRace &C : D.Races) {
+      auto V = Verdicts.find(C.Report.key());
+      if (V != Verdicts.end())
+        C.Report.StaticVerdict = V->second;
+    }
+  }
 
   unsigned Detected = 0, Reproduced = 0, Harmful = 0, Benign = 0;
   unsigned Quarantined = 0, Witnesses = 0;
   unsigned long long Schedules = 0, Pruned = 0;
+  std::map<std::string, obs::RaceEntry> RaceLog;
   for (size_t I = 0; I < Jobs.size(); ++I) {
     const std::string &TestName = Jobs[I].TestName;
     const TestDetectionResult &D = (*Results)[I];
@@ -411,10 +493,19 @@ int cmdDetect(CliArgs &Args, const std::string &Source) {
         std::printf("  replayed: %s\n", Rep.str().c_str());
     }
     for (const ConfirmedRace &C : D.Races) {
+      obs::RaceEntry &Entry = RaceLog[C.Report.key()];
+      Entry.Key = C.Report.key();
+      if (Entry.StaticVerdict.empty())
+        Entry.StaticVerdict = C.Report.StaticVerdict;
+      Entry.Reproduced = Entry.Reproduced || C.Reproduced;
+      Entry.Harmful = Entry.Harmful || C.Harmful;
       if (!C.Reproduced)
         continue;
-      std::printf("  %s [%s]\n", C.Report.str().c_str(),
-                  C.Harmful ? "HARMFUL" : "benign");
+      std::string Suffix = C.Report.StaticVerdict.empty()
+                               ? std::string()
+                               : " [static: " + C.Report.StaticVerdict + "]";
+      std::printf("  %s [%s]%s\n", C.Report.str().c_str(),
+                  C.Harmful ? "HARMFUL" : "benign", Suffix.c_str());
     }
     for (const std::string &W : D.WitnessFiles)
       std::printf("  witness: %s\n", W.c_str());
@@ -430,6 +521,8 @@ int cmdDetect(CliArgs &Args, const std::string &Source) {
     for (const LockOrderCycle &Cycle : LockOrder.cycles())
       std::printf("  %s\n", Cycle.str().c_str());
   }
+  for (const auto &[Key, Entry] : RaceLog)
+    CollectedRaces.push_back(Entry);
   std::printf("\ntotal over %zu tests: %u detected, %u reproduced, "
               "%u harmful, %u benign",
               Jobs.size(), Detected, Reproduced, Harmful, Benign);
@@ -486,6 +579,12 @@ void emitObservability(const CliArgs &Args) {
   Meta.FocusClass = Args.FocusClass;
   Meta.Seed = Args.Seed;
   Meta.addOption("jobs", std::to_string(Args.Jobs));
+  if (Args.StaticPrefilter)
+    Meta.addOption("static_prefilter", "1");
+  if (Args.StaticRank)
+    Meta.addOption("static_rank", "1");
+  if (Args.StaticOnly)
+    Meta.addOption("static_only", "1");
   if (Args.Command == "contege")
     Meta.addOption("tests", std::to_string(Args.Tests));
   if (Args.Command == "run")
@@ -508,6 +607,11 @@ void emitObservability(const CliArgs &Args) {
     if (!Args.Detect.WitnessDir.empty())
       Meta.addOption("witness_dir", Args.Detect.WitnessDir);
   }
+  if (DetectionRan)
+    Meta.RecordRaces = true;
+  for (const obs::RaceEntry &Entry : CollectedRaces)
+    Meta.addRace(Entry.Key, Entry.StaticVerdict, Entry.Reproduced,
+                 Entry.Harmful);
   if (!Args.ReportPath.empty())
     obs::writeRunReport(Args.ReportPath, Meta);
   if (Args.Stats)
@@ -515,6 +619,14 @@ void emitObservability(const CliArgs &Args) {
 }
 
 int runCommand(CliArgs &Args, const std::string &Source) {
+  if (Args.StaticOnly) {
+    if (Args.Command == "analyze" || Args.Command == "synthesize" ||
+        Args.Command == "detect")
+      return cmdStaticTriage(Args, Source);
+    std::fprintf(stderr,
+                 "--static-only applies to analyze/synthesize/detect\n");
+    return 2;
+  }
   if (Args.Command == "run")
     return cmdRun(Args, Source);
   if (Args.Command == "trace")

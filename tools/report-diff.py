@@ -1,13 +1,24 @@
 #!/usr/bin/env python3
 """Compare two narada run reports (narada.run_report/v1 JSON documents).
 
-Usage: report-diff.py BASELINE.json CURRENT.json [--threshold PCT]
+Usage: report-diff.py BASELINE.json CURRENT.json
+           [--threshold PCT] [--races] [--races-only]
 
 Prints every phase whose wall time regressed by more than the threshold
 (default 10%) and summarizes counter drift.  Exit status: 0 when no phase
 regression exceeds the threshold, 1 when at least one does, 2 on bad input.
 Tiny phases (< 1ms in both reports) are ignored: their relative timing is
 noise.
+
+With --races, additionally requires the two reports' race sets to be
+identical — same keys, same reproduced flags — and exits 1 on any
+mismatch.  Static verdict annotations are ignored in the comparison (a
+--static-prefilter run annotates verdicts; the race identities must still
+match a dynamic-only baseline exactly).  With --races-only the phase and
+counter diff is skipped entirely and the exit status reflects race-set
+identity alone — the mode for the CI prefilter-soundness sweep, which
+compares runs whose phase timings legitimately differ (different job
+counts, sub-millisecond phases) and cares only that the races match.
 
 Reports may legitimately have different phase sets — a --jobs 4 run has
 per-worker spans (pipeline.synth.worker0...) that a --jobs 1 run lacks,
@@ -30,11 +41,18 @@ MIN_SECONDS = 0.001  # Phases below this in both reports are noise.
 # under --explore systematic / --replay.  Their absence from one side of a
 # diff is expected, not suspicious.
 _VARIABLE_SEGMENT_PREFIXES = ("worker",)
-_VARIABLE_SEGMENTS = {"explore", "schedule", "witness"}
+_VARIABLE_SEGMENTS = {"explore", "schedule", "witness", "staticrace"}
 
-# Counters whose values are expected to differ across exploration modes;
-# drift in them is annotated rather than left to look like a anomaly.
-MODE_DEPENDENT_COUNTER_PREFIXES = ("explore.",)
+# Counters whose values are expected to differ across exploration modes or
+# when the static pre-analysis is toggled; drift in them is annotated
+# rather than left to look like a anomaly.  lock_collision is listed
+# because a statically pruned pair skips the dynamic lock-collision check
+# it would otherwise have hit.
+MODE_DEPENDENT_COUNTER_PREFIXES = (
+    "explore.",
+    "staticrace.",
+    "pairgen.candidates_rejected.lock_collision",
+)
 
 
 def is_config_dependent_phase(name):
@@ -86,6 +104,18 @@ def load_report(path):
     for name, value in counters.items():
         if isinstance(value, bool) or not isinstance(value, (int, float)):
             _bad_input(path, f"'counters.{name}' is not a number")
+
+    races = doc.get("races")
+    if races is not None:
+        if not isinstance(races, list):
+            _bad_input(path, "'races' is not an array")
+        for i, entry in enumerate(races):
+            if not isinstance(entry, dict):
+                _bad_input(path, f"'races[{i}]' is not an object")
+            if not isinstance(entry.get("key"), str):
+                _bad_input(path, f"'races[{i}].key' is not a string")
+            if not isinstance(entry.get("reproduced", False), bool):
+                _bad_input(path, f"'races[{i}].reproduced' is not a bool")
 
     return doc
 
@@ -149,6 +179,47 @@ def diff_reports(base, cur, threshold):
     return regressions, warnings, notes, drifted
 
 
+def race_flags(doc):
+    """Maps race key -> reproduced flag; None when no 'races' member."""
+    races = doc.get("races")
+    if races is None:
+        return None
+    return {entry["key"]: bool(entry.get("reproduced", False))
+            for entry in races}
+
+
+def diff_races(base, cur):
+    """Strictly compares the two reports' race sets.
+
+    Returns human-readable mismatch lines; empty means the sets are
+    identical (same keys, same reproduced flags).  A report without a
+    'races' member never ran detection with race recording, which in
+    --races mode is itself a mismatch worth reporting.
+    """
+    base_races = race_flags(base)
+    cur_races = race_flags(cur)
+    if base_races is None or cur_races is None:
+        missing = [where for where, flags in
+                   (("baseline", base_races), ("current", cur_races))
+                   if flags is None]
+        return [f"no 'races' member in {where} report" for where in missing]
+    mismatches = []
+    for key in sorted(set(base_races) | set(cur_races)):
+        if key not in cur_races:
+            mismatches.append(
+                f"race only in baseline: {key} "
+                f"(reproduced={base_races[key]})")
+        elif key not in base_races:
+            mismatches.append(
+                f"race only in current: {key} "
+                f"(reproduced={cur_races[key]})")
+        elif base_races[key] != cur_races[key]:
+            mismatches.append(
+                f"race '{key}' reproduced flag changed: "
+                f"{base_races[key]} -> {cur_races[key]}")
+    return mismatches
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
@@ -156,35 +227,57 @@ def main():
     parser.add_argument(
         "--threshold", type=float, default=10.0,
         help="regression threshold in percent (default: 10)")
+    parser.add_argument(
+        "--races", action="store_true",
+        help="also require identical race sets (keys + reproduced flags)")
+    parser.add_argument(
+        "--races-only", action="store_true",
+        help="compare only race sets; skip the phase/counter diff and base "
+             "the exit status on race-set identity alone")
     args = parser.parse_args()
 
     base = load_report(args.baseline)
     cur = load_report(args.current)
-    regressions, warnings, notes, drifted = diff_reports(
-        base, cur, args.threshold)
 
-    for note in notes:
-        print(f"note: {note}", file=sys.stderr)
-    for warning in warnings:
-        print(f"warning: {warning}", file=sys.stderr)
+    regressions = []
+    if not args.races_only:
+        regressions, warnings, notes, drifted = diff_reports(
+            base, cur, args.threshold)
 
-    if regressions:
-        print(f"phase regressions over {args.threshold:.0f}%:")
-        for name, before, after, delta_pct in regressions:
-            print(f"  {name:<40} {before:8.4f}s -> {after:8.4f}s "
-                  f"(+{delta_pct:.1f}%)")
-    else:
-        print(f"no phase regression over {args.threshold:.0f}%")
+        for note in notes:
+            print(f"note: {note}", file=sys.stderr)
+        for warning in warnings:
+            print(f"warning: {warning}", file=sys.stderr)
 
-    if drifted:
-        print(f"counter drift ({len(drifted)} changed):")
-        for name, before, after in drifted:
-            mode_dependent = any(
-                name.startswith(p) for p in MODE_DEPENDENT_COUNTER_PREFIXES)
-            suffix = " [mode-dependent]" if mode_dependent else ""
-            print(f"  {name}: {before} -> {after}{suffix}")
+        if regressions:
+            print(f"phase regressions over {args.threshold:.0f}%:")
+            for name, before, after, delta_pct in regressions:
+                print(f"  {name:<40} {before:8.4f}s -> {after:8.4f}s "
+                      f"(+{delta_pct:.1f}%)")
+        else:
+            print(f"no phase regression over {args.threshold:.0f}%")
 
-    return 1 if regressions else 0
+        if drifted:
+            print(f"counter drift ({len(drifted)} changed):")
+            for name, before, after in drifted:
+                mode_dependent = any(
+                    name.startswith(p)
+                    for p in MODE_DEPENDENT_COUNTER_PREFIXES)
+                suffix = " [mode-dependent]" if mode_dependent else ""
+                print(f"  {name}: {before} -> {after}{suffix}")
+
+    race_mismatches = []
+    if args.races or args.races_only:
+        race_mismatches = diff_races(base, cur)
+        if race_mismatches:
+            print(f"race set mismatches ({len(race_mismatches)}):")
+            for line in race_mismatches:
+                print(f"  {line}")
+        else:
+            count = len(race_flags(base))
+            print(f"race sets identical ({count} races)")
+
+    return 1 if regressions or race_mismatches else 0
 
 
 if __name__ == "__main__":

@@ -17,12 +17,18 @@ report_diff = importlib.util.module_from_spec(_SPEC)
 _SPEC.loader.exec_module(report_diff)
 
 
-def report(phases=None, counters=None):
+def report(phases=None, counters=None, races=None):
     doc = {"schema": "narada.run_report/v1"}
     doc["phases"] = {
         name: {"seconds": seconds} for name, seconds in (phases or {}).items()
     }
     doc["counters"] = dict(counters or {})
+    if races is not None:
+        doc["races"] = [
+            {"key": key, "static_verdict": verdict, "reproduced": reproduced,
+             "harmful": False}
+            for key, reproduced, verdict in races
+        ]
     return doc
 
 
@@ -134,6 +140,122 @@ class DiffReportsTest(unittest.TestCase):
         self.assertEqual((regressions, warnings, notes, drifted),
                          ([], [], [], []))
 
+    def test_staticrace_phase_is_config_dependent(self):
+        # A --static-prefilter run has a staticrace span a plain run lacks.
+        base = report({"pipeline": 1.0})
+        cur = report({"pipeline": 1.0, "pipeline.staticrace": 0.2})
+        regressions, warnings, notes, _ = report_diff.diff_reports(
+            base, cur, 10.0)
+        self.assertEqual(regressions, [])
+        self.assertEqual(warnings, [])
+        self.assertEqual(len(notes), 1)
+        self.assertIn("staticrace", notes[0])
+
+
+class DiffRacesTest(unittest.TestCase):
+    RACES = [
+        ("Q.head{Q.offer:3~Q.poll:1}", True, "MayRace"),
+        ("Q.size{Q.offer:5~Q.size:0}", False, "Unknown"),
+    ]
+
+    def test_identical_race_sets_match(self):
+        base = report(races=self.RACES)
+        cur = report(races=list(reversed(self.RACES)))  # Order-insensitive.
+        self.assertEqual(report_diff.diff_races(base, cur), [])
+
+    def test_verdict_annotations_are_ignored(self):
+        # A prefiltered run annotates verdicts a dynamic-only baseline
+        # leaves blank; identity and reproduced flags are what must match.
+        base = report(races=[(k, r, "") for k, r, _ in self.RACES])
+        cur = report(races=self.RACES)
+        self.assertEqual(report_diff.diff_races(base, cur), [])
+
+    def test_missing_race_is_a_mismatch(self):
+        base = report(races=self.RACES)
+        cur = report(races=self.RACES[:1])
+        mismatches = report_diff.diff_races(base, cur)
+        self.assertEqual(len(mismatches), 1)
+        self.assertIn("only in baseline", mismatches[0])
+        self.assertIn("Q.size", mismatches[0])
+
+    def test_extra_race_is_a_mismatch(self):
+        base = report(races=self.RACES[:1])
+        cur = report(races=self.RACES)
+        mismatches = report_diff.diff_races(base, cur)
+        self.assertEqual(len(mismatches), 1)
+        self.assertIn("only in current", mismatches[0])
+
+    def test_reproduced_flag_flip_is_a_mismatch(self):
+        base = report(races=self.RACES)
+        flipped = [(k, not r, v) for k, r, v in self.RACES]
+        mismatches = report_diff.diff_races(base, report(races=flipped))
+        self.assertEqual(len(mismatches), 2)
+        self.assertIn("reproduced flag changed", mismatches[0])
+
+    def test_empty_race_sets_match(self):
+        self.assertEqual(
+            report_diff.diff_races(report(races=[]), report(races=[])), [])
+
+    def test_absent_races_member_is_a_mismatch(self):
+        # --races compares detection runs; a report without the member
+        # never recorded races at all, which must not silently pass.
+        mismatches = report_diff.diff_races(report(), report(races=[]))
+        self.assertEqual(len(mismatches), 1)
+        self.assertIn("baseline", mismatches[0])
+        both = report_diff.diff_races(report(), report())
+        self.assertEqual(len(both), 2)
+
+
+class RacesOnlyModeTest(unittest.TestCase):
+    """--races-only bases the exit status on race identity alone."""
+
+    RACES = [("Q.head{Q.offer:3~Q.poll:1}", True, "MayRace")]
+
+    def _write(self, doc):
+        f = tempfile.NamedTemporaryFile(
+            "w", suffix=".json", delete=False, encoding="utf-8")
+        self.addCleanup(os.unlink, f.name)
+        json.dump(doc, f)
+        f.close()
+        return f.name
+
+    def _run_main(self, argv):
+        import sys
+        old_argv = sys.argv
+        sys.argv = ["report-diff.py"] + argv
+        stdout = io.StringIO()
+        try:
+            with contextlib.redirect_stdout(stdout):
+                code = report_diff.main()
+        finally:
+            sys.argv = old_argv
+        return code, stdout.getvalue()
+
+    def test_phase_regression_does_not_fail_races_only(self):
+        # The CI soundness sweep compares runs at different job counts;
+        # their timings differ wildly but only races must match.
+        base = self._write(report({"pipeline": 1.0}, races=self.RACES))
+        cur = self._write(report({"pipeline": 9.0}, races=self.RACES))
+        code, out = self._run_main(["--races-only", base, cur])
+        self.assertEqual(code, 0)
+        self.assertIn("race sets identical", out)
+        self.assertNotIn("phase regression", out)
+
+    def test_race_mismatch_still_fails_races_only(self):
+        base = self._write(report(races=self.RACES))
+        cur = self._write(report(races=[]))
+        code, out = self._run_main(["--races-only", base, cur])
+        self.assertEqual(code, 1)
+        self.assertIn("race set mismatches", out)
+
+    def test_plain_races_flag_still_checks_phases(self):
+        base = self._write(report({"pipeline": 1.0}, races=self.RACES))
+        cur = self._write(report({"pipeline": 9.0}, races=self.RACES))
+        code, out = self._run_main(["--races", base, cur])
+        self.assertEqual(code, 1)
+        self.assertIn("phase regressions", out)
+        self.assertIn("race sets identical", out)
+
 
 class LoadReportMalformedInputTest(unittest.TestCase):
     """Malformed reports must exit 2 with a message, never traceback."""
@@ -200,6 +322,22 @@ class LoadReportMalformedInputTest(unittest.TestCase):
         self._expect_exit2(
             json.dumps(doc),
             "'counters.synth.tests_synthesized' is not a number")
+
+    def test_races_is_an_object(self):
+        doc = report()
+        doc["races"] = {"key": "Q.head{a~b}"}
+        self._expect_exit2(json.dumps(doc), "'races' is not an array")
+
+    def test_race_entry_missing_key(self):
+        doc = report(races=[("Q.head{a~b}", True, "")])
+        del doc["races"][0]["key"]
+        self._expect_exit2(json.dumps(doc), "'races[0].key' is not a string")
+
+    def test_race_reproduced_is_a_string(self):
+        doc = report(races=[("Q.head{a~b}", True, "")])
+        doc["races"][0]["reproduced"] = "yes"
+        self._expect_exit2(
+            json.dumps(doc), "'races[0].reproduced' is not a bool")
 
     def test_unknown_phases_and_counters_load_fine(self):
         # Forward compatibility: names the differ has never heard of are
