@@ -17,6 +17,7 @@
 #include "corpus/Corpus.h"
 #include "detect/Detection.h"
 #include "obs/RunReport.h"
+#include "support/Env.h"
 #include "support/StringUtils.h"
 #include "support/ThreadPool.h"
 #include "synth/Narada.h"
@@ -55,19 +56,9 @@ struct ClassRun {
 /// Worker-thread count for the bench drivers: the NARADA_JOBS env var
 /// (0 = all hardware threads), defaulting to 1 (serial, the measured
 /// configuration of the paper's tables).  Unparseable values fall back to
-/// the serial default with a warning rather than escalating to 0/"all".
-inline unsigned benchJobs() {
-  const char *Env = std::getenv("NARADA_JOBS");
-  if (!Env)
-    return 1;
-  unsigned Jobs = 1;
-  if (!parseJobs(Env, Jobs))
-    std::fprintf(stderr,
-                 "warning: ignoring unparseable NARADA_JOBS='%s'; "
-                 "running serial\n",
-                 Env);
-  return Jobs;
-}
+/// the serial default with a warning rather than escalating to 0/"all"
+/// (env::jobs's policy — shared with narada-cli).
+inline unsigned benchJobs() { return env::jobs(); }
 
 /// Runs synthesis for one class; aborts the process with a message on
 /// pipeline errors (benchmarks are not expected to handle them).
@@ -148,18 +139,13 @@ inline void runDetection(ClassRun &Run, const DetectOptions &Options) {
 /// back to random with a warning, mirroring benchJobs(); "replay" needs a
 /// trace file and has no env spelling.
 inline ExplorationMode benchExplorationMode() {
-  const char *Env = std::getenv("NARADA_EXPLORE");
-  if (!Env)
-    return ExplorationMode::Random;
-  ExplorationMode Mode = ExplorationMode::Random;
-  if (!parseExplorationMode(Env, Mode) || Mode == ExplorationMode::Replay) {
-    std::fprintf(stderr,
-                 "warning: ignoring unusable NARADA_EXPLORE='%s'; "
-                 "using random schedules\n",
-                 Env);
-    return ExplorationMode::Random;
-  }
-  return Mode;
+  return env::readOr(
+      "NARADA_EXPLORE", ExplorationMode::Random,
+      [](const char *Text, ExplorationMode &Mode) {
+        return parseExplorationMode(Text, Mode) &&
+               Mode != ExplorationMode::Replay;
+      },
+      "using random schedules");
 }
 
 /// Moderate detection options keeping the full-corpus benches fast.

@@ -13,6 +13,7 @@
 #include "explore/WitnessMinimizer.h"
 #include "obs/Log.h"
 #include "obs/Span.h"
+#include "obs/Trace.h"
 #include "support/FaultInjection.h"
 #include "support/StringUtils.h"
 #include "support/ThreadPool.h"
@@ -677,6 +678,7 @@ Result<std::vector<TestDetectionResult>> narada::detectRacesInTests(
 
   auto RunOne = [&](size_t I) {
     fault::ScopedUnit Unit(I);
+    obs::TraceScope Scope("test", I);
     try {
       Slots[I].emplace(
           detectRacesInTest(M, Jobs[I].TestName, Options, Jobs[I].Hints));

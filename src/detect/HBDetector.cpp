@@ -13,6 +13,8 @@ using namespace narada;
 HBDetector::~HBDetector() {
   obs::MetricsRegistry &Metrics = obs::MetricsRegistry::global();
   Metrics.counter("detect.vc_joins").inc(JoinCount);
+  Metrics.counter("detect.vc_compares").inc(CompareCount);
+  Metrics.counter("detect.vc_allocs").inc(AllocCount);
   Metrics.counter("detect.hb_reports").inc(Races.size());
 }
 
@@ -20,6 +22,7 @@ VectorClock &HBDetector::clockOf(ThreadId T) {
   auto It = ThreadClocks.find(T);
   if (It != ThreadClocks.end())
     return It->second;
+  ++AllocCount;
   VectorClock &C = ThreadClocks[T];
   C.set(T, 1);
   return C;
@@ -51,20 +54,26 @@ void HBDetector::handleRead(const TraceEvent &Event) {
   VectorClock &C = clockOf(Event.Thread);
 
   // write-read race: the last write must happen-before this read.
-  if (S.Write.isSet() && !S.Write.leq(C))
-    report(Event, S.WriteLabel, S.WriteThread, /*PriorIsWrite=*/true);
+  if (S.Write.isSet()) {
+    ++CompareCount;
+    if (!S.Write.leq(C))
+      report(Event, S.WriteLabel, S.WriteThread, /*PriorIsWrite=*/true);
+  }
 
   uint64_t Now = C.get(Event.Thread);
   if (!S.ReadShared) {
     // Same-epoch fast path, or exclusive-read ownership transfer.
-    if (S.Read.isSet() && S.Read.Thread != Event.Thread && !S.Read.leq(C)) {
-      // Two concurrent readers: inflate to the read map.
-      S.ReadShared = true;
-      S.ReadMap[S.Read.Thread] = S.Read.Clock;
-      S.ReadLabels[S.Read.Thread] = S.ReadLabel;
-      S.ReadMap[Event.Thread] = Now;
-      S.ReadLabels[Event.Thread] = Event.staticLabel();
-      return;
+    if (S.Read.isSet() && S.Read.Thread != Event.Thread) {
+      ++CompareCount;
+      if (!S.Read.leq(C)) {
+        // Two concurrent readers: inflate to the read map.
+        S.ReadShared = true;
+        S.ReadMap[S.Read.Thread] = S.Read.Clock;
+        S.ReadLabels[S.Read.Thread] = S.ReadLabel;
+        S.ReadMap[Event.Thread] = Now;
+        S.ReadLabels[Event.Thread] = Event.staticLabel();
+        return;
+      }
     }
     S.Read = Epoch{Event.Thread, Now};
     S.ReadLabel = Event.staticLabel();
@@ -81,16 +90,23 @@ void HBDetector::handleWrite(const TraceEvent &Event) {
   VectorClock &C = clockOf(Event.Thread);
 
   // write-write race.
-  if (S.Write.isSet() && !S.Write.leq(C))
-    report(Event, S.WriteLabel, S.WriteThread, /*PriorIsWrite=*/true);
+  if (S.Write.isSet()) {
+    ++CompareCount;
+    if (!S.Write.leq(C))
+      report(Event, S.WriteLabel, S.WriteThread, /*PriorIsWrite=*/true);
+  }
 
   // read-write races.
   if (!S.ReadShared) {
-    if (S.Read.isSet() && !S.Read.leq(C))
-      report(Event, S.ReadLabel, S.Read.Thread, /*PriorIsWrite=*/false);
+    if (S.Read.isSet()) {
+      ++CompareCount;
+      if (!S.Read.leq(C))
+        report(Event, S.ReadLabel, S.Read.Thread, /*PriorIsWrite=*/false);
+    }
   } else {
     for (const auto &[Thread, Clock] : S.ReadMap) {
       Epoch E{Thread, Clock};
+      ++CompareCount;
       if (!E.leq(C))
         report(Event, S.ReadLabels[Thread], Thread, /*PriorIsWrite=*/false);
     }
@@ -131,7 +147,10 @@ void HBDetector::onEvent(const TraceEvent &Event) {
   case EventKind::Unlock: {
     // release: L_m := C_t; C_t.tick().
     VectorClock &C = clockOf(Event.Thread);
-    LockClocks[Event.Obj] = C;
+    auto [It, Inserted] = LockClocks.try_emplace(Event.Obj);
+    if (Inserted)
+      ++AllocCount;
+    It->second = C;
     C.tick(Event.Thread);
     return;
   }

@@ -80,6 +80,11 @@ private:
   /// Joins performed, flushed to the metrics registry once on destruction
   /// to keep the per-event path free of atomics.
   uint64_t JoinCount = 0;
+  /// Epoch-vs-clock leq evaluations — the detector's dominant comparison
+  /// cost, and the number FastTrack's epoch optimization keeps small.
+  uint64_t CompareCount = 0;
+  /// Vector clocks materialized (thread clocks plus lock clocks).
+  uint64_t AllocCount = 0;
 };
 
 } // namespace narada

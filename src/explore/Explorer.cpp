@@ -194,6 +194,16 @@ narada::explore::exploreSchedules(const IRModule &M,
     for (Branch &B : Policy.takeNewBranches())
       Stack.push_back(std::move(B));
 
+    // Frontier shape gauges for the run report: peak DFS depth and peak
+    // pending-alternative population.  Both are per-schedule functions of
+    // the deterministic search, so the peaks match across --jobs values.
+    Metrics.gauge("explore.frontier_peak")
+        .max(static_cast<int64_t>(Stack.size()));
+    uint64_t Pending = 0;
+    for (const Branch &B : Stack)
+      Pending += B.Untried.size();
+    Metrics.gauge("explore.sleepset_peak").max(static_cast<int64_t>(Pending));
+
     if (!Visitor.endSchedule(Policy.trace(TestName, Options.RandSeed),
                              *Run)) {
       Outcome.Stopped = true;

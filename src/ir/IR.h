@@ -55,6 +55,10 @@ enum class Opcode {
   SpawnThread,  ///< start a thread running Callee(args)
 };
 
+/// Number of opcodes, for densely-indexed per-opcode tables.
+inline constexpr unsigned NumOpcodes =
+    static_cast<unsigned>(Opcode::SpawnThread) + 1;
+
 /// Returns the mnemonic for \p Op.
 const char *opcodeName(Opcode Op);
 

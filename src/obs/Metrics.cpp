@@ -7,6 +7,7 @@
 #include "obs/Metrics.h"
 
 #include <algorithm>
+#include <cmath>
 
 using namespace narada;
 using namespace narada::obs;
@@ -32,6 +33,11 @@ void Histogram::observe(uint64_t Value) {
   while (Prev < Value &&
          !Max.compare_exchange_weak(Prev, Value, std::memory_order_relaxed))
     ;
+  uint64_t PrevMin = Min.load(std::memory_order_relaxed);
+  while (PrevMin > Value &&
+         !Min.compare_exchange_weak(PrevMin, Value,
+                                    std::memory_order_relaxed))
+    ;
 }
 
 void Histogram::reset() {
@@ -40,6 +46,24 @@ void Histogram::reset() {
   Count.store(0, std::memory_order_relaxed);
   Sum.store(0, std::memory_order_relaxed);
   Max.store(0, std::memory_order_relaxed);
+  Min.store(UINT64_MAX, std::memory_order_relaxed);
+}
+
+uint64_t MetricsSnapshot::HistogramData::percentile(double Q) const {
+  if (Count == 0)
+    return 0;
+  // Rank of the percentile observation, 1-based (nearest-rank method).
+  uint64_t Rank = static_cast<uint64_t>(
+      std::ceil(Q * static_cast<double>(Count)));
+  if (Rank < 1)
+    Rank = 1;
+  uint64_t Cumulative = 0;
+  for (size_t I = 0; I < BucketCounts.size(); ++I) {
+    Cumulative += BucketCounts[I];
+    if (Cumulative >= Rank)
+      return I < Bounds.size() ? Bounds[I] : Max;
+  }
+  return Max;
 }
 
 MetricsRegistry &MetricsRegistry::global() {
@@ -100,6 +124,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     D.Count = H->count();
     D.Sum = H->sum();
     D.Max = H->max();
+    D.Min = H->min();
     S.Histograms[Name] = std::move(D);
   }
   S.Phases.insert(Phases.begin(), Phases.end());

@@ -58,6 +58,15 @@ class Gauge {
 public:
   void set(int64_t N) { V.store(N, std::memory_order_relaxed); }
   void add(int64_t N) { V.fetch_add(N, std::memory_order_relaxed); }
+  /// Raises the gauge to \p N if below (a peak/high-water gauge).  CAS-max
+  /// commutes, so concurrent workers produce the same peak in any
+  /// interleaving — peak gauges stay deterministic across --jobs values.
+  void max(int64_t N) {
+    int64_t Prev = V.load(std::memory_order_relaxed);
+    while (Prev < N &&
+           !V.compare_exchange_weak(Prev, N, std::memory_order_relaxed))
+      ;
+  }
   int64_t value() const { return V.load(std::memory_order_relaxed); }
   void reset() { V.store(0, std::memory_order_relaxed); }
 
@@ -81,6 +90,11 @@ public:
   uint64_t count() const { return Count.load(std::memory_order_relaxed); }
   uint64_t sum() const { return Sum.load(std::memory_order_relaxed); }
   uint64_t max() const { return Max.load(std::memory_order_relaxed); }
+  /// Smallest observed value; 0 before the first observation.
+  uint64_t min() const {
+    uint64_t M = Min.load(std::memory_order_relaxed);
+    return M == UINT64_MAX ? 0 : M;
+  }
   void reset();
 
 private:
@@ -89,6 +103,7 @@ private:
   std::atomic<uint64_t> Count{0};
   std::atomic<uint64_t> Sum{0};
   std::atomic<uint64_t> Max{0};
+  std::atomic<uint64_t> Min{UINT64_MAX};
 };
 
 /// Accumulated wall time of one (possibly nested) phase.
@@ -108,6 +123,13 @@ struct MetricsSnapshot {
     uint64_t Count = 0;
     uint64_t Sum = 0;
     uint64_t Max = 0;
+    uint64_t Min = 0; ///< 0 before the first observation.
+
+    /// Upper-bound percentile estimate from the buckets: the bound of the
+    /// bucket holding the rank-\p Q observation (Max for the overflow
+    /// bucket, which has no bound).  Exact for values that equal a bound;
+    /// otherwise conservative (an upper bound on the true percentile).
+    uint64_t percentile(double Q) const;
   };
   std::map<std::string, HistogramData> Histograms;
   /// Keyed by dotted span path ("pipeline.analyze.trace").

@@ -21,6 +21,12 @@ std::string obs::renderRunReport(const RunMeta &Meta,
   JsonWriter W;
   W.beginObject();
   W.key("schema").value("narada.run_report/v1");
+  // Writer revision within the v1 schema family.  Bumped when members are
+  // added; report-diff.py / bench-diff.py refuse to diff mismatched
+  // versions instead of silently comparing incompatible shapes.  Absent
+  // (pre-versioning reports) means 1.  Version 2 added schema_version
+  // itself plus histogram min/p50/p95.
+  W.key("schema_version").value(uint64_t{2});
   W.key("tool").value(Meta.Tool);
   W.key("command").value(Meta.Command);
   W.key("input").value(Meta.Input);
@@ -86,6 +92,9 @@ std::string obs::renderRunReport(const RunMeta &Meta,
     W.key("count").value(H.Count);
     W.key("sum").value(H.Sum);
     W.key("max").value(H.Max);
+    W.key("min").value(H.Min);
+    W.key("p50").value(H.percentile(0.50));
+    W.key("p95").value(H.percentile(0.95));
     W.endObject();
   }
   W.endObject();
@@ -194,6 +203,13 @@ Result<ParsedRunReport> obs::parseRunReport(std::string_view Text) {
         Schema->isString() ? Schema->StringVal.c_str() : "<non-string>"));
 
   ParsedRunReport Report;
+
+  if (const JsonValue *Version = Doc->find("schema_version")) {
+    if (!Version->isNumber() || Version->NumberVal < 1)
+      return Error(
+          "run report member 'schema_version' is not a positive number");
+    Report.SchemaVersion = static_cast<uint64_t>(Version->NumberVal);
+  }
 
   // Identity. Unknown extra members are ignored; the five string fields
   // and the seed must have the right type when present.
@@ -329,7 +345,8 @@ Result<ParsedRunReport> obs::parseRunReport(std::string_view Text) {
         for (auto [Field, Dest] :
              {std::pair<const char *, uint64_t *>{"count", &Data.Count},
               {"sum", &Data.Sum},
-              {"max", &Data.Max}}) {
+              {"max", &Data.Max},
+              {"min", &Data.Min}}) {
           Result<uint64_t> V = u64Member(H, Name.c_str(), Field);
           if (!V)
             return V.error();

@@ -86,6 +86,9 @@ void printRunStats(std::FILE *Out, const MetricsSnapshot &S);
 /// A parsed narada.run_report/v1 document: identity plus the recorded
 /// metrics, reconstructed into the same types the writer consumed.
 struct ParsedRunReport {
+  /// Writer revision within the v1 schema family; 1 when the report
+  /// predates the member.  Diff tooling refuses mismatched versions.
+  uint64_t SchemaVersion = 1;
   RunMeta Meta;
   MetricsSnapshot Metrics;
 };

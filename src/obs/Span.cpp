@@ -6,6 +6,11 @@
 
 #include "obs/Span.h"
 
+#include "obs/Trace.h"
+
+#include <atomic>
+#include <chrono>
+
 using namespace narada;
 using namespace narada::obs;
 
@@ -13,6 +18,34 @@ namespace {
 /// Innermost open span of this thread.  VM "threads" are cooperative and
 /// share one OS thread, so one stack covers the whole pipeline.
 thread_local Span *CurrentSpan = nullptr;
+
+/// The span's leaf name — Chrome traces convey nesting by B/E pairing per
+/// thread, so the dotted path prefix would be redundant there.
+std::string_view leafOf(const std::string &Path) {
+  size_t Dot = Path.rfind('.');
+  return Dot == std::string::npos
+             ? std::string_view(Path)
+             : std::string_view(Path).substr(Dot + 1);
+}
+
+/// Reading /proc/self/status is a syscall, and bench loops close a
+/// top-level span per iteration — unconditional close-time sampling there
+/// costs more than the phase being measured.  A span that ran for at least
+/// the interval always samples (a real pipeline phase never misses its
+/// high-water), shorter ones at most once per interval process-wide.
+/// Gauges are maxima, so a skipped sample only coarsens, never corrupts.
+bool shouldSampleRss(double ElapsedSeconds) {
+  constexpr double IntervalSeconds = 0.025;
+  if (ElapsedSeconds >= IntervalSeconds)
+    return true;
+  static std::atomic<int64_t> LastNs{0};
+  int64_t Now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now().time_since_epoch())
+                    .count();
+  int64_t Prev = LastNs.load(std::memory_order_relaxed);
+  return Now - Prev >= static_cast<int64_t>(IntervalSeconds * 1e9) &&
+         LastNs.compare_exchange_strong(Prev, Now, std::memory_order_relaxed);
+}
 } // namespace
 
 Span::Span(std::string_view Name, double *AccumSeconds,
@@ -25,6 +58,8 @@ Span::Span(std::string_view Name, double *AccumSeconds,
   }
   Path += Name;
   CurrentSpan = this;
+  if (TraceCollector::globallyEnabled())
+    TraceCollector::global().beginSpan(Name);
   Clock.restart(); // Start the clock after the bookkeeping, not before.
 }
 
@@ -38,6 +73,8 @@ Span::Span(std::string_view Name, const SpanParent &ExplicitParent,
   }
   Path += Name;
   CurrentSpan = this;
+  if (TraceCollector::globallyEnabled())
+    TraceCollector::global().beginSpan(Name);
   Clock.restart();
 }
 
@@ -46,6 +83,28 @@ Span::~Span() {
   Registry.addPhase(Path, Elapsed);
   if (AccumSeconds)
     *AccumSeconds += Elapsed;
+  bool SampleRss =
+      Path.find('.') == std::string::npos && shouldSampleRss(Elapsed);
+  if (SampleRss) {
+    // Per-phase memory high-water for the run report: RSS as each
+    // top-level phase closes, plus the process-lifetime peak.  Gauges, not
+    // counters — memory is run-dependent and must stay out of the pinned
+    // perf-trajectory counters (see tools/bench-orchestrator.py).
+    if (int64_t Rss = currentRssKb())
+      Registry.gauge("mem." + Path + ".rss_kb").max(Rss);
+    if (int64_t Peak = peakRssKb())
+      Registry.gauge("mem.peak_rss_kb").max(Peak);
+  }
+  if (TraceCollector::globallyEnabled()) {
+    TraceCollector &Trace = TraceCollector::global();
+    Trace.endSpan(leafOf(Path));
+    // The same high-water rides the trace as a counter track — only
+    // ambient (outside any logical scope), so the scoped logical order
+    // stays byte-identical across --jobs (a --jobs 1 run sees "test"
+    // spans at top level where a --jobs 4 run nests them under workers).
+    if (SampleRss && TraceCollector::currentScope().empty())
+      Trace.counter("mem.rss_kb", currentRssKb());
+  }
   CurrentSpan = Parent;
 }
 

@@ -1,0 +1,251 @@
+//===- obs/Trace.cpp - Execution tracing to Chrome trace JSON ------------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Trace.h"
+
+#include "obs/Json.h"
+#include "obs/Log.h"
+#include "support/FaultInjection.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+using namespace narada;
+using namespace narada::obs;
+
+std::atomic<bool> TraceCollector::GlobalEnabled{false};
+thread_local TraceCollector::ThreadBuffer *TraceCollector::CachedBuffer =
+    nullptr;
+
+namespace {
+
+thread_local std::string CurrentScope;
+
+int64_t nowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Reads one "<Key>:   <N> kB" line from /proc/self/status.
+int64_t procStatusKb(const char *Key) {
+#ifdef __linux__
+  std::ifstream In("/proc/self/status");
+  std::string Line;
+  size_t KeyLen = std::string(Key).size();
+  while (std::getline(In, Line)) {
+    if (Line.compare(0, KeyLen, Key) != 0 || Line[KeyLen] != ':')
+      continue;
+    return std::strtoll(Line.c_str() + KeyLen + 1, nullptr, 10);
+  }
+#else
+  (void)Key;
+#endif
+  return 0;
+}
+
+} // namespace
+
+TraceCollector &TraceCollector::global() {
+  static TraceCollector C;
+  return C;
+}
+
+void TraceCollector::enable() {
+  EpochNanos.store(nowNanos(), std::memory_order_relaxed);
+  Enabled.store(true, std::memory_order_relaxed);
+  if (this == &global())
+    GlobalEnabled.store(true, std::memory_order_relaxed);
+}
+
+void TraceCollector::disable() {
+  Enabled.store(false, std::memory_order_relaxed);
+  if (this == &global())
+    GlobalEnabled.store(false, std::memory_order_relaxed);
+}
+
+TraceCollector::ThreadBuffer &TraceCollector::myBuffer() {
+  if (CachedBuffer)
+    return *CachedBuffer;
+  std::lock_guard<std::mutex> Lock(M);
+  Buffers.push_back(std::make_unique<ThreadBuffer>());
+  Buffers.back()->Tid = static_cast<uint32_t>(Buffers.size() - 1);
+  CachedBuffer = Buffers.back().get();
+  return *CachedBuffer;
+}
+
+void TraceCollector::record(TraceRecord::Phase Ph, std::string_view Name,
+                            int64_t Value) {
+  if (!enabled())
+    return;
+  TraceRecord R;
+  R.Ph = Ph;
+  R.Name = Name;
+  R.WallMicros =
+      static_cast<double>(nowNanos() -
+                          EpochNanos.load(std::memory_order_relaxed)) /
+      1000.0;
+  R.Scope = CurrentScope;
+  R.Value = Value;
+  ThreadBuffer &B = myBuffer(); // Before taking M: registration locks M too.
+  if (!R.Scope.empty()) {
+    std::lock_guard<std::mutex> Lock(M);
+    R.Seq = ++ScopeSeq[R.Scope];
+  }
+  R.Tid = B.Tid;
+  std::lock_guard<std::mutex> Lock(B.M);
+  B.Records.push_back(std::move(R));
+}
+
+void TraceCollector::beginSpan(std::string_view Name) {
+  record(TraceRecord::Phase::Begin, Name, 0);
+}
+
+void TraceCollector::endSpan(std::string_view Name) {
+  record(TraceRecord::Phase::End, Name, 0);
+}
+
+void TraceCollector::instant(std::string_view Name) {
+  record(TraceRecord::Phase::Instant, Name, 0);
+}
+
+void TraceCollector::counter(std::string_view Name, int64_t Value) {
+  record(TraceRecord::Phase::Counter, Name, Value);
+}
+
+std::vector<TraceRecord> TraceCollector::records() const {
+  std::vector<TraceRecord> Out;
+  std::lock_guard<std::mutex> Lock(M);
+  for (const auto &B : Buffers) {
+    std::lock_guard<std::mutex> BufLock(B->M);
+    Out.insert(Out.end(), B->Records.begin(), B->Records.end());
+  }
+  return Out;
+}
+
+std::string TraceCollector::render() const {
+  std::vector<TraceRecord> All = records();
+  // Sort by wall time; stable keeps each thread's buffer order (its true
+  // program order — per-thread timestamps are monotonic but may collide at
+  // clock granularity), which Chrome's B/E nesting relies on.
+  std::stable_sort(All.begin(), All.end(),
+                   [](const TraceRecord &A, const TraceRecord &B) {
+                     return A.WallMicros < B.WallMicros;
+                   });
+
+  uint32_t MaxTid = 0;
+  for (const TraceRecord &R : All)
+    MaxTid = std::max(MaxTid, R.Tid);
+
+  JsonWriter W;
+  W.beginObject();
+  W.key("displayTimeUnit").value("ms");
+  W.key("traceEvents").beginArray();
+  W.beginObject();
+  W.key("ph").value("M");
+  W.key("pid").value(uint64_t{1});
+  W.key("name").value("process_name");
+  W.key("args").beginObject().key("name").value("narada").endObject();
+  W.endObject();
+  for (uint32_t T = 0; !All.empty() && T <= MaxTid; ++T) {
+    W.beginObject();
+    W.key("ph").value("M");
+    W.key("pid").value(uint64_t{1});
+    W.key("tid").value(uint64_t{T});
+    W.key("name").value("thread_name");
+    W.key("args").beginObject();
+    W.key("name").value(T == 0 ? std::string("main")
+                               : formatString("thread%u", T));
+    W.endObject();
+    W.endObject();
+  }
+  for (const TraceRecord &R : All) {
+    W.beginObject();
+    W.key("name").value(R.Name);
+    W.key("cat").value("narada");
+    W.key("ph").value(std::string(1, static_cast<char>(R.Ph)));
+    W.key("ts").value(R.WallMicros);
+    W.key("pid").value(uint64_t{1});
+    W.key("tid").value(uint64_t{R.Tid});
+    if (R.Ph == TraceRecord::Phase::Counter || !R.Scope.empty()) {
+      W.key("args").beginObject();
+      if (R.Ph == TraceRecord::Phase::Counter)
+        W.key("value").value(int64_t{R.Value});
+      if (!R.Scope.empty()) {
+        W.key("scope").value(R.Scope);
+        W.key("seq").value(R.Seq);
+      }
+      W.endObject();
+    }
+    if (R.Ph == TraceRecord::Phase::Instant)
+      W.key("s").value("t"); // Thread-scoped instant marker.
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  return W.str();
+}
+
+bool TraceCollector::flushToFile(const std::string &Path) const {
+  // Containment boundary: an injected fault here must degrade exactly like
+  // an I/O failure — trace lost, run intact (tests/trace_obs_test.cpp and
+  // the trace_flush_fault_cli ctest entry hold it to that).
+  try {
+    fault::probe("obs.trace.flush");
+    std::ofstream Out(Path, std::ios::trunc);
+    if (!Out) {
+      NARADA_LOG_WARN("cannot open trace file '%s'", Path.c_str());
+      return false;
+    }
+    Out << render() << "\n";
+    Out.flush();
+    if (!Out) {
+      NARADA_LOG_WARN("failed writing trace file '%s'", Path.c_str());
+      return false;
+    }
+    return true;
+  } catch (const std::exception &E) {
+    NARADA_LOG_WARN("trace flush to '%s' failed, contained: %s",
+                    Path.c_str(), E.what());
+    return false;
+  }
+}
+
+void TraceCollector::reset() {
+  std::lock_guard<std::mutex> Lock(M);
+  for (auto &B : Buffers) {
+    std::lock_guard<std::mutex> BufLock(B->M);
+    B->Records.clear();
+  }
+  ScopeSeq.clear();
+}
+
+void TraceCollector::setCurrentScope(std::string Scope) {
+  CurrentScope = std::move(Scope);
+}
+
+const std::string &TraceCollector::currentScope() { return CurrentScope; }
+
+TraceScope::TraceScope(const char *Prefix, uint64_t Index) {
+  if (!TraceCollector::globallyEnabled())
+    return;
+  Active = true;
+  Saved = TraceCollector::currentScope();
+  TraceCollector::setCurrentScope(
+      formatString("%s:%llu", Prefix, static_cast<unsigned long long>(Index)));
+}
+
+TraceScope::~TraceScope() {
+  if (Active)
+    TraceCollector::setCurrentScope(std::move(Saved));
+}
+
+int64_t obs::currentRssKb() { return procStatusKb("VmRSS"); }
+
+int64_t obs::peakRssKb() { return procStatusKb("VmHWM"); }

@@ -1,0 +1,180 @@
+//===- obs/Trace.h - Execution tracing to Chrome trace JSON -----*- C++ -*-===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Low-overhead execution tracing.  When enabled (narada-cli --trace), every
+/// obs::Span emits begin/end records, and instrumented code may add instant
+/// events and counter samples.  Records land in per-thread append-only
+/// buffers — no cross-thread contention on the hot path beyond one relaxed
+/// atomic load of the enabled flag (which is all the *disabled* path costs)
+/// — and are flushed on demand to Chrome trace-event JSON, loadable in
+/// Perfetto / chrome://tracing.
+///
+/// Every record carries two timestamps:
+///  - a *wall* timestamp (microseconds since enable(), steady clock), which
+///    orders the trace visually and is inherently run-dependent;
+///  - a *logical* timestamp (Scope, Seq): Scope names the canonical work
+///    item being processed ("pair:12" in the synthesis stage, "test:3" in
+///    detection — established by TraceScope RAII next to fault::ScopedUnit),
+///    and Seq numbers the record within its scope.  A work item is only ever
+///    processed by one worker at a time and the pipeline's output is
+///    canonical-order deterministic, so the scoped record sequence is
+///    byte-identical at every --jobs value.  Records outside any scope
+///    (worker spans, top-level pipeline phases, memory samples) are
+///    *ambient*: Scope is empty, Seq is 0, and they are excluded from the
+///    logical order — worker spans legitimately differ with --jobs.
+///
+/// The flush path carries a fault-injection probe ("obs.trace.flush"): a
+/// failing flush must degrade to a warning, never corrupt or abort the run
+/// it observed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NARADA_OBS_TRACE_H
+#define NARADA_OBS_TRACE_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace narada {
+namespace obs {
+
+/// One collected trace record (one Chrome trace event after flush).
+struct TraceRecord {
+  enum class Phase : char {
+    Begin = 'B',   ///< Span opened.
+    End = 'E',     ///< Span closed.
+    Instant = 'i', ///< Point event.
+    Counter = 'C', ///< Sampled counter value.
+  };
+
+  Phase Ph = Phase::Instant;
+  std::string Name;       ///< Leaf span / event / counter name.
+  double WallMicros = 0;  ///< Microseconds since enable() (steady clock).
+  uint32_t Tid = 0;       ///< Per-collector OS-thread index (0 = first).
+  std::string Scope;      ///< Logical work item; "" = ambient.
+  uint64_t Seq = 0;       ///< Per-scope logical sequence (1-based; 0 ambient).
+  int64_t Value = 0;      ///< Counter sample value (Phase::Counter only).
+};
+
+/// Collects trace records from every thread.  One process-global instance
+/// (global()) serves the pipeline, mirroring MetricsRegistry; tests use the
+/// global instance and reset() it.  All record calls are safe from any
+/// thread.
+class TraceCollector {
+public:
+  /// The process-wide collector obs::Span and the pipeline report to.
+  static TraceCollector &global();
+
+  /// True when the *global* collector is enabled — the single relaxed load
+  /// instrumented code pays when tracing is off.
+  static bool globallyEnabled() {
+    return GlobalEnabled.load(std::memory_order_relaxed);
+  }
+
+  /// Starts collecting; the wall-timestamp origin is reset to now.
+  void enable();
+
+  /// Stops collecting (already-buffered records are kept for flush()).
+  void disable();
+
+  bool enabled() const { return Enabled.load(std::memory_order_relaxed); }
+
+  /// Span begin/end with the span's *leaf* name (Chrome conveys nesting by
+  /// B/E pairing per thread, so dotted paths would be redundant).
+  void beginSpan(std::string_view Name);
+  void endSpan(std::string_view Name);
+
+  /// A point event.
+  void instant(std::string_view Name);
+
+  /// A counter sample (renders as a counter track in Perfetto).
+  void counter(std::string_view Name, int64_t Value);
+
+  /// Renders everything collected so far as one Chrome trace-event JSON
+  /// document ({"traceEvents":[...]}), events sorted by wall timestamp with
+  /// per-thread order preserved, preceded by thread-name metadata events.
+  std::string render() const;
+
+  /// Writes render() to \p Path.  Returns false on I/O failure or an
+  /// injected "obs.trace.flush" fault; the collector's buffers are left
+  /// intact either way, so a failed flush loses nothing but the file.
+  bool flushToFile(const std::string &Path) const;
+
+  /// Drops all buffered records and scope sequence state (test isolation).
+  void reset();
+
+  /// Records collected so far, in per-thread buffer order (tests).
+  std::vector<TraceRecord> records() const;
+
+  // -- Logical scopes (used via TraceScope, below) --
+
+  /// Enters/leaves the calling thread's logical scope.  Scopes don't nest
+  /// in the pipeline (one work item at a time); the previous value is
+  /// restored by TraceScope to be safe anyway.
+  static void setCurrentScope(std::string Scope);
+  static const std::string &currentScope();
+
+private:
+  TraceCollector() = default;
+
+  struct ThreadBuffer {
+    uint32_t Tid = 0;
+    std::vector<TraceRecord> Records;
+    std::mutex M; ///< Owning thread appends; flush/render read.
+  };
+
+  void record(TraceRecord::Phase Ph, std::string_view Name, int64_t Value);
+  ThreadBuffer &myBuffer();
+
+  static std::atomic<bool> GlobalEnabled;
+  /// The calling thread's buffer, cached so the per-record path skips the
+  /// registration mutex.
+  static thread_local ThreadBuffer *CachedBuffer;
+
+  std::atomic<bool> Enabled{false};
+  std::atomic<int64_t> EpochNanos{0}; ///< enable() steady-clock origin.
+
+  mutable std::mutex M; ///< Guards Buffers registration and ScopeSeq.
+  std::vector<std::unique_ptr<ThreadBuffer>> Buffers;
+  std::map<std::string, uint64_t> ScopeSeq; ///< Next seq per scope.
+};
+
+/// RAII logical-scope marker: place next to fault::ScopedUnit wherever a
+/// worker starts processing canonical work item \p Index.  Free when
+/// tracing is disabled (no string formatting, no thread-local write).
+class TraceScope {
+public:
+  TraceScope(const char *Prefix, uint64_t Index);
+  ~TraceScope();
+  TraceScope(const TraceScope &) = delete;
+  TraceScope &operator=(const TraceScope &) = delete;
+
+private:
+  bool Active = false;
+  std::string Saved;
+};
+
+/// Current resident-set size in KiB (0 where unsupported) — the memory
+/// high-water source for trace counter tracks and the end-of-run report
+/// gauge.  Run-dependent by nature: never fed into counters that the
+/// perf-trajectory gate pins.
+int64_t currentRssKb();
+
+/// Peak resident-set size in KiB over the process lifetime (VmHWM; 0 where
+/// unsupported).
+int64_t peakRssKb();
+
+} // namespace obs
+} // namespace narada
+
+#endif // NARADA_OBS_TRACE_H

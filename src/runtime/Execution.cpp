@@ -70,6 +70,18 @@ Result<TestRun> narada::runTest(const IRModule &M,
   Metrics.counter("runtime.threads_spawned").inc(Stats.ThreadsSpawned);
   Metrics.counter("runtime.monitor_acquires").inc(Stats.MonitorAcquires);
   Metrics.counter("runtime.monitor_blocks").inc(Stats.MonitorBlocks);
+  if (uint64_t Objects =
+          Stats.InstrByOp[static_cast<unsigned>(Opcode::NewObject)])
+    Metrics.counter("runtime.heap_objects").inc(Objects);
+  // Instruction-mix profile: one counter per InstrClass bucket, in enum
+  // order.  The names are part of the pinned bench trajectory — keep them
+  // in sync with docs/OBSERVABILITY.md.
+  static const char *const InstrCounterNames[NumInstrClasses] = {
+      "vm.instr.alu",    "vm.instr.heap",   "vm.instr.call",
+      "vm.instr.monitor", "vm.instr.branch", "vm.instr.thread"};
+  for (unsigned C = 0; C != NumInstrClasses; ++C)
+    if (uint64_t Total = Stats.instrClassTotal(static_cast<InstrClass>(C)))
+      Metrics.counter(InstrCounterNames[C]).inc(Total);
   return Run;
 }
 

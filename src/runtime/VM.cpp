@@ -232,7 +232,38 @@ void VM::step(ThreadId Tid) {
   execInstr(T, F, I);
 }
 
+InstrClass narada::classifyOpcode(Opcode Op) {
+  switch (Op) {
+  case Opcode::ConstInt:
+  case Opcode::ConstBool:
+  case Opcode::ConstNull:
+  case Opcode::Move:
+  case Opcode::RandInt:
+  case Opcode::UnOp:
+  case Opcode::BinOp:
+    return InstrClass::Alu;
+  case Opcode::LoadField:
+  case Opcode::StoreField:
+  case Opcode::NewObject:
+    return InstrClass::Heap;
+  case Opcode::Invoke:
+  case Opcode::Ret:
+    return InstrClass::Call;
+  case Opcode::MonitorEnter:
+  case Opcode::MonitorExit:
+    return InstrClass::Monitor;
+  case Opcode::Jump:
+  case Opcode::Branch:
+    return InstrClass::Branch;
+  case Opcode::SpawnThread:
+    return InstrClass::Thread;
+  }
+  narada_unreachable("unknown opcode");
+}
+
 void VM::execInstr(ThreadState &T, Frame &F, const Instr &I) {
+  ++Stats.InstrByOp[static_cast<unsigned>(I.Op)];
+
   auto NullCheck = [&](const Value &V, const char *What) -> bool {
     if (V.isRef())
       return true;

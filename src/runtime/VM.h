@@ -77,6 +77,23 @@ struct PendingAccess {
   uint32_t Pc = 0;
 };
 
+/// Coarse opcode classes for the instruction-mix profile.  Buckets follow
+/// the cost structure of the interpreter loop: register-only arithmetic,
+/// heap traffic (the instructions that emit trace events), call/return,
+/// monitor transitions, control flow, and thread creation.
+enum class InstrClass : unsigned {
+  Alu,     ///< Const*/Move/RandInt/UnOp/BinOp.
+  Heap,    ///< LoadField/StoreField/NewObject.
+  Call,    ///< Invoke/Ret.
+  Monitor, ///< MonitorEnter/MonitorExit.
+  Branch,  ///< Jump/Branch.
+  Thread,  ///< SpawnThread.
+};
+constexpr unsigned NumInstrClasses = 6;
+
+/// Maps an opcode to its InstrClass bucket.
+InstrClass classifyOpcode(Opcode Op);
+
 /// Per-execution counters.  Accumulated in plain fields — the VM is
 /// single-OS-threaded — and flushed to the metrics registry once per run by
 /// the execution facade, keeping atomics out of the instruction loop.
@@ -84,6 +101,20 @@ struct VMStats {
   uint64_t ThreadsSpawned = 0;
   uint64_t MonitorAcquires = 0; ///< Outermost acquisitions (Lock events).
   uint64_t MonitorBlocks = 0;   ///< Transitions into the Blocked state.
+  /// Executed instructions per opcode (a blocked MonitorEnter retry counts
+  /// each attempt — retries are real interpreter work).  Raw opcodes, not
+  /// InstrClass buckets: the interpreter loop pays one indexed increment
+  /// and the class aggregation happens once per run at flush time.
+  uint64_t InstrByOp[NumOpcodes] = {};
+
+  /// Sums the per-opcode counts into \p C's bucket.
+  uint64_t instrClassTotal(InstrClass C) const {
+    uint64_t Total = 0;
+    for (unsigned Op = 0; Op != NumOpcodes; ++Op)
+      if (classifyOpcode(static_cast<Opcode>(Op)) == C)
+        Total += InstrByOp[Op];
+    return Total;
+  }
 };
 
 /// The virtual machine.

@@ -9,6 +9,7 @@
 #include "lang/ASTPrinter.h"
 #include "obs/Log.h"
 #include "obs/Span.h"
+#include "obs/Trace.h"
 #include "support/FaultInjection.h"
 #include "support/StringUtils.h"
 #include "support/ThreadPool.h"
@@ -201,6 +202,7 @@ narada::runSynthesisStage(const AnalysisResult &Analysis,
     PairSlot &Slot = Slots[I];
     const RacyPair &Pair = Pairs[I];
     fault::ScopedUnit Unit(I);
+    obs::TraceScope Scope("pair", I);
     fault::probe("synth.pair_task");
     {
       obs::Span DeriveSpan("derive");
@@ -244,6 +246,7 @@ narada::runSynthesisStage(const AnalysisResult &Analysis,
     size_t I = Leads[LeadIdx];
     PairSlot &Slot = Slots[I];
     fault::ScopedUnit Unit(I);
+    obs::TraceScope Scope("pair", I);
     obs::Span SynthesizeSpan("synthesize");
     Slot.Attempt.emplace(
         Workers[W]->Synth.synthesize(Pairs[I], Slot.Plan, PlaceholderName));
@@ -267,6 +270,7 @@ narada::runSynthesisStage(const AnalysisResult &Analysis,
     if (!Slot.Attempted) {
       try {
         fault::ScopedUnit Unit(I);
+        obs::TraceScope Scope("pair", I);
         obs::Span SynthesizeSpan("synthesize");
         Slot.Attempt.emplace(Workers[0]->Synth.synthesize(
             Pairs[I], Slot.Plan, PlaceholderName));

@@ -82,6 +82,46 @@ TEST(HistogramTest, UnsortedBoundsAreSortedAndDeduped) {
   EXPECT_EQ(H.bounds()[1], 100u);
 }
 
+TEST(MetricsRegistryTest, GaugeMaxIsAHighWaterMark) {
+  MetricsRegistry R;
+  Gauge &G = R.gauge("x.peak");
+  G.max(5);
+  G.max(3); // Lower values never pull the peak down.
+  EXPECT_EQ(G.value(), 5);
+  G.max(9);
+  EXPECT_EQ(G.value(), 9);
+  G.set(2); // set() still overrides — max() is just a CAS-raise.
+  EXPECT_EQ(G.value(), 2);
+}
+
+TEST(HistogramTest, MinAndPercentileSummaries) {
+  MetricsRegistry R;
+  Histogram &H = R.histogram("x.h3", {10, 100, 1000});
+  EXPECT_EQ(H.min(), 0u) << "no observations yet";
+
+  for (int I = 0; I < 90; ++I)
+    H.observe(7); // 90 in (0, 10].
+  for (int I = 0; I < 9; ++I)
+    H.observe(50); // 9 in (10, 100].
+  H.observe(5000); // 1 overflow.
+  EXPECT_EQ(H.min(), 7u);
+  EXPECT_EQ(H.max(), 5000u);
+
+  MetricsSnapshot S = R.snapshot();
+  const MetricsSnapshot::HistogramData &D = S.Histograms.at("x.h3");
+  EXPECT_EQ(D.Min, 7u);
+  // Nearest-rank estimates resolve to bucket upper bounds; the overflow
+  // bucket (no bound) reports the exact max.
+  EXPECT_EQ(D.percentile(0.50), 10u);
+  EXPECT_EQ(D.percentile(0.95), 100u);
+  EXPECT_EQ(D.percentile(1.00), 5000u);
+
+  H.reset();
+  EXPECT_EQ(H.min(), 0u) << "reset clears the min";
+  MetricsSnapshot Empty = R.snapshot();
+  EXPECT_EQ(Empty.Histograms.at("x.h3").percentile(0.50), 0u);
+}
+
 TEST(SpanTest, PathsNestAndAccumulateIntoPhases) {
   MetricsRegistry R;
   {
@@ -175,6 +215,7 @@ TEST(RunReportTest, RendersMetaAndMetricsAndRoundTrips) {
   std::optional<JsonValue> V = parseJson(renderRunReport(Meta, R.snapshot()));
   ASSERT_TRUE(V.has_value());
   EXPECT_EQ(V->find("schema")->StringVal, "narada.run_report/v1");
+  EXPECT_EQ(V->find("schema_version")->numberOr(0), 2.0);
   EXPECT_EQ(V->find("tool")->StringVal, "narada-cli");
   EXPECT_EQ(V->find("corpus_id")->StringVal, "C1");
   EXPECT_EQ(V->find("seed")->numberOr(0), 7.0);
@@ -188,6 +229,12 @@ TEST(RunReportTest, RendersMetaAndMetricsAndRoundTrips) {
   ASSERT_NE(Hist, nullptr);
   ASSERT_EQ(Hist->Elements.size(), 3u); // two bounds + overflow.
   EXPECT_EQ(Hist->Elements[1].numberOr(0), 1.0); // 250 lands in (100, 1000].
+  EXPECT_EQ(
+      V->at({"histograms", "runtime.steps_per_run", "min"})->numberOr(0),
+      250.0);
+  EXPECT_EQ(
+      V->at({"histograms", "runtime.steps_per_run", "p50"})->numberOr(0),
+      1000.0); // Bucket-bound estimate: the 250 sits in the (100,1000] bucket.
 }
 
 // The parallel driver increments counters and registers spans from worker

@@ -4,6 +4,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/Env.h"
 #include "support/Error.h"
 #include "support/RNG.h"
 #include "support/StringUtils.h"
@@ -12,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string_view>
 
 using namespace narada;
 
@@ -144,4 +146,41 @@ TEST(TimerTest, MeasuresNonNegativeTime) {
   Timer T;
   EXPECT_GE(T.seconds(), 0.0);
   EXPECT_GE(T.millis(), 0.0);
+}
+
+// env::readOr / env::jobs: unset means the caller's default, a good value
+// parses, and a bad value falls back to the default (with a warning) rather
+// than escalating — an unparseable NARADA_JOBS must never become 0/"all".
+TEST(EnvTest, ReadOrFallsBackToDefaultNotEscalation) {
+  ASSERT_EQ(unsetenv("NARADA_JOBS"), 0);
+  EXPECT_EQ(env::jobs(), 1u);
+  EXPECT_EQ(env::jobs(3), 3u);
+
+  ASSERT_EQ(setenv("NARADA_JOBS", "4", 1), 0);
+  EXPECT_EQ(env::jobs(), 4u);
+  EXPECT_EQ(env::jobs(7), 4u) << "a parseable value wins over the default";
+
+  ASSERT_EQ(setenv("NARADA_JOBS", "many", 1), 0);
+  EXPECT_EQ(env::jobs(), 1u) << "unparseable -> serial default";
+  EXPECT_EQ(env::jobs(2), 2u) << "unparseable -> the caller's default";
+
+  ASSERT_EQ(setenv("NARADA_JOBS", "0", 1), 0);
+  EXPECT_EQ(env::jobs(), 0u) << "explicit 0 (all threads) is a valid value";
+
+  ASSERT_EQ(unsetenv("NARADA_JOBS"), 0);
+}
+
+TEST(EnvTest, ReadOrSupportsCustomParsers) {
+  ASSERT_EQ(setenv("NARADA_TEST_MODE", "fast", 1), 0);
+  auto ParseMode = [](const char *Text, int &Out) {
+    if (std::string_view(Text) == "fast") {
+      Out = 2;
+      return true;
+    }
+    return false;
+  };
+  EXPECT_EQ(env::readOr("NARADA_TEST_MODE", 1, ParseMode), 2);
+  ASSERT_EQ(setenv("NARADA_TEST_MODE", "warp", 1), 0);
+  EXPECT_EQ(env::readOr("NARADA_TEST_MODE", 1, ParseMode, "staying slow"), 1);
+  ASSERT_EQ(unsetenv("NARADA_TEST_MODE"), 0);
 }

@@ -1,0 +1,250 @@
+//===- tests/trace_obs_test.cpp - Execution tracing unit tests -----------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+// The tracing contract: disabled tracing records nothing (and TraceScope is
+// a no-op), enabled tracing renders valid Chrome trace-event JSON with
+// balanced B/E pairs per thread, scoped records carry deterministic
+// (scope, seq) logical timestamps that are byte-identical at every --jobs
+// value, and a failing flush degrades to `false` without losing buffered
+// records.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "obs/Json.h"
+#include "obs/Span.h"
+#include "obs/Trace.h"
+#include "support/FaultInjection.h"
+#include "synth/Narada.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+using namespace narada;
+using namespace narada::obs;
+
+namespace {
+
+/// Every trace test drives the (process-global) collector; this fixture
+/// guarantees a clean, disabled collector before and after each test so
+/// ordering between tests cannot matter.
+class TraceCollectorTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    TraceCollector::global().disable();
+    TraceCollector::global().reset();
+  }
+  void TearDown() override {
+    TraceCollector::global().disable();
+    TraceCollector::global().reset();
+    fault::disarm();
+  }
+};
+
+TEST_F(TraceCollectorTest, DisabledCollectorRecordsNothing) {
+  TraceCollector &T = TraceCollector::global();
+  ASSERT_FALSE(TraceCollector::globallyEnabled());
+
+  T.beginSpan("phase");
+  T.instant("point");
+  T.counter("gauge", 7);
+  T.endSpan("phase");
+  EXPECT_TRUE(T.records().empty());
+
+  // TraceScope is a no-op while disabled: no scope leaks into records made
+  // after a later enable().
+  {
+    TraceScope Scope("pair", 3);
+    EXPECT_EQ(TraceCollector::currentScope(), "");
+  }
+}
+
+TEST_F(TraceCollectorTest, RecordsCarryScopeAndPerScopeSequence) {
+  TraceCollector &T = TraceCollector::global();
+  T.enable();
+
+  T.instant("ambient"); // Outside any scope: ambient, seq 0.
+  {
+    TraceScope Scope("pair", 0);
+    EXPECT_EQ(TraceCollector::currentScope(), "pair:0");
+    T.beginSpan("derive");
+    T.counter("candidates", 4);
+    T.endSpan("derive");
+  }
+  {
+    TraceScope Scope("pair", 1);
+    T.instant("skip"); // A fresh scope restarts its sequence at 1.
+  }
+  EXPECT_EQ(TraceCollector::currentScope(), "");
+
+  std::vector<TraceRecord> Records = T.records();
+  ASSERT_EQ(Records.size(), 5u);
+  EXPECT_EQ(Records[0].Scope, "");
+  EXPECT_EQ(Records[0].Seq, 0u);
+  EXPECT_EQ(Records[1].Scope, "pair:0");
+  EXPECT_EQ(Records[1].Seq, 1u);
+  EXPECT_EQ(Records[2].Seq, 2u);
+  EXPECT_EQ(Records[2].Value, 4);
+  EXPECT_EQ(Records[3].Seq, 3u);
+  EXPECT_EQ(Records[4].Scope, "pair:1");
+  EXPECT_EQ(Records[4].Seq, 1u);
+}
+
+TEST_F(TraceCollectorTest, SpansFeedTheTraceWhenEnabled) {
+  TraceCollector &T = TraceCollector::global();
+  T.enable();
+  {
+    Span Outer("pipeline");
+    Span Inner("analyze"); // Dotted path pipeline.analyze; leaf name only.
+  }
+  std::vector<TraceRecord> Records = T.records();
+  // B pipeline, B analyze, E analyze, then E pipeline + an ambient RSS
+  // counter sample for the closing top-level span (Linux only).
+  ASSERT_GE(Records.size(), 4u);
+  EXPECT_EQ(Records[0].Ph, TraceRecord::Phase::Begin);
+  EXPECT_EQ(Records[0].Name, "pipeline");
+  EXPECT_EQ(Records[1].Name, "analyze");
+  EXPECT_EQ(Records[2].Ph, TraceRecord::Phase::End);
+  EXPECT_EQ(Records[2].Name, "analyze");
+}
+
+TEST_F(TraceCollectorTest, RenderEmitsValidChromeTraceJson) {
+  TraceCollector &T = TraceCollector::global();
+  T.enable();
+
+  {
+    Span Main("pipeline");
+    SpanParent Parent{Span::currentPath()};
+    std::thread Worker([&] {
+      Span W("worker0", Parent);
+      Span Task("derive");
+      T.instant("done");
+    });
+    Worker.join();
+  }
+
+  std::optional<JsonValue> Doc = parseJson(T.render());
+  ASSERT_TRUE(Doc.has_value()) << "render() must be valid JSON";
+  ASSERT_TRUE(Doc->isObject());
+  const JsonValue *Unit = Doc->find("displayTimeUnit");
+  ASSERT_NE(Unit, nullptr);
+  EXPECT_EQ(Unit->StringVal, "ms");
+
+  const JsonValue *Events = Doc->find("traceEvents");
+  ASSERT_NE(Events, nullptr);
+  ASSERT_TRUE(Events->isArray());
+
+  // Metadata names both threads; B/E events balance per tid.
+  unsigned ThreadNames = 0;
+  std::map<double, int> OpenPerTid;
+  for (const JsonValue &E : Events->Elements) {
+    const JsonValue *Ph = E.find("ph");
+    ASSERT_NE(Ph, nullptr);
+    if (Ph->StringVal == "M") {
+      if (E.find("name")->StringVal == "thread_name")
+        ++ThreadNames;
+      continue;
+    }
+    double Tid = E.find("tid")->numberOr(-1);
+    if (Ph->StringVal == "B")
+      ++OpenPerTid[Tid];
+    else if (Ph->StringVal == "E") {
+      --OpenPerTid[Tid];
+      EXPECT_GE(OpenPerTid[Tid], 0) << "E without matching B on tid " << Tid;
+    }
+  }
+  EXPECT_EQ(ThreadNames, 2u) << "main + one worker thread";
+  for (const auto &[Tid, Open] : OpenPerTid)
+    EXPECT_EQ(Open, 0) << "unbalanced spans on tid " << Tid;
+}
+
+TEST_F(TraceCollectorTest, FailedFlushIsContainedAndLosesNothing) {
+  TraceCollector &T = TraceCollector::global();
+  T.enable();
+  T.instant("evidence");
+  size_t Before = T.records().size();
+
+  fault::arm("obs.trace.flush", 0);
+  {
+    fault::ScopedUnit Unit(0);
+    EXPECT_FALSE(T.flushToFile("/tmp/narada_trace_never_written.json"));
+  }
+  fault::disarm();
+  EXPECT_EQ(T.records().size(), Before) << "failed flush must keep buffers";
+
+  // Same buffers flush fine once the fault is gone.
+  std::string Path = ::testing::TempDir() + "trace_obs_flush.json";
+  {
+    fault::ScopedUnit Unit(0);
+    ASSERT_TRUE(T.flushToFile(Path));
+  }
+  std::string Text;
+  {
+    std::FILE *F = std::fopen(Path.c_str(), "rb");
+    ASSERT_NE(F, nullptr);
+    char Buf[4096];
+    size_t N;
+    while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+      Text.append(Buf, N);
+    std::fclose(F);
+  }
+  std::remove(Path.c_str());
+  EXPECT_TRUE(parseJson(Text).has_value());
+}
+
+/// The logical-timestamp determinism contract on real pipeline runs: the
+/// scoped record sequence (scope, seq, phase, name, value) is identical at
+/// --jobs 1 and --jobs 4.  Ambient records (worker spans, RSS samples) are
+/// excluded by construction — that is what makes the rest comparable.
+using ScopedKey =
+    std::tuple<std::string, uint64_t, char, std::string, int64_t>;
+
+std::vector<ScopedKey> scopedTrace(const CorpusEntry &Entry, unsigned Jobs) {
+  TraceCollector &T = TraceCollector::global();
+  T.reset();
+  T.enable();
+  NaradaOptions Options;
+  Options.FocusClass = Entry.ClassName;
+  Options.Jobs = Jobs;
+  Result<NaradaResult> R =
+      runNarada(Entry.Source, Entry.SeedNames, Options);
+  T.disable();
+  EXPECT_TRUE(R.hasValue()) << (R ? "" : R.error().str());
+
+  std::vector<ScopedKey> Keys;
+  for (const TraceRecord &Rec : T.records())
+    if (!Rec.Scope.empty())
+      Keys.emplace_back(Rec.Scope, Rec.Seq, static_cast<char>(Rec.Ph),
+                        Rec.Name, Rec.Value);
+  // Scope-major order; within a scope, seq is the logical clock.
+  std::sort(Keys.begin(), Keys.end());
+  T.reset();
+  return Keys;
+}
+
+class TraceDeterminismTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TraceDeterminismTest, ScopedLogicalOrderIdenticalAcrossJobs) {
+  const CorpusEntry *Entry = findCorpusEntry(GetParam());
+  ASSERT_NE(Entry, nullptr);
+  TraceCollector::global().disable();
+  TraceCollector::global().reset();
+
+  std::vector<ScopedKey> Serial = scopedTrace(*Entry, 1);
+  std::vector<ScopedKey> Parallel = scopedTrace(*Entry, 4);
+  ASSERT_FALSE(Serial.empty()) << "pipeline must emit scoped records";
+  EXPECT_EQ(Serial, Parallel);
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, TraceDeterminismTest,
+                         ::testing::Values("C1", "C5"));
+
+} // namespace

@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Compare two bench trajectories (narada.bench_trajectory/v1 documents).
+
+Usage: bench-diff.py BASELINE.json CURRENT.json
+           [--timing-threshold PCT] [--strict-timing] [--subset]
+
+The trajectory has two kinds of content with different contracts:
+
+  - counters and race sets are *pinned*: they are functions of the seeded,
+    deterministic pipeline, so any drift is a behavior change and a hard
+    failure (exit 1);
+  - wall/cpu timings are *advisory*: they vary with the host, so drift
+    beyond --timing-threshold (default 50%) is printed as a warning and
+    only fails with --strict-timing.
+
+Bench sets must match exactly unless --subset, which allows the current
+trajectory to cover a subset of the baseline's benches (the CI smoke run
+re-measures two classes against the full committed baseline).  Documents
+with mismatched schema or schema_version are rejected (exit 2), as is any
+other malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "narada.bench_trajectory/v1"
+
+
+def _bad_input(path, why):
+    print(f"error: {path}: {why}", file=sys.stderr)
+    raise SystemExit(2)
+
+
+def load_trajectory(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        _bad_input(path, e)
+    if not isinstance(doc, dict):
+        _bad_input(path, "top level is not a JSON object")
+    if doc.get("schema") != SCHEMA:
+        _bad_input(path, f"not a {SCHEMA} document")
+    version = doc.get("schema_version")
+    if isinstance(version, bool) or not isinstance(version, int) \
+            or version < 1:
+        _bad_input(path, "'schema_version' is not a positive integer")
+    benches = doc.get("benches")
+    if not isinstance(benches, dict):
+        _bad_input(path, "'benches' is not an object")
+    for name, entry in benches.items():
+        if not isinstance(entry, dict):
+            _bad_input(path, f"'benches.{name}' is not an object")
+        counters = entry.get("counters", {})
+        if not isinstance(counters, dict):
+            _bad_input(path, f"'benches.{name}.counters' is not an object")
+        for cname, value in counters.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                _bad_input(
+                    path, f"'benches.{name}.counters.{cname}' is not a "
+                          f"number")
+        for key in ("wall_seconds", "cpu_seconds"):
+            seconds = entry.get(key, 0.0)
+            if isinstance(seconds, bool) or \
+                    not isinstance(seconds, (int, float)):
+                _bad_input(path, f"'benches.{name}.{key}' is not a number")
+        races = entry.get("races")
+        if races is not None and not isinstance(races, list):
+            _bad_input(path, f"'benches.{name}.races' is not an array")
+    return doc
+
+
+def race_identity(entry):
+    """Canonical comparable form of one bench's race list."""
+    races = entry.get("races")
+    if races is None:
+        return None
+    return sorted(
+        (r.get("key", ""), bool(r.get("reproduced", False)),
+         bool(r.get("harmful", False)))
+        for r in races if isinstance(r, dict))
+
+
+def diff_bench(name, base, cur, failures):
+    """Appends hard-failure lines for one bench's pinned content."""
+    base_counters = base.get("counters", {})
+    cur_counters = cur.get("counters", {})
+    for counter in sorted(set(base_counters) | set(cur_counters)):
+        before = base_counters.get(counter)
+        after = cur_counters.get(counter)
+        if before != after:
+            failures.append(
+                f"{name}: counter '{counter}' drifted: "
+                f"{before} -> {after}")
+
+    base_races = race_identity(base)
+    cur_races = race_identity(cur)
+    if base_races != cur_races:
+        if base_races is None or cur_races is None:
+            where = "baseline" if base_races is None else "current"
+            failures.append(f"{name}: race set missing from {where}")
+            return
+        base_keys = set(base_races)
+        cur_keys = set(cur_races)
+        for key, reproduced, harmful in sorted(base_keys - cur_keys):
+            failures.append(
+                f"{name}: race lost: {key} "
+                f"(reproduced={reproduced}, harmful={harmful})")
+        for key, reproduced, harmful in sorted(cur_keys - base_keys):
+            failures.append(
+                f"{name}: race appeared: {key} "
+                f"(reproduced={reproduced}, harmful={harmful})")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--timing-threshold", type=float, default=50.0,
+        help="advisory timing-drift threshold in percent (default: 50)")
+    parser.add_argument(
+        "--strict-timing", action="store_true",
+        help="treat timing drift over the threshold as a failure")
+    parser.add_argument(
+        "--subset", action="store_true",
+        help="allow the current trajectory to cover a subset of the "
+             "baseline's benches (CI smoke mode)")
+    args = parser.parse_args()
+
+    base = load_trajectory(args.baseline)
+    cur = load_trajectory(args.current)
+    if base.get("schema_version") != cur.get("schema_version"):
+        print(f"error: schema_version mismatch: {args.baseline} is "
+              f"version {base.get('schema_version')}, {args.current} is "
+              f"version {cur.get('schema_version')}; regenerate the older "
+              f"trajectory", file=sys.stderr)
+        raise SystemExit(2)
+
+    base_benches = base["benches"]
+    cur_benches = cur["benches"]
+
+    failures = []
+    for name in sorted(set(base_benches) | set(cur_benches)):
+        if name not in cur_benches:
+            if not args.subset:
+                failures.append(f"bench missing from current: {name}")
+            continue
+        if name not in base_benches:
+            failures.append(f"bench missing from baseline: {name}")
+            continue
+        diff_bench(name, base_benches[name], cur_benches[name], failures)
+
+    timing_warnings = []
+    for name in sorted(set(base_benches) & set(cur_benches)):
+        before = base_benches[name].get("wall_seconds", 0.0)
+        after = cur_benches[name].get("wall_seconds", 0.0)
+        if before <= 0.0:
+            continue
+        delta_pct = (after - before) / before * 100.0
+        if delta_pct > args.timing_threshold:
+            timing_warnings.append(
+                f"{name}: wall {before:.3f}s -> {after:.3f}s "
+                f"(+{delta_pct:.0f}%)")
+
+    for line in failures:
+        print(f"FAIL: {line}")
+    for line in timing_warnings:
+        print(f"timing: {line}"
+              + ("" if args.strict_timing else " [advisory]"))
+
+    compared = len(set(base_benches) & set(cur_benches))
+    if not failures and not (args.strict_timing and timing_warnings):
+        print(f"trajectories match ({compared} benches compared, "
+              f"{len(timing_warnings)} advisory timing drifts)")
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

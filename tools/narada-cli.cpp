@@ -48,6 +48,9 @@
 #include "staticrace/LocksetAnalysis.h"
 #include "staticrace/PairClassifier.h"
 #include "synth/PairGenerator.h"
+#include "obs/Trace.h"
+#include "support/Env.h"
+#include "support/FaultInjection.h"
 #include "support/StringUtils.h"
 #include "support/ThreadPool.h"
 #include "synth/Narada.h"
@@ -85,6 +88,7 @@ struct CliArgs {
   uint64_t Seed = 1;
   unsigned Tests = 400;
   std::string ReportPath;            ///< --report: JSON run report target.
+  std::string TracePath;             ///< --trace: Chrome trace target.
   bool Stats = false;                ///< --stats: summary on stderr.
   unsigned Jobs = 1;                 ///< --jobs: worker threads (0 = all).
   DetectOptions Detect;              ///< Watchdog/budget knobs for detect.
@@ -112,6 +116,8 @@ int usage() {
       "                        $NARADA_JOBS or 1; output is identical\n"
       "                        for every N)\n"
       "  --report <file.json>  write a structured run report\n"
+      "  --trace <file.json>   write a Chrome trace-event timeline\n"
+      "                        (open in Perfetto / chrome://tracing)\n"
       "  --stats               print a metrics summary to stderr\n"
       "static pre-analysis flags (see docs/STATIC.md):\n"
       "  --static-prefilter    prune candidate pairs proven MustGuarded\n"
@@ -159,11 +165,7 @@ std::optional<CliArgs> parseArgs(int Argc, char **Argv) {
     return std::nullopt;
   CliArgs Args;
   Args.Command = Argv[1];
-  if (const char *EnvJobs = std::getenv("NARADA_JOBS"))
-    if (!parseJobs(EnvJobs, Args.Jobs))
-      std::fprintf(stderr,
-                   "warning: ignoring unparseable NARADA_JOBS='%s'\n",
-                   EnvJobs);
+  Args.Jobs = env::jobs(Args.Jobs);
   for (int I = 2; I < Argc; ++I) {
     std::string Arg = Argv[I];
     if (Arg == "--class" && I + 1 < Argc) {
@@ -176,6 +178,8 @@ std::optional<CliArgs> parseArgs(int Argc, char **Argv) {
       Args.Jobs = static_cast<unsigned>(std::stoul(Argv[++I]));
     } else if (Arg == "--report" && I + 1 < Argc) {
       Args.ReportPath = Argv[++I];
+    } else if (Arg == "--trace" && I + 1 < Argc) {
+      Args.TracePath = Argv[++I];
     } else if (Arg == "--max-steps" && I + 1 < Argc) {
       Args.Detect.MaxSteps = std::stoull(Argv[++I]);
     } else if (Arg == "--step-retries" && I + 1 < Argc) {
@@ -659,8 +663,22 @@ int main(int Argc, char **Argv) {
     return 1;
   }
 
+  if (!Args->TracePath.empty())
+    obs::TraceCollector::global().enable();
+
   int Rc = runCommand(*Args, *Source);
   if (Rc != 2) // Not a usage error: the pipeline actually ran.
     emitObservability(*Args);
+
+  if (!Args->TracePath.empty()) {
+    obs::TraceCollector &Trace = obs::TraceCollector::global();
+    Trace.disable();
+    // Unit scope so the obs.trace.flush injection site is reachable from
+    // the fault-containment sweep (probes only fire inside a unit).
+    fault::ScopedUnit Unit(0);
+    // A failed flush is a diagnostics loss, not a pipeline failure: warn
+    // (inside flushToFile) and keep the command's own exit code.
+    Trace.flushToFile(Args->TracePath);
+  }
   return Rc;
 }

@@ -6,7 +6,9 @@ Usage: report-diff.py BASELINE.json CURRENT.json
 
 Prints every phase whose wall time regressed by more than the threshold
 (default 10%) and summarizes counter drift.  Exit status: 0 when no phase
-regression exceeds the threshold, 1 when at least one does, 2 on bad input.
+regression exceeds the threshold, 1 when at least one does, 2 on bad input
+or when the two reports carry different schema_version revisions (an older
+report must be regenerated, not diffed across versions).
 Tiny phases (< 1ms in both reports) are ignored: their relative timing is
 noise.
 
@@ -87,6 +89,10 @@ def load_report(path):
         _bad_input(path, "top level is not a JSON object")
     if doc.get("schema") != SCHEMA:
         _bad_input(path, f"not a {SCHEMA} document")
+    version = doc.get("schema_version", 1)
+    if isinstance(version, bool) or not isinstance(version, int) \
+            or version < 1:
+        _bad_input(path, "'schema_version' is not a positive integer")
 
     phases = doc.get("phases", {})
     if not isinstance(phases, dict):
@@ -238,6 +244,19 @@ def main():
 
     base = load_report(args.baseline)
     cur = load_report(args.current)
+
+    # Reports written by different schema revisions are not comparable:
+    # a member one writer records and the other does not would read as
+    # drift.  Regenerate the older report rather than diffing across
+    # versions (absent schema_version means revision 1).
+    base_version = base.get("schema_version", 1)
+    cur_version = cur.get("schema_version", 1)
+    if base_version != cur_version:
+        print(f"error: schema_version mismatch: {args.baseline} is "
+              f"version {base_version}, {args.current} is version "
+              f"{cur_version}; regenerate the older report",
+              file=sys.stderr)
+        raise SystemExit(2)
 
     regressions = []
     if not args.races_only:

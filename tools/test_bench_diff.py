@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Unit tests for bench-diff.py (invoked by ctest as bench_diff_unit)."""
+
+import contextlib
+import importlib.util
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_diff",
+    os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                 "bench-diff.py"))
+bench_diff = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(bench_diff)
+
+
+def bench(counters=None, races=None, wall=1.0):
+    entry = {
+        "wall_seconds": wall,
+        "cpu_seconds": wall,
+        "counters": dict(counters or {}),
+    }
+    if races is not None:
+        entry["races"] = [
+            {"key": key, "reproduced": reproduced, "harmful": False}
+            for key, reproduced in races
+        ]
+    return entry
+
+
+def trajectory(benches):
+    return {
+        "schema": "narada.bench_trajectory/v1",
+        "schema_version": 1,
+        "jobs": 1,
+        "benches": benches,
+    }
+
+
+class BenchDiffMainTest(unittest.TestCase):
+    def _write(self, doc):
+        f = tempfile.NamedTemporaryFile(
+            "w", suffix=".json", delete=False, encoding="utf-8")
+        self.addCleanup(os.unlink, f.name)
+        json.dump(doc, f)
+        f.close()
+        return f.name
+
+    def _run(self, base, cur, extra=None):
+        old_argv = sys.argv
+        sys.argv = (["bench-diff.py", self._write(base), self._write(cur)]
+                    + (extra or []))
+        stdout, stderr = io.StringIO(), io.StringIO()
+        try:
+            with contextlib.redirect_stdout(stdout), \
+                    contextlib.redirect_stderr(stderr):
+                try:
+                    code = bench_diff.main()
+                except SystemExit as raised:
+                    code = raised.code
+        finally:
+            sys.argv = old_argv
+        return code, stdout.getvalue(), stderr.getvalue()
+
+    def test_identical_trajectories_match(self):
+        doc = trajectory({
+            "pipeline:C1": bench({"vm.instr.alu": 100}, [("Q.head{a~b}",
+                                                          True)]),
+        })
+        code, out, _ = self._run(doc, doc)
+        self.assertEqual(code, 0)
+        self.assertIn("trajectories match", out)
+
+    def test_counter_drift_is_fatal(self):
+        base = trajectory({"pipeline:C1": bench({"vm.instr.alu": 100})})
+        cur = trajectory({"pipeline:C1": bench({"vm.instr.alu": 101})})
+        code, out, _ = self._run(base, cur)
+        self.assertEqual(code, 1)
+        self.assertIn("FAIL", out)
+        self.assertIn("vm.instr.alu", out)
+        self.assertIn("100 -> 101", out)
+
+    def test_counter_only_on_one_side_is_fatal(self):
+        base = trajectory({"pipeline:C1": bench({})})
+        cur = trajectory({"pipeline:C1": bench({"detect.vc_joins": 5})})
+        code, out, _ = self._run(base, cur)
+        self.assertEqual(code, 1)
+        self.assertIn("detect.vc_joins", out)
+
+    def test_race_set_drift_is_fatal(self):
+        base = trajectory(
+            {"pipeline:C1": bench({}, [("Q.head{a~b}", True)])})
+        cur = trajectory({"pipeline:C1": bench({}, [])})
+        code, out, _ = self._run(base, cur)
+        self.assertEqual(code, 1)
+        self.assertIn("race lost", out)
+        base = trajectory({"pipeline:C1": bench({}, [])})
+        cur = trajectory(
+            {"pipeline:C1": bench({}, [("Q.head{a~b}", True)])})
+        code, out, _ = self._run(base, cur)
+        self.assertEqual(code, 1)
+        self.assertIn("race appeared", out)
+
+    def test_reproduced_flip_is_fatal(self):
+        base = trajectory(
+            {"pipeline:C1": bench({}, [("Q.head{a~b}", True)])})
+        cur = trajectory(
+            {"pipeline:C1": bench({}, [("Q.head{a~b}", False)])})
+        code, out, _ = self._run(base, cur)
+        self.assertEqual(code, 1)
+
+    def test_timing_drift_is_advisory_by_default(self):
+        base = trajectory({"pipeline:C1": bench({}, wall=1.0)})
+        cur = trajectory({"pipeline:C1": bench({}, wall=10.0)})
+        code, out, _ = self._run(base, cur)
+        self.assertEqual(code, 0)
+        self.assertIn("timing", out)
+        self.assertIn("[advisory]", out)
+
+    def test_timing_drift_fails_with_strict_timing(self):
+        base = trajectory({"pipeline:C1": bench({}, wall=1.0)})
+        cur = trajectory({"pipeline:C1": bench({}, wall=10.0)})
+        code, _, _ = self._run(base, cur, ["--strict-timing"])
+        self.assertEqual(code, 1)
+
+    def test_timing_within_threshold_is_silent(self):
+        base = trajectory({"pipeline:C1": bench({}, wall=1.0)})
+        cur = trajectory({"pipeline:C1": bench({}, wall=1.2)})
+        code, out, _ = self._run(base, cur, ["--strict-timing"])
+        self.assertEqual(code, 0)
+        self.assertNotIn("[advisory]", out)
+        self.assertIn("0 advisory timing drifts", out)
+
+    def test_missing_bench_is_fatal_without_subset(self):
+        base = trajectory({"pipeline:C1": bench({}),
+                           "pipeline:C9": bench({})})
+        cur = trajectory({"pipeline:C1": bench({})})
+        code, out, _ = self._run(base, cur)
+        self.assertEqual(code, 1)
+        self.assertIn("missing from current", out)
+
+    def test_subset_allows_smoke_runs(self):
+        # The CI smoke run re-measures a subset against the full committed
+        # baseline.
+        base = trajectory({"pipeline:C1": bench({"c": 1}),
+                           "pipeline:C9": bench({"c": 9})})
+        cur = trajectory({"pipeline:C1": bench({"c": 1})})
+        code, out, _ = self._run(base, cur, ["--subset"])
+        self.assertEqual(code, 0)
+        self.assertIn("1 benches compared", out)
+
+    def test_subset_still_catches_drift_in_compared_benches(self):
+        base = trajectory({"pipeline:C1": bench({"c": 1}),
+                           "pipeline:C9": bench({"c": 9})})
+        cur = trajectory({"pipeline:C1": bench({"c": 2})})
+        code, _, _ = self._run(base, cur, ["--subset"])
+        self.assertEqual(code, 1)
+
+    def test_extra_bench_in_current_is_fatal_even_with_subset(self):
+        base = trajectory({"pipeline:C1": bench({})})
+        cur = trajectory({"pipeline:C1": bench({}),
+                          "pipeline:C3": bench({})})
+        code, out, _ = self._run(base, cur, ["--subset"])
+        self.assertEqual(code, 1)
+        self.assertIn("missing from baseline", out)
+
+    def test_schema_version_mismatch_exits_2(self):
+        base = trajectory({"pipeline:C1": bench({})})
+        cur = dict(trajectory({"pipeline:C1": bench({})}), schema_version=2)
+        code, _, err = self._run(base, cur)
+        self.assertEqual(code, 2)
+        self.assertIn("schema_version mismatch", err)
+
+    def test_wrong_schema_exits_2(self):
+        base = trajectory({"pipeline:C1": bench({})})
+        cur = dict(trajectory({}), schema="narada.run_report/v1")
+        code, _, err = self._run(base, cur)
+        self.assertEqual(code, 2)
+        self.assertIn("not a narada.bench_trajectory/v1", err)
+
+    def test_malformed_counters_exit_2(self):
+        base = trajectory({"pipeline:C1": bench({})})
+        cur = trajectory({"pipeline:C1": bench({})})
+        cur["benches"]["pipeline:C1"]["counters"]["x"] = "many"
+        code, _, err = self._run(base, cur)
+        self.assertEqual(code, 2)
+        self.assertIn("is not a number", err)
+
+
+if __name__ == "__main__":
+    unittest.main()

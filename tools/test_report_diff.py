@@ -360,5 +360,59 @@ class LoadReportMalformedInputTest(unittest.TestCase):
         self.assertEqual(drifted, [("c", 1, 2)])
 
 
+class SchemaVersionTest(unittest.TestCase):
+    """Reports from different writer revisions must not be diffed."""
+
+    def _write(self, doc):
+        f = tempfile.NamedTemporaryFile(
+            "w", suffix=".json", delete=False, encoding="utf-8")
+        self.addCleanup(os.unlink, f.name)
+        json.dump(doc, f)
+        f.close()
+        return f.name
+
+    def _run_main(self, argv):
+        import sys
+        old_argv = sys.argv
+        sys.argv = ["report-diff.py"] + argv
+        stdout, stderr = io.StringIO(), io.StringIO()
+        try:
+            with contextlib.redirect_stdout(stdout), \
+                    contextlib.redirect_stderr(stderr):
+                try:
+                    code = report_diff.main()
+                except SystemExit as raised:
+                    code = raised.code
+        finally:
+            sys.argv = old_argv
+        return code, stdout.getvalue(), stderr.getvalue()
+
+    def test_same_version_diffs_fine(self):
+        doc = report({"pipeline": 1.0})
+        doc["schema_version"] = 2
+        path = self._write(doc)
+        code, _, _ = self._run_main([path, path])
+        self.assertEqual(code, 0)
+
+    def test_mismatched_versions_exit_2(self):
+        base = report({"pipeline": 1.0})  # No member: revision 1.
+        cur = dict(report({"pipeline": 1.0}), schema_version=2)
+        code, _, err = self._run_main([self._write(base), self._write(cur)])
+        self.assertEqual(code, 2)
+        self.assertIn("schema_version mismatch", err)
+        self.assertIn("version 1", err)
+        self.assertIn("version 2", err)
+
+    def test_non_integer_version_exits_2(self):
+        doc = dict(report(), schema_version="two")
+        stderr = io.StringIO()
+        with contextlib.redirect_stderr(stderr):
+            with self.assertRaises(SystemExit) as raised:
+                report_diff.load_report(self._write(doc))
+        self.assertEqual(raised.exception.code, 2)
+        self.assertIn("'schema_version' is not a positive integer",
+                      stderr.getvalue())
+
+
 if __name__ == "__main__":
     unittest.main()
