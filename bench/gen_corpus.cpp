@@ -1,0 +1,74 @@
+//===- bench/gen_corpus.cpp - Generated-seed-corpus benchmark ------------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+// The zero-seed pipeline input, measured per corpus class: how many
+// candidates the default generation budget emits, how many survive
+// validation and commit, the candidate-pair coverage the kept corpus
+// reaches, how many statically suspicious target pairs steering covered,
+// and wall-clock generation time.  The shape to watch: generation is
+// sub-second per class, keeps a handful of seeds out of dozens of
+// candidates, and covers every steering target on the small classes.
+// docs/GENERATION.md describes the engine; tests/gen_test.cpp pins the
+// recall guarantee this driver only times.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "gen/GenEngine.h"
+#include "support/Timer.h"
+
+using namespace narada;
+using namespace narada::bench;
+
+int main(int Argc, char **Argv) {
+  BenchReporter Reporter("gen_corpus", Argc, Argv);
+  std::printf("Generated seed corpus: per-class generation at the default "
+              "budget (jobs=%u)\n\n",
+              resolveJobs(benchJobs()));
+  const std::vector<int> Widths = {-4, 6, 6, 12, 14, 5, 9};
+  printRow({"Id", "Cand", "Kept", "Pairs (gen)", "Targets (cov)", "Quar",
+            "Time (s)"},
+           Widths);
+  printRule(Widths);
+
+  unsigned TotalKept = 0, TotalPairs = 0, TotalQuarantined = 0;
+  double TotalSeconds = 0.0;
+  for (const CorpusEntry &Entry : corpus()) {
+    gen::GenOptions Options;
+    Options.FocusClass = Entry.ClassName;
+    Options.Jobs = benchJobs();
+    Timer Elapsed;
+    Result<gen::GenResult> Gen =
+        gen::generateSeedCorpus(Entry.Source, Options);
+    double Seconds = Elapsed.seconds();
+    if (!Gen) {
+      std::fprintf(stderr, "error: %s: %s\n", Entry.Id.c_str(),
+                   Gen.error().str().c_str());
+      return 1;
+    }
+    TotalKept += static_cast<unsigned>(Gen->Seeds.size());
+    TotalPairs += static_cast<unsigned>(Gen->PairKeys.size());
+    TotalQuarantined += static_cast<unsigned>(Gen->Quarantined.size());
+    TotalSeconds += Seconds;
+    printRow({Entry.Id,
+              std::to_string(Options.Rounds * Options.Budget),
+              std::to_string(Gen->Seeds.size()),
+              std::to_string(Gen->PairKeys.size()),
+              std::to_string(Gen->StaticTargetsCovered) + "/" +
+                  std::to_string(Gen->StaticTargets),
+              std::to_string(Gen->Quarantined.size()),
+              formatDouble(Seconds, 2)},
+             Widths);
+  }
+  printRule(Widths);
+  printRow({"Total", "", std::to_string(TotalKept),
+            std::to_string(TotalPairs), "",
+            std::to_string(TotalQuarantined), formatDouble(TotalSeconds, 2)},
+           Widths);
+
+  std::printf("\nEvery corpus above was generated with zero hand-written "
+              "seeds; tests/gen_test.cpp asserts the race-recall guarantee "
+              "on C2 and C9.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+//===- gen/ApiModel.cpp - Public-API model for seed generation -----------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/ApiModel.h"
+
+#include "ir/IR.h"
+
+using namespace narada;
+using namespace narada::gen;
+
+bool ApiModel::producible(const Type &Ty) const {
+  if (Ty.isPrimitive())
+    return true;
+  if (!Ty.isClass())
+    return false;
+  if (Ty.className() == IntArrayClassName)
+    return true;
+  const ClassModel *Model = find(Ty.className());
+  return Model && Model->Constructible;
+}
+
+ApiModel narada::gen::extractApiModel(const ProgramInfo &Info,
+                                      const staticrace::ModuleSummary *Static) {
+  ApiModel Out;
+  for (const std::string &Name : Info.classNames()) {
+    const ClassInfo *Class = Info.findClass(Name);
+    if (!Class || Class->IsBuiltin)
+      continue;
+    ClassModel Model;
+    Model.Name = Name;
+    for (const MethodInfo &Method : Class->Methods) {
+      if (Method.Name == ConstructorName) {
+        Model.CtorParamTypes = Method.ParamTypes;
+        continue;
+      }
+      MethodApi Api;
+      Api.Name = Method.Name;
+      Api.ParamTypes = Method.ParamTypes;
+      Api.ReturnType = Method.ReturnType;
+      if (Static) {
+        if (const staticrace::MethodSummary *Summary =
+                Static->find(methodSymbol(Name, Method.Name))) {
+          for (const staticrace::StaticAccess &Access : Summary->Accesses) {
+            Api.TouchedFields.insert(Access.FieldClassName + "." +
+                                     Access.Field);
+            if (Access.Ctrl == staticrace::Controllability::Param)
+              Api.TouchesControllableState = true;
+          }
+        }
+      }
+      Model.Methods.push_back(std::move(Api));
+    }
+    Out.Classes.emplace(Name, std::move(Model));
+  }
+
+  // Constructibility fixpoint: start from "nothing constructible" and grow.
+  // Each round marks classes whose constructor parameters are all already
+  // producible; mutually recursive constructor signatures stay out (their
+  // reference slots fall back to null at generation time).
+  for (bool Changed = true; Changed;) {
+    Changed = false;
+    for (auto &[Name, Model] : Out.Classes) {
+      if (Model.Constructible)
+        continue;
+      bool Ok = true;
+      for (const Type &Param : Model.CtorParamTypes)
+        if (!Out.producible(Param)) {
+          Ok = false;
+          break;
+        }
+      if (Ok) {
+        Model.Constructible = true;
+        Changed = true;
+      }
+    }
+  }
+  return Out;
+}

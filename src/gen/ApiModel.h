@@ -1,0 +1,97 @@
+//===- gen/ApiModel.h - Public-API model for seed generation ----*- C++ -*-===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The generator's view of a checked module: for every class, its
+/// constructor signature, its invocable public methods, and — when a static
+/// pre-analysis summary is supplied — which fields each method may touch
+/// and whether the touched state is client-controllable.  Extracted once
+/// per generation run from the same ProgramInfo/ModuleSummary the rest of
+/// the pipeline consumes, so the generator can only emit calls that Sema
+/// will accept (RamFuzz's "parameter preparation" step, restated over
+/// MiniJava's closed type system).
+///
+/// Constructibility is a fixpoint: a class is constructible when every
+/// constructor parameter is producible (int, bool, IntArray, or another
+/// constructible class).  Non-constructible reference parameters fall back
+/// to 'null' at generation time — still well-typed, possibly faulting,
+/// and faulting candidates are discarded by the engine's validation run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NARADA_GEN_APIMODEL_H
+#define NARADA_GEN_APIMODEL_H
+
+#include "lang/Sema.h"
+#include "staticrace/StaticSummary.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace narada {
+namespace gen {
+
+/// One invocable method of a modeled class (constructors excluded; the
+/// constructor lives on ClassModel).
+struct MethodApi {
+  std::string Name;
+  std::vector<Type> ParamTypes;
+  Type ReturnType = Type::voidTy();
+  /// "Class.field" names this method may read or write, transitively
+  /// (from the static summary; empty without one).
+  std::set<std::string> TouchedFields;
+  /// True when some touched access has a client-controllable base — the
+  /// static analogue of "this call can participate in a stageable race".
+  bool TouchesControllableState = false;
+};
+
+/// The generator's model of one class.
+struct ClassModel {
+  std::string Name;
+  /// Constructor parameter types ('init'); empty when the class has no
+  /// constructor (plain 'new C()').
+  std::vector<Type> CtorParamTypes;
+  /// Methods a client may invoke, in declaration order.
+  std::vector<MethodApi> Methods;
+  /// Every constructor parameter is producible; see file comment.
+  bool Constructible = false;
+
+  const MethodApi *findMethod(const std::string &Name) const {
+    for (const MethodApi &M : Methods)
+      if (M.Name == Name)
+        return &M;
+    return nullptr;
+  }
+};
+
+/// The full API model of a module.
+struct ApiModel {
+  /// Non-builtin classes by name (ordered, so iteration is deterministic).
+  std::map<std::string, ClassModel> Classes;
+
+  const ClassModel *find(const std::string &Name) const {
+    auto It = Classes.find(Name);
+    return It == Classes.end() ? nullptr : &It->second;
+  }
+
+  /// True when \p Ty can be produced by the generator: primitives and
+  /// IntArray always, class references when the class is constructible.
+  bool producible(const Type &Ty) const;
+};
+
+/// Extracts the model from a checked program.  \p Static, when non-null,
+/// fills TouchedFields/TouchesControllableState from the per-method
+/// summaries; without it those stay empty (generation still works, only
+/// unsteered).
+ApiModel extractApiModel(const ProgramInfo &Info,
+                         const staticrace::ModuleSummary *Static = nullptr);
+
+} // namespace gen
+} // namespace narada
+
+#endif // NARADA_GEN_APIMODEL_H

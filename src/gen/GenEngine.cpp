@@ -1,0 +1,375 @@
+//===- gen/GenEngine.cpp - Generative seed-corpus engine -----------------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/GenEngine.h"
+
+#include "analysis/AccessAnalysis.h"
+#include "gen/ApiModel.h"
+#include "gen/SeedGen.h"
+#include "ir/IR.h"
+#include "lang/ASTPrinter.h"
+#include "obs/Metrics.h"
+#include "obs/Span.h"
+#include "runtime/Execution.h"
+#include "staticrace/LocksetAnalysis.h"
+#include "staticrace/PairClassifier.h"
+#include "support/FaultInjection.h"
+#include "support/ThreadPool.h"
+#include "synth/PairGenerator.h"
+
+#include <algorithm>
+
+using namespace narada;
+using namespace narada::gen;
+
+uint64_t narada::gen::candidateSeed(uint64_t Base, unsigned Round,
+                                    unsigned Index) {
+  // Same shape as pairDerivationSeed: SplitMix64 over base xor coordinates,
+  // so every candidate owns an independent stream regardless of how many
+  // candidates any round emits.
+  uint64_t Z = Base ^ ((static_cast<uint64_t>(Round) << 32) |
+                       (static_cast<uint64_t>(Index) + 1));
+  Z += 0x9e3779b97f4a7c15ULL;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+namespace {
+
+/// A statically suspicious access pair the steering tries to reach: two
+/// controllable accesses to one field, at least one write, not provably
+/// serialized.  Keyed canonically so coverage by a generated RacyPair is a
+/// set lookup.
+struct SteerTarget {
+  std::string SymA, SymB; ///< Entry-method symbols ("Class.method").
+  std::string Key;        ///< Canonical "symA@labelA~symB@labelB".
+};
+
+std::string sideCoord(const std::string &Sym, const std::string &Label) {
+  return Sym + "@" + Label;
+}
+
+std::string targetKey(std::string CoordA, std::string CoordB) {
+  if (CoordB < CoordA)
+    std::swap(CoordA, CoordB);
+  return CoordA + "~" + CoordB;
+}
+
+std::vector<SteerTarget>
+collectSteerTargets(const staticrace::ModuleSummary &Summary,
+                    const std::string &FocusClass) {
+  // Flatten to (entry symbol, access) in deterministic map order, keeping
+  // only controllable accesses of focus-class entry methods (all methods
+  // when unfocused) — the static analogue of "a client can stage this".
+  struct Site {
+    const std::string *Sym;
+    const staticrace::StaticAccess *Access;
+  };
+  std::vector<Site> Sites;
+  for (const auto &[Sym, Method] : Summary.Methods) {
+    if (!FocusClass.empty() &&
+        Sym.rfind(FocusClass + ".", 0) != 0)
+      continue;
+    for (const staticrace::StaticAccess &Access : Method.Accesses)
+      if (Access.Ctrl == staticrace::Controllability::Param)
+        Sites.push_back({&Sym, &Access});
+  }
+
+  std::vector<SteerTarget> Targets;
+  std::set<std::string> Seen;
+  for (size_t I = 0; I < Sites.size(); ++I) {
+    for (size_t J = I; J < Sites.size(); ++J) {
+      const staticrace::StaticAccess &A = *Sites[I].Access;
+      const staticrace::StaticAccess &B = *Sites[J].Access;
+      if (A.FieldClassName != B.FieldClassName || A.Field != B.Field)
+        continue;
+      if (!A.IsWrite && !B.IsWrite)
+        continue;
+      if (staticrace::classifyLabelPair(Summary, *Sites[I].Sym, A.Label,
+                                        *Sites[J].Sym, B.Label) ==
+          staticrace::PairVerdict::MustGuarded)
+        continue;
+      SteerTarget T;
+      T.SymA = *Sites[I].Sym;
+      T.SymB = *Sites[J].Sym;
+      T.Key = targetKey(sideCoord(T.SymA, A.Label), sideCoord(T.SymB, B.Label));
+      if (Seen.insert(T.Key).second)
+        Targets.push_back(std::move(T));
+    }
+  }
+  return Targets;
+}
+
+/// Coverage state of the growing corpus: everything a candidate can be
+/// judged against.  Pair keys are recomputed over the *merged* analysis
+/// because candidate pairs arise from access combinations across seeds.
+struct Coverage {
+  AnalysisResult Merged;
+  std::set<std::string> PairKeys;
+  std::set<std::string> SetterStrs;
+  std::set<std::string> ReturnStrs;
+};
+
+std::set<std::string> pairKeysOf(const AnalysisResult &Analysis,
+                                 const std::string &FocusClass) {
+  PairGenOptions Options;
+  Options.FocusClass = FocusClass;
+  std::set<std::string> Keys;
+  for (const RacyPair &Pair : generatePairs(Analysis, Options))
+    Keys.insert(Pair.key());
+  return Keys;
+}
+
+Coverage coverageOf(AnalysisResult Merged, const std::string &FocusClass) {
+  Coverage Cov;
+  Cov.PairKeys = pairKeysOf(Merged, FocusClass);
+  for (const WriteableAssign &Setter : Merged.Setters)
+    Cov.SetterStrs.insert(Setter.str());
+  for (const ReturnSummary &Ret : Merged.Returns)
+    Cov.ReturnStrs.insert(Ret.str());
+  Cov.Merged = std::move(Merged);
+  return Cov;
+}
+
+/// One emitted candidate awaiting validation.
+struct Candidate {
+  unsigned Round = 0;
+  unsigned Index = 0; ///< Within the round.
+  unsigned Global = 0;
+  std::string Name;
+  std::string Source;
+};
+
+/// What validation decided for one candidate.
+struct Validation {
+  bool Valid = false;
+  std::string Error; ///< Why invalid (empty when Valid).
+  AnalysisResult Analysis;
+};
+
+} // namespace
+
+Result<GenResult> narada::gen::generateSeedCorpus(
+    const std::string &LibrarySource, const GenOptions &Options) {
+  obs::Span GenSpan("pipeline.gen");
+  obs::MetricsRegistry &Metrics = obs::MetricsRegistry::global();
+
+  // Compile once to strip hand-written tests: the zero-seed contract is
+  // that generation sees only the library classes.
+  Result<CompiledProgram> Initial = compileProgram(LibrarySource);
+  if (!Initial)
+    return Error("gen: library does not compile: " + Initial.error().str());
+  std::string LibOnly;
+  for (const auto &Class : Initial->Ast->Classes)
+    LibOnly += printClass(*Class) + "\n";
+
+  Result<CompiledProgram> Lib = compileProgram(LibOnly);
+  if (!Lib)
+    return Error("gen: internal: stripped library failed to recompile: " +
+                 Lib.error().str());
+  const ProgramInfo &Info = *Lib->Info;
+
+  staticrace::ModuleSummary Summary;
+  std::vector<SteerTarget> Targets;
+  if (Options.StaticSteering) {
+    Summary = staticrace::summarizeModule(*Lib->Module);
+    Targets = collectSteerTargets(Summary, Options.FocusClass);
+  }
+  Metrics.counter("gen.static_targets").inc(Targets.size());
+
+  ApiModel Model =
+      extractApiModel(Info, Options.StaticSteering ? &Summary : nullptr);
+
+  SeedGenOptions SeedOptions;
+  SeedOptions.FocusClass = Options.FocusClass;
+  SeedOptions.MaxCalls = Options.MaxCalls;
+
+  GenResult Out;
+  Coverage Cov;
+  std::vector<AnalysisResult> KeptAnalyses; // parallel to Out.Seeds
+  std::set<std::string> CoveredTargets;
+
+  ThreadPool Pool(resolveJobs(Options.Jobs));
+
+  for (unsigned Round = 0; Round < Options.Rounds; ++Round) {
+    Metrics.counter("gen.rounds").inc();
+
+    // Steering: entry methods of still-uncovered targets weigh more, so
+    // later rounds spend their budget where the static analysis says a
+    // race may hide that no generated pair reaches yet.
+    MethodWeights Weights;
+    for (const SteerTarget &T : Targets) {
+      if (CoveredTargets.count(T.Key))
+        continue;
+      Weights[T.SymA] += 4;
+      Weights[T.SymB] += 4;
+    }
+
+    // Emit phase: serial, one private split RNG per candidate, so the
+    // candidate texts depend only on (Seed, Round, Index).
+    std::vector<Candidate> Candidates;
+    for (unsigned I = 0; I < Options.Budget; ++I) {
+      unsigned Global = Round * Options.Budget + I;
+      Candidate C;
+      C.Round = Round;
+      C.Index = I;
+      C.Global = Global;
+      C.Name =
+          "gen_r" + std::to_string(Round) + "_c" + std::to_string(I);
+      try {
+        fault::ScopedUnit Unit(Global);
+        fault::probe("gen.emit");
+        RNG R(candidateSeed(Options.Seed, Round, I));
+        // The first two candidates of every round are API sweeps — the
+        // construct-populate-exercise shape hand-written suites have,
+        // which random chains only reach by luck.  Argument pooling still
+        // varies with the candidate RNG, so sweeps differ across rounds.
+        C.Source = I < 2 ? generateSweepSeedTest(Model, SeedOptions, C.Name, R)
+                         : generateSeedTest(Model, SeedOptions, Weights,
+                                            C.Name, R);
+      } catch (const std::exception &Ex) {
+        Out.Quarantined.push_back({Round, Global, "emit", Ex.what()});
+        continue;
+      }
+      Metrics.counter("gen.candidates").inc();
+      Candidates.push_back(std::move(C));
+    }
+
+    // Validate phase: parallel compile+run, committed in candidate order
+    // below — the same fan-out/serial-commit split runSynthesisStage uses,
+    // so the corpus is byte-identical at every job count.
+    std::vector<Validation> Checks(Candidates.size());
+    std::vector<ThreadPool::TaskFailure> Failures =
+        Pool.parallelFor(Candidates.size(), [&](size_t Idx, unsigned) {
+          const Candidate &C = Candidates[Idx];
+          fault::ScopedUnit Unit(C.Global);
+          fault::probe("gen.run");
+          Validation &V = Checks[Idx];
+          Result<CompiledProgram> Compiled =
+              compileProgram(LibOnly + "\n" + C.Source);
+          if (!Compiled) {
+            V.Error = "does not compile: " + Compiled.error().str();
+            return;
+          }
+          Result<TestRun> Run = runTestSequential(*Compiled->Module, C.Name);
+          if (!Run) {
+            V.Error = "failed to run: " + Run.error().str();
+            return;
+          }
+          if (Run->Result.Faulted || Run->Result.Deadlocked ||
+              Run->Result.HitStepLimit) {
+            V.Error = Run->Result.Faulted ? "faulted"
+                      : Run->Result.Deadlocked ? "deadlocked"
+                                               : "hit step limit";
+            return;
+          }
+          V.Analysis = analyzeTrace(Run->TheTrace, *Compiled->Info);
+          V.Valid = true;
+        });
+    for (ThreadPool::TaskFailure &F : Failures) {
+      const Candidate &C = Candidates[F.Item];
+      Checks[F.Item] = Validation{}; // Partial state is not trusted.
+      Out.Quarantined.push_back(
+          {Round, C.Global, "run", describeException(F.Error)});
+    }
+
+    // Commit phase: walk candidates in emission order; keep one iff its
+    // analysis grows the merged pair-key set or the setter/return material
+    // the context deriver mines.
+    for (size_t Idx = 0; Idx < Candidates.size(); ++Idx) {
+      const Candidate &C = Candidates[Idx];
+      Validation &V = Checks[Idx];
+      if (!V.Valid) {
+        if (!V.Error.empty())
+          Metrics.counter("gen.candidates_faulty").inc();
+        continue;
+      }
+      Metrics.counter("gen.candidates_valid").inc();
+
+      AnalysisResult Tentative = Cov.Merged;
+      Tentative.merge(V.Analysis);
+      Coverage Next = coverageOf(std::move(Tentative), Options.FocusClass);
+      if (Next.PairKeys.size() == Cov.PairKeys.size() &&
+          Next.SetterStrs.size() == Cov.SetterStrs.size() &&
+          Next.ReturnStrs.size() == Cov.ReturnStrs.size()) {
+        Metrics.counter("gen.candidates_redundant").inc();
+        continue;
+      }
+      Cov = std::move(Next);
+      Out.Seeds.push_back({C.Name, C.Source});
+      KeptAnalyses.push_back(std::move(V.Analysis));
+    }
+
+    // Steering update: mark targets some generated pair now reaches.
+    if (!Targets.empty()) {
+      PairGenOptions PairOptions;
+      PairOptions.FocusClass = Options.FocusClass;
+      std::set<std::string> PairCoords;
+      for (const RacyPair &Pair : generatePairs(Cov.Merged, PairOptions))
+        PairCoords.insert(targetKey(
+            sideCoord(methodSymbol(Pair.First.ClassName, Pair.First.Method),
+                      Pair.First.AccessLabel),
+            sideCoord(methodSymbol(Pair.Second.ClassName, Pair.Second.Method),
+                      Pair.Second.AccessLabel)));
+      for (const SteerTarget &T : Targets)
+        if (PairCoords.count(T.Key))
+          CoveredTargets.insert(T.Key);
+    }
+  }
+
+  // Reduction: greedy backward elimination.  A seed is dropped only when
+  // the remaining corpus covers the identical pair/setter/return sets, so
+  // reduction can never shrink coverage (tests/property_test.cpp).
+  if (Options.Reduce && Out.Seeds.size() > 1) {
+    for (size_t Victim = Out.Seeds.size(); Victim-- > 0;) {
+      if (Out.Seeds.size() == 1)
+        break;
+      AnalysisResult Without;
+      for (size_t I = 0; I < KeptAnalyses.size(); ++I)
+        if (I != Victim)
+          Without.merge(KeptAnalyses[I]);
+      Coverage Reduced = coverageOf(std::move(Without), Options.FocusClass);
+      if (Reduced.PairKeys == Cov.PairKeys &&
+          Reduced.SetterStrs == Cov.SetterStrs &&
+          Reduced.ReturnStrs == Cov.ReturnStrs) {
+        Out.Seeds.erase(Out.Seeds.begin() + Victim);
+        KeptAnalyses.erase(KeptAnalyses.begin() + Victim);
+        Cov = std::move(Reduced);
+        Metrics.counter("gen.seeds_reduced").inc();
+      }
+    }
+  }
+
+  Out.CorpusSource = LibOnly;
+  for (const GenSeed &Seed : Out.Seeds) {
+    Out.CorpusSource += "\n" + Seed.Source;
+    Out.SeedNames.push_back(Seed.Name);
+  }
+  Out.PairKeys = Cov.PairKeys;
+  Out.StaticTargets = static_cast<unsigned>(Targets.size());
+  Out.StaticTargetsCovered = static_cast<unsigned>(CoveredTargets.size());
+
+  std::sort(Out.Quarantined.begin(), Out.Quarantined.end(),
+            [](const GenQuarantine &A, const GenQuarantine &B) {
+              return A.Candidate < B.Candidate;
+            });
+
+  Metrics.counter("gen.seeds_kept").inc(Out.Seeds.size());
+  Metrics.counter("gen.pairs_covered").inc(Out.PairKeys.size());
+  Metrics.counter("gen.static_targets_covered").inc(Out.StaticTargetsCovered);
+  Metrics.counter("gen.quarantined").inc(Out.Quarantined.size());
+
+  // The kept candidates compiled individually; one final compile of the
+  // assembled corpus keeps the contract airtight before runNarada sees it.
+  if (!Out.Seeds.empty()) {
+    Result<CompiledProgram> Final = compileProgram(Out.CorpusSource);
+    if (!Final)
+      return Error("gen: internal: assembled corpus failed to compile: " +
+                   Final.error().str());
+  }
+  return Out;
+}

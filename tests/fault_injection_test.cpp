@@ -14,6 +14,7 @@
 
 #include "corpus/Corpus.h"
 #include "detect/Detection.h"
+#include "gen/GenEngine.h"
 #include "obs/Metrics.h"
 #include "support/FaultInjection.h"
 #include "support/ThreadPool.h"
@@ -577,4 +578,83 @@ TEST(WatchdogTest, WallClockBudgetOffByDefault) {
   Result<TestDetectionResult> R = detectRacesInTest(*P.Module, "t", Options);
   ASSERT_TRUE(R.hasValue());
   EXPECT_FALSE(R->Quarantined) << R->QuarantineReason;
+}
+
+//===----------------------------------------------------------------------===//
+// Seed-generation probe sites
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class GenFaultSweepTest : public FaultInjectionTest {};
+
+Result<gen::GenResult> genCorpus(const CorpusEntry &Entry, unsigned Jobs) {
+  gen::GenOptions Options;
+  Options.FocusClass = Entry.ClassName;
+  Options.Jobs = Jobs;
+  return gen::generateSeedCorpus(Entry.Source, Options);
+}
+
+} // namespace
+
+// A fault injected while emitting or validating one candidate costs
+// exactly that candidate: the run completes, the loss is recorded as a
+// quarantine entry naming the stage, and the surviving corpus is still
+// byte-identical between jobs 1 and 4.
+TEST_F(GenFaultSweepTest, EmitAndRunSitesDegradeToQuarantine) {
+  const CorpusEntry *Entry = findCorpusEntry("C9");
+  ASSERT_NE(Entry, nullptr);
+
+  fault::disarm();
+  fault::resetRegistry();
+  Result<gen::GenResult> Clean = genCorpus(*Entry, 1);
+  ASSERT_TRUE(Clean.hasValue()) << Clean.error().str();
+  EXPECT_TRUE(Clean->Quarantined.empty());
+  EXPECT_FALSE(Clean->Seeds.empty());
+
+  struct SiteCase {
+    const char *Site;
+    const char *Stage;
+  };
+  for (SiteCase Case : {SiteCase{"gen.emit", "emit"},
+                        SiteCase{"gen.run", "run"}}) {
+    SCOPED_TRACE(Case.Site);
+    std::optional<uint64_t> Unit = fault::minUnitOf(Case.Site);
+    ASSERT_TRUE(Unit.has_value())
+        << "probe site was never reached under a unit scope on a clean run";
+
+    uint64_t QuarantinedBefore = counterNow("gen.quarantined");
+    fault::arm(Case.Site, *Unit);
+    Result<gen::GenResult> Serial = genCorpus(*Entry, 1);
+    Result<gen::GenResult> Parallel = genCorpus(*Entry, 4);
+    fault::disarm();
+    ASSERT_TRUE(Serial.hasValue()) << Serial.error().str();
+    ASSERT_TRUE(Parallel.hasValue()) << Parallel.error().str();
+
+    // Partial, not lost: generation still produced a usable corpus.
+    EXPECT_FALSE(Serial->Seeds.empty());
+    // Byte-identical degradation at every job count.
+    EXPECT_EQ(Serial->CorpusSource, Parallel->CorpusSource);
+    EXPECT_EQ(Serial->SeedNames, Parallel->SeedNames);
+    EXPECT_EQ(Serial->PairKeys, Parallel->PairKeys);
+
+    // Exactly the injected candidate was quarantined, at the right stage,
+    // with the injection message preserved — in both runs.
+    for (const Result<gen::GenResult> *Run : {&Serial, &Parallel}) {
+      ASSERT_EQ((*Run)->Quarantined.size(), 1u);
+      const gen::GenQuarantine &Q = (*Run)->Quarantined.front();
+      EXPECT_EQ(Q.Candidate, *Unit);
+      EXPECT_EQ(Q.Stage, Case.Stage);
+      EXPECT_NE(Q.Message.find("injected fault"), std::string::npos)
+          << Q.Message;
+      EXPECT_NE(Q.Message.find(Case.Site), std::string::npos) << Q.Message;
+    }
+    EXPECT_EQ(counterNow("gen.quarantined"), QuarantinedBefore + 2);
+  }
+
+  // No sticky state: a clean rerun replays the baseline corpus.
+  Result<gen::GenResult> Again = genCorpus(*Entry, 4);
+  ASSERT_TRUE(Again.hasValue()) << Again.error().str();
+  EXPECT_EQ(Again->CorpusSource, Clean->CorpusSource);
+  EXPECT_TRUE(Again->Quarantined.empty());
 }

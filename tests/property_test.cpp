@@ -22,10 +22,15 @@
 //      loop exactly on randomized shape sets — same decisions, dense test
 //      numbering, and synthesis attempted for precisely the pairs the
 //      serial loop would attempt.
+//  P9. Reduction safety: the generated-corpus reducer never shrinks the
+//      covered access-pair set, and only ever drops seeds.
+// P10. Generative replay: regenerating with the same seed after reduction
+//      reproduces the reduced corpus byte for byte.
 //
 //===----------------------------------------------------------------------===//
 
 #include "corpus/Corpus.h"
+#include "gen/GenEngine.h"
 #include "lang/ASTPrinter.h"
 #include "lang/Parser.h"
 #include "runtime/Execution.h"
@@ -325,3 +330,66 @@ TEST_P(MergeSweep, PairSeedsAreStableAndDecorrelated) {
 INSTANTIATE_TEST_SUITE_P(Seeds, MergeSweep,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10,
                                            1234, 99991));
+
+//===----------------------------------------------------------------------===//
+// P9/P10: generated seed corpus properties
+//===----------------------------------------------------------------------===//
+
+namespace {
+class GenSweep : public ::testing::TestWithParam<std::string> {};
+} // namespace
+
+// P9: reduction is a pure subset operation on the kept seeds and an
+// identity on the covered pair set.
+TEST_P(GenSweep, ReductionNeverShrinksPairCoverage) {
+  const CorpusEntry *Entry = findCorpusEntry(GetParam());
+  ASSERT_TRUE(Entry);
+  gen::GenOptions Options;
+  Options.FocusClass = Entry->ClassName;
+
+  Options.Reduce = false;
+  Result<gen::GenResult> Full = gen::generateSeedCorpus(Entry->Source, Options);
+  Options.Reduce = true;
+  Result<gen::GenResult> Reduced =
+      gen::generateSeedCorpus(Entry->Source, Options);
+  ASSERT_TRUE(Full.hasValue()) << Full.error().str();
+  ASSERT_TRUE(Reduced.hasValue()) << Reduced.error().str();
+
+  EXPECT_EQ(Full->PairKeys, Reduced->PairKeys);
+  EXPECT_LE(Reduced->Seeds.size(), Full->Seeds.size());
+
+  // Every surviving seed is one of the unreduced seeds, unchanged and in
+  // the same relative order (the reducer only erases).
+  size_t Cursor = 0;
+  for (const gen::GenSeed &Kept : Reduced->Seeds) {
+    while (Cursor < Full->Seeds.size() &&
+           Full->Seeds[Cursor].Name != Kept.Name)
+      ++Cursor;
+    ASSERT_LT(Cursor, Full->Seeds.size()) << "seed not in unreduced corpus";
+    EXPECT_EQ(Full->Seeds[Cursor].Source, Kept.Source) << Kept.Name;
+    ++Cursor;
+  }
+}
+
+// P10: generation is a pure function of (source, options) — running it
+// again after a reduced run replays the identical reduced corpus.
+TEST_P(GenSweep, SameSeedRegenerationReplaysReducedCorpus) {
+  const CorpusEntry *Entry = findCorpusEntry(GetParam());
+  ASSERT_TRUE(Entry);
+  gen::GenOptions Options;
+  Options.FocusClass = Entry->ClassName;
+  Result<gen::GenResult> A = gen::generateSeedCorpus(Entry->Source, Options);
+  Result<gen::GenResult> B = gen::generateSeedCorpus(Entry->Source, Options);
+  ASSERT_TRUE(A.hasValue()) << A.error().str();
+  ASSERT_TRUE(B.hasValue()) << B.error().str();
+  EXPECT_EQ(A->CorpusSource, B->CorpusSource);
+  EXPECT_EQ(A->SeedNames, B->SeedNames);
+  EXPECT_EQ(A->PairKeys, B->PairKeys);
+  ASSERT_EQ(A->Seeds.size(), B->Seeds.size());
+  for (size_t I = 0; I < A->Seeds.size(); ++I)
+    EXPECT_EQ(A->Seeds[I].Source, B->Seeds[I].Source) << A->Seeds[I].Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Classes, GenSweep,
+                         ::testing::Values("C1", "C8", "C9"),
+                         [](const auto &Info) { return Info.param; });

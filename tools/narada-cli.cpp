@@ -43,6 +43,7 @@
 #include "detect/LockOrderDetector.h"
 #include "corpus/Corpus.h"
 #include "detect/Detection.h"
+#include "gen/GenEngine.h"
 #include "obs/RunReport.h"
 #include "obs/Span.h"
 #include "staticrace/LocksetAnalysis.h"
@@ -97,6 +98,9 @@ struct CliArgs {
   bool StaticPrefilter = false;      ///< --static-prefilter.
   bool StaticRank = false;           ///< --static-rank.
   bool StaticOnly = false;           ///< --static-only: triage, no seeds.
+  bool GenSeeds = false;             ///< --gen-seeds: synthesize the seeds.
+  unsigned GenRounds = 2;            ///< --gen-rounds.
+  unsigned GenBudget = 16;           ///< --gen-budget (candidates/round).
 };
 
 int usage() {
@@ -125,6 +129,12 @@ int usage() {
       "  --static-rank         synthesize most-racy candidates first\n"
       "  --static-only         classify pairs purely statically and print\n"
       "                        the triage listing (no seed tests needed)\n"
+      "seed generation flags (see docs/GENERATION.md):\n"
+      "  --gen-seeds           generate the seed suite instead of using\n"
+      "                        hand-written seeds (strips existing tests;\n"
+      "                        applies to analyze/synthesize/detect)\n"
+      "  --gen-rounds N        generation rounds (default 2)\n"
+      "  --gen-budget N        candidate tests per round (default 16)\n"
       "scheduling flags (see docs/EXPLORATION.md):\n"
       "  --policy P            scheduler for `run` (default random):\n"
       "                        %s\n"
@@ -228,6 +238,22 @@ std::optional<CliArgs> parseArgs(int Argc, char **Argv) {
       Args.StaticRank = true;
     } else if (Arg == "--static-only") {
       Args.StaticOnly = true;
+    } else if (Arg == "--gen-seeds") {
+      Args.GenSeeds = true;
+    } else if (Arg == "--gen-rounds" && I + 1 < Argc) {
+      const char *Value = Argv[++I];
+      if (!parsePositiveCount(Value, Args.GenRounds))
+        std::fprintf(stderr,
+                     "warning: ignoring invalid --gen-rounds '%s' "
+                     "(keeping %u)\n",
+                     Value, Args.GenRounds);
+    } else if (Arg == "--gen-budget" && I + 1 < Argc) {
+      const char *Value = Argv[++I];
+      if (!parsePositiveCount(Value, Args.GenBudget))
+        std::fprintf(stderr,
+                     "warning: ignoring invalid --gen-budget '%s' "
+                     "(keeping %u)\n",
+                     Value, Args.GenBudget);
     } else if (Arg == "--stats") {
       Args.Stats = true;
     } else if (Arg.rfind("--", 0) == 0) {
@@ -589,6 +615,11 @@ void emitObservability(const CliArgs &Args) {
     Meta.addOption("static_rank", "1");
   if (Args.StaticOnly)
     Meta.addOption("static_only", "1");
+  if (Args.GenSeeds) {
+    Meta.addOption("gen_seeds", "1");
+    Meta.addOption("gen_rounds", std::to_string(Args.GenRounds));
+    Meta.addOption("gen_budget", std::to_string(Args.GenBudget));
+  }
   if (Args.Command == "contege")
     Meta.addOption("tests", std::to_string(Args.Tests));
   if (Args.Command == "run")
@@ -622,7 +653,7 @@ void emitObservability(const CliArgs &Args) {
     obs::printRunStats(stderr, obs::MetricsRegistry::global().snapshot());
 }
 
-int runCommand(CliArgs &Args, const std::string &Source) {
+int runCommand(CliArgs &Args, std::string Source) {
   if (Args.StaticOnly) {
     if (Args.Command == "analyze" || Args.Command == "synthesize" ||
         Args.Command == "detect")
@@ -630,6 +661,37 @@ int runCommand(CliArgs &Args, const std::string &Source) {
     std::fprintf(stderr,
                  "--static-only applies to analyze/synthesize/detect\n");
     return 2;
+  }
+  if (Args.GenSeeds) {
+    if (Args.Command != "analyze" && Args.Command != "synthesize" &&
+        Args.Command != "detect") {
+      std::fprintf(stderr,
+                   "--gen-seeds applies to analyze/synthesize/detect\n");
+      return 2;
+    }
+    gen::GenOptions Options;
+    Options.FocusClass = Args.FocusClass;
+    Options.Seed = Args.Seed;
+    Options.Rounds = Args.GenRounds;
+    Options.Budget = Args.GenBudget;
+    Options.Jobs = Args.Jobs;
+    Result<gen::GenResult> Gen = gen::generateSeedCorpus(Source, Options);
+    if (!Gen) {
+      std::fprintf(stderr, "error: %s\n", Gen.error().str().c_str());
+      return 1;
+    }
+    std::printf("// gen: %zu seeds kept, %zu candidate pairs covered, "
+                "%u/%u static targets reached, %zu quarantined\n",
+                Gen->Seeds.size(), Gen->PairKeys.size(),
+                Gen->StaticTargetsCovered, Gen->StaticTargets,
+                Gen->Quarantined.size());
+    for (const gen::GenQuarantine &Q : Gen->Quarantined)
+      std::fprintf(stderr, "gen: candidate %u quarantined at %s: %s\n",
+                   Q.Candidate, Q.Stage.c_str(), Q.Message.c_str());
+    // The generated corpus replaces both the source (hand tests are
+    // stripped) and the seed list for the downstream command.
+    Source = Gen->CorpusSource;
+    Args.Names = Gen->SeedNames;
   }
   if (Args.Command == "run")
     return cmdRun(Args, Source);

@@ -2,7 +2,7 @@
 """Compare two narada run reports (narada.run_report/v1 JSON documents).
 
 Usage: report-diff.py BASELINE.json CURRENT.json
-           [--threshold PCT] [--races] [--races-only]
+           [--threshold PCT] [--races] [--races-only] [--recall]
 
 Prints every phase whose wall time regressed by more than the threshold
 (default 10%) and summarizes counter drift.  Exit status: 0 when no phase
@@ -21,6 +21,16 @@ counter diff is skipped entirely and the exit status reflects race-set
 identity alone — the mode for the CI prefilter-soundness sweep, which
 compares runs whose phase timings legitimately differ (different job
 counts, sub-millisecond phases) and cares only that the races match.
+
+With --recall (composes with --races/--races-only) the race comparison is
+one-sided: every baseline race key must appear in the current report, but
+races only the current report finds are printed as notes, never failures.
+This is the generated-seed-corpus gate — a corpus synthesized from the API
+model must reproduce the hand-written suite's races (recall), while the
+extra races generation reaches are the point of the feature, not drift.
+Reproduced flags are not compared in recall mode: whether a race could be
+*confirmed* under the confirmation scheduler may differ between seed
+suites that stage the race through different contexts.
 
 Reports may legitimately have different phase sets — a --jobs 4 run has
 per-worker spans (pipeline.synth.worker0...) that a --jobs 1 run lacks,
@@ -226,6 +236,30 @@ def diff_races(base, cur):
     return mismatches
 
 
+def diff_race_recall(base, cur):
+    """One-sided race comparison for the generated-seed-corpus gate.
+
+    Returns (failures, extras): failures lists baseline races the current
+    report misses (recall violations); extras lists races only the current
+    report finds, which are informational — a generated corpus reaching
+    states the hand-written suite never staged is the feature working.
+    Reproduced flags are not compared (see module docstring).
+    """
+    base_races = race_flags(base)
+    cur_races = race_flags(cur)
+    if base_races is None or cur_races is None:
+        missing = [where for where, flags in
+                   (("baseline", base_races), ("current", cur_races))
+                   if flags is None]
+        return ([f"no 'races' member in {where} report" for where in missing],
+                [])
+    failures = [f"baseline race not recalled: {key}"
+                for key in sorted(base_races) if key not in cur_races]
+    extras = [f"race only in current: {key}"
+              for key in sorted(cur_races) if key not in base_races]
+    return failures, extras
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
@@ -240,6 +274,10 @@ def main():
         "--races-only", action="store_true",
         help="compare only race sets; skip the phase/counter diff and base "
              "the exit status on race-set identity alone")
+    parser.add_argument(
+        "--recall", action="store_true",
+        help="one-sided race comparison: baseline races must all appear in "
+             "current; extra current races are notes, not failures")
     args = parser.parse_args()
 
     base = load_report(args.baseline)
@@ -287,12 +325,23 @@ def main():
 
     race_mismatches = []
     if args.races or args.races_only:
-        race_mismatches = diff_races(base, cur)
+        if args.recall:
+            race_mismatches, extra = diff_race_recall(base, cur)
+            for line in extra:
+                print(f"note: {line}", file=sys.stderr)
+            if not race_mismatches:
+                covered = len(race_flags(base) or {})
+                print(f"race recall complete ({covered} baseline races, "
+                      f"{len(extra)} extra in current)")
+        else:
+            race_mismatches = diff_races(base, cur)
         if race_mismatches:
-            print(f"race set mismatches ({len(race_mismatches)}):")
+            label = "race recall failures" if args.recall \
+                else "race set mismatches"
+            print(f"{label} ({len(race_mismatches)}):")
             for line in race_mismatches:
                 print(f"  {line}")
-        else:
+        elif not args.recall:
             count = len(race_flags(base))
             print(f"race sets identical ({count} races)")
 
