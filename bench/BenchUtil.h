@@ -15,9 +15,12 @@
 #define NARADA_BENCH_BENCHUTIL_H
 
 #include "corpus/Corpus.h"
+#include "detect/DetectWorker.h"
 #include "detect/Detection.h"
+#include "obs/Metrics.h"
 #include "obs/RunReport.h"
 #include "support/Env.h"
+#include "support/ProcessPool.h"
 #include "support/StringUtils.h"
 #include "support/ThreadPool.h"
 #include "synth/Narada.h"
@@ -51,6 +54,10 @@ struct ClassRun {
   /// partial results still count above, but a non-zero value means the
   /// table's numbers are a lower bound — see docs/ROBUSTNESS.md.
   unsigned Quarantined = 0;
+  /// Worker-subprocess deaths contained during this class's detection and
+  /// the respawns they cost (non-zero only under NARADA_ISOLATE=1).
+  uint64_t WorkerCrashes = 0;
+  uint64_t WorkerRespawns = 0;
 };
 
 /// Worker-thread count for the bench drivers: the NARADA_JOBS env var
@@ -59,6 +66,18 @@ struct ClassRun {
 /// the serial default with a warning rather than escalating to 0/"all"
 /// (env::jobs's policy — shared with narada-cli).
 inline unsigned benchJobs() { return env::jobs(); }
+
+/// Process-isolation options for the bench drivers: the NARADA_ISOLATE env
+/// hook (shared with narada-cli; see docs/ROBUSTNESS.md).  Workers exec the
+/// narada-cli binary, whose build path CMake pins via NARADA_CLI_PATH.
+inline pool::IsolateOptions benchIsolate() {
+  pool::IsolateOptions Iso;
+  Iso.Enabled = env::isolate(false);
+#ifdef NARADA_CLI_PATH
+  Iso.WorkerExe = NARADA_CLI_PATH;
+#endif
+  return Iso;
+}
 
 /// Runs synthesis for one class; aborts the process with a message on
 /// pipeline errors (benchmarks are not expected to handle them).
@@ -75,6 +94,8 @@ inline ClassRun runSynthesis(const CorpusEntry &Entry,
   NaradaOptions Options = Extra;
   Options.FocusClass = Entry.ClassName;
   Options.Jobs = JobsOverride ? *JobsOverride : benchJobs();
+  if (!Options.Isolate.Enabled)
+    Options.Isolate = benchIsolate();
 
   Result<NaradaResult> R = runNarada(Entry.Source, Entry.SeedNames, Options);
   if (!R) {
@@ -101,8 +122,15 @@ inline void runDetection(ClassRun &Run, const DetectOptions &Options) {
   std::vector<TestDetectJob> Jobs;
   for (const SynthesizedTestInfo &T : Run.Narada.Tests)
     Jobs.push_back({T.Name, T.CandidateLabels});
+  detectworker::DetectIsolateContext Iso;
+  Iso.Isolate = benchIsolate();
+  Iso.FinalSource = Run.Narada.FinalSource;
+  // pool.* counters accumulate across classes in one bench process; the
+  // per-class numbers are the deltas around this sweep.
+  obs::MetricsSnapshot Before = obs::MetricsRegistry::global().snapshot();
   Result<std::vector<TestDetectionResult>> Results = detectRacesInTests(
-      *Run.Narada.Program.Module, Jobs, Options, benchJobs());
+      *Run.Narada.Program.Module, Jobs, Options, benchJobs(),
+      Iso.Isolate.Enabled ? &Iso : nullptr);
   if (!Results) {
     std::fprintf(stderr, "%s: detection error: %s\n", Run.Entry->Id.c_str(),
                  Results.error().str().c_str());
@@ -131,6 +159,18 @@ inline void runDetection(ClassRun &Run, const DetectOptions &Options) {
     }
     Run.RacesPerTest.push_back(static_cast<unsigned>(PerTest.size()));
   }
+  obs::MetricsSnapshot After = obs::MetricsRegistry::global().snapshot();
+  Run.WorkerCrashes = After.counter("pool.workers_crashed") -
+                      Before.counter("pool.workers_crashed");
+  Run.WorkerRespawns = After.counter("pool.workers_respawned") -
+                       Before.counter("pool.workers_respawned");
+  if (Run.WorkerCrashes || Run.WorkerRespawns)
+    std::fprintf(stderr,
+                 "%s: note: %llu worker crash(es) contained, "
+                 "%llu respawn(s); table numbers are a lower bound\n",
+                 Run.Entry->Id.c_str(),
+                 static_cast<unsigned long long>(Run.WorkerCrashes),
+                 static_cast<unsigned long long>(Run.WorkerRespawns));
 }
 
 /// Phase-1 schedule source for the bench drivers: the NARADA_EXPLORE env

@@ -8,6 +8,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchUtil.h"
+
 #include "analysis/AccessAnalysis.h"
 #include "corpus/Corpus.h"
 #include "detect/Detection.h"
@@ -77,6 +79,23 @@ void BM_FullSynthesis(benchmark::State &State) {
   State.SetLabel(Entry.Id);
 }
 
+// The same full pipeline with every per-pair unit dispatched to a
+// crash-isolated worker subprocess: the delta against BM_FullSynthesis is
+// the isolation overhead recorded in EXPERIMENTS.md (docs/ROBUSTNESS.md).
+void BM_FullSynthesisIsolated(benchmark::State &State) {
+  const CorpusEntry &Entry = entryFor(static_cast<int>(State.range(0)));
+  NaradaOptions Options;
+  Options.FocusClass = Entry.ClassName;
+  Options.Isolate = bench::benchIsolate();
+  Options.Isolate.Enabled = true;
+  for (auto _ : State) {
+    Result<NaradaResult> R =
+        runNarada(Entry.Source, Entry.SeedNames, Options);
+    benchmark::DoNotOptimize(R.hasValue());
+  }
+  State.SetLabel(Entry.Id);
+}
+
 void BM_DetectOneTest(benchmark::State &State) {
   const CorpusEntry &Entry = entryFor(static_cast<int>(State.range(0)));
   NaradaOptions Options;
@@ -113,6 +132,10 @@ BENCHMARK(BM_PairGeneration)
     ->Arg(5)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_FullSynthesis)
+    ->Arg(0)
+    ->Arg(5)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FullSynthesisIsolated)
     ->Arg(0)
     ->Arg(5)
     ->Unit(benchmark::kMillisecond);

@@ -1,0 +1,263 @@
+//===- detect/DetectWorker.cpp - Isolated detection worker service -------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/DetectWorker.h"
+
+#include "obs/Log.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+#include "support/FaultInjection.h"
+#include "support/StringUtils.h"
+
+#include <new>
+#include <utility>
+
+using namespace narada;
+using namespace narada::detectworker;
+
+std::string detectworker::encodeSetup(const DetectIsolateContext &Iso,
+                                      const DetectOptions &Options) {
+  wire::RecordWriter W;
+  W.add("mode", "detect");
+  W.add("source", Iso.FinalSource);
+  W.add("replay_path", Iso.ReplayPath);
+  W.add("random_runs", static_cast<uint64_t>(Options.RandomRuns));
+  W.add("confirm_attempts", static_cast<uint64_t>(Options.ConfirmAttempts));
+  W.add("base_seed", Options.BaseSeed);
+  W.add("max_steps", Options.MaxSteps);
+  W.addBool("use_hb", Options.UseHB);
+  W.addBool("use_lockset", Options.UseLockSet);
+  W.add("explore_mode", explorationModeName(Options.Mode));
+  W.add("explore_max_schedules",
+        static_cast<uint64_t>(Options.Explore.MaxSchedules));
+  W.add("explore_max_preemptions",
+        static_cast<uint64_t>(Options.Explore.MaxPreemptions));
+  W.addDouble("explore_wall_budget", Options.Explore.WallBudgetSeconds);
+  W.add("witness_dir", Options.WitnessDir);
+  W.add("step_limit_retries",
+        static_cast<uint64_t>(Options.StepLimitRetries));
+  W.add("step_budget_escalation", Options.StepBudgetEscalation);
+  W.addDouble("wall_budget_seconds", Options.WallBudgetSeconds);
+  return W.str();
+}
+
+std::string detectworker::encodeUnit(size_t Unit, const TestDetectJob &Job) {
+  wire::RecordWriter W;
+  W.add("op", "test");
+  W.add("unit", static_cast<uint64_t>(Unit));
+  W.add("test", Job.TestName);
+  for (const auto &[First, Second] : Job.Hints) {
+    W.add("hint_first", First);
+    W.add("hint_second", Second);
+  }
+  return W.str();
+}
+
+namespace {
+
+/// One RaceReport as a nested record (escaped into a single value of the
+/// enclosing reply).
+std::string encodeRaceReport(const RaceReport &R) {
+  wire::RecordWriter W;
+  W.add("detector", R.Detector);
+  W.add("class", R.ClassName);
+  W.add("field", R.Field);
+  W.add("obj", static_cast<uint64_t>(R.Obj));
+  W.addBool("is_elem", R.IsElem);
+  W.add("elem_index", static_cast<uint64_t>(R.ElemIndex));
+  W.add("first_label", R.FirstLabel);
+  W.add("second_label", R.SecondLabel);
+  W.add("static_verdict", R.StaticVerdict);
+  W.add("first_thread", static_cast<uint64_t>(R.FirstThread));
+  W.add("second_thread", static_cast<uint64_t>(R.SecondThread));
+  W.addBool("first_is_write", R.FirstIsWrite);
+  W.addBool("second_is_write", R.SecondIsWrite);
+  return W.str();
+}
+
+RaceReport decodeRaceReport(const wire::RecordReader &In) {
+  RaceReport R;
+  R.Detector = In.getOr("detector", "");
+  R.ClassName = In.getOr("class", "");
+  R.Field = In.getOr("field", "");
+  R.Obj = static_cast<ObjectId>(In.getU64("obj", NoObject));
+  R.IsElem = In.getBool("is_elem");
+  R.ElemIndex = static_cast<unsigned>(In.getU64("elem_index"));
+  R.FirstLabel = In.getOr("first_label", "");
+  R.SecondLabel = In.getOr("second_label", "");
+  R.StaticVerdict = In.getOr("static_verdict", "");
+  R.FirstThread = static_cast<ThreadId>(In.getU64("first_thread"));
+  R.SecondThread = static_cast<ThreadId>(In.getU64("second_thread"));
+  R.FirstIsWrite = In.getBool("first_is_write");
+  R.SecondIsWrite = In.getBool("second_is_write");
+  return R;
+}
+
+} // namespace
+
+void detectworker::encodeDetectResult(wire::RecordWriter &Out,
+                                      const TestDetectionResult &Result) {
+  Out.addBool("saw_fault", Result.SawFault);
+  Out.addBool("saw_deadlock", Result.SawDeadlock);
+  Out.addBool("saw_step_limit", Result.SawStepLimit);
+  Out.addBool("quarantined", Result.Quarantined);
+  Out.add("quarantine_reason", Result.QuarantineReason);
+  Out.add("schedules_run", static_cast<uint64_t>(Result.SchedulesRun));
+  Out.add("schedules_pruned", Result.SchedulesPruned);
+  Out.addBool("exploration_exhausted", Result.ExplorationExhausted);
+  for (const std::string &Path : Result.WitnessFiles)
+    Out.add("witness", Path);
+  for (const RaceReport &R : Result.Detected)
+    Out.add("detected", encodeRaceReport(R));
+  for (const ConfirmedRace &R : Result.Races) {
+    wire::RecordWriter Inner;
+    Inner.add("report", encodeRaceReport(R.Report));
+    Inner.addBool("reproduced", R.Reproduced);
+    Inner.addBool("harmful", R.Harmful);
+    Inner.add("hash_first_order", R.HashFirstOrder);
+    Inner.add("hash_second_order", R.HashSecondOrder);
+    Out.add("race", Inner.str());
+  }
+}
+
+TestDetectionResult
+detectworker::decodeDetectResult(const wire::RecordReader &In) {
+  TestDetectionResult Out;
+  Out.SawFault = In.getBool("saw_fault");
+  Out.SawDeadlock = In.getBool("saw_deadlock");
+  Out.SawStepLimit = In.getBool("saw_step_limit");
+  Out.Quarantined = In.getBool("quarantined");
+  Out.QuarantineReason = In.getOr("quarantine_reason", "");
+  Out.SchedulesRun = static_cast<unsigned>(In.getU64("schedules_run"));
+  Out.SchedulesPruned = In.getU64("schedules_pruned");
+  Out.ExplorationExhausted = In.getBool("exploration_exhausted");
+  Out.WitnessFiles = In.all("witness");
+  for (const std::string &Entry : In.all("detected"))
+    Out.Detected.push_back(decodeRaceReport(wire::RecordReader(Entry)));
+  for (const std::string &Entry : In.all("race")) {
+    wire::RecordReader Inner(Entry);
+    ConfirmedRace R;
+    R.Report = decodeRaceReport(wire::RecordReader(Inner.getOr("report", "")));
+    R.Reproduced = Inner.getBool("reproduced");
+    R.Harmful = Inner.getBool("harmful");
+    R.HashFirstOrder = Inner.getU64("hash_first_order");
+    R.HashSecondOrder = Inner.getU64("hash_second_order");
+    Out.Races.push_back(std::move(R));
+  }
+  return Out;
+}
+
+/// The recompiled module plus decoded options.  Heap-allocated and never
+/// moved; Options.ReplayTrace shares ownership of the reloaded trace.
+struct Service::State {
+  CompiledProgram Program;
+  DetectOptions Options;
+};
+
+Service::Service() : S(std::make_unique<State>()) {}
+Service::~Service() = default;
+
+Result<std::unique_ptr<Service>>
+Service::create(const wire::RecordReader &Setup) {
+  auto Out = std::unique_ptr<Service>(new Service());
+  State &S = *Out->S;
+
+  std::optional<std::string> Source = Setup.get("source");
+  if (!Source)
+    return Error("detect setup record has no source");
+  Result<CompiledProgram> Program = compileProgram(*Source);
+  if (!Program)
+    return Error("detect worker failed to recompile the final source: " +
+                 Program.error().str());
+  S.Program = Program.take();
+
+  DetectOptions &O = S.Options;
+  O.RandomRuns = static_cast<unsigned>(Setup.getU64("random_runs", 12));
+  O.ConfirmAttempts =
+      static_cast<unsigned>(Setup.getU64("confirm_attempts", 4));
+  O.BaseSeed = Setup.getU64("base_seed", 1);
+  O.MaxSteps = Setup.getU64("max_steps", 400000);
+  O.UseHB = Setup.getBool("use_hb", true);
+  O.UseLockSet = Setup.getBool("use_lockset", true);
+  if (!parseExplorationMode(Setup.getOr("explore_mode", "random"), O.Mode))
+    return Error("detect setup record has an unknown exploration mode");
+  O.Explore.MaxSchedules =
+      static_cast<unsigned>(Setup.getU64("explore_max_schedules", 256));
+  O.Explore.MaxPreemptions =
+      static_cast<unsigned>(Setup.getU64("explore_max_preemptions", 2));
+  O.Explore.WallBudgetSeconds = Setup.getDouble("explore_wall_budget", 0.0);
+  O.WitnessDir = Setup.getOr("witness_dir", "");
+  O.StepLimitRetries =
+      static_cast<unsigned>(Setup.getU64("step_limit_retries", 2));
+  O.StepBudgetEscalation = Setup.getU64("step_budget_escalation", 4);
+  O.WallBudgetSeconds = Setup.getDouble("wall_budget_seconds", 0.0);
+
+  std::string ReplayPath = Setup.getOr("replay_path", "");
+  if (!ReplayPath.empty()) {
+    Result<explore::ScheduleTrace> Trace =
+        explore::ScheduleTrace::readFile(ReplayPath);
+    if (!Trace)
+      return Trace.error();
+    O.ReplayTrace =
+        std::make_shared<const explore::ScheduleTrace>(Trace.take());
+  }
+  return Out;
+}
+
+void Service::runUnit(const wire::RecordReader &Request,
+                      wire::RecordWriter &Reply) {
+  std::string Op = Request.getOr("op", "");
+  uint64_t I = Request.getU64("unit");
+  std::string TestName = Request.getOr("test", "");
+  Reply.add("op", Op);
+  Reply.add("unit", I);
+
+  if (Op != "test") {
+    Reply.add("fault", "unknown detect op '" + Op + "'");
+    return;
+  }
+  if (!S->Program.Ast->findTest(TestName)) {
+    Reply.add("fault", formatString("unit %llu names unknown test '%s'",
+                                    static_cast<unsigned long long>(I),
+                                    TestName.c_str()));
+    return;
+  }
+
+  std::vector<std::pair<std::string, std::string>> Hints;
+  {
+    std::vector<std::string> Firsts = Request.all("hint_first");
+    std::vector<std::string> Seconds = Request.all("hint_second");
+    for (size_t K = 0; K < Firsts.size() && K < Seconds.size(); ++K)
+      Hints.emplace_back(Firsts[K], Seconds[K]);
+  }
+
+  try {
+    fault::ScopedUnit Unit(I);
+    obs::TraceScope Scope("test", I);
+    Result<TestDetectionResult> Result =
+        detectRacesInTest(*S->Program.Module, TestName, S->Options, Hints);
+    if (!Result) {
+      Reply.add("err", Result.error().str());
+      return;
+    }
+    encodeDetectResult(Reply, *Result);
+  } catch (const std::bad_alloc &) {
+    throw; // The worker loop answers with a graceful oom crash frame.
+  } catch (...) {
+    // The in-process containment barrier, replayed worker-side so the
+    // quarantine counters ship with this unit's metrics delta.
+    TestDetectionResult Q;
+    Q.Quarantined = true;
+    Q.QuarantineReason =
+        "internal fault: " + describeException(std::current_exception());
+    obs::MetricsRegistry &Metrics = obs::MetricsRegistry::global();
+    Metrics.counter("detect.quarantined").inc();
+    Metrics.counter("detect.internal_faults").inc();
+    NARADA_LOG_WARN("quarantined test %s: %s", TestName.c_str(),
+                    Q.QuarantineReason.c_str());
+    encodeDetectResult(Reply, Q);
+  }
+}

@@ -1,0 +1,90 @@
+//===- detect/DetectWorker.h - Isolated detection worker service -*- C++ -*-===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The --isolate detection stage's wire contract (support/ProcessPool.h):
+/// the supervisor ships the final compiled source plus the full
+/// DetectOptions in the `setup` frame; each unit frame names one
+/// synthesized test (with its synthesizer hint pairs) and is answered
+/// with a fully serialized TestDetectionResult.  The worker recompiles
+/// the source — compilation is deterministic, so its module matches the
+/// supervisor's — and runs the ordinary detectRacesInTest on it, which
+/// keeps schedule exploration bit-for-bit identical to in-process mode.
+///
+/// A detection that throws inside the worker degrades to the same
+/// quarantined result the in-process containment barrier produces; a
+/// detection that takes the whole worker down (SIGSEGV, OOM kill, hang)
+/// is classified by the supervisor and becomes a crash quarantine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NARADA_DETECT_DETECTWORKER_H
+#define NARADA_DETECT_DETECTWORKER_H
+
+#include "detect/Detection.h"
+#include "support/ProcessPool.h"
+#include "support/Wire.h"
+
+#include <memory>
+#include <string>
+
+namespace narada {
+namespace detectworker {
+
+/// What an isolated (--isolate) detection stage needs to re-dispatch its
+/// tests into worker subprocesses.
+struct DetectIsolateContext {
+  pool::IsolateOptions Isolate;
+  /// The exact source the detection module was compiled from
+  /// (NaradaResult::FinalSource) — workers recompile it.
+  std::string FinalSource;
+  /// Schedule trace file for Mode == Replay (empty = none); workers
+  /// reload it themselves, traces do not travel over the wire.
+  std::string ReplayPath;
+};
+
+/// Encodes the `setup` frame payload: source, replay path, and every
+/// DetectOptions field that shapes exploration or classification.
+std::string encodeSetup(const DetectIsolateContext &Iso,
+                        const DetectOptions &Options);
+
+/// Encodes one unit request for test \p Job (index \p Unit in the
+/// supervisor's job list, which doubles as the fault-injection unit id).
+std::string encodeUnit(size_t Unit, const TestDetectJob &Job);
+
+/// Serializes \p Result as reply records on \p Out (detected=/race=
+/// carry nested escaped records per race).
+void encodeDetectResult(wire::RecordWriter &Out,
+                        const TestDetectionResult &Result);
+
+/// Inverse of encodeDetectResult.
+TestDetectionResult decodeDetectResult(const wire::RecordReader &In);
+
+/// Worker-side service: the recompiled module plus decoded options,
+/// serving one detectRacesInTest call per unit request.
+class Service {
+public:
+  ~Service();
+
+  static Result<std::unique_ptr<Service>> create(
+      const wire::RecordReader &Setup);
+
+  /// Handles one unit request.  Soft failures quarantine the test exactly
+  /// like the in-process containment barrier; detection errors come back
+  /// as err= records; std::bad_alloc propagates for the graceful oom
+  /// crash frame; hard faults never return.
+  void runUnit(const wire::RecordReader &Request, wire::RecordWriter &Reply);
+
+private:
+  Service();
+  struct State;
+  std::unique_ptr<State> S;
+};
+
+} // namespace detectworker
+} // namespace narada
+
+#endif // NARADA_DETECT_DETECTWORKER_H

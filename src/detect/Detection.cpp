@@ -6,9 +6,13 @@
 
 #include "detect/Detection.h"
 
+#include "detect/DetectWorker.h"
 #include "detect/HBDetector.h"
 #include "detect/LockSetDetector.h"
 #include "detect/RaceConfirmer.h"
+#include "obs/MetricsWire.h"
+#include "support/ProcessPool.h"
+#include "support/Wire.h"
 #include "explore/Explorer.h"
 #include "explore/WitnessMinimizer.h"
 #include "obs/Log.h"
@@ -655,9 +659,80 @@ Result<TestDetectionResult> narada::detectRacesInTest(
   return Out;
 }
 
+namespace {
+
+/// The --isolate detection stage: one worker subprocess unit per test.
+/// Soft faults come back as ordinary quarantined results built inside the
+/// worker (counters travel in the metrics delta); hard faults — the worker
+/// dying under a unit — are classified by the pool supervisor and degrade
+/// to a crash quarantine here, with every other test unaffected.
+Result<std::vector<TestDetectionResult>>
+detectIsolated(const std::vector<TestDetectJob> &Jobs,
+               const DetectOptions &Options, unsigned JobCount,
+               const detectworker::DetectIsolateContext &Iso) {
+  pool::ProcessPool Pool(Iso.Isolate.poolOptions(
+      resolveJobs(JobCount), detectworker::encodeSetup(Iso, Options)));
+
+  std::vector<std::string> Units;
+  Units.reserve(Jobs.size());
+  for (size_t I = 0; I < Jobs.size(); ++I)
+    Units.push_back(detectworker::encodeUnit(I, Jobs[I]));
+  std::vector<pool::UnitOutcome> Outcomes = Pool.run(Units);
+
+  // Commit in input order — identical to the in-process merge walk.
+  std::vector<TestDetectionResult> Out;
+  Out.reserve(Jobs.size());
+  std::optional<Error> FirstError;
+  obs::MetricsRegistry &Metrics = obs::MetricsRegistry::global();
+  for (size_t I = 0; I < Outcomes.size(); ++I) {
+    const pool::UnitOutcome &O = Outcomes[I];
+    obs::observePoolUnitMicros(O.Micros);
+    if (!O.Ok) {
+      TestDetectionResult Q;
+      Q.Quarantined = true;
+      Q.QuarantineReason = pool::describeCrash(O);
+      Metrics.counter("detect.quarantined").inc();
+      Metrics.counter("detect.worker_crashes").inc();
+      NARADA_LOG_WARN("quarantined test %s: %s", Jobs[I].TestName.c_str(),
+                      Q.QuarantineReason.c_str());
+      Out.push_back(std::move(Q));
+      continue;
+    }
+    wire::RecordReader Reply(O.Payload);
+    obs::mergeMetricsDelta(Reply);
+    if (std::optional<std::string> Err = Reply.get("err")) {
+      if (!FirstError)
+        FirstError.emplace(*Err);
+      Out.emplace_back();
+      continue;
+    }
+    if (std::optional<std::string> Fault = Reply.get("fault")) {
+      TestDetectionResult Q;
+      Q.Quarantined = true;
+      Q.QuarantineReason = "internal fault: " + *Fault;
+      Metrics.counter("detect.quarantined").inc();
+      Metrics.counter("detect.internal_faults").inc();
+      NARADA_LOG_WARN("quarantined test %s: %s", Jobs[I].TestName.c_str(),
+                      Q.QuarantineReason.c_str());
+      Out.push_back(std::move(Q));
+      continue;
+    }
+    Out.push_back(detectworker::decodeDetectResult(Reply));
+  }
+  obs::publishPoolStats(Pool.stats());
+  if (FirstError)
+    return *FirstError;
+  return Out;
+}
+
+} // namespace
+
 Result<std::vector<TestDetectionResult>> narada::detectRacesInTests(
     const IRModule &M, const std::vector<TestDetectJob> &Jobs,
-    const DetectOptions &Options, unsigned JobCount) {
+    const DetectOptions &Options, unsigned JobCount,
+    const detectworker::DetectIsolateContext *Iso) {
+  if (Iso && Iso->Isolate.Enabled)
+    return detectIsolated(Jobs, Options, JobCount, *Iso);
   const unsigned Workers = resolveJobs(JobCount);
   std::vector<std::optional<Result<TestDetectionResult>>> Slots(Jobs.size());
 

@@ -38,6 +38,10 @@
 
 namespace narada {
 
+namespace detectworker {
+struct DetectIsolateContext;
+} // namespace detectworker
+
 /// How phase 1 chooses the schedules it runs (see src/explore/).
 enum class ExplorationMode {
   Random,     ///< RandomRuns executions under RandomPolicy (the default).
@@ -154,9 +158,15 @@ struct TestDetectJob {
 /// fault::ScopedUnit(index)) is captured per test and converted into a
 /// quarantined TestDetectionResult carrying the exception message; every
 /// other test's results are unaffected and the call still succeeds.
+///
+/// When \p Iso is non-null and enabled, each job instead runs in a worker
+/// subprocess (detect/DetectWorker.h): soft faults quarantine identically,
+/// and hard faults (SIGSEGV, OOM kill, hang) that would have taken this
+/// process down are contained and quarantined with a crash classification.
 Result<std::vector<TestDetectionResult>>
 detectRacesInTests(const IRModule &M, const std::vector<TestDetectJob> &Jobs,
-                   const DetectOptions &Options = {}, unsigned JobCount = 1);
+                   const DetectOptions &Options = {}, unsigned JobCount = 1,
+                   const detectworker::DetectIsolateContext *Iso = nullptr);
 
 } // namespace narada
 

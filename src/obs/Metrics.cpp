@@ -101,12 +101,17 @@ Histogram &MetricsRegistry::histogram(std::string_view Name,
 }
 
 void MetricsRegistry::addPhase(std::string_view Path, double Seconds) {
+  addPhase(Path, Seconds, 1);
+}
+
+void MetricsRegistry::addPhase(std::string_view Path, double Seconds,
+                               uint64_t Count) {
   std::lock_guard<std::mutex> Lock(M);
   auto It = Phases.find(Path);
   if (It == Phases.end())
     It = Phases.emplace(std::string(Path), PhaseStat{}).first;
   It->second.Seconds += Seconds;
-  It->second.Count += 1;
+  It->second.Count += Count;
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {

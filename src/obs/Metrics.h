@@ -163,6 +163,11 @@ public:
   /// accumulation entry point).
   void addPhase(std::string_view Path, double Seconds);
 
+  /// Adds \p Count completed spans totaling \p Seconds to phase \p Path —
+  /// the merge entry point for phase deltas shipped back from isolated
+  /// worker subprocesses (obs/MetricsWire.h).
+  void addPhase(std::string_view Path, double Seconds, uint64_t Count);
+
   MetricsSnapshot snapshot() const;
 
   /// Zeroes every metric but keeps registrations (handles stay valid).

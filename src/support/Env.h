@@ -22,6 +22,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string_view>
 
 namespace narada {
 namespace env {
@@ -52,6 +53,28 @@ T readOr(const char *Var, T Default, ParseFn Parse,
 inline unsigned jobs(unsigned Default = 1) {
   return readOr("NARADA_JOBS", Default, parseJobs,
                 Default == 1 ? "running serial" : nullptr);
+}
+
+/// Out-of-process isolation toggle from NARADA_ISOLATE ("1"/"true" on,
+/// "0"/"false" off), defaulting to \p Default — the env hook behind the
+/// CLI's --isolate flag, so CI fleets can turn crash containment on
+/// without touching every invocation.
+inline bool isolate(bool Default = false) {
+  return readOr(
+      "NARADA_ISOLATE", Default,
+      [](const char *Text, bool &Out) {
+        std::string_view V(Text);
+        if (V == "1" || V == "true") {
+          Out = true;
+          return true;
+        }
+        if (V == "0" || V == "false") {
+          Out = false;
+          return true;
+        }
+        return false;
+      },
+      Default ? "isolation stays on" : "running in-process");
 }
 
 } // namespace env

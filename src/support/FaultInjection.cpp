@@ -8,10 +8,17 @@
 
 #include "support/StringUtils.h"
 
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <map>
 #include <mutex>
+#include <new>
+#include <sys/resource.h>
+#include <thread>
+#include <vector>
 
 using namespace narada;
 using namespace narada::fault;
@@ -61,27 +68,68 @@ void initFromEnvOnce() {
   });
 }
 
-/// Registers a hit of \p Site and reports whether the armed spec (if any,
-/// in mode \p M) fires for the current unit.
-bool registerHit(const char *Site, Mode M, bool Throwable, uint64_t *Unit) {
+/// Registers a hit of \p Site and reports the armed mode when the armed
+/// spec fires for the current unit.  probe() serves every non-Timeout
+/// mode (\p TimeoutCategory false); timeoutProbe() serves Mode::Timeout.
+std::optional<Mode> registerHit(const char *Site, bool TimeoutCategory,
+                                uint64_t *Unit) {
   initFromEnvOnce();
   State &S = state();
   std::lock_guard<std::mutex> Lock(S.M);
   SiteInfo &Info = S.Sites[Site];
   ++Info.Hits;
-  if (Throwable)
-    Info.Throwable = true;
-  else
+  if (TimeoutCategory)
     Info.Timeout = true;
+  else
+    Info.Throwable = true;
   if (CurrentUnit &&
       (!Info.MinUnit || *CurrentUnit < *Info.MinUnit))
     Info.MinUnit = *CurrentUnit;
-  if (!S.Armed || S.Armed->M != M || S.Armed->Site != Site)
-    return false;
+  if (!S.Armed || S.Armed->Site != Site)
+    return std::nullopt;
+  if ((S.Armed->M == Mode::Timeout) != TimeoutCategory)
+    return std::nullopt;
   if (!CurrentUnit || *CurrentUnit != S.Armed->Unit)
-    return false;
+    return std::nullopt;
   *Unit = S.Armed->Unit;
-  return true;
+  return S.Armed->M;
+}
+
+/// Executes an armed hard fault.  Never returns normally: the process
+/// aborts, faults, hangs, or a std::bad_alloc propagates.
+void executeHardFault(Mode M) {
+  switch (M) {
+  case Mode::Crash:
+    std::abort();
+  case Mode::Segv:
+    std::raise(SIGSEGV);
+    std::abort(); // Backstop, should SIGSEGV ever be blocked.
+  case Mode::Hang:
+    for (;;)
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  case Mode::Oom: {
+    struct rlimit Lim;
+    bool Limited = ::getrlimit(RLIMIT_AS, &Lim) == 0 &&
+                   Lim.rlim_cur != RLIM_INFINITY;
+    if (!Limited) {
+      // No address-space cap: genuinely dirtying all of RAM would thrash
+      // the host, so model the allocation failure instead.
+      throw std::bad_alloc();
+    }
+    std::vector<char *> Chunks;
+    for (;;) {
+      // Allocate *and touch* so the pages are really charged; the real
+      // std::bad_alloc escapes once RLIMIT_AS is exhausted.
+      constexpr size_t ChunkBytes = 8u << 20;
+      char *Chunk = new char[ChunkBytes];
+      std::memset(Chunk, 0xa5, ChunkBytes);
+      Chunks.push_back(Chunk);
+    }
+  }
+  case Mode::Throw:
+  case Mode::Timeout:
+    break; // Not hard modes; unreachable.
+  }
 }
 
 } // namespace
@@ -136,11 +184,38 @@ bool fault::armFromSpec(const std::string &Spec, std::string *Why) {
       M = Mode::Throw;
     else if (ModeText == "timeout")
       M = Mode::Timeout;
+    else if (ModeText == "crash")
+      M = Mode::Crash;
+    else if (ModeText == "segv")
+      M = Mode::Segv;
+    else if (ModeText == "hang")
+      M = Mode::Hang;
+    else if (ModeText == "oom")
+      M = Mode::Oom;
     else
-      return Fail("mode must be 'throw' or 'timeout'");
+      return Fail("mode must be one of "
+                  "throw|timeout|crash|segv|hang|oom");
   }
   arm(std::move(Site), Unit, M);
   return true;
+}
+
+const char *fault::modeName(Mode M) {
+  switch (M) {
+  case Mode::Throw:
+    return "throw";
+  case Mode::Timeout:
+    return "timeout";
+  case Mode::Crash:
+    return "crash";
+  case Mode::Segv:
+    return "segv";
+  case Mode::Hang:
+    return "hang";
+  case Mode::Oom:
+    return "oom";
+  }
+  return "unknown";
 }
 
 fault::ScopedUnit::ScopedUnit(uint64_t Unit) : Previous(CurrentUnit) {
@@ -153,15 +228,20 @@ std::optional<uint64_t> fault::currentUnit() { return CurrentUnit; }
 
 void fault::probe(const char *Site) {
   uint64_t Unit = 0;
-  if (registerHit(Site, Mode::Throw, /*Throwable=*/true, &Unit))
+  std::optional<Mode> Fired =
+      registerHit(Site, /*TimeoutCategory=*/false, &Unit);
+  if (!Fired)
+    return;
+  if (*Fired == Mode::Throw)
     throw InjectedFault(formatString(
         "injected fault at probe site '%s' (unit %llu)", Site,
         static_cast<unsigned long long>(Unit)));
+  executeHardFault(*Fired);
 }
 
 bool fault::timeoutProbe(const char *Site) {
   uint64_t Unit = 0;
-  return registerHit(Site, Mode::Timeout, /*Throwable=*/false, &Unit);
+  return registerHit(Site, /*TimeoutCategory=*/true, &Unit).has_value();
 }
 
 namespace {

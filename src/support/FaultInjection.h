@@ -19,13 +19,16 @@
 ///
 /// Arming: programmatic (fault::arm) or via the environment,
 ///
-///   NARADA_FAULT_INJECT=<site>:<unit>[:throw|:timeout]
+///   NARADA_FAULT_INJECT=<site>:<unit>[:throw|:timeout|:crash|:segv|:hang|:oom]
 ///
 /// "throw" (default) makes the probe raise fault::InjectedFault, which the
 /// exception barriers in ParallelDriver / detectRacesInTests convert into
 /// an internal_fault skip or a quarantined test.  "timeout" makes the
 /// matching timeoutProbe() report a simulated step-budget blowout, which
-/// exercises the retry-then-quarantine watchdog path.
+/// exercises the retry-then-quarantine watchdog path.  The hard modes
+/// (crash/segv/hang/oom) kill or wedge the process for real; they test the
+/// ProcessPool supervisor's containment and must only be armed under
+/// --isolate (in-process, they do exactly what they say).
 ///
 /// Probes are no-ops when nothing is armed apart from registering their
 /// site (one mutex-guarded map touch at pair/test granularity — far off
@@ -56,10 +59,21 @@ public:
       : std::runtime_error(What) {}
 };
 
-/// What an armed probe does when it fires.
+/// What an armed probe does when it fires.  Throw and Timeout are the
+/// soft modes contained by in-process barriers; the hard modes genuinely
+/// take the process down (or hang it) and exist to exercise out-of-process
+/// containment — fire them only inside an isolated worker (--isolate).
 enum class Mode {
   Throw,   ///< probe() raises InjectedFault.
   Timeout, ///< timeoutProbe() returns true (simulated step-budget blowout).
+  Crash,   ///< probe() calls abort(): SIGABRT, no unwinding, no cleanup.
+  Segv,    ///< probe() raises SIGSEGV, as a wild pointer write would.
+  Hang,    ///< probe() sleeps forever: the supervisor's wall-deadline
+           ///< watchdog is the only way out.
+  Oom,     ///< probe() exhausts memory: under a finite RLIMIT_AS it
+           ///< allocates-and-touches until the real std::bad_alloc escapes;
+           ///< without a limit it throws std::bad_alloc directly (so
+           ///< in-process runs don't dirty all of RAM).
 };
 
 /// Arms injection: the probe at \p Site fires when reached inside logical
@@ -95,8 +109,13 @@ private:
 /// The current thread's logical unit, if inside a ScopedUnit.
 std::optional<uint64_t> currentUnit();
 
-/// A throw-mode probe: registers \p Site and raises InjectedFault when
-/// \p Site is armed in Mode::Throw and the current unit matches.
+/// Stable lower-case name of \p M ("throw", "timeout", "crash", ...).
+const char *modeName(Mode M);
+
+/// A throw-mode probe: registers \p Site and fires when \p Site is armed
+/// in any non-Timeout mode and the current unit matches — raising
+/// InjectedFault (Throw) or executing the armed hard fault
+/// (Crash/Segv/Hang/Oom; see Mode).
 void probe(const char *Site);
 
 /// A timeout-mode probe: registers \p Site and returns true when \p Site

@@ -30,6 +30,8 @@ const char *narada::skipReasonId(SkipReason Reason) {
     return "test_budget";
   case SkipReason::InternalFault:
     return "internal_fault";
+  case SkipReason::WorkerCrash:
+    return "worker_crash";
   case SkipReason::Other:
     break;
   }
@@ -146,8 +148,17 @@ narada::runNarada(std::string_view LibrarySource,
     if (!Registry)
       return Registry.error();
 
+    // Under --isolate the stage re-dispatches each unit to worker
+    // subprocesses, which rebuild this same pipeline state from the
+    // original source + seed names (all stages up to here are
+    // deterministic, so worker-side pairs match ours index for index).
+    SynthIsolateContext Iso;
+    Iso.Isolate = Options.Isolate;
+    Iso.LibrarySource = std::string(LibrarySource);
+    Iso.SeedNames = SeedNames;
     SynthStageOutput Stage = runSynthesisStage(
-        Out.Analysis, *Normalized->Info, *Registry, Out.Pairs, Options);
+        Out.Analysis, *Normalized->Info, *Registry, Out.Pairs, Options,
+        Options.Isolate.Enabled ? &Iso : nullptr);
     Out.Tests = std::move(Stage.Tests);
     Out.Skipped = std::move(Stage.Skipped);
     SynthesizedSource = std::move(Stage.SynthesizedSource);
@@ -158,8 +169,8 @@ narada::runNarada(std::string_view LibrarySource,
   // Final pass: compile library + seeds + synthesized tests together.
   {
     obs::Span RecompileSpan("recompile", &Out.Stages.RecompileSeconds);
-    Result<CompiledProgram> Final =
-        compileProgram(NormalizedSource + "\n" + SynthesizedSource);
+    Out.FinalSource = NormalizedSource + "\n" + SynthesizedSource;
+    Result<CompiledProgram> Final = compileProgram(Out.FinalSource);
     if (!Final)
       return Error("internal: synthesized tests failed to compile: " +
                    Final.error().str() + "\n--- source ---\n" +

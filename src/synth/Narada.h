@@ -17,6 +17,7 @@
 #define NARADA_SYNTH_NARADA_H
 
 #include "runtime/Execution.h"
+#include "support/ProcessPool.h"
 #include "synth/ContextDeriver.h"
 #include "synth/PairGenerator.h"
 #include "synth/RacyPair.h"
@@ -63,6 +64,12 @@ struct NaradaOptions {
   /// (MayRace < Unknown < MustGuarded) before synthesis; byte-identical
   /// across --jobs because ranking happens before the parallel stage.
   bool StaticRank = false;
+  /// Out-of-process worker isolation (--isolate): run per-pair derivation
+  /// and synthesis units in crash-contained worker subprocesses.  Clean
+  /// runs stay byte-identical to in-process mode; a hard fault (SIGSEGV,
+  /// abort, OOM kill, hang) costs exactly the faulting unit, which lands
+  /// in Skipped as a worker_crash record.
+  pool::IsolateOptions Isolate;
 };
 
 /// Metadata for one synthesized multithreaded test.
@@ -91,6 +98,10 @@ enum class SkipReason {
   InternalFault,      ///< The pair's derivation/synthesis task crashed
                       ///< (exception captured by the containment barrier);
                       ///< the rest of the run proceeded without it.
+  WorkerCrash,        ///< Under --isolate: the unit hard-faulted its worker
+                      ///< subprocess (signal, watchdog timeout, OOM, or
+                      ///< protocol breakdown) and was quarantined with the
+                      ///< crash classification in Message.
   Other,              ///< Anything else (kept for forward compatibility).
 };
 
@@ -136,6 +147,10 @@ struct NaradaResult {
   /// Static per-method summaries; null unless StaticPrefilter/StaticRank
   /// ran.  Shared so callers can annotate detection output.
   std::shared_ptr<const staticrace::ModuleSummary> Static;
+  /// The exact source text Program was compiled from (normalized library +
+  /// seeds + synthesized tests) — what an isolated detect worker recompiles
+  /// to reach an identical module.
+  std::string FinalSource;
   NaradaStageTimes Stages;
 };
 

@@ -8,12 +8,16 @@
 
 #include "lang/ASTPrinter.h"
 #include "obs/Log.h"
+#include "obs/MetricsWire.h"
 #include "obs/Span.h"
 #include "obs/Trace.h"
 #include "support/FaultInjection.h"
 #include "support/StringUtils.h"
 #include "support/ThreadPool.h"
+#include "support/Wire.h"
+#include "synth/SynthWorker.h"
 
+#include <cstring>
 #include <optional>
 #include <unordered_map>
 
@@ -45,23 +49,6 @@ void countSkip(SkipReason Reason) {
   R.counter(std::string("synth.pairs_skipped.") + skipReasonId(Reason))
       .inc();
 }
-
-/// The shape key deduplicating pairs onto one test (the paper synthesizes
-/// 15 tests for C1's 65 pairs): method pair + effective sharing paths +
-/// shared class.
-std::string shapeOf(const RacyPair &Pair, const SharingPlan &Plan) {
-  return formatString(
-      "%s.%s|%s.%s|%s|%s|%s", Pair.First.ClassName.c_str(),
-      Pair.First.Method.c_str(), Pair.Second.ClassName.c_str(),
-      Pair.Second.Method.c_str(), Plan.First.EffectivePath.str().c_str(),
-      Plan.Second.EffectivePath.str().c_str(),
-      Plan.SharedClassName.c_str());
-}
-
-/// Synthesized tests are renamed at commit time (names are dense in
-/// canonical order, which workers cannot know); this stand-in never
-/// reaches output.
-constexpr const char *PlaceholderName = "narada_uncommitted";
 
 /// Per-pair state filled by the parallel phases, merged serially.
 struct PairSlot {
@@ -107,6 +94,41 @@ uint64_t narada::pairDerivationSeed(uint64_t Base, size_t PairIndex) {
   return Mix.next();
 }
 
+// The shape key deduplicating pairs onto one test (the paper synthesizes
+// 15 tests for C1's 65 pairs): method pair + effective sharing paths +
+// shared class.
+std::string narada::synthShapeKey(const RacyPair &Pair,
+                                  const SharingPlan &Plan) {
+  return formatString(
+      "%s.%s|%s.%s|%s|%s|%s", Pair.First.ClassName.c_str(),
+      Pair.First.Method.c_str(), Pair.Second.ClassName.c_str(),
+      Pair.Second.Method.c_str(), Plan.First.EffectivePath.str().c_str(),
+      Plan.Second.EffectivePath.str().c_str(),
+      Plan.SharedClassName.c_str());
+}
+
+SharingPlan narada::deriveSynthPlan(ContextDeriver &Deriver,
+                                    const RacyPair &Pair, size_t PairIndex,
+                                    const NaradaOptions &Options) {
+  std::optional<uint64_t> PairSeed;
+  if (Options.DerivationSeed)
+    PairSeed = pairDerivationSeed(*Options.DerivationSeed, PairIndex);
+  SharingPlan Plan = Deriver.deriveSharing(Pair, PairSeed);
+  if (!Options.EnableContextDerivation) {
+    // Ablation: strip all constraints; both sides get fresh instances.
+    auto Fresh = [&](SharingPlan::Side &Side, const RacySide &RS) {
+      Side.Plan = std::make_unique<ProvidePlan>();
+      Side.Plan->K = ProvidePlan::Kind::FromSeed;
+      Side.Plan->ClassName = Deriver.rootClassOf(RS);
+      Side.EffectivePath = AccessPath(RS.BasePath.Root, {});
+    };
+    Fresh(Plan.First, Pair.First);
+    Fresh(Plan.Second, Pair.Second);
+    Plan.Complete = false;
+  }
+  return Plan;
+}
+
 std::vector<CommitDecision>
 narada::planCommit(const std::vector<std::string> &Shapes,
                    const std::function<bool(size_t)> &SynthesisSucceeds,
@@ -137,12 +159,231 @@ narada::planCommit(const std::vector<std::string> &Shapes,
   return Out;
 }
 
+namespace {
+
+/// Per-pair state of the isolated stage: what unit replies (or crash
+/// classifications) established, mirroring PairSlot without the
+/// in-process Plan/Attempt objects (those live in the workers).
+struct IsoSlot {
+  std::string Shape;
+  bool Faulted = false;
+  SkipReason FaultReason = SkipReason::InternalFault;
+  std::string FaultMessage;
+  bool Attempted = false;
+  bool AttemptOk = false;
+  std::string Source; ///< Placeholder-named test source (AttemptOk).
+  bool Complete = false;
+  std::string SharedClass;
+  std::string ErrMessage; ///< Synthesizer error message (classification).
+  std::string ErrStr;     ///< Full error text (skip record).
+};
+
+void markIsoFaulted(IsoSlot &Slot, size_t PairIndex, SkipReason Reason,
+                    std::string Message) {
+  Slot.Faulted = true;
+  Slot.FaultReason = Reason;
+  Slot.FaultMessage = std::move(Message);
+  Slot.Shape = formatString("<internal-fault>#%zu", PairIndex);
+}
+
+/// Applies one unit outcome to its slot: hard crashes become WorkerCrash
+/// faults carrying the classification; a fault= record (contained soft
+/// failure in the worker) mirrors the in-process internal_fault path;
+/// otherwise \p Apply sees the parsed reply.  Metric deltas merge either
+/// way — the worker did the work even when it failed softly.
+template <typename ApplyFn>
+void applyOutcome(IsoSlot &Slot, size_t PairIndex,
+                  const pool::UnitOutcome &O, ApplyFn Apply) {
+  obs::observePoolUnitMicros(O.Micros);
+  if (!O.Ok) {
+    markIsoFaulted(Slot, PairIndex, SkipReason::WorkerCrash,
+                   pool::describeCrash(O));
+    return;
+  }
+  wire::RecordReader Reply(O.Payload);
+  obs::mergeMetricsDelta(Reply);
+  if (std::optional<std::string> Fault = Reply.get("fault")) {
+    markIsoFaulted(Slot, PairIndex, SkipReason::InternalFault, *Fault);
+    return;
+  }
+  Apply(Reply);
+}
+
+/// The --isolate synthesis stage: phases A/B run as unit requests against
+/// a crash-contained worker pool, then the identical commit walk replays
+/// the serial bookkeeping.  Clean runs are byte-identical to the
+/// in-process stage; hard-faulted units degrade to worker_crash skips.
+SynthStageOutput runIsolatedSynthesisStage(const std::vector<RacyPair> &Pairs,
+                                           const NaradaOptions &Options,
+                                           const SynthIsolateContext &Iso) {
+  obs::MetricsRegistry &Metrics = obs::MetricsRegistry::global();
+  const size_t N = Pairs.size();
+  const unsigned WorkerCount =
+      resolveJobs(Options.Jobs == 0 ? 0 : Options.Jobs);
+  Metrics.gauge("synth.jobs").set(static_cast<int64_t>(WorkerCount));
+
+  pool::ProcessPool Pool(Iso.Isolate.poolOptions(
+      WorkerCount,
+      synthworker::encodeSetup(Iso, Options, obs::Span::currentPath())));
+
+  std::vector<IsoSlot> Slots(N);
+
+  // Phase A: every pair's shape, derived out of process.
+  {
+    std::vector<std::string> Units;
+    Units.reserve(N);
+    for (size_t I = 0; I < N; ++I)
+      Units.push_back(synthworker::encodeUnit("derive", I, Pairs[I].key()));
+    std::vector<pool::UnitOutcome> Outcomes = Pool.run(Units);
+    for (size_t I = 0; I < N; ++I)
+      applyOutcome(Slots[I], I, Outcomes[I],
+                   [&](const wire::RecordReader &Reply) {
+                     Slots[I].Shape = Reply.getOr("shape", "");
+                     if (Slots[I].Shape.empty())
+                       markIsoFaulted(Slots[I], I, SkipReason::WorkerCrash,
+                                      "hard fault: protocol-error: derive "
+                                      "reply carried no shape");
+                   });
+  }
+
+  // Phase B: one synthesis unit per first-of-shape lead.
+  auto ApplySynthReply = [](IsoSlot &Slot, const wire::RecordReader &Reply) {
+    Slot.Attempted = true;
+    Slot.AttemptOk = Reply.getBool("ok");
+    if (Slot.AttemptOk) {
+      Slot.Source = Reply.getOr("source", "");
+      Slot.Complete = Reply.getBool("complete");
+      Slot.SharedClass = Reply.getOr("shared_class", "");
+    } else {
+      Slot.ErrMessage = Reply.getOr("err_message", "");
+      Slot.ErrStr = Reply.getOr("err_str", Slot.ErrMessage);
+    }
+  };
+  std::vector<size_t> Leads;
+  {
+    std::unordered_map<std::string, size_t> FirstOfShape;
+    for (size_t I = 0; I < N; ++I)
+      if (!Slots[I].Faulted &&
+          FirstOfShape.try_emplace(Slots[I].Shape, I).second)
+        Leads.push_back(I);
+  }
+  {
+    std::vector<std::string> Units;
+    Units.reserve(Leads.size());
+    for (size_t I : Leads)
+      Units.push_back(synthworker::encodeUnit("synth", I, Pairs[I].key()));
+    std::vector<pool::UnitOutcome> Outcomes = Pool.run(Units);
+    for (size_t K = 0; K < Leads.size(); ++K)
+      applyOutcome(Slots[Leads[K]], Leads[K], Outcomes[K],
+                   [&](const wire::RecordReader &Reply) {
+                     ApplySynthReply(Slots[Leads[K]], Reply);
+                   });
+  }
+
+  // Commit: the identical serial walk; re-attempts for non-lead pairs of
+  // failed shapes go to the pool one unit at a time, exactly when the
+  // serial loop would have attempted them.
+  std::vector<std::string> Shapes;
+  Shapes.reserve(N);
+  for (const IsoSlot &Slot : Slots)
+    Shapes.push_back(Slot.Shape);
+
+  auto SynthesisSucceeds = [&](size_t I) {
+    IsoSlot &Slot = Slots[I];
+    if (Slot.Faulted)
+      return false;
+    if (!Slot.Attempted) {
+      std::vector<pool::UnitOutcome> One = Pool.run(
+          {synthworker::encodeUnit("synth", I, Pairs[I].key())});
+      applyOutcome(Slot, I, One[0], [&](const wire::RecordReader &Reply) {
+        ApplySynthReply(Slot, Reply);
+      });
+      if (Slot.Faulted)
+        return false;
+    }
+    return Slot.AttemptOk;
+  };
+  std::vector<CommitDecision> Decisions =
+      planCommit(Shapes, SynthesisSucceeds, Options.MaxTests);
+
+  SynthStageOutput Out;
+  for (size_t I = 0; I < N; ++I) {
+    const RacyPair &Pair = Pairs[I];
+    IsoSlot &Slot = Slots[I];
+    if (Slot.Faulted) {
+      NARADA_LOG_WARN("pair %s %s, contained: %s", Pair.key().c_str(),
+                      Slot.FaultReason == SkipReason::WorkerCrash
+                          ? "hard-faulted its worker"
+                          : "crashed during synthesis",
+                      Slot.FaultMessage.c_str());
+      Out.Skipped.push_back(
+          {Pair.key(), Slot.FaultReason, Slot.FaultMessage});
+      countSkip(Slot.FaultReason);
+      continue;
+    }
+    switch (Decisions[I].K) {
+    case CommitDecision::Kind::Join: {
+      SynthesizedTestInfo &Test = Out.Tests[Decisions[I].TestIndex];
+      Test.CoveredPairKeys.push_back(Pair.key());
+      Test.CandidateLabels.emplace_back(Pair.First.AccessLabel,
+                                        Pair.Second.AccessLabel);
+      Metrics.counter("synth.pairs_deduped").inc();
+      break;
+    }
+    case CommitDecision::Kind::BudgetSkip:
+      Out.Skipped.push_back({Pair.key(), SkipReason::TestBudget, ""});
+      countSkip(SkipReason::TestBudget);
+      break;
+    case CommitDecision::Kind::FailSkip: {
+      SkipReason Reason = classifySkip(Error(Slot.ErrMessage));
+      NARADA_LOG_DEBUG("skip %s (%s): %s", Pair.key().c_str(),
+                       skipReasonId(Reason), Slot.ErrStr.c_str());
+      Out.Skipped.push_back({Pair.key(), Reason, Slot.ErrStr});
+      countSkip(Reason);
+      break;
+    }
+    case CommitDecision::Kind::NewTest: {
+      SynthesizedTestInfo TestInfo;
+      TestInfo.Name = formatString("%s_%03zu", Options.TestNamePrefix.c_str(),
+                                   Out.Tests.size());
+      // The worker printed the test under the placeholder; splice in the
+      // final dense name the commit order just assigned.
+      TestInfo.SourceText = Slot.Source;
+      size_t At = TestInfo.SourceText.find(SynthPlaceholderName);
+      if (At != std::string::npos)
+        TestInfo.SourceText.replace(At, std::strlen(SynthPlaceholderName),
+                                    TestInfo.Name);
+      TestInfo.Representative = Pair;
+      TestInfo.CoveredPairKeys.push_back(Pair.key());
+      TestInfo.ContextComplete = Slot.Complete;
+      TestInfo.SharedClassName = Slot.SharedClass;
+      TestInfo.Field = Pair.Field;
+      TestInfo.CandidateLabels.emplace_back(Pair.First.AccessLabel,
+                                            Pair.Second.AccessLabel);
+      Out.SynthesizedSource += TestInfo.SourceText + "\n";
+      Out.Tests.push_back(std::move(TestInfo));
+      Metrics.counter("synth.tests_synthesized").inc();
+      if (!Slot.Complete)
+        Metrics.counter("synth.tests_partial_context").inc();
+      break;
+    }
+    }
+  }
+  obs::publishPoolStats(Pool.stats());
+  return Out;
+}
+
+} // namespace
+
 SynthStageOutput
 narada::runSynthesisStage(const AnalysisResult &Analysis,
                           const ProgramInfo &Info,
                           const SeedRegistry &Registry,
                           const std::vector<RacyPair> &Pairs,
-                          const NaradaOptions &Options) {
+                          const NaradaOptions &Options,
+                          const SynthIsolateContext *Iso) {
+  if (Iso && Iso->Isolate.Enabled)
+    return runIsolatedSynthesisStage(Pairs, Options, *Iso);
   obs::MetricsRegistry &Metrics = obs::MetricsRegistry::global();
   const size_t N = Pairs.size();
   const unsigned Jobs = resolveJobs(Options.Jobs == 0 ? 0 : Options.Jobs);
@@ -206,24 +447,9 @@ narada::runSynthesisStage(const AnalysisResult &Analysis,
     fault::probe("synth.pair_task");
     {
       obs::Span DeriveSpan("derive");
-      std::optional<uint64_t> PairSeed;
-      if (Options.DerivationSeed)
-        PairSeed = pairDerivationSeed(*Options.DerivationSeed, I);
-      Slot.Plan = WS.Deriver.deriveSharing(Pair, PairSeed);
+      Slot.Plan = deriveSynthPlan(WS.Deriver, Pair, I, Options);
     }
-    if (!Options.EnableContextDerivation) {
-      // Ablation: strip all constraints; both sides get fresh instances.
-      auto Fresh = [&](SharingPlan::Side &Side, const RacySide &RS) {
-        Side.Plan = std::make_unique<ProvidePlan>();
-        Side.Plan->K = ProvidePlan::Kind::FromSeed;
-        Side.Plan->ClassName = WS.Deriver.rootClassOf(RS);
-        Side.EffectivePath = AccessPath(RS.BasePath.Root, {});
-      };
-      Fresh(Slot.Plan.First, Pair.First);
-      Fresh(Slot.Plan.Second, Pair.Second);
-      Slot.Plan.Complete = false;
-    }
-    Slot.Shape = shapeOf(Pair, Slot.Plan);
+    Slot.Shape = synthShapeKey(Pair, Slot.Plan);
   });
   for (ThreadPool::TaskFailure &F : DeriveFailures)
     markFaulted(Slots[F.Item], F.Item, std::move(F.Error));
@@ -249,7 +475,7 @@ narada::runSynthesisStage(const AnalysisResult &Analysis,
     obs::TraceScope Scope("pair", I);
     obs::Span SynthesizeSpan("synthesize");
     Slot.Attempt.emplace(
-        Workers[W]->Synth.synthesize(Pairs[I], Slot.Plan, PlaceholderName));
+        Workers[W]->Synth.synthesize(Pairs[I], Slot.Plan, SynthPlaceholderName));
     Slot.Attempted = true;
   });
   for (ThreadPool::TaskFailure &F : SynthFailures) {
@@ -273,7 +499,7 @@ narada::runSynthesisStage(const AnalysisResult &Analysis,
         obs::TraceScope Scope("pair", I);
         obs::Span SynthesizeSpan("synthesize");
         Slot.Attempt.emplace(Workers[0]->Synth.synthesize(
-            Pairs[I], Slot.Plan, PlaceholderName));
+            Pairs[I], Slot.Plan, SynthPlaceholderName));
         Slot.Attempted = true;
       } catch (...) {
         markFaulted(Slot, I, std::current_exception());

@@ -70,6 +70,22 @@ planCommit(const std::vector<std::string> &Shapes,
 /// seed for pair \p PairIndex (SplitMix over base xor index).
 uint64_t pairDerivationSeed(uint64_t Base, size_t PairIndex);
 
+/// The shape key deduplicating pairs onto one test — shared between the
+/// in-process driver and the isolated worker so both commit identically.
+std::string synthShapeKey(const RacyPair &Pair, const SharingPlan &Plan);
+
+/// Synthesized tests are renamed at commit time (names are dense in
+/// canonical order, which workers cannot know); this stand-in never
+/// reaches output.
+inline constexpr const char *SynthPlaceholderName = "narada_uncommitted";
+
+/// Derives pair \p PairIndex's sharing plan exactly as the synthesis
+/// stage does: per-pair seed split, derivation, and the
+/// EnableContextDerivation=false ablation.  Span-free so in-process and
+/// isolated callers each wrap it in their own "derive" span.
+SharingPlan deriveSynthPlan(ContextDeriver &Deriver, const RacyPair &Pair,
+                            size_t PairIndex, const NaradaOptions &Options);
+
 /// Everything the synthesis stage produces; spliced into NaradaResult.
 struct SynthStageOutput {
   std::vector<SynthesizedTestInfo> Tests;
@@ -79,15 +95,28 @@ struct SynthStageOutput {
   std::string SynthesizedSource;
 };
 
+/// What an isolated (--isolate) synthesis stage needs to re-dispatch its
+/// units into worker subprocesses: the worker rebuilds the pipeline state
+/// from the same inputs (deterministically), so only the original source
+/// and seed names travel, not the derived structures.
+struct SynthIsolateContext {
+  pool::IsolateOptions Isolate;
+  std::string LibrarySource;
+  std::vector<std::string> SeedNames;
+};
+
 /// Runs stages 2b+3 over \p Pairs with Options.Jobs workers (1 = inline on
 /// the calling thread, 0 = one per hardware thread).  The output is
 /// byte-identical for every job count given the same inputs and
-/// DerivationSeed.
+/// DerivationSeed.  With \p Iso non-null, units run in crash-contained
+/// worker subprocesses instead of threads (clean runs byte-identical to
+/// in-process; hard-faulted units become worker_crash skips).
 SynthStageOutput runSynthesisStage(const AnalysisResult &Analysis,
                                    const ProgramInfo &Info,
                                    const SeedRegistry &Registry,
                                    const std::vector<RacyPair> &Pairs,
-                                   const NaradaOptions &Options);
+                                   const NaradaOptions &Options,
+                                   const SynthIsolateContext *Iso = nullptr);
 
 } // namespace narada
 

@@ -40,10 +40,12 @@
 
 #include "analysis/AnalysisPrinter.h"
 #include "contege/Contege.h"
+#include "detect/DetectWorker.h"
 #include "detect/LockOrderDetector.h"
 #include "corpus/Corpus.h"
 #include "detect/Detection.h"
 #include "gen/GenEngine.h"
+#include "obs/MetricsWire.h"
 #include "obs/RunReport.h"
 #include "obs/Span.h"
 #include "staticrace/LocksetAnalysis.h"
@@ -52,20 +54,27 @@
 #include "obs/Trace.h"
 #include "support/Env.h"
 #include "support/FaultInjection.h"
+#include "support/ProcessPool.h"
 #include "support/StringUtils.h"
 #include "support/ThreadPool.h"
+#include "support/Wire.h"
 #include "synth/Narada.h"
+#include "synth/SynthWorker.h"
 #include "trace/Trace.h"
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace narada;
@@ -101,6 +110,7 @@ struct CliArgs {
   bool GenSeeds = false;             ///< --gen-seeds: synthesize the seeds.
   unsigned GenRounds = 2;            ///< --gen-rounds.
   unsigned GenBudget = 16;           ///< --gen-budget (candidates/round).
+  pool::IsolateOptions Isolate;      ///< --isolate / --worker-* flags.
 };
 
 int usage() {
@@ -114,6 +124,7 @@ int usage() {
       "  detect <file.mj|corpus:Cx> [seed-test]... [--class C]\n"
       "  contege <file.mj|corpus:Cx> --class C [--tests N] [--seed N]\n"
       "  corpus\n"
+      "  worker                (internal: --isolate subprocess entrypoint)\n"
       "global flags:\n"
       "  --jobs N              worker threads for synthesis/detection\n"
       "                        (0 = all hardware threads; default\n"
@@ -152,9 +163,21 @@ int usage() {
       "  --step-retries N      escalated-budget retries for step-limit\n"
       "                        hits before quarantining (default 2)\n"
       "  --wall-budget SECS    per-test wall-clock budget (default: off)\n"
+      "process isolation flags (see docs/ROBUSTNESS.md):\n"
+      "  --isolate             run synthesis/detection units in crash-\n"
+      "                        isolated worker subprocesses (default\n"
+      "                        $NARADA_ISOLATE or off; clean-run output\n"
+      "                        is byte-identical to in-process mode)\n"
+      "  --worker-deadline S   per-unit wall deadline in seconds\n"
+      "                        (default 60; 0 disables)\n"
+      "  --worker-cpu-limit S  RLIMIT_CPU per worker in seconds\n"
+      "                        (default 0 = inherit)\n"
+      "  --worker-mem-limit M  RLIMIT_AS per worker in MiB\n"
+      "                        (default 0 = inherit)\n"
       "  (see docs/OBSERVABILITY.md; NARADA_LOG=debug|info|warn for "
-      "diagnostics; NARADA_FAULT_INJECT=<site>:<unit>[:throw|:timeout] "
-      "injects a deterministic fault)\n",
+      "diagnostics; NARADA_FAULT_INJECT=<site>:<unit>"
+      "[:throw|:timeout|:crash|:segv|:hang|:oom] "
+      "injects a deterministic fault — hard modes need --isolate)\n",
       knownPolicyNames());
   return 2;
 }
@@ -176,6 +199,8 @@ std::optional<CliArgs> parseArgs(int Argc, char **Argv) {
   CliArgs Args;
   Args.Command = Argv[1];
   Args.Jobs = env::jobs(Args.Jobs);
+  Args.Isolate.Enabled = env::isolate(Args.Isolate.Enabled);
+  Args.Isolate.WorkerExe = pool::currentExecutablePath(Argv[0]);
   for (int I = 2; I < Argc; ++I) {
     std::string Arg = Argv[I];
     if (Arg == "--class" && I + 1 < Argc) {
@@ -254,6 +279,14 @@ std::optional<CliArgs> parseArgs(int Argc, char **Argv) {
                      "warning: ignoring invalid --gen-budget '%s' "
                      "(keeping %u)\n",
                      Value, Args.GenBudget);
+    } else if (Arg == "--isolate") {
+      Args.Isolate.Enabled = true;
+    } else if (Arg == "--worker-deadline" && I + 1 < Argc) {
+      Args.Isolate.UnitDeadlineSeconds = std::stod(Argv[++I]);
+    } else if (Arg == "--worker-cpu-limit" && I + 1 < Argc) {
+      Args.Isolate.WorkerCpuLimitSeconds = std::stoull(Argv[++I]);
+    } else if (Arg == "--worker-mem-limit" && I + 1 < Argc) {
+      Args.Isolate.WorkerMemLimitMb = std::stoull(Argv[++I]);
     } else if (Arg == "--stats") {
       Args.Stats = true;
     } else if (Arg.rfind("--", 0) == 0) {
@@ -349,6 +382,7 @@ int cmdAnalyze(CliArgs &Args, const std::string &Source) {
   Options.Jobs = Args.Jobs;
   Options.StaticPrefilter = Args.StaticPrefilter;
   Options.StaticRank = Args.StaticRank;
+  Options.Isolate = Args.Isolate;
   Result<NaradaResult> R = runNarada(Source, Args.Names, Options);
   if (!R) {
     std::fprintf(stderr, "error: %s\n", R.error().str().c_str());
@@ -395,6 +429,7 @@ int cmdSynthesize(CliArgs &Args, const std::string &Source) {
   Options.Jobs = Args.Jobs;
   Options.StaticPrefilter = Args.StaticPrefilter;
   Options.StaticRank = Args.StaticRank;
+  Options.Isolate = Args.Isolate;
   Result<NaradaResult> R = runNarada(Source, Args.Names, Options);
   if (!R) {
     std::fprintf(stderr, "error: %s\n", R.error().str().c_str());
@@ -448,6 +483,7 @@ int cmdDetect(CliArgs &Args, const std::string &Source) {
   Options.Jobs = Args.Jobs;
   Options.StaticPrefilter = Args.StaticPrefilter;
   Options.StaticRank = Args.StaticRank;
+  Options.Isolate = Args.Isolate;
   Result<NaradaResult> R = runNarada(Source, Args.Names, Options);
   if (!R) {
     std::fprintf(stderr, "error: %s\n", R.error().str().c_str());
@@ -470,8 +506,13 @@ int cmdDetect(CliArgs &Args, const std::string &Source) {
                  Args.Detect.ReplayTrace->TestName.c_str());
     return 1;
   }
+  detectworker::DetectIsolateContext DetectIso;
+  DetectIso.Isolate = Args.Isolate;
+  DetectIso.FinalSource = R->FinalSource;
+  DetectIso.ReplayPath = Args.ReplayPath;
   Result<std::vector<TestDetectionResult>> Results =
-      detectRacesInTests(*R->Program.Module, Jobs, Args.Detect, Args.Jobs);
+      detectRacesInTests(*R->Program.Module, Jobs, Args.Detect, Args.Jobs,
+                         Args.Isolate.Enabled ? &DetectIso : nullptr);
   if (!Results) {
     std::fprintf(stderr, "error: %s\n", Results.error().str().c_str());
     return 1;
@@ -588,6 +629,121 @@ int cmdContege(CliArgs &Args, const std::string &Source) {
   return 0;
 }
 
+/// `narada-cli worker`: the subprocess half of --isolate
+/// (support/ProcessPool.h).  Speaks the framed record protocol on
+/// stdin/stdout: the first frame is the stage `setup` (mode=synth|detect),
+/// answered with `ready`; every further frame is a unit request answered
+/// with `result` (or a graceful `crash kind=oom` when the unit exhausts
+/// memory but the worker catches the bad_alloc in time).  A monitor thread
+/// emits `hb` heartbeats so the supervisor can tell a busy worker from a
+/// wedged one.  Hard faults (SIGSEGV, abort, runaway loops, OOM kills)
+/// simply take the process down — classification is the supervisor's job.
+int cmdWorker() {
+  std::mutex OutMutex;
+  auto Send = [&](const std::string &Payload) {
+    std::lock_guard<std::mutex> Lock(OutMutex);
+    return wire::writeFrame(1, Payload);
+  };
+
+  std::atomic<bool> Running{true};
+  std::thread Heartbeat([&] {
+    wire::RecordWriter Beat;
+    Beat.add("verb", std::string_view("hb"));
+    const std::string Frame = Beat.str();
+    while (Running.load(std::memory_order_relaxed)) {
+      if (!Send(Frame))
+        return; // Supervisor gone; the read loop will see EOF too.
+      // Sleep ~200ms in short slices so shutdown does not lag the beat.
+      for (int I = 0; I < 4 && Running.load(std::memory_order_relaxed); ++I)
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  });
+  auto StopHeartbeat = [&] {
+    Running.store(false, std::memory_order_relaxed);
+    Heartbeat.join();
+  };
+
+  std::unique_ptr<synthworker::Service> Synth;
+  std::unique_ptr<detectworker::Service> Detect;
+
+  std::string Payload;
+  for (;;) {
+    wire::ReadStatus St = wire::readFrame(0, Payload);
+    if (St != wire::ReadStatus::Ok)
+      break; // EOF (supervisor closed the pipe) or a garbled frame.
+    wire::RecordReader Record(Payload);
+    if (Record.getOr("verb", "") == "shutdown")
+      break;
+
+    if (!Synth && !Detect) {
+      // First frame: the stage setup.
+      std::string Mode = Record.getOr("mode", "");
+      if (Mode == "synth") {
+        Result<std::unique_ptr<synthworker::Service>> Created =
+            synthworker::Service::create(Record);
+        if (!Created) {
+          std::fprintf(stderr, "narada-cli worker: %s\n",
+                       Created.error().str().c_str());
+          StopHeartbeat();
+          return 1;
+        }
+        Synth = Created.take();
+      } else if (Mode == "detect") {
+        Result<std::unique_ptr<detectworker::Service>> Created =
+            detectworker::Service::create(Record);
+        if (!Created) {
+          std::fprintf(stderr, "narada-cli worker: %s\n",
+                       Created.error().str().c_str());
+          StopHeartbeat();
+          return 1;
+        }
+        Detect = Created.take();
+      } else {
+        std::fprintf(stderr,
+                     "narada-cli worker: setup frame has unknown mode "
+                     "'%s'\n",
+                     Mode.c_str());
+        StopHeartbeat();
+        return 1;
+      }
+      wire::RecordWriter Ready;
+      Ready.add("verb", std::string_view("ready"));
+      if (!Send(Ready.str()))
+        break;
+      continue;
+    }
+
+    // A unit request.  The registry is reset per unit so the reply's
+    // metrics delta covers exactly this unit's work; the supervisor merges
+    // deltas, which keeps pipeline counters aligned with in-process runs.
+    try {
+      obs::MetricsRegistry::global().reset();
+      wire::RecordWriter Reply;
+      Reply.add("verb", std::string_view("result"));
+      if (Synth)
+        Synth->runUnit(Record, Reply);
+      else
+        Detect->runUnit(Record, Reply);
+      obs::appendMetricsDelta(Reply, obs::MetricsRegistry::global().snapshot());
+      if (!Send(Reply.str()))
+        break;
+    } catch (const std::bad_alloc &) {
+      // Graceful OOM: the allocator failed (RLIMIT_AS) but this frame
+      // barely needs memory.  Report and keep serving — the unit is
+      // deterministic, the supervisor will not retry it.
+      wire::RecordWriter Crash;
+      Crash.add("verb", std::string_view("crash"));
+      Crash.add("kind", std::string_view("oom"));
+      Crash.add("detail",
+                std::string_view("allocation failure (std::bad_alloc)"));
+      if (!Send(Crash.str()))
+        break;
+    }
+  }
+  StopHeartbeat();
+  return 0;
+}
+
 int cmdCorpus() {
   for (const CorpusEntry &Entry : corpus())
     std::printf("%s  %-10s %-8s %-30s %u LoC\n", Entry.Id.c_str(),
@@ -609,6 +765,17 @@ void emitObservability(const CliArgs &Args) {
   Meta.FocusClass = Args.FocusClass;
   Meta.Seed = Args.Seed;
   Meta.addOption("jobs", std::to_string(Args.Jobs));
+  if (Args.Isolate.Enabled) {
+    Meta.addOption("isolate", "1");
+    Meta.addOption("worker_deadline",
+                   std::to_string(Args.Isolate.UnitDeadlineSeconds));
+    if (Args.Isolate.WorkerCpuLimitSeconds)
+      Meta.addOption("worker_cpu_limit",
+                     std::to_string(Args.Isolate.WorkerCpuLimitSeconds));
+    if (Args.Isolate.WorkerMemLimitMb)
+      Meta.addOption("worker_mem_limit",
+                     std::to_string(Args.Isolate.WorkerMemLimitMb));
+  }
   if (Args.StaticPrefilter)
     Meta.addOption("static_prefilter", "1");
   if (Args.StaticRank)
@@ -716,6 +883,8 @@ int main(int Argc, char **Argv) {
     return usage();
   if (Args->Command == "corpus")
     return cmdCorpus();
+  if (Args->Command == "worker")
+    return cmdWorker();
   if (Args->Input.empty())
     return usage();
 

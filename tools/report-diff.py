@@ -50,21 +50,44 @@ MIN_SECONDS = 0.001  # Phases below this in both reports are noise.
 
 # Dotted-path segments of phases that exist only under certain run
 # configurations: worker spans only at --jobs > 1, exploration spans only
-# under --explore systematic / --replay.  Their absence from one side of a
-# diff is expected, not suspicious.
+# under --explore systematic / --replay, pool spans only under --isolate.
+# Their absence from one side of a diff is expected, not suspicious.
 _VARIABLE_SEGMENT_PREFIXES = ("worker",)
-_VARIABLE_SEGMENTS = {"explore", "schedule", "witness", "staticrace"}
+# derive/synthesize/test/confirm spans re-root when the run configuration
+# moves them between worker threads (--jobs), worker subprocesses
+# (--isolate) and the calling thread, so their dotted paths are one-sided
+# across such diffs even though the work itself ran on both sides.
+_VARIABLE_SEGMENTS = {"explore", "schedule", "witness", "staticrace", "pool",
+                      "derive", "synthesize", "test", "confirm"}
 
 # Counters whose values are expected to differ across exploration modes or
 # when the static pre-analysis is toggled; drift in them is annotated
 # rather than left to look like a anomaly.  lock_collision is listed
 # because a statically pruned pair skips the dynamic lock-collision check
-# it would otherwise have hit.
+# it would otherwise have hit.  pool.* counters exist only under --isolate,
+# and synth.qmemo* differs there because worker subprocesses derive without
+# the shared derivation memo.
 MODE_DEPENDENT_COUNTER_PREFIXES = (
     "explore.",
     "staticrace.",
     "pairgen.candidates_rejected.lock_collision",
+    "pool.",
+    "synth.qmemo",
+    "synth.derivations",
 )
+
+# Counters that record crash-contained work units (--isolate hard-fault
+# quarantines).  Drift in them means one run lost units to worker crashes;
+# render those prominently so a fault-injection run diffed against a clean
+# baseline explains its own skip/race deltas.
+CRASH_QUARANTINE_COUNTERS = {
+    "detect.worker_crashes":
+        "detection units quarantined by worker crashes",
+    "synth.pairs_skipped.worker_crash":
+        "synthesis pairs skipped by worker crashes",
+    "pool.units_poisoned":
+        "units poisoned after repeated worker deaths",
+}
 
 
 def is_config_dependent_phase(name):
@@ -317,11 +340,31 @@ def main():
         if drifted:
             print(f"counter drift ({len(drifted)} changed):")
             for name, before, after in drifted:
-                mode_dependent = any(
-                    name.startswith(p)
-                    for p in MODE_DEPENDENT_COUNTER_PREFIXES)
-                suffix = " [mode-dependent]" if mode_dependent else ""
+                if name in CRASH_QUARANTINE_COUNTERS:
+                    suffix = " [crash-quarantine]"
+                elif any(name.startswith(p)
+                         for p in MODE_DEPENDENT_COUNTER_PREFIXES):
+                    suffix = " [mode-dependent]"
+                else:
+                    suffix = ""
                 print(f"  {name}: {before} -> {after}{suffix}")
+
+        # Crash quarantines explain themselves: a unit lost to a worker
+        # crash takes its races and synthesized tests with it, so the
+        # summary names them instead of leaving the reader to decode
+        # counter names.
+        crashed = []
+        for name in sorted(CRASH_QUARANTINE_COUNTERS):
+            before = base.get("counters", {}).get(name, 0)
+            after = cur.get("counters", {}).get(name, 0)
+            if before != after:
+                crashed.append((name, before, after))
+        if crashed:
+            print("crash quarantines (config-dependent; see "
+                  "docs/ROBUSTNESS.md):")
+            for name, before, after in crashed:
+                print(f"  {CRASH_QUARANTINE_COUNTERS[name]}: "
+                      f"{before} -> {after}")
 
     race_mismatches = []
     if args.races or args.races_only:
