@@ -9,6 +9,7 @@
 #include "obs/Log.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
+#include "support/Bundle.h"
 #include "support/FaultInjection.h"
 #include "support/StringUtils.h"
 
@@ -18,12 +19,8 @@
 using namespace narada;
 using namespace narada::detectworker;
 
-std::string detectworker::encodeSetup(const DetectIsolateContext &Iso,
-                                      const DetectOptions &Options) {
-  wire::RecordWriter W;
-  W.add("mode", "detect");
-  W.add("source", Iso.FinalSource);
-  W.add("replay_path", Iso.ReplayPath);
+void detectworker::encodeDetectOptions(wire::RecordWriter &W,
+                                       const DetectOptions &Options) {
   W.add("random_runs", static_cast<uint64_t>(Options.RandomRuns));
   W.add("confirm_attempts", static_cast<uint64_t>(Options.ConfirmAttempts));
   W.add("base_seed", Options.BaseSeed);
@@ -41,6 +38,40 @@ std::string detectworker::encodeSetup(const DetectIsolateContext &Iso,
         static_cast<uint64_t>(Options.StepLimitRetries));
   W.add("step_budget_escalation", Options.StepBudgetEscalation);
   W.addDouble("wall_budget_seconds", Options.WallBudgetSeconds);
+}
+
+Result<DetectOptions> detectworker::decodeDetectOptions(
+    const wire::RecordReader &In) {
+  DetectOptions O;
+  O.RandomRuns = static_cast<unsigned>(In.getU64("random_runs", 12));
+  O.ConfirmAttempts =
+      static_cast<unsigned>(In.getU64("confirm_attempts", 4));
+  O.BaseSeed = In.getU64("base_seed", 1);
+  O.MaxSteps = In.getU64("max_steps", 400000);
+  O.UseHB = In.getBool("use_hb", true);
+  O.UseLockSet = In.getBool("use_lockset", true);
+  if (!parseExplorationMode(In.getOr("explore_mode", "random"), O.Mode))
+    return Error("detect setup record has an unknown exploration mode");
+  O.Explore.MaxSchedules =
+      static_cast<unsigned>(In.getU64("explore_max_schedules", 256));
+  O.Explore.MaxPreemptions =
+      static_cast<unsigned>(In.getU64("explore_max_preemptions", 2));
+  O.Explore.WallBudgetSeconds = In.getDouble("explore_wall_budget", 0.0);
+  O.WitnessDir = In.getOr("witness_dir", "");
+  O.StepLimitRetries =
+      static_cast<unsigned>(In.getU64("step_limit_retries", 2));
+  O.StepBudgetEscalation = In.getU64("step_budget_escalation", 4);
+  O.WallBudgetSeconds = In.getDouble("wall_budget_seconds", 0.0);
+  return O;
+}
+
+std::string detectworker::encodeSetup(const DetectIsolateContext &Iso,
+                                      const DetectOptions &Options) {
+  wire::RecordWriter W;
+  W.add("mode", "detect");
+  wire::addBundle(W, Iso.FinalSource, /*Seeds=*/{});
+  W.add("replay_path", Iso.ReplayPath);
+  encodeDetectOptions(W, Options);
   return W.str();
 }
 
@@ -165,35 +196,20 @@ Service::create(const wire::RecordReader &Setup) {
   auto Out = std::unique_ptr<Service>(new Service());
   State &S = *Out->S;
 
-  std::optional<std::string> Source = Setup.get("source");
-  if (!Source)
-    return Error("detect setup record has no source");
-  Result<CompiledProgram> Program = compileProgram(*Source);
+  Result<wire::ModuleBundle> Bundle = wire::readBundle(Setup, "detect setup");
+  if (!Bundle)
+    return Bundle.error();
+  Result<CompiledProgram> Program = compileProgram(Bundle->Source);
   if (!Program)
     return Error("detect worker failed to recompile the final source: " +
                  Program.error().str());
   S.Program = Program.take();
 
+  Result<DetectOptions> Options = decodeDetectOptions(Setup);
+  if (!Options)
+    return Options.error();
+  S.Options = Options.take();
   DetectOptions &O = S.Options;
-  O.RandomRuns = static_cast<unsigned>(Setup.getU64("random_runs", 12));
-  O.ConfirmAttempts =
-      static_cast<unsigned>(Setup.getU64("confirm_attempts", 4));
-  O.BaseSeed = Setup.getU64("base_seed", 1);
-  O.MaxSteps = Setup.getU64("max_steps", 400000);
-  O.UseHB = Setup.getBool("use_hb", true);
-  O.UseLockSet = Setup.getBool("use_lockset", true);
-  if (!parseExplorationMode(Setup.getOr("explore_mode", "random"), O.Mode))
-    return Error("detect setup record has an unknown exploration mode");
-  O.Explore.MaxSchedules =
-      static_cast<unsigned>(Setup.getU64("explore_max_schedules", 256));
-  O.Explore.MaxPreemptions =
-      static_cast<unsigned>(Setup.getU64("explore_max_preemptions", 2));
-  O.Explore.WallBudgetSeconds = Setup.getDouble("explore_wall_budget", 0.0);
-  O.WitnessDir = Setup.getOr("witness_dir", "");
-  O.StepLimitRetries =
-      static_cast<unsigned>(Setup.getU64("step_limit_retries", 2));
-  O.StepBudgetEscalation = Setup.getU64("step_budget_escalation", 4);
-  O.WallBudgetSeconds = Setup.getDouble("wall_budget_seconds", 0.0);
 
   std::string ReplayPath = Setup.getOr("replay_path", "");
   if (!ReplayPath.empty()) {

@@ -46,6 +46,16 @@ struct DetectIsolateContext {
   std::string ReplayPath;
 };
 
+/// Appends every DetectOptions field that shapes exploration or
+/// classification — the option half of the setup record, shared with the
+/// daemon's submit codec (serve/Protocol.h).  ReplayTrace does not travel:
+/// workers reload the trace from DetectIsolateContext::ReplayPath.
+void encodeDetectOptions(wire::RecordWriter &W, const DetectOptions &Options);
+
+/// Inverse of encodeDetectOptions; absent keys keep the defaults.  Errors
+/// on an unknown exploration mode name.
+Result<DetectOptions> decodeDetectOptions(const wire::RecordReader &In);
+
 /// Encodes the `setup` frame payload: source, replay path, and every
 /// DetectOptions field that shapes exploration or classification.
 std::string encodeSetup(const DetectIsolateContext &Iso,

@@ -1,0 +1,325 @@
+//===- serve/CacheFile.cpp - On-disk daemon cache persistence ------------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/CacheFile.h"
+
+#include "obs/Log.h"
+#include "support/Wire.h"
+
+#include <cstdio>
+#include <fcntl.h>
+#include <unistd.h>
+#include <utility>
+#include <vector>
+
+using namespace narada;
+using namespace narada::serve;
+using staticrace::CachedSummary;
+using staticrace::Controllability;
+using staticrace::MethodSummary;
+using staticrace::StaticAccess;
+
+namespace {
+
+constexpr const char *Magic = "narada.serve_cache";
+constexpr uint64_t Version = 1;
+
+// Nested records: a whole sub-record rides as one escaped value (the wire
+// escaping turns its newlines into \n), so arbitrarily deep structures —
+// summary -> access -> lock path, memo scope -> plan -> plan... — stay
+// inside the flat line-oriented format every other Narada surface uses.
+
+std::string encodePath(const AccessPath &Path) {
+  wire::RecordWriter W;
+  W.add("root", static_cast<int64_t>(Path.Root));
+  for (const std::string &Field : Path.Fields)
+    W.add("field", Field);
+  return W.str();
+}
+
+AccessPath decodePath(const std::string &Text) {
+  wire::RecordReader In(Text);
+  return AccessPath(static_cast<int>(In.getI64("root", 0)), In.all("field"));
+}
+
+std::string encodeAccess(const StaticAccess &A) {
+  wire::RecordWriter W;
+  W.add("label", A.Label);
+  W.add("class", A.FieldClassName);
+  W.add("field", A.Field);
+  W.addBool("write", A.IsWrite);
+  W.addBool("elem", A.IsElem);
+  W.add("ctrl", static_cast<uint64_t>(A.Ctrl));
+  if (A.BasePath)
+    W.add("base", encodePath(*A.BasePath));
+  for (const auto &[Path, Count] : A.MustLocks) {
+    wire::RecordWriter Lock;
+    Lock.add("path", encodePath(Path));
+    Lock.add("count", static_cast<uint64_t>(Count));
+    W.add("lock", Lock.str());
+  }
+  W.add("unknown_locks", static_cast<uint64_t>(A.UnknownLocks));
+  return W.str();
+}
+
+Result<StaticAccess> decodeAccess(const std::string &Text) {
+  wire::RecordReader In(Text);
+  StaticAccess A;
+  std::optional<std::string> Label = In.get("label");
+  if (!Label)
+    return Error("cache access entry has no label");
+  A.Label = *Label;
+  A.FieldClassName = In.getOr("class", "");
+  A.Field = In.getOr("field", "");
+  A.IsWrite = In.getBool("write", false);
+  A.IsElem = In.getBool("elem", false);
+  uint64_t Ctrl = In.getU64("ctrl", ~0ull);
+  if (Ctrl > static_cast<uint64_t>(Controllability::Unknown))
+    return Error("cache access entry has a bad controllability");
+  A.Ctrl = static_cast<Controllability>(Ctrl);
+  if (std::optional<std::string> Base = In.get("base"))
+    A.BasePath = decodePath(*Base);
+  for (const std::string &LockText : In.all("lock")) {
+    wire::RecordReader Lock(LockText);
+    std::optional<std::string> Path = Lock.get("path");
+    if (!Path)
+      return Error("cache lock entry has no path");
+    A.MustLocks[decodePath(*Path)] =
+        static_cast<unsigned>(Lock.getU64("count", 1));
+  }
+  A.UnknownLocks = static_cast<unsigned>(In.getU64("unknown_locks", 0));
+  return A;
+}
+
+void encodeSummaryFrame(wire::RecordWriter &W, const std::string &Symbol,
+                        const CacheSnapshot::SummaryEntry &Entry) {
+  W.add("kind", std::string_view("summary"));
+  W.add("symbol", Symbol);
+  W.add("digest", Entry.Digest);
+  W.addBool("exact", Entry.Value.Exact);
+  const MethodSummary &S = Entry.Value.Summary;
+  W.add("method_symbol", S.Symbol);
+  W.addBool("incomplete", S.Incomplete);
+  for (const std::string &Field : S.StoredFields)
+    W.add("stored_field", Field);
+  for (const StaticAccess &A : S.Accesses)
+    W.add("access", encodeAccess(A));
+}
+
+Result<std::pair<std::string, CacheSnapshot::SummaryEntry>>
+decodeSummaryFrame(const wire::RecordReader &In) {
+  std::optional<std::string> Symbol = In.get("symbol");
+  std::optional<std::string> Digest = In.get("digest");
+  if (!Symbol || !Digest)
+    return Error("cache summary entry has no symbol/digest");
+  CacheSnapshot::SummaryEntry Entry;
+  Entry.Digest = In.getU64("digest", 0);
+  Entry.Value.Exact = In.getBool("exact", false);
+  MethodSummary &S = Entry.Value.Summary;
+  S.Symbol = In.getOr("method_symbol", *Symbol);
+  S.Incomplete = In.getBool("incomplete", false);
+  for (const std::string &Field : In.all("stored_field"))
+    S.StoredFields.insert(Field);
+  for (const std::string &AccessText : In.all("access")) {
+    Result<StaticAccess> A = decodeAccess(AccessText);
+    if (!A)
+      return A.error();
+    S.Accesses.push_back(A.take());
+  }
+  return std::make_pair(*Symbol, std::move(Entry));
+}
+
+uint64_t planKindId(ProvidePlan::Kind K) {
+  return static_cast<uint64_t>(K);
+}
+
+std::string encodePlan(const ProvidePlan &Plan) {
+  wire::RecordWriter W;
+  W.add("kind", planKindId(Plan.K));
+  W.add("class", Plan.ClassName);
+  W.add("method", Plan.Method);
+  W.add("param", static_cast<int64_t>(Plan.ConstrainedParam));
+  W.addBool("complete", Plan.Complete);
+  if (Plan.Base)
+    W.add("base", encodePlan(*Plan.Base));
+  if (Plan.Value)
+    W.add("value", encodePlan(*Plan.Value));
+  return W.str();
+}
+
+Result<std::unique_ptr<ProvidePlan>> decodePlan(const std::string &Text) {
+  wire::RecordReader In(Text);
+  auto Plan = std::make_unique<ProvidePlan>();
+  uint64_t Kind = In.getU64("kind", ~0ull);
+  if (Kind > planKindId(ProvidePlan::Kind::ViaFactory))
+    return Error("cache memo plan has a bad kind");
+  Plan->K = static_cast<ProvidePlan::Kind>(Kind);
+  Plan->ClassName = In.getOr("class", "");
+  Plan->Method = In.getOr("method", "");
+  Plan->ConstrainedParam = static_cast<int>(In.getI64("param", 0));
+  Plan->Complete = In.getBool("complete", true);
+  if (std::optional<std::string> Base = In.get("base")) {
+    Result<std::unique_ptr<ProvidePlan>> Sub = decodePlan(*Base);
+    if (!Sub)
+      return Sub.error();
+    Plan->Base = Sub.take();
+  }
+  if (std::optional<std::string> Value = In.get("value")) {
+    Result<std::unique_ptr<ProvidePlan>> Sub = decodePlan(*Value);
+    if (!Sub)
+      return Sub.error();
+    Plan->Value = Sub.take();
+  }
+  return Plan;
+}
+
+void encodeMemoFrame(wire::RecordWriter &W, uint64_t Digest,
+                     const DerivationMemo &Memo) {
+  W.add("kind", std::string_view("memo_scope"));
+  W.add("digest", Digest);
+  // forEach visits in sorted key order, so identical memo contents always
+  // serialize to identical bytes.
+  Memo.forEach([&](const std::string &Key, const ProvidePlan &Plan) {
+    wire::RecordWriter Entry;
+    Entry.add("key", Key);
+    Entry.add("plan", encodePlan(Plan));
+    W.add("entry", Entry.str());
+  });
+}
+
+Result<std::unique_ptr<DerivationMemo>>
+decodeMemoFrame(const wire::RecordReader &In) {
+  auto Memo = std::make_unique<DerivationMemo>();
+  for (const std::string &EntryText : In.all("entry")) {
+    wire::RecordReader Entry(EntryText);
+    std::optional<std::string> Key = Entry.get("key");
+    std::optional<std::string> PlanText = Entry.get("plan");
+    if (!Key || !PlanText)
+      return Error("cache memo entry has no key/plan");
+    Result<std::unique_ptr<ProvidePlan>> Plan = decodePlan(*PlanText);
+    if (!Plan)
+      return Plan.error();
+    Memo->insert(*Key, **Plan);
+  }
+  return Memo;
+}
+
+} // namespace
+
+bool serve::saveCacheFile(const std::string &Path,
+                          const CacheSnapshot &Snapshot) {
+  const std::string TempPath = Path + ".tmp";
+  int Fd = ::open(TempPath.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (Fd < 0) {
+    NARADA_LOG_WARN("serve: cannot write cache file '%s'", TempPath.c_str());
+    return false;
+  }
+  bool Ok = true;
+  auto Emit = [&](const wire::RecordWriter &W) {
+    if (Ok && !wire::writeFrame(Fd, W.str()))
+      Ok = false;
+  };
+  {
+    wire::RecordWriter Header;
+    Header.add("magic", std::string_view(Magic));
+    Header.add("version", Version);
+    Emit(Header);
+  }
+  for (const auto &[Symbol, Entry] : Snapshot.Summaries) {
+    wire::RecordWriter W;
+    encodeSummaryFrame(W, Symbol, Entry);
+    Emit(W);
+  }
+  for (const auto &[Digest, Memo] : Snapshot.MemoScopes) {
+    wire::RecordWriter W;
+    encodeMemoFrame(W, Digest, *Memo);
+    Emit(W);
+  }
+  for (const auto &[Name, Digest] : Snapshot.InputDigests) {
+    wire::RecordWriter W;
+    W.add("kind", std::string_view("input"));
+    W.add("name", Name);
+    W.add("digest", Digest);
+    Emit(W);
+  }
+  ::close(Fd);
+  if (!Ok || ::rename(TempPath.c_str(), Path.c_str()) != 0) {
+    NARADA_LOG_WARN("serve: failed to persist cache file '%s'", Path.c_str());
+    ::unlink(TempPath.c_str());
+    return false;
+  }
+  return true;
+}
+
+Result<CacheSnapshot> serve::loadCacheFile(const std::string &Path) {
+  int Fd = ::open(Path.c_str(), O_RDONLY);
+  if (Fd < 0)
+    return Error("cannot open cache file '" + Path + "'");
+  CacheSnapshot Snapshot;
+  std::string Payload;
+  wire::ReadStatus St = wire::readFrame(Fd, Payload);
+  if (St != wire::ReadStatus::Ok) {
+    ::close(Fd);
+    return Error("cache file '" + Path + "' has no header frame");
+  }
+  {
+    wire::RecordReader Header(Payload);
+    if (Header.getOr("magic", "") != Magic) {
+      ::close(Fd);
+      return Error("cache file '" + Path + "' has a bad magic");
+    }
+    if (Header.getU64("version", 0) != Version) {
+      ::close(Fd);
+      return Error("cache file '" + Path + "' has an unsupported version");
+    }
+  }
+  for (;;) {
+    St = wire::readFrame(Fd, Payload);
+    if (St == wire::ReadStatus::Eof)
+      break;
+    if (St != wire::ReadStatus::Ok) {
+      ::close(Fd);
+      return Error("cache file '" + Path + "' is truncated or corrupt");
+    }
+    wire::RecordReader In(Payload);
+    const std::string Kind = In.getOr("kind", "");
+    if (Kind == "summary") {
+      Result<std::pair<std::string, CacheSnapshot::SummaryEntry>> Entry =
+          decodeSummaryFrame(In);
+      if (!Entry) {
+        ::close(Fd);
+        return Entry.error();
+      }
+      Snapshot.Summaries[Entry->first] = std::move(Entry->second);
+    } else if (Kind == "memo_scope") {
+      std::optional<std::string> Digest = In.get("digest");
+      if (!Digest) {
+        ::close(Fd);
+        return Error("cache memo scope has no digest");
+      }
+      Result<std::unique_ptr<DerivationMemo>> Memo = decodeMemoFrame(In);
+      if (!Memo) {
+        ::close(Fd);
+        return Memo.error();
+      }
+      Snapshot.MemoScopes[In.getU64("digest", 0)] = Memo.take();
+    } else if (Kind == "input") {
+      std::optional<std::string> Name = In.get("name");
+      std::optional<std::string> Digest = In.get("digest");
+      if (!Name || !Digest) {
+        ::close(Fd);
+        return Error("cache input binding has no name/digest");
+      }
+      Snapshot.InputDigests[*Name] = In.getU64("digest", 0);
+    } else {
+      ::close(Fd);
+      return Error("cache file '" + Path + "' has an unknown entry kind '" +
+                   Kind + "'");
+    }
+  }
+  ::close(Fd);
+  return Snapshot;
+}

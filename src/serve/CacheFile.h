@@ -1,0 +1,76 @@
+//===- serve/CacheFile.h - On-disk daemon cache persistence -----*- C++ -*-===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serialization of the daemon's durable caches (docs/SERVING.md): the
+/// content-addressed static summary store and the per-source derivation
+/// memo scopes.  The file is a sequence of support/Wire.h frames — the
+/// same length-prefixed record format every other Narada wire surface
+/// uses — starting with a versioned header:
+///
+///   frame 0:  magic=narada.serve_cache  version=1
+///   frame N:  kind=summary     one (symbol, cone digest) summary entry
+///             kind=memo_scope  one source digest's derivation memo
+///             kind=input       one input-name -> source-digest binding
+///
+/// Loading is all-or-nothing per file: any anomaly (bad magic, future
+/// version, truncated frame, malformed entry) fails the load and the
+/// daemon starts cold — a cache is a speedup, never a correctness input,
+/// so the only safe reaction to corruption is to ignore the file.
+/// Writing goes through a temp file + rename so a crash mid-save leaves
+/// the previous cache intact.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NARADA_SERVE_CACHEFILE_H
+#define NARADA_SERVE_CACHEFILE_H
+
+#include "staticrace/LocksetAnalysis.h"
+#include "support/Error.h"
+#include "synth/ContextDeriver.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+namespace narada {
+namespace serve {
+
+/// Everything the cache file holds, in load/store form.
+struct CacheSnapshot {
+  /// One persisted summary-store entry: the summary plus the cone digest
+  /// it was computed under (see staticrace::methodConeDigests).
+  struct SummaryEntry {
+    uint64_t Digest = 0;
+    staticrace::CachedSummary Value;
+  };
+  /// Keyed by method symbol — the store keeps only the latest digest per
+  /// symbol, so one entry per symbol is exactly its in-memory shape.
+  std::map<std::string, SummaryEntry> Summaries;
+  /// Derivation memo scopes keyed by source digest.  unique_ptr because
+  /// DerivationMemo is neither copyable nor movable (sharded mutexes).
+  std::map<uint64_t, std::unique_ptr<DerivationMemo>> MemoScopes;
+  /// Input name (file path / corpus id) -> last seen source digest; the
+  /// invalidation edge that lets an edited module drop its stale scope.
+  std::map<std::string, uint64_t> InputDigests;
+};
+
+/// Serializes \p Snapshot to \p Path atomically (temp file + rename).
+/// Returns false (with a warning on stderr) when the file cannot be
+/// written; the daemon keeps serving from memory.
+bool saveCacheFile(const std::string &Path, const CacheSnapshot &Snapshot);
+
+/// Loads \p Path.  Errors on any corruption or version mismatch — the
+/// caller logs and starts cold.  A missing file is also an error (callers
+/// that treat "no file yet" as a normal cold start should stat first or
+/// just ignore the error).
+Result<CacheSnapshot> loadCacheFile(const std::string &Path);
+
+} // namespace serve
+} // namespace narada
+
+#endif // NARADA_SERVE_CACHEFILE_H

@@ -1,0 +1,179 @@
+//===- serve/Caches.cpp - The daemon's persistent cache layer ------------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Caches.h"
+
+#include "obs/Log.h"
+#include "obs/Metrics.h"
+#include "support/Digest.h"
+
+#include <sys/stat.h>
+#include <utility>
+
+using namespace narada;
+using namespace narada::serve;
+
+namespace {
+
+obs::Counter &counter(const char *Name) {
+  return obs::MetricsRegistry::global().counter(Name);
+}
+
+} // namespace
+
+class ServeCaches::SummaryStoreImpl : public staticrace::SummaryStore {
+public:
+  explicit SummaryStoreImpl(
+      std::map<std::string, CacheSnapshot::SummaryEntry> &Map)
+      : Map(Map) {}
+
+  const staticrace::CachedSummary *lookup(const std::string &Symbol,
+                                          uint64_t Digest) const override {
+    auto It = Map.find(Symbol);
+    if (It == Map.end() || It->second.Digest != Digest)
+      return nullptr;
+    return &It->second.Value;
+  }
+
+  void store(const std::string &Symbol, uint64_t Digest,
+             staticrace::CachedSummary Value) override {
+    auto It = Map.find(Symbol);
+    if (It != Map.end() && It->second.Digest != Digest)
+      counter("serve.cache.summary.invalidated").inc();
+    CacheSnapshot::SummaryEntry &Entry = Map[Symbol];
+    Entry.Digest = Digest;
+    Entry.Value = std::move(Value);
+  }
+
+private:
+  std::map<std::string, CacheSnapshot::SummaryEntry> &Map;
+};
+
+ServeCaches::ServeCaches(std::string CacheFilePath)
+    : CacheFilePath(std::move(CacheFilePath)) {
+  if (this->CacheFilePath.empty())
+    return;
+  struct stat St;
+  if (::stat(this->CacheFilePath.c_str(), &St) != 0)
+    return; // No file yet: a normal cold start.
+  Result<CacheSnapshot> Loaded = loadCacheFile(this->CacheFilePath);
+  if (!Loaded) {
+    NARADA_LOG_WARN("serve: starting cold: %s", Loaded.error().str().c_str());
+    return;
+  }
+  State = Loaded.take();
+  LoadedFromDisk = true;
+  NARADA_LOG_INFO("serve: cache loaded: %zu summaries, %zu memo scopes",
+                  State.Summaries.size(), State.MemoScopes.size());
+}
+
+void ServeCaches::touchInput(const std::string &InputName, uint64_t Digest) {
+  if (InputName.empty())
+    return;
+  auto It = State.InputDigests.find(InputName);
+  if (It != State.InputDigests.end() && It->second != Digest) {
+    // Same input, new content: the old scope's memo entries can never hit
+    // again through this name — drop them so the daemon's footprint
+    // follows the working set, and account for the invalidation.
+    auto Old = State.MemoScopes.find(It->second);
+    if (Old != State.MemoScopes.end()) {
+      counter("serve.cache.memo.invalidated").inc(Old->second->size());
+      State.MemoScopes.erase(Old);
+    }
+    SeedAnalysis.erase(It->second);
+  }
+  State.InputDigests[InputName] = Digest;
+}
+
+DerivationMemo &ServeCaches::memoScopeFor(uint64_t Digest) {
+  auto It = State.MemoScopes.find(Digest);
+  if (It != State.MemoScopes.end()) {
+    // Every pre-warmed entry is a lookup the synthesis stage will not
+    // re-derive; counting them on scope attach is what makes warm-run
+    // reports show nonzero memo hits even though the memo itself never
+    // distinguishes warm entries from ones inserted seconds ago.
+    counter("serve.cache.memo.hits").inc(It->second->size());
+    return *It->second;
+  }
+  counter("serve.cache.memo.misses").inc();
+  auto Memo = std::make_unique<DerivationMemo>();
+  DerivationMemo &Ref = *Memo;
+  State.MemoScopes[Digest] = std::move(Memo);
+  return Ref;
+}
+
+std::unique_ptr<ServeCaches::Request>
+ServeCaches::beginRequest(const std::string &InputName) {
+  auto Req = std::make_unique<Request>();
+  Request *R = Req.get();
+
+  Req->Hooks.PipelineFor =
+      [this, R, InputName](const std::string &Source) -> const PipelineCaches * {
+    const uint64_t Digest = digest::of(Source);
+    touchInput(InputName, Digest);
+
+    auto P = std::make_unique<PipelineCaches>();
+    P->SharedMemo = &memoScopeFor(Digest);
+    P->LookupSeedAnalysis =
+        [this, Digest](const std::string &SeedName) -> const AnalysisResult * {
+      auto Scope = SeedAnalysis.find(Digest);
+      if (Scope != SeedAnalysis.end()) {
+        auto Hit = Scope->second.find(SeedName);
+        if (Hit != Scope->second.end()) {
+          counter("serve.cache.analysis.hits").inc();
+          return &Hit->second;
+        }
+      }
+      counter("serve.cache.analysis.misses").inc();
+      return nullptr;
+    };
+    P->StoreSeedAnalysis = [this, Digest](const std::string &SeedName,
+                                          const AnalysisResult &Analysis) {
+      SeedAnalysis[Digest].emplace(SeedName, Analysis);
+    };
+    P->Summarize = [this](const IRModule &M) {
+      SummaryStoreImpl Store(State.Summaries);
+      staticrace::IncrementalStats Stats;
+      staticrace::ModuleSummary Summary =
+          staticrace::summarizeModuleIncremental(M, Store, &Stats);
+      counter("serve.cache.summary.hits").inc(Stats.Hits);
+      counter("serve.cache.summary.misses").inc(Stats.Methods - Stats.Hits);
+      counter("serve.cone_reanalyzed_methods").inc(Stats.Reanalyzed);
+      return Summary;
+    };
+    R->Pipeline = std::move(P);
+    return R->Pipeline.get();
+  };
+
+  Req->Hooks.LookupDetect =
+      [this](uint64_t Key) -> const std::vector<TestDetectionResult> * {
+    auto It = DetectMemo.find(Key);
+    if (It == DetectMemo.end()) {
+      counter("serve.cache.detect.misses").inc();
+      return nullptr;
+    }
+    counter("serve.cache.detect.hits").inc();
+    return &It->second;
+  };
+  Req->Hooks.StoreDetect = [this](uint64_t Key,
+                                  const std::vector<TestDetectionResult> &R) {
+    if (DetectMemo.count(Key))
+      return;
+    while (DetectMemo.size() >= MaxDetectEntries) {
+      DetectMemo.erase(DetectOrder.front());
+      DetectOrder.pop_front();
+    }
+    DetectMemo.emplace(Key, R);
+    DetectOrder.push_back(Key);
+  };
+  return Req;
+}
+
+bool ServeCaches::save() const {
+  if (CacheFilePath.empty())
+    return true;
+  return saveCacheFile(CacheFilePath, State);
+}

@@ -1,0 +1,122 @@
+//===- serve/Caches.h - The daemon's persistent cache layer -----*- C++ -*-===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The heart of `narada-cli serve` (docs/SERVING.md): content-addressed
+/// caches that survive in memory across requests and, via serve/CacheFile,
+/// on disk across restarts.  Four stores, all keyed by source digests so a
+/// resubmitted bundle hits and an edited one invalidates exactly what its
+/// edit reaches:
+///
+///  - summary store: per-method StaticSummary entries keyed by (symbol,
+///    dependence-cone digest) — the staticrace::SummaryStore behind
+///    summarizeModuleIncremental, so editing one method re-analyzes only
+///    the methods whose cone contains it (persisted);
+///  - derivation memo scopes: one DerivationMemo per source digest,
+///    pre-warming Q-query results for identical resubmits (persisted);
+///  - seed analysis: per-(source digest, seed name) AnalysisResult — a
+///    hit skips executing that seed entirely (in-memory only);
+///  - detection stage memo: whole detectRacesInTests result vectors keyed
+///    by the engine's stage digest (in-memory only, FIFO-capped).
+///
+/// Correctness rests on every cached value being exactly what the cold
+/// computation would produce for the same keyed inputs; the serve tests
+/// and the CI daemon-smoke job gate warm-equals-cold byte identity.
+///
+/// Counters (config-dependent, see tools/report-diff.py):
+/// serve.cache.{summary,memo,analysis,detect}.{hits,misses},
+/// serve.cache.{summary,memo}.invalidated, serve.cone_reanalyzed_methods.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NARADA_SERVE_CACHES_H
+#define NARADA_SERVE_CACHES_H
+
+#include "serve/CacheFile.h"
+#include "serve/Engine.h"
+#include "synth/Narada.h"
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace narada {
+namespace serve {
+
+/// All daemon caches plus the hook plumbing that threads them through the
+/// engine.  Single-threaded by design: the daemon serves requests
+/// sequentially (the parallelism lives inside a request's pipeline).
+class ServeCaches {
+public:
+  /// \p CacheFilePath: where to persist summaries/memos ("" = in-memory
+  /// only).  An existing file is loaded eagerly; corruption or a version
+  /// mismatch logs a warning and starts cold (never an error).
+  explicit ServeCaches(std::string CacheFilePath);
+
+  ServeCaches(const ServeCaches &) = delete;
+  ServeCaches &operator=(const ServeCaches &) = delete;
+
+  /// Hook state for one request; must outlive the engine call it is
+  /// passed to.  Hooks is wired to this ServeCaches instance.
+  struct Request {
+    EngineHooks Hooks;
+    /// Built lazily when the engine calls PipelineFor (after --gen-seeds
+    /// source replacement, so keys cover the true pipeline input).
+    std::unique_ptr<PipelineCaches> Pipeline;
+  };
+
+  /// Builds the hook set for a request on \p InputName (file path or
+  /// corpus id — the invalidation edge for renamed-content detection).
+  std::unique_ptr<Request> beginRequest(const std::string &InputName);
+
+  /// Persists the durable stores to the cache file; no-op (true) when no
+  /// path was configured, false on write failure (daemon keeps serving).
+  bool save() const;
+
+  /// True when construction found and loaded a valid cache file.
+  bool loadedFromDisk() const { return LoadedFromDisk; }
+
+  // Introspection for tests and logs.
+  size_t summaryCount() const { return State.Summaries.size(); }
+  size_t memoScopeCount() const { return State.MemoScopes.size(); }
+  size_t detectMemoCount() const { return DetectMemo.size(); }
+
+private:
+  /// staticrace::SummaryStore over State.Summaries, counting digest
+  /// replacements as serve.cache.summary.invalidated.
+  class SummaryStoreImpl;
+
+  /// Records that \p InputName now resolves to \p Digest, dropping (and
+  /// counting as invalidated) the previous digest's memo scope when the
+  /// content changed under the same name.
+  void touchInput(const std::string &InputName, uint64_t Digest);
+
+  /// The memo scope for \p Digest, created on miss (with hit/miss
+  /// accounting: a hit pre-warms lookup with every cached entry).
+  DerivationMemo &memoScopeFor(uint64_t Digest);
+
+  std::string CacheFilePath;
+  bool LoadedFromDisk = false;
+  CacheSnapshot State; ///< The durable stores, in persistable form.
+
+  /// Seed-name -> analysis scopes keyed by source digest (volatile).
+  std::map<uint64_t, std::map<std::string, AnalysisResult>> SeedAnalysis;
+
+  /// Whole-detection-stage memo (volatile, FIFO-capped — result vectors
+  /// for big corpora are large, and a bounded daemon must not grow
+  /// without limit).
+  static constexpr size_t MaxDetectEntries = 64;
+  std::map<uint64_t, std::vector<TestDetectionResult>> DetectMemo;
+  std::deque<uint64_t> DetectOrder; ///< Insertion order for eviction.
+};
+
+} // namespace serve
+} // namespace narada
+
+#endif // NARADA_SERVE_CACHES_H

@@ -1,0 +1,169 @@
+//===- serve/Client.cpp - narada-cli submit client -----------------------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Client.h"
+
+#include "serve/Engine.h"
+#include "serve/Protocol.h"
+#include "support/Wire.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#include <vector>
+
+using namespace narada;
+using namespace narada::serve;
+
+namespace {
+
+/// Connects to the daemon socket; -1 with a message on failure.
+int connectTo(const std::string &SocketPath) {
+  sockaddr_un Addr{};
+  if (SocketPath.size() >= sizeof(Addr.sun_path)) {
+    std::fprintf(stderr, "submit: socket path too long\n");
+    return -1;
+  }
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    std::fprintf(stderr, "submit: socket: %s\n", std::strerror(errno));
+    return -1;
+  }
+  Addr.sun_family = AF_UNIX;
+  std::strncpy(Addr.sun_path, SocketPath.c_str(), sizeof(Addr.sun_path) - 1);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    std::fprintf(stderr, "submit: cannot connect to '%s': %s\n",
+                 SocketPath.c_str(), std::strerror(errno));
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+/// One request/response round trip; false on any transport failure.
+bool roundTrip(const std::string &SocketPath, const std::string &Request,
+               std::string &ResponsePayload) {
+  int Fd = connectTo(SocketPath);
+  if (Fd < 0)
+    return false;
+  if (!wire::writeFrame(Fd, Request)) {
+    std::fprintf(stderr, "submit: write to daemon failed\n");
+    ::close(Fd);
+    return false;
+  }
+  wire::ReadStatus St = wire::readFrame(Fd, ResponsePayload);
+  ::close(Fd);
+  if (St != wire::ReadStatus::Ok) {
+    std::fprintf(stderr, "submit: daemon closed the connection mid-reply\n");
+    return false;
+  }
+  return true;
+}
+
+int simpleVerb(const std::string &SocketPath, const char *Verb) {
+  wire::RecordWriter W;
+  W.add("verb", std::string_view(Verb));
+  std::string Payload;
+  if (!roundTrip(SocketPath, W.str(), Payload))
+    return 1;
+  wire::RecordReader In(Payload);
+  std::printf("%s\n", In.getOr("verb", "?").c_str());
+  return 0;
+}
+
+} // namespace
+
+int serve::runSubmit(int Argc, char **Argv) {
+  // Peel off the transport options; everything else re-enters the normal
+  // CLI grammar so `submit --socket S detect corpus:C1 --jobs 4` parses
+  // exactly like `narada-cli detect corpus:C1 --jobs 4` would.
+  std::string SocketPath;
+  bool Ping = false, Shutdown = false;
+  std::vector<char *> Rest;
+  Rest.push_back(Argv[0]);
+  for (int I = 2; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--socket" && I + 1 < Argc) {
+      SocketPath = Argv[++I];
+    } else if (Arg == "--ping") {
+      Ping = true;
+    } else if (Arg == "--shutdown") {
+      Shutdown = true;
+    } else {
+      Rest.push_back(Argv[I]);
+    }
+  }
+  if (SocketPath.empty()) {
+    std::fprintf(stderr, "submit: --socket <path> is required\n");
+    return 2;
+  }
+  if (Ping)
+    return simpleVerb(SocketPath, "ping");
+  if (Shutdown)
+    return simpleVerb(SocketPath, "shutdown");
+
+  std::optional<CliArgs> Args =
+      parseArgs(static_cast<int>(Rest.size()), Rest.data());
+  if (!Args || Args->Input.empty()) {
+    std::fprintf(stderr,
+                 "submit: usage: narada-cli submit --socket <path> "
+                 "<command> <input> [args]\n");
+    return 2;
+  }
+  // Daemon-side filesystem side effects don't relay; reject up front
+  // rather than letting the daemon scribble files next to itself.
+  if (!Args->TracePath.empty() || !Args->ReplayPath.empty() ||
+      !Args->Detect.WitnessDir.empty()) {
+    std::fprintf(stderr, "submit: --trace/--replay/--emit-witness are not "
+                         "supported over a daemon\n");
+    return 2;
+  }
+
+  // Load the source client-side (corpus expansion fills seed/class
+  // defaults here, so the shipped bundle is self-contained).
+  Result<std::string> Source = loadSource(*Args);
+  if (!Source) {
+    std::fprintf(stderr, "error: %s\n", Source.error().str().c_str());
+    return 1;
+  }
+
+  wire::RecordWriter W;
+  encodeSubmit(W, *Args, *Source);
+  std::string Payload;
+  if (!roundTrip(SocketPath, W.str(), Payload))
+    return 1;
+  wire::RecordReader In(Payload);
+  if (In.getOr("verb", "") != "result") {
+    std::fprintf(stderr, "submit: daemon error: %s\n",
+                 In.getOr("error", "unexpected reply").c_str());
+    return 1;
+  }
+  SubmitResponse Resp = decodeResponse(In);
+  // Relay the captured bytes verbatim — stdout must diff clean against a
+  // cold local run of the same command.
+  std::fwrite(Resp.Stdout.data(), 1, Resp.Stdout.size(), stdout);
+  std::fwrite(Resp.Stderr.data(), 1, Resp.Stderr.size(), stderr);
+  if (!Resp.Ok) {
+    std::fprintf(stderr, "submit: %s\n", Resp.ErrorMessage.c_str());
+    return Resp.Exit ? Resp.Exit : 1;
+  }
+  if (!Args->ReportPath.empty() && !Resp.Report.empty()) {
+    std::ofstream Out(Args->ReportPath, std::ios::binary);
+    if (!Out) {
+      std::fprintf(stderr, "submit: cannot write report '%s'\n",
+                   Args->ReportPath.c_str());
+      return 1;
+    }
+    Out.write(Resp.Report.data(),
+              static_cast<std::streamsize>(Resp.Report.size()));
+  }
+  return Resp.Exit;
+}

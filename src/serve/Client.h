@@ -1,0 +1,39 @@
+//===- serve/Client.h - narada-cli submit client ----------------*- C++ -*-===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `narada-cli submit --socket <path> <command> [args]`: runs one command
+/// on a serve daemon and relays the result so the invocation is a drop-in
+/// replacement for running the command locally — captured stdout/stderr
+/// bytes are re-emitted verbatim, --report bytes are written to the
+/// client-side path, and the daemon's exit code becomes the client's.
+///
+/// The client does the filesystem work: it resolves corpus: inputs and
+/// reads source files locally (filling in corpus seed/class defaults
+/// exactly like the CLI), then ships a self-contained bundle.  Submissions
+/// that need daemon-side filesystem side effects (--trace, --replay,
+/// --emit-witness) are rejected client-side with a usage error.
+///
+/// `narada-cli submit --socket <path> --ping` checks liveness;
+/// `--shutdown` stops the daemon.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NARADA_SERVE_CLIENT_H
+#define NARADA_SERVE_CLIENT_H
+
+namespace narada {
+namespace serve {
+
+/// The `narada-cli submit` entrypoint: full process Argv (Argv[1] ==
+/// "submit").  Returns the process exit code — the daemon-side command's
+/// code on success, 1 on transport failure, 2 on usage errors.
+int runSubmit(int Argc, char **Argv);
+
+} // namespace serve
+} // namespace narada
+
+#endif // NARADA_SERVE_CLIENT_H

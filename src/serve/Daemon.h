@@ -1,0 +1,67 @@
+//===- serve/Daemon.h - The narada-cli serve daemon -------------*- C++ -*-===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `narada-cli serve --socket <path> [--cache <file>]`: a persistent
+/// analysis daemon.  It listens on a Unix-domain socket, accepts one
+/// framed request per connection (serve/Protocol.h), executes submits
+/// through the shared engine with the ServeCaches hooks attached, and
+/// ships back captured stdout/stderr/report bytes plus the exit code —
+/// which is why a warm daemon answer can be byte-compared against a cold
+/// single-shot CLI run (docs/SERVING.md).
+///
+/// Requests are handled sequentially; the parallelism knob is the
+/// submitted --jobs value, which fans out *inside* a request exactly as
+/// the CLI would.  Before each request the metrics registry is reset, so
+/// a request's report covers its own counters and spans just like a fresh
+/// CLI process.
+///
+/// Fault containment: each request runs inside fault::ScopedUnit(request
+/// index) with a "serve.request" probe at the top — an injected fault
+/// turns into an error response for that one client while the daemon
+/// keeps serving.  When NARADA_FAULT_INJECT is armed the cache hooks are
+/// withheld entirely, so a fault can never poison a cache entry that
+/// later requests would trust.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NARADA_SERVE_DAEMON_H
+#define NARADA_SERVE_DAEMON_H
+
+#include "serve/Caches.h"
+#include "serve/Protocol.h"
+
+#include <functional>
+#include <string>
+
+namespace narada {
+namespace serve {
+
+/// Runs \p Fn with stdout/stderr redirected into temp files, restores the
+/// real descriptors, and returns Fn's result with the captured bytes in
+/// \p OutBytes / \p ErrBytes.  The capture covers C stdio *and* raw fd
+/// writes (the engine prints via printf/fputs), which is exactly what the
+/// byte-identity contract needs.
+int captureRun(const std::function<int()> &Fn, std::string &OutBytes,
+               std::string &ErrBytes);
+
+/// Executes one decoded submit request against \p Caches (null = run
+/// cold, e.g. under armed fault injection) and returns the response.
+/// \p WorkerExe is the daemon's own executable path for --isolate
+/// re-exec; \p RequestIndex scopes the fault-injection unit.  Exposed so
+/// tests can drive warm-vs-cold loopback without a socket.
+SubmitResponse handleSubmit(SubmitRequest Request, ServeCaches *Caches,
+                            const std::string &WorkerExe,
+                            uint64_t RequestIndex);
+
+/// The `narada-cli serve` entrypoint: Argv past the subcommand, i.e.
+/// "--socket <path> [--cache <file>]".  Returns the process exit code.
+int runServe(int Argc, char **Argv);
+
+} // namespace serve
+} // namespace narada
+
+#endif // NARADA_SERVE_DAEMON_H

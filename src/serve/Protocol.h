@@ -1,0 +1,76 @@
+//===- serve/Protocol.h - Daemon request/response codec ---------*- C++ -*-===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The daemon wire protocol: one framed record per request, one per
+/// response, over a Unix-domain socket (support/Wire.h framing — the same
+/// format the --isolate workers speak, so a captured exchange reads the
+/// same way in both subsystems).
+///
+/// Requests carry a verb:
+///   verb=ping      liveness check, answered with verb=pong.
+///   verb=shutdown  stop accepting requests, answered before exiting.
+///   verb=submit    a full module+seed bundle plus the command to run on
+///                  it.  The *client* resolves corpus: inputs and reads
+///                  files — the daemon never touches the filesystem for
+///                  sources, so a submit is self-contained and replayable.
+///
+/// A submit reuses the shared codecs end to end: wire::addBundle for the
+/// source + seed names (support/Bundle.h, same records the isolation
+/// workers decode) and detectworker::encodeDetectOptions for the detect
+/// knobs.  Everything else is one flat key per CliArgs field.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NARADA_SERVE_PROTOCOL_H
+#define NARADA_SERVE_PROTOCOL_H
+
+#include "serve/Engine.h"
+#include "support/Error.h"
+#include "support/Wire.h"
+
+#include <string>
+
+namespace narada {
+namespace serve {
+
+/// A decoded submit request: the command arguments plus the already-loaded
+/// module source the daemon should run them against.
+struct SubmitRequest {
+  CliArgs Args;
+  std::string Source;
+  bool WantReport = false; ///< Client passed --report; ship report bytes back.
+};
+
+/// Encodes a submit request.  \p Args.ReportPath presence becomes the
+/// want_report bit (the path itself stays client-side); TracePath,
+/// ReplayPath and Isolate.WorkerExe are intentionally not shipped — the
+/// client rejects trace/replay submissions and the daemon resolves its own
+/// worker executable.
+void encodeSubmit(wire::RecordWriter &W, const CliArgs &Args,
+                  const std::string &Source);
+
+/// Decodes a submit request (inverse of encodeSubmit).  Defaults mirror
+/// CliArgs so omitted keys decode to CLI behavior.
+Result<SubmitRequest> decodeSubmit(const wire::RecordReader &In);
+
+/// What the daemon sends back for one submit.
+struct SubmitResponse {
+  bool Ok = false;   ///< False: the request itself failed (see ErrorMessage).
+  int Exit = 0;      ///< The command's process-style exit code.
+  std::string Stdout; ///< Captured command stdout, byte for byte.
+  std::string Stderr; ///< Captured command stderr, byte for byte.
+  std::string Report; ///< --report JSON bytes (empty unless requested).
+  std::string ErrorMessage; ///< Set when !Ok.
+};
+
+void encodeResponse(wire::RecordWriter &W, const SubmitResponse &R);
+SubmitResponse decodeResponse(const wire::RecordReader &In);
+
+} // namespace serve
+} // namespace narada
+
+#endif // NARADA_SERVE_PROTOCOL_H

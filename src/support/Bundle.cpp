@@ -1,0 +1,27 @@
+//===- support/Bundle.cpp - Module+seed bundle codec ---------------------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Bundle.h"
+
+using namespace narada;
+
+void wire::addBundle(RecordWriter &W, std::string_view Source,
+                     const std::vector<std::string> &Seeds) {
+  W.add("source", Source);
+  for (const std::string &Seed : Seeds)
+    W.add("seed", Seed);
+}
+
+Result<wire::ModuleBundle> wire::readBundle(const RecordReader &In,
+                                            const char *What) {
+  std::optional<std::string> Source = In.get("source");
+  if (!Source)
+    return Error(std::string(What) + " record has no source");
+  ModuleBundle Out;
+  Out.Source = std::move(*Source);
+  Out.Seeds = In.all("seed");
+  return Out;
+}

@@ -1,0 +1,51 @@
+//===- support/Bundle.h - Module+seed bundle codec --------------*- C++ -*-===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one encode/decode of the "module bundle" — a library source text
+/// plus its ordered seed-test names — shared by every setup-style record in
+/// the tree: the isolated synthesis/detection worker setups
+/// (synth/SynthWorker.h, detect/DetectWorker.h) and the daemon's submit
+/// protocol (serve/Protocol.h).  Before this helper each consumer carried
+/// its own copy of the source=/seed= record shape and the "no source"
+/// error, and a third copy was about to appear in the daemon.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NARADA_SUPPORT_BUNDLE_H
+#define NARADA_SUPPORT_BUNDLE_H
+
+#include "support/Error.h"
+#include "support/Wire.h"
+
+#include <string>
+#include <vector>
+
+namespace narada {
+namespace wire {
+
+/// A program source plus the ordered seed-test names that parameterize a
+/// pipeline run over it.
+struct ModuleBundle {
+  std::string Source;
+  std::vector<std::string> Seeds;
+};
+
+/// Appends the bundle to \p W as one `source=` value and one `seed=` value
+/// per seed (order preserved; repeated keys form ordered lists).
+void addBundle(RecordWriter &W, std::string_view Source,
+               const std::vector<std::string> &Seeds);
+
+/// Reads a bundle back.  A record without `source` is an error —
+/// "<What> record has no source" — because every consumer treats the
+/// source as the one mandatory field; an empty seed list is legal (the
+/// detect worker setup has no seeds).
+Result<ModuleBundle> readBundle(const RecordReader &In, const char *What);
+
+} // namespace wire
+} // namespace narada
+
+#endif // NARADA_SUPPORT_BUNDLE_H

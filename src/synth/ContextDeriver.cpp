@@ -11,6 +11,7 @@
 #include "support/StringUtils.h"
 
 #include <functional>
+#include <map>
 
 using namespace narada;
 
@@ -59,6 +60,28 @@ void DerivationMemo::insert(const std::string &Key, const ProvidePlan &Plan) {
   Shard &S = shardFor(Key);
   std::lock_guard<std::mutex> Lock(S.M);
   S.Map.try_emplace(Key, Plan.clone());
+}
+
+void DerivationMemo::forEach(
+    const std::function<void(const std::string &, const ProvidePlan &)> &Fn)
+    const {
+  std::map<std::string, const ProvidePlan *> Sorted;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    for (const auto &[Key, Plan] : S.Map)
+      Sorted.emplace(Key, Plan.get());
+  }
+  for (const auto &[Key, Plan] : Sorted)
+    Fn(Key, *Plan);
+}
+
+size_t DerivationMemo::size() const {
+  size_t N = 0;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    N += S.Map.size();
+  }
+  return N;
 }
 
 std::string ProvidePlan::str() const {

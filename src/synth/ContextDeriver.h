@@ -30,6 +30,7 @@
 #include "support/RNG.h"
 #include "synth/RacyPair.h"
 
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -87,6 +88,16 @@ public:
 
   /// Caches a clone of \p Plan under \p Key (first writer wins).
   void insert(const std::string &Key, const ProvidePlan &Plan);
+
+  /// Visits every cached (key, plan) entry in sorted key order — the
+  /// serve-layer memo persistence walks the table this way so on-disk
+  /// cache files are deterministic.  Do not call concurrently with
+  /// inserts from worker threads.
+  void forEach(const std::function<void(const std::string &,
+                                        const ProvidePlan &)> &Fn) const;
+
+  /// Number of cached entries.
+  size_t size() const;
 
   /// Builds the canonical "class|f1.f2|depth" key.
   static std::string key(const std::string &ClassName,

@@ -90,7 +90,13 @@ narada::runNarada(std::string_view LibrarySource,
   // Stage 1: execute the sequential seeds and analyze their traces.
   {
     obs::Span AnalyzeSpan("analyze", &Out.Stages.AnalysisSeconds);
+    const PipelineCaches *Caches = Options.Caches;
     for (const std::string &SeedName : SeedNames) {
+      if (Caches && Caches->LookupSeedAnalysis)
+        if (const AnalysisResult *Hit = Caches->LookupSeedAnalysis(SeedName)) {
+          Out.Analysis.merge(*Hit);
+          continue;
+        }
       Result<TestRun> Run = runTestSequential(*Normalized->Module, SeedName);
       if (!Run)
         return Run.error();
@@ -99,7 +105,10 @@ narada::runNarada(std::string_view LibrarySource,
                                   SeedName.c_str(),
                                   Run->Result.FaultMessages[0].c_str()));
       Metrics.counter("analysis.seeds_executed").inc();
-      Out.Analysis.merge(analyzeTrace(Run->TheTrace, *Normalized->Info));
+      AnalysisResult One = analyzeTrace(Run->TheTrace, *Normalized->Info);
+      if (Caches && Caches->StoreSeedAnalysis)
+        Caches->StoreSeedAnalysis(SeedName, One);
+      Out.Analysis.merge(One);
     }
     NARADA_LOG_INFO("analyze: %zu seeds -> %zu accesses, %zu setters, "
                     "%zu returns",
@@ -114,7 +123,9 @@ narada::runNarada(std::string_view LibrarySource,
   if (Options.StaticPrefilter || Options.StaticRank) {
     obs::Span StaticSpan("staticrace", &Out.Stages.StaticRaceSeconds);
     Out.Static = std::make_shared<const staticrace::ModuleSummary>(
-        staticrace::summarizeModule(*Normalized->Module));
+        Options.Caches && Options.Caches->Summarize
+            ? Options.Caches->Summarize(*Normalized->Module)
+            : staticrace::summarizeModule(*Normalized->Module));
     NARADA_LOG_INFO("staticrace: %zu method summaries",
                     Out.Static->Methods.size());
   }

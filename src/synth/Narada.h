@@ -17,11 +17,13 @@
 #define NARADA_SYNTH_NARADA_H
 
 #include "runtime/Execution.h"
+#include "staticrace/StaticSummary.h"
 #include "support/ProcessPool.h"
 #include "synth/ContextDeriver.h"
 #include "synth/PairGenerator.h"
 #include "synth/RacyPair.h"
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -29,9 +31,32 @@
 
 namespace narada {
 
-namespace staticrace {
-struct ModuleSummary;
-}
+class IRModule;
+
+/// Cross-run caches the serving layer (src/serve/) threads through the
+/// pipeline.  Every hook is optional (unset = cold behavior); all are keyed
+/// and invalidated by the caller — the pipeline only consults and feeds
+/// them.  Correctness contract: a cached value must be exactly what the
+/// cold computation would produce for the same inputs, so a warm run stays
+/// byte-identical to a cold one.
+struct PipelineCaches {
+  /// Per-seed dynamic analysis: returns the cached AnalysisResult for a
+  /// seed test name (the caller scopes keys by source digest), or null.
+  /// On a hit the seed is not executed.
+  std::function<const AnalysisResult *(const std::string &SeedName)>
+      LookupSeedAnalysis;
+  /// Called with the freshly computed per-seed analysis on a miss.
+  std::function<void(const std::string &SeedName, const AnalysisResult &)>
+      StoreSeedAnalysis;
+  /// Replaces staticrace::summarizeModule wholesale; the daemon wires
+  /// summarizeModuleIncremental (plus its serve.* counters) through here.
+  std::function<staticrace::ModuleSummary(const IRModule &)> Summarize;
+  /// Derivation memo shared across runs (pre-warmed Q-query results);
+  /// null = the synthesis stage uses its own per-run memo.  Only
+  /// deterministic derivations are memoized (see ContextDeriver), so a
+  /// warm memo changes speed, never results.
+  DerivationMemo *SharedMemo = nullptr;
+};
 
 /// Pipeline options.
 struct NaradaOptions {
@@ -70,6 +95,10 @@ struct NaradaOptions {
   /// abort, OOM kill, hang) costs exactly the faulting unit, which lands
   /// in Skipped as a worker_crash record.
   pool::IsolateOptions Isolate;
+  /// Cross-run caches supplied by the serving layer; null (the default,
+  /// and the only value the CLI ever passes) runs everything cold.  Not
+  /// serialized to isolation workers — workers always rebuild cold.
+  const PipelineCaches *Caches = nullptr;
 };
 
 /// Metadata for one synthesized multithreaded test.

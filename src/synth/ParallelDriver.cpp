@@ -388,13 +388,19 @@ narada::runSynthesisStage(const AnalysisResult &Analysis,
   const size_t N = Pairs.size();
   const unsigned Jobs = resolveJobs(Options.Jobs == 0 ? 0 : Options.Jobs);
 
-  DerivationMemo Memo;
+  // The serving layer may supply a memo pre-warmed by earlier runs; memo
+  // contents only short-circuit deterministic derivations, so a warm memo
+  // is a pure speedup with byte-identical output.
+  DerivationMemo LocalMemo;
+  DerivationMemo *Memo =
+      Options.Caches && Options.Caches->SharedMemo ? Options.Caches->SharedMemo
+                                                   : &LocalMemo;
   std::vector<std::unique_ptr<WorkerState>> Workers;
   const unsigned WorkerCount = Jobs > 1 ? Jobs : 1;
   Workers.reserve(WorkerCount);
   for (unsigned W = 0; W < WorkerCount; ++W)
     Workers.push_back(
-        std::make_unique<WorkerState>(Analysis, Info, Registry, &Memo));
+        std::make_unique<WorkerState>(Analysis, Info, Registry, Memo));
 
   std::vector<PairSlot> Slots(N);
 

@@ -11,6 +11,7 @@
 #include "obs/Span.h"
 #include "obs/Trace.h"
 #include "staticrace/LocksetAnalysis.h"
+#include "support/Bundle.h"
 #include "support/FaultInjection.h"
 #include "support/StringUtils.h"
 #include "synth/SeedNormalizer.h"
@@ -23,14 +24,8 @@
 using namespace narada;
 using namespace narada::synthworker;
 
-std::string synthworker::encodeSetup(const SynthIsolateContext &Iso,
-                                     const NaradaOptions &Options,
-                                     const std::string &SpanParent) {
-  wire::RecordWriter W;
-  W.add("mode", "synth");
-  W.add("source", Iso.LibrarySource);
-  for (const std::string &Seed : Iso.SeedNames)
-    W.add("seed", Seed);
+void synthworker::encodeSynthOptions(wire::RecordWriter &W,
+                                     const NaradaOptions &Options) {
   W.add("focus_class", Options.FocusClass);
   W.addBool("enable_context_derivation", Options.EnableContextDerivation);
   W.addBool("static_prefilter", Options.StaticPrefilter);
@@ -38,6 +33,26 @@ std::string synthworker::encodeSetup(const SynthIsolateContext &Iso,
   W.addBool("derivation_seed_set", Options.DerivationSeed.has_value());
   if (Options.DerivationSeed)
     W.add("derivation_seed", *Options.DerivationSeed);
+}
+
+void synthworker::decodeSynthOptions(const wire::RecordReader &In,
+                                     NaradaOptions &Options) {
+  Options.FocusClass = In.getOr("focus_class", "");
+  Options.EnableContextDerivation =
+      In.getBool("enable_context_derivation", true);
+  Options.StaticPrefilter = In.getBool("static_prefilter", false);
+  Options.StaticRank = In.getBool("static_rank", false);
+  if (In.getBool("derivation_seed_set", false))
+    Options.DerivationSeed = In.getU64("derivation_seed");
+}
+
+std::string synthworker::encodeSetup(const SynthIsolateContext &Iso,
+                                     const NaradaOptions &Options,
+                                     const std::string &SpanParent) {
+  wire::RecordWriter W;
+  W.add("mode", "synth");
+  wire::addBundle(W, Iso.LibrarySource, Iso.SeedNames);
+  encodeSynthOptions(W, Options);
   W.add("span_parent", SpanParent);
   return W.str();
 }
@@ -79,26 +94,21 @@ Service::create(const wire::RecordReader &Setup) {
   auto Out = std::unique_ptr<Service>(new Service());
   State &S = *Out->S;
 
-  S.Options.FocusClass = Setup.getOr("focus_class", "");
-  S.Options.EnableContextDerivation =
-      Setup.getBool("enable_context_derivation", true);
-  S.Options.StaticPrefilter = Setup.getBool("static_prefilter", false);
-  S.Options.StaticRank = Setup.getBool("static_rank", false);
-  if (Setup.getBool("derivation_seed_set", false))
-    S.Options.DerivationSeed = Setup.getU64("derivation_seed");
+  decodeSynthOptions(Setup, S.Options);
   S.SpanParentPath = Setup.getOr("span_parent", "pipeline.synth");
 
-  std::optional<std::string> Source = Setup.get("source");
-  if (!Source)
-    return Error("synth setup record has no source");
-  std::vector<std::string> SeedNames = Setup.all("seed");
+  Result<wire::ModuleBundle> Bundle = wire::readBundle(Setup, "synth setup");
+  if (!Bundle)
+    return Bundle.error();
+  const std::string &Source = Bundle->Source;
+  std::vector<std::string> &SeedNames = Bundle->Seeds;
 
   // The front half of runNarada, replayed without spans or logs: every
   // stage below is deterministic in (source, seeds, options), so the
   // resulting pair table matches the supervisor's.  Setup-time metrics
   // are discarded by the worker loop (the supervisor ran these stages
   // itself), so none of this double-counts.
-  Result<CompiledProgram> Original = compileProgram(*Source);
+  Result<CompiledProgram> Original = compileProgram(Source);
   if (!Original)
     return Original.error();
   std::string NormalizedSource;

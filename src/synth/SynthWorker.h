@@ -37,6 +37,15 @@
 namespace narada {
 namespace synthworker {
 
+/// Appends the NaradaOptions fields that shape pair generation and
+/// derivation — the option half of the setup record, shared with the
+/// daemon's submit codec (serve/Protocol.h) so there is exactly one
+/// serialization of these knobs.
+void encodeSynthOptions(wire::RecordWriter &W, const NaradaOptions &Options);
+
+/// Inverse of encodeSynthOptions; absent keys keep the defaults.
+void decodeSynthOptions(const wire::RecordReader &In, NaradaOptions &Options);
+
 /// Encodes the `setup` frame payload for an isolated synthesis stage.
 /// \p SpanParent is the supervisor's current span path ("pipeline.synth"),
 /// under which the worker roots its per-unit derive/synthesize spans so

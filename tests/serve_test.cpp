@@ -1,0 +1,525 @@
+//===- tests/serve_test.cpp - Serving layer and incremental caches -------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+// The daemon's correctness contract (src/serve/, docs/SERVING.md):
+//
+//  1. Incremental summarize: a warm summarizeModuleIncremental is
+//     byte-identical to cold summarizeModule, hits skip exactly the
+//     methods whose dependence cone is unchanged, and an edited method
+//     re-analyzes only its cone.
+//  2. Codecs: submit requests, responses, and the on-disk cache file all
+//     round-trip; corrupted or version-mismatched cache files fail the
+//     load cleanly (cold start, never a crash).
+//  3. Daemon loopback: a warm handleSubmit answer is byte-identical to a
+//     cold engine run — for identical resubmits, across --jobs values,
+//     and after editing a method body — and warm requests report cache
+//     hits.  An injected serve.request fault quarantines one request
+//     without taking the handler down.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "obs/Metrics.h"
+#include "serve/CacheFile.h"
+#include "serve/Caches.h"
+#include "serve/Daemon.h"
+#include "serve/Engine.h"
+#include "serve/Protocol.h"
+#include "staticrace/LocksetAnalysis.h"
+#include "staticrace/PairClassifier.h"
+#include "support/FaultInjection.h"
+#include "support/Wire.h"
+#include "synth/Narada.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fcntl.h>
+#include <map>
+#include <string>
+#include <unistd.h>
+#include <utility>
+#include <vector>
+
+using namespace narada;
+using namespace narada::serve;
+using staticrace::CachedSummary;
+using staticrace::IncrementalStats;
+using staticrace::ModuleSummary;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Incremental summarize: hits, cone invalidation, byte identity.
+//===----------------------------------------------------------------------===//
+
+/// Three classes with a known call structure: Mid.touch -> Leaf.setX, and
+/// Other is an island.  Editing Other.bump must leave the Leaf/Mid cones
+/// untouched; editing Leaf.setX must dirty Mid.touch's cone too.
+const char *ConeSource = R"(
+class Leaf {
+  field x: int;
+  method setX(v: int) { this.x = v; }
+  method getX(): int { return this.x; }
+}
+
+class Mid {
+  field leaf: Leaf;
+  method init(l: Leaf) { this.leaf = l; }
+  method touch() { this.leaf.setX(1); }
+}
+
+class Other {
+  field y: int;
+  method bump() { this.y = this.y + 1; }
+}
+)";
+
+/// In-memory SummaryStore mirroring the daemon's shape.
+class TestStore : public staticrace::SummaryStore {
+public:
+  const CachedSummary *lookup(const std::string &Symbol,
+                              uint64_t Digest) const override {
+    auto It = Map.find(Symbol);
+    if (It == Map.end() || It->second.first != Digest)
+      return nullptr;
+    return &It->second.second;
+  }
+  void store(const std::string &Symbol, uint64_t Digest,
+             CachedSummary Value) override {
+    Map[Symbol] = {Digest, std::move(Value)};
+  }
+
+  std::map<std::string, std::pair<uint64_t, CachedSummary>> Map;
+};
+
+CompiledProgram compile(const std::string &Source) {
+  Result<CompiledProgram> P = compileProgram(Source);
+  EXPECT_TRUE(P.hasValue()) << (P ? "" : P.error().str());
+  return P.take();
+}
+
+/// Canonical byte rendering of a module summary (the same renderer the
+/// --static-only CLI path prints).
+std::string render(const ModuleSummary &S) {
+  return staticrace::renderStaticTriage(S, "");
+}
+
+TEST(IncrementalSummarizeTest, WarmRunIsByteIdenticalAndAllHits) {
+  CompiledProgram P = compile(ConeSource);
+  const ModuleSummary Cold = staticrace::summarizeModule(*P.Module);
+
+  TestStore Store;
+  IncrementalStats First;
+  ModuleSummary Warm0 =
+      staticrace::summarizeModuleIncremental(*P.Module, Store, &First);
+  EXPECT_EQ(render(Warm0), render(Cold));
+  EXPECT_EQ(First.Hits, 0u);
+  EXPECT_EQ(First.Reanalyzed, First.Methods);
+  EXPECT_GT(First.Methods, 0u);
+
+  IncrementalStats Second;
+  ModuleSummary Warm1 =
+      staticrace::summarizeModuleIncremental(*P.Module, Store, &Second);
+  EXPECT_EQ(render(Warm1), render(Cold));
+  EXPECT_EQ(Second.Hits, Second.Methods);
+  EXPECT_EQ(Second.Reanalyzed, 0u);
+}
+
+TEST(IncrementalSummarizeTest, IslandEditReanalyzesOnlyItsOwnCone) {
+  std::string Edited = ConeSource;
+  const std::string From = "this.y = this.y + 1;";
+  Edited.replace(Edited.find(From), From.size(), "this.y = this.y + 2;");
+
+  CompiledProgram Base = compile(ConeSource);
+  CompiledProgram Next = compile(Edited);
+
+  // Only the island method's cone digest moves.
+  auto BaseDigests = staticrace::methodConeDigests(*Base.Module);
+  auto NextDigests = staticrace::methodConeDigests(*Next.Module);
+  ASSERT_EQ(BaseDigests.size(), NextDigests.size());
+  for (const auto &[Symbol, Digest] : BaseDigests) {
+    if (Symbol == "Other.bump")
+      EXPECT_NE(NextDigests.at(Symbol), Digest) << Symbol;
+    else
+      EXPECT_EQ(NextDigests.at(Symbol), Digest) << Symbol;
+  }
+
+  TestStore Store;
+  staticrace::summarizeModuleIncremental(*Base.Module, Store);
+  IncrementalStats Stats;
+  ModuleSummary Warm =
+      staticrace::summarizeModuleIncremental(*Next.Module, Store, &Stats);
+  EXPECT_EQ(render(Warm), render(staticrace::summarizeModule(*Next.Module)));
+  EXPECT_EQ(Stats.Reanalyzed, 1u);
+  EXPECT_EQ(Stats.Hits, Stats.Methods - 1);
+}
+
+TEST(IncrementalSummarizeTest, CalleeEditDirtiesCallerCones) {
+  std::string Edited = ConeSource;
+  const std::string From = "method setX(v: int) { this.x = v; }";
+  Edited.replace(Edited.find(From), From.size(),
+                 "method setX(v: int) { this.x = v + 0; }");
+
+  CompiledProgram Base = compile(ConeSource);
+  CompiledProgram Next = compile(Edited);
+
+  auto BaseDigests = staticrace::methodConeDigests(*Base.Module);
+  auto NextDigests = staticrace::methodConeDigests(*Next.Module);
+  // The edited method and its (transitive) caller both re-key; the rest
+  // of the module keeps its digests.
+  EXPECT_NE(NextDigests.at("Leaf.setX"), BaseDigests.at("Leaf.setX"));
+  EXPECT_NE(NextDigests.at("Mid.touch"), BaseDigests.at("Mid.touch"));
+  EXPECT_EQ(NextDigests.at("Leaf.getX"), BaseDigests.at("Leaf.getX"));
+  EXPECT_EQ(NextDigests.at("Other.bump"), BaseDigests.at("Other.bump"));
+
+  TestStore Store;
+  staticrace::summarizeModuleIncremental(*Base.Module, Store);
+  IncrementalStats Stats;
+  ModuleSummary Warm =
+      staticrace::summarizeModuleIncremental(*Next.Module, Store, &Stats);
+  EXPECT_EQ(render(Warm), render(staticrace::summarizeModule(*Next.Module)));
+  EXPECT_EQ(Stats.Reanalyzed, 2u);
+  EXPECT_EQ(Stats.Hits, Stats.Methods - 2);
+}
+
+TEST(IncrementalSummarizeTest, CorpusClassEditStaysByteIdentical) {
+  // The satellite acceptance case on a real corpus class: prime with C9,
+  // edit one method body, and the warm summary of the edited module must
+  // be byte-identical to its cold summary with only the cone recomputed.
+  const CorpusEntry *Entry = findCorpusEntry("C9");
+  ASSERT_NE(Entry, nullptr);
+  std::string Edited = Entry->Source;
+  const std::string From = "method mark() { this.markedPos = this.pos; }";
+  ASSERT_NE(Edited.find(From), std::string::npos);
+  Edited.replace(Edited.find(From), From.size(),
+                 "method mark() { var p: int = this.pos; "
+                 "this.markedPos = p; }");
+
+  CompiledProgram Base = compile(Entry->Source);
+  CompiledProgram Next = compile(Edited);
+
+  TestStore Store;
+  staticrace::summarizeModuleIncremental(*Base.Module, Store);
+  IncrementalStats Stats;
+  ModuleSummary Warm =
+      staticrace::summarizeModuleIncremental(*Next.Module, Store, &Stats);
+  EXPECT_EQ(render(Warm), render(staticrace::summarizeModule(*Next.Module)));
+  EXPECT_GT(Stats.Hits, 0u);
+  EXPECT_LT(Stats.Reanalyzed, Stats.Methods);
+}
+
+//===----------------------------------------------------------------------===//
+// Protocol codec round trips.
+//===----------------------------------------------------------------------===//
+
+TEST(ServeProtocolTest, SubmitRoundTrips) {
+  CliArgs Args;
+  Args.Command = "detect";
+  Args.Input = "corpus:C9";
+  Args.Names = {"seedC9", "seedC9b"};
+  Args.FocusClass = "CharArrayReader";
+  Args.Seed = 7;
+  Args.Jobs = 4;
+  Args.ReportPath = "/tmp/some.json"; // Becomes the want_report bit.
+  Args.Stats = true;
+  Args.StaticRank = true;
+  Args.GenSeeds = true;
+  Args.GenRounds = 3;
+  Args.GenBudget = 9;
+  Args.Isolate.Enabled = true;
+  Args.Isolate.UnitDeadlineSeconds = 12.5;
+  Args.Isolate.WorkerMemLimitMb = 256;
+  Args.Detect.RandomRuns = 5;
+  Args.Detect.MaxSteps = 1234;
+  Args.Detect.Mode = ExplorationMode::Systematic;
+  Args.Detect.Explore.MaxSchedules = 33;
+
+  wire::RecordWriter W;
+  encodeSubmit(W, Args, "class A { }\ntest t { }\n");
+  Result<SubmitRequest> Decoded = decodeSubmit(wire::RecordReader(W.str()));
+  ASSERT_TRUE(Decoded.hasValue()) << Decoded.error().str();
+
+  const CliArgs &Out = Decoded->Args;
+  EXPECT_EQ(Decoded->Source, "class A { }\ntest t { }\n");
+  EXPECT_TRUE(Decoded->WantReport);
+  EXPECT_EQ(Out.Command, "detect");
+  EXPECT_EQ(Out.Input, "corpus:C9");
+  EXPECT_EQ(Out.Names, Args.Names);
+  EXPECT_EQ(Out.FocusClass, "CharArrayReader");
+  EXPECT_EQ(Out.Seed, 7u);
+  EXPECT_EQ(Out.Jobs, 4u);
+  EXPECT_TRUE(Out.Stats);
+  EXPECT_TRUE(Out.StaticRank);
+  EXPECT_FALSE(Out.StaticPrefilter);
+  EXPECT_TRUE(Out.GenSeeds);
+  EXPECT_EQ(Out.GenRounds, 3u);
+  EXPECT_EQ(Out.GenBudget, 9u);
+  EXPECT_TRUE(Out.Isolate.Enabled);
+  EXPECT_DOUBLE_EQ(Out.Isolate.UnitDeadlineSeconds, 12.5);
+  EXPECT_EQ(Out.Isolate.WorkerMemLimitMb, 256u);
+  EXPECT_EQ(Out.Detect.RandomRuns, 5u);
+  EXPECT_EQ(Out.Detect.MaxSteps, 1234u);
+  EXPECT_EQ(Out.Detect.Mode, ExplorationMode::Systematic);
+  EXPECT_EQ(Out.Detect.Explore.MaxSchedules, 33u);
+  // The report path itself never crosses the wire.
+  EXPECT_TRUE(Out.ReportPath.empty());
+}
+
+TEST(ServeProtocolTest, SubmitWithoutCommandIsRejected) {
+  wire::RecordWriter W;
+  W.add("verb", std::string_view("submit"));
+  W.add("source", std::string_view("class A { }"));
+  EXPECT_FALSE(decodeSubmit(wire::RecordReader(W.str())).hasValue());
+}
+
+TEST(ServeProtocolTest, ResponseRoundTrips) {
+  SubmitResponse R;
+  R.Ok = true;
+  R.Exit = 3;
+  R.Stdout = "line one\nline two\n";
+  R.Stderr = "warn: x\n";
+  R.Report = "{\"tool\":\"narada-cli\"}";
+  wire::RecordWriter W;
+  encodeResponse(W, R);
+  SubmitResponse Out = decodeResponse(wire::RecordReader(W.str()));
+  EXPECT_TRUE(Out.Ok);
+  EXPECT_EQ(Out.Exit, 3);
+  EXPECT_EQ(Out.Stdout, R.Stdout);
+  EXPECT_EQ(Out.Stderr, R.Stderr);
+  EXPECT_EQ(Out.Report, R.Report);
+  EXPECT_TRUE(Out.ErrorMessage.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Cache file persistence.
+//===----------------------------------------------------------------------===//
+
+std::string tempPath(const char *Tag) {
+  std::string Path = ::testing::TempDir() + "serve_test_" + Tag + "_" +
+                     std::to_string(::getpid());
+  ::unlink(Path.c_str());
+  return Path;
+}
+
+TEST(CacheFileTest, SnapshotRoundTrips) {
+  CompiledProgram P = compile(ConeSource);
+  TestStore Store;
+  staticrace::summarizeModuleIncremental(*P.Module, Store);
+  ASSERT_FALSE(Store.Map.empty());
+
+  CacheSnapshot Snapshot;
+  for (const auto &[Symbol, Entry] : Store.Map) {
+    CacheSnapshot::SummaryEntry E;
+    E.Digest = Entry.first;
+    E.Value = Entry.second;
+    Snapshot.Summaries[Symbol] = std::move(E);
+  }
+  auto Memo = std::make_unique<DerivationMemo>();
+  ProvidePlan Inner;
+  Inner.K = ProvidePlan::Kind::SharedObject;
+  Inner.ClassName = "Leaf";
+  ProvidePlan Receiver;
+  Receiver.K = ProvidePlan::Kind::FromSeed;
+  Receiver.ClassName = "Mid";
+  ProvidePlan Plan;
+  Plan.K = ProvidePlan::Kind::ViaSetter;
+  Plan.ClassName = "Mid";
+  Plan.Method = "init";
+  Plan.ConstrainedParam = 1;
+  Plan.Base = Receiver.clone();
+  Plan.Value = Inner.clone();
+  Memo->insert(DerivationMemo::key("Mid", {"leaf"}, 0), Plan);
+  Snapshot.MemoScopes[42] = std::move(Memo);
+  Snapshot.InputDigests["corpus:CX"] = 42;
+
+  const std::string Path = tempPath("roundtrip");
+  ASSERT_TRUE(saveCacheFile(Path, Snapshot));
+  Result<CacheSnapshot> Loaded = loadCacheFile(Path);
+  ASSERT_TRUE(Loaded.hasValue()) << Loaded.error().str();
+
+  ASSERT_EQ(Loaded->Summaries.size(), Snapshot.Summaries.size());
+  for (const auto &[Symbol, Entry] : Snapshot.Summaries) {
+    auto It = Loaded->Summaries.find(Symbol);
+    ASSERT_NE(It, Loaded->Summaries.end()) << Symbol;
+    EXPECT_EQ(It->second.Digest, Entry.Digest);
+    EXPECT_EQ(It->second.Value.Exact, Entry.Value.Exact);
+    ASSERT_EQ(It->second.Value.Summary.Accesses.size(),
+              Entry.Value.Summary.Accesses.size());
+    for (size_t I = 0; I < Entry.Value.Summary.Accesses.size(); ++I)
+      EXPECT_EQ(It->second.Value.Summary.Accesses[I].fingerprint(),
+                Entry.Value.Summary.Accesses[I].fingerprint());
+    EXPECT_EQ(It->second.Value.Summary.StoredFields,
+              Entry.Value.Summary.StoredFields);
+    EXPECT_EQ(It->second.Value.Summary.Incomplete,
+              Entry.Value.Summary.Incomplete);
+  }
+  ASSERT_EQ(Loaded->MemoScopes.count(42), 1u);
+  std::unique_ptr<ProvidePlan> Round =
+      Loaded->MemoScopes[42]->lookup(DerivationMemo::key("Mid", {"leaf"}, 0));
+  ASSERT_NE(Round, nullptr);
+  EXPECT_EQ(Round->str(), Plan.str());
+  EXPECT_EQ(Loaded->InputDigests.at("corpus:CX"), 42u);
+  ::unlink(Path.c_str());
+}
+
+TEST(CacheFileTest, CorruptFileFailsTheLoadCleanly) {
+  const std::string Path = tempPath("corrupt");
+  {
+    // An oversized length prefix: the first frame read must fail.
+    int Fd = ::open(Path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    ASSERT_GE(Fd, 0);
+    const unsigned char Junk[] = {0xff, 0xff, 0xff, 0xff, 'x', 'y'};
+    ASSERT_EQ(::write(Fd, Junk, sizeof(Junk)),
+              static_cast<ssize_t>(sizeof(Junk)));
+    ::close(Fd);
+  }
+  EXPECT_FALSE(loadCacheFile(Path).hasValue());
+
+  // The caches layer turns that into a cold start, not a crash.
+  ServeCaches Caches(Path);
+  EXPECT_FALSE(Caches.loadedFromDisk());
+  EXPECT_EQ(Caches.summaryCount(), 0u);
+  ::unlink(Path.c_str());
+}
+
+TEST(CacheFileTest, VersionMismatchFailsTheLoad) {
+  const std::string Path = tempPath("version");
+  {
+    int Fd = ::open(Path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    ASSERT_GE(Fd, 0);
+    wire::RecordWriter Header;
+    Header.add("magic", std::string_view("narada.serve_cache"));
+    Header.add("version", static_cast<uint64_t>(99));
+    ASSERT_TRUE(wire::writeFrame(Fd, Header.str()));
+    ::close(Fd);
+  }
+  Result<CacheSnapshot> Loaded = loadCacheFile(Path);
+  ASSERT_FALSE(Loaded.hasValue());
+  EXPECT_NE(Loaded.error().str().find("version"), std::string::npos);
+  ServeCaches Caches(Path);
+  EXPECT_FALSE(Caches.loadedFromDisk());
+  ::unlink(Path.c_str());
+}
+
+TEST(CacheFileTest, TruncatedEntryFrameFailsTheLoad) {
+  const std::string Path = tempPath("truncated");
+  {
+    int Fd = ::open(Path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    ASSERT_GE(Fd, 0);
+    wire::RecordWriter Header;
+    Header.add("magic", std::string_view("narada.serve_cache"));
+    Header.add("version", static_cast<uint64_t>(1));
+    ASSERT_TRUE(wire::writeFrame(Fd, Header.str()));
+    // A frame that promises more bytes than the file holds.
+    const unsigned char Partial[] = {0x40, 0x00, 0x00, 0x00, 'k'};
+    ASSERT_EQ(::write(Fd, Partial, sizeof(Partial)),
+              static_cast<ssize_t>(sizeof(Partial)));
+    ::close(Fd);
+  }
+  EXPECT_FALSE(loadCacheFile(Path).hasValue());
+  ::unlink(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Daemon loopback: warm-equals-cold byte identity, fault quarantine.
+//===----------------------------------------------------------------------===//
+
+SubmitRequest c9Request(unsigned Jobs) {
+  const CorpusEntry *Entry = findCorpusEntry("C9");
+  EXPECT_NE(Entry, nullptr);
+  SubmitRequest Req;
+  Req.Args.Command = "detect";
+  Req.Args.Input = "corpus:C9";
+  Req.Args.Names = Entry->SeedNames;
+  Req.Args.FocusClass = Entry->ClassName;
+  Req.Args.StaticRank = true;
+  Req.Args.Jobs = Jobs;
+  Req.Source = Entry->Source;
+  return Req;
+}
+
+/// A cold engine run of \p Req with no hooks — byte-for-byte what the
+/// single-shot CLI would print.
+std::string coldStdout(SubmitRequest Req) {
+  obs::MetricsRegistry::global().reset();
+  std::string Out, Err;
+  captureRun(
+      [&] {
+        return runCommandAndReport(Req.Args, std::move(Req.Source), nullptr);
+      },
+      Out, Err);
+  return Out;
+}
+
+TEST(DaemonLoopbackTest, WarmSubmitsAreByteIdenticalToCold) {
+  const std::string Cold = coldStdout(c9Request(1));
+  ASSERT_FALSE(Cold.empty());
+
+  ServeCaches Caches("");
+  SubmitResponse First = handleSubmit(c9Request(1), &Caches, "", 0);
+  ASSERT_TRUE(First.Ok) << First.ErrorMessage;
+  EXPECT_EQ(First.Stdout, Cold);
+
+  SubmitResponse Second = handleSubmit(c9Request(1), &Caches, "", 1);
+  ASSERT_TRUE(Second.Ok);
+  EXPECT_EQ(Second.Stdout, Cold);
+  // The second request's counters (registry was reset at its start) must
+  // show the detection-stage memo hitting.
+  EXPECT_GE(obs::MetricsRegistry::global()
+                .counter("serve.cache.detect.hits")
+                .value(),
+            1u);
+  EXPECT_GE(obs::MetricsRegistry::global()
+                .counter("serve.cache.analysis.hits")
+                .value(),
+            1u);
+
+  // Determinism contract: a warm jobs-4 submit reuses the jobs-1 cache
+  // entries and still prints the identical bytes.
+  SubmitResponse Wide = handleSubmit(c9Request(4), &Caches, "", 2);
+  ASSERT_TRUE(Wide.Ok);
+  EXPECT_EQ(Wide.Stdout, Cold);
+}
+
+TEST(DaemonLoopbackTest, EditedModuleWarmEqualsItsOwnCold) {
+  ServeCaches Caches("");
+  ASSERT_TRUE(handleSubmit(c9Request(1), &Caches, "", 0).Ok);
+
+  // Edit one method body; the warm answer must match a cold run of the
+  // *edited* source, not resurrect stale cached results.
+  SubmitRequest Edited = c9Request(1);
+  const std::string From = "method mark() { this.markedPos = this.pos; }";
+  ASSERT_NE(Edited.Source.find(From), std::string::npos);
+  Edited.Source.replace(Edited.Source.find(From), From.size(),
+                        "method mark() { var p: int = this.pos; "
+                        "this.markedPos = p; }");
+  const std::string ColdEdited = coldStdout(Edited);
+
+  SubmitResponse Warm = handleSubmit(Edited, &Caches, "", 1);
+  ASSERT_TRUE(Warm.Ok) << Warm.ErrorMessage;
+  EXPECT_EQ(Warm.Stdout, ColdEdited);
+  // The unchanged methods' summaries were reused: some hits, and fewer
+  // cone re-analyses than a cold module-wide pass.
+  EXPECT_GT(obs::MetricsRegistry::global()
+                .counter("serve.cache.summary.hits")
+                .value(),
+            0u);
+}
+
+TEST(DaemonLoopbackTest, InjectedFaultQuarantinesOneRequest) {
+  fault::arm("serve.request", 0, fault::Mode::Throw);
+  SubmitResponse Faulted = handleSubmit(c9Request(1), nullptr, "", 0);
+  fault::disarm();
+  EXPECT_FALSE(Faulted.Ok);
+  EXPECT_NE(Faulted.ErrorMessage.find("quarantined"), std::string::npos)
+      << Faulted.ErrorMessage;
+
+  // The handler survives: the next request (different unit) runs clean.
+  SubmitResponse Clean = handleSubmit(c9Request(1), nullptr, "", 1);
+  EXPECT_TRUE(Clean.Ok) << Clean.ErrorMessage;
+  EXPECT_EQ(Clean.Stdout, coldStdout(c9Request(1)));
+}
+
+} // namespace

@@ -43,7 +43,8 @@ SMOKE_CLASSES = ["C1", "C9"]
 # the google-benchmark perf_pipeline harness are deliberately not part of
 # the pinned trajectory — their coverage is timing-only and duplicated by
 # the pipeline runs above.
-DEFAULT_DRIVERS = ["table4_synthesis", "table5_detection", "gen_corpus"]
+DEFAULT_DRIVERS = ["table4_synthesis", "table5_detection", "gen_corpus",
+                   "daemon_load"]
 
 # Counter name prefixes excluded from the pinned trajectory: anything
 # measuring memory is a property of the host/allocator, not of the

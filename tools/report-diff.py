@@ -56,9 +56,12 @@ _VARIABLE_SEGMENT_PREFIXES = ("worker",)
 # derive/synthesize/test/confirm spans re-root when the run configuration
 # moves them between worker threads (--jobs), worker subprocesses
 # (--isolate) and the calling thread, so their dotted paths are one-sided
-# across such diffs even though the work itself ran on both sides.
+# across such diffs even though the work itself ran on both sides.  serve
+# covers daemon-rooted spans: a request handled by narada-cli serve may
+# skip whole phases (cached stages never run), so serve-side span shapes
+# are config, not behavior.
 _VARIABLE_SEGMENTS = {"explore", "schedule", "witness", "staticrace", "pool",
-                      "derive", "synthesize", "test", "confirm"}
+                      "derive", "synthesize", "test", "confirm", "serve"}
 
 # Counters whose values are expected to differ across exploration modes or
 # when the static pre-analysis is toggled; drift in them is annotated
@@ -66,12 +69,16 @@ _VARIABLE_SEGMENTS = {"explore", "schedule", "witness", "staticrace", "pool",
 # because a statically pruned pair skips the dynamic lock-collision check
 # it would otherwise have hit.  pool.* counters exist only under --isolate,
 # and synth.qmemo* differs there because worker subprocesses derive without
-# the shared derivation memo.
+# the shared derivation memo.  serve.* counters exist only for requests
+# executed by a narada-cli serve daemon, and their hit/miss split depends
+# on the daemon's cache temperature — a warm resubmit is byte-identical in
+# results but reports cache hits where the cold CLI run reports none.
 MODE_DEPENDENT_COUNTER_PREFIXES = (
     "explore.",
     "staticrace.",
     "pairgen.candidates_rejected.lock_collision",
     "pool.",
+    "serve.",
     "synth.qmemo",
     "synth.derivations",
 )
