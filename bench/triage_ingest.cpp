@@ -1,0 +1,213 @@
+//===- bench/triage_ingest.cpp - Race-database triage throughput driver --------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+// Measures what `narada-cli triage` exists for (docs/TRIAGE.md): folding
+// run reports into the durable race database and re-checking them with
+// the regression gate.  The driver produces real reports by exec'ing
+// `narada-cli detect --static-rank --report` per class, then times three
+// database phases in-process:
+//
+//   ingest      fresh database, all reports, at --jobs 1 and --jobs 4;
+//               the two databases must render byte-identically (the
+//               determinism contract the CLI advertises);
+//   re-ingest   the same reports again over the populated database —
+//               every record must advance to Persisting with no record
+//               gained or lost (idempotence of a steady-state fleet run);
+//   gate        the regression gate over the populated baseline, which
+//               must pass clean on the very reports that built it.
+//
+// The pinned (deterministic) part of the trajectory: report/record/
+// certification counts, the byte-identity bit, and the gate verdict.
+// Latencies stay advisory prose — they are the measurement, not the
+// contract.
+//
+// Knobs: --classes C1,C9, --report <file.json>.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "racedb/RaceDb.h"
+#include "racedb/Triage.h"
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <sys/wait.h>
+#include <unistd.h>
+#include <vector>
+
+using namespace narada;
+using namespace narada::bench;
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+/// Runs `narada-cli detect corpus:<id> --static-rank --report <path>` to
+/// completion; the bench aborts when report production fails, because
+/// every downstream number depends on it.
+void produceReport(const std::string &CorpusId, const std::string &Path) {
+  pid_t Child = ::fork();
+  if (Child < 0) {
+    std::perror("triage_ingest: fork");
+    std::exit(1);
+  }
+  if (Child == 0) {
+    const std::string Input = "corpus:" + CorpusId;
+    ::execl(NARADA_CLI_PATH, NARADA_CLI_PATH, "detect", Input.c_str(),
+            "--static-rank", "--report", Path.c_str(),
+            static_cast<char *>(nullptr));
+    std::perror("triage_ingest: exec narada-cli detect");
+    ::_exit(127);
+  }
+  int Status = 0;
+  ::waitpid(Child, &Status, 0);
+  if (!WIFEXITED(Status) || WEXITSTATUS(Status) != 0) {
+    std::fprintf(stderr, "triage_ingest: detect %s failed\n",
+                 CorpusId.c_str());
+    std::exit(1);
+  }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchReporter Reporter("triage_ingest", Argc, Argv);
+  std::string ClassList = "C1,C9";
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--classes" && I + 1 < Argc)
+      ClassList = Argv[++I];
+  }
+  const std::vector<std::string> Classes = split(ClassList, ',');
+  Reporter.Meta.addOption("classes", ClassList);
+
+  // Report production: one real detect run per class, through the same
+  // CLI path a fleet run would use.
+  const std::string Dir = "/tmp/narada_triage_ingest." +
+                          std::to_string(static_cast<unsigned>(::getpid()));
+  std::vector<std::string> Paths;
+  auto ReportStart = std::chrono::steady_clock::now();
+  for (const std::string &Id : Classes) {
+    if (!findCorpusEntry(Id)) {
+      std::fprintf(stderr, "triage_ingest: unknown corpus class '%s'\n",
+                   Id.c_str());
+      return 2;
+    }
+    std::string Path = Dir + "." + Id + ".report.json";
+    produceReport(Id, Path);
+    Paths.push_back(std::move(Path));
+  }
+  double ReportSeconds = secondsSince(ReportStart);
+
+  // Ingest phase, at two job counts; the byte-identity comparison is the
+  // point, the jobs-1 timing is the pinned-configuration measurement.
+  racedb::RaceDb Db1, Db4;
+  auto Ingest1Start = std::chrono::steady_clock::now();
+  Result<racedb::IngestStats> Stats1 =
+      racedb::ingestReportFiles(Db1, Paths, 1);
+  double Ingest1Seconds = secondsSince(Ingest1Start);
+  auto Ingest4Start = std::chrono::steady_clock::now();
+  Result<racedb::IngestStats> Stats4 =
+      racedb::ingestReportFiles(Db4, Paths, 4);
+  double Ingest4Seconds = secondsSince(Ingest4Start);
+  if (!Stats1 || !Stats4) {
+    std::fprintf(stderr, "triage_ingest: ingest failed: %s\n",
+                 (!Stats1 ? Stats1.error() : Stats4.error()).str().c_str());
+    return 1;
+  }
+  const bool ByteIdentical = racedb::renderRaceDb(Db1) == racedb::renderRaceDb(Db4);
+
+  // Re-ingest: the steady-state fleet run.  Same reports, populated
+  // database; every record persists and none appear or vanish.
+  const size_t RecordsAfterFirst = Db1.Races.size();
+  auto ReingestStart = std::chrono::steady_clock::now();
+  Result<racedb::IngestStats> Stats2 =
+      racedb::ingestReportFiles(Db1, Paths, 1);
+  double ReingestSeconds = secondsSince(ReingestStart);
+  if (!Stats2) {
+    std::fprintf(stderr, "triage_ingest: re-ingest failed: %s\n",
+                 Stats2.error().str().c_str());
+    return 1;
+  }
+  const bool Idempotent = Db1.Races.size() == RecordsAfterFirst &&
+                          Stats2->Persisting == RecordsAfterFirst &&
+                          Stats2->New == 0 && Stats2->Resolved == 0 &&
+                          Stats2->Regressed == 0;
+
+  // Gate: clean pass over the baseline the same reports just built.
+  std::vector<racedb::RunObservation> Runs;
+  for (const std::string &Path : Paths) {
+    Result<racedb::RunObservation> Obs =
+        racedb::observationFromReportFile(Path);
+    if (!Obs) {
+      std::fprintf(stderr, "triage_ingest: %s\n", Obs.error().str().c_str());
+      return 1;
+    }
+    Runs.push_back(Obs.take());
+  }
+  auto GateStart = std::chrono::steady_clock::now();
+  racedb::GateResult Gate = racedb::gate(Db1, Runs);
+  double GateSeconds = secondsSince(GateStart);
+
+  uint64_t Certified = 0;
+  for (const auto &[Key, Record] : Db1.Races)
+    if (Record.Cert != racedb::Certification::None)
+      ++Certified;
+
+  for (const std::string &Path : Paths)
+    ::unlink(Path.c_str());
+
+  std::printf("Triage ingest: %zu report(s), %zu race record(s), "
+              "%llu certified\n\n",
+              Paths.size(), Db1.Races.size(),
+              static_cast<unsigned long long>(Certified));
+  const std::vector<int> Widths = {-22, 12};
+  printRow({"Phase", "ms"}, Widths);
+  printRule(Widths);
+  printRow({"reports (detect)", formatString("%.1f", ReportSeconds * 1000.0)},
+           Widths);
+  printRow({"ingest --jobs 1", formatString("%.1f", Ingest1Seconds * 1000.0)},
+           Widths);
+  printRow({"ingest --jobs 4", formatString("%.1f", Ingest4Seconds * 1000.0)},
+           Widths);
+  printRow({"re-ingest", formatString("%.1f", ReingestSeconds * 1000.0)},
+           Widths);
+  printRow({"gate", formatString("%.1f", GateSeconds * 1000.0)}, Widths);
+  std::printf("\nByte-identical at jobs 1 vs 4: %s; re-ingest idempotent: "
+              "%s; gate: %s\n",
+              ByteIdentical ? "yes" : "NO", Idempotent ? "yes" : "NO",
+              Gate.Ok ? "OK" : "FAILED");
+
+  obs::MetricsRegistry &Registry = obs::MetricsRegistry::global();
+  Registry.counter("triage_ingest.reports").inc(Stats1->Reports);
+  Registry.counter("triage_ingest.records").inc(Db1.Races.size());
+  Registry.counter("triage_ingest.races_seen").inc(Stats1->RacesSeen);
+  Registry.counter("triage_ingest.certified").inc(Certified);
+  Registry.counter("triage_ingest.byte_identical").inc(ByteIdentical ? 1 : 0);
+  Registry.counter("triage_ingest.reingest_idempotent")
+      .inc(Idempotent ? 1 : 0);
+  Registry.counter("triage_ingest.gate_clean").inc(Gate.Ok ? 1 : 0);
+
+  if (!ByteIdentical) {
+    std::fprintf(stderr, "triage_ingest: FAIL: databases differ between "
+                         "--jobs 1 and --jobs 4\n");
+    return 1;
+  }
+  if (!Idempotent) {
+    std::fprintf(stderr,
+                 "triage_ingest: FAIL: re-ingest changed the record set\n");
+    return 1;
+  }
+  if (!Gate.Ok) {
+    for (const std::string &Failure : Gate.Failures)
+      std::fprintf(stderr, "triage_ingest: gate: %s\n", Failure.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -15,6 +15,7 @@
 
 #include "runtime/Heap.h"
 #include "runtime/Value.h"
+#include "support/RaceKey.h"
 
 #include <string>
 
@@ -43,12 +44,12 @@ struct RaceReport {
   bool SecondIsWrite = false;
 
   /// Identity for deduplication across runs: the raced field plus the
-  /// unordered static label pair (object ids differ run to run).
+  /// unordered static label pair (object ids differ run to run).  The
+  /// components are escaped (support/RaceKey.h) so names containing the
+  /// separator characters cannot collide; on ordinary identifiers the
+  /// escaped key is byte-identical to the historical concatenation.
   std::string key() const {
-    std::string A = FirstLabel, B = SecondLabel;
-    if (B < A)
-      std::swap(A, B);
-    return ClassName + "." + Field + "{" + A + "~" + B + "}";
+    return makeRaceKey(ClassName, Field, FirstLabel, SecondLabel);
   }
 
   std::string str() const {

@@ -25,8 +25,10 @@ std::string obs::renderRunReport(const RunMeta &Meta,
   // added; report-diff.py / bench-diff.py refuse to diff mismatched
   // versions instead of silently comparing incompatible shapes.  Absent
   // (pre-versioning reports) means 1.  Version 2 added schema_version
-  // itself plus histogram min/p50/p95.
-  W.key("schema_version").value(uint64_t{2});
+  // itself plus histogram min/p50/p95.  Version 3 added the optional
+  // per-race provenance members (detectors, write_write, witness) the
+  // race database ingests.
+  W.key("schema_version").value(uint64_t{3});
   W.key("tool").value(Meta.Tool);
   W.key("command").value(Meta.Command);
   W.key("input").value(Meta.Input);
@@ -54,6 +56,21 @@ std::string obs::renderRunReport(const RunMeta &Meta,
       W.key("static_verdict").value(Race->StaticVerdict);
       W.key("reproduced").value(Race->Reproduced);
       W.key("harmful").value(Race->Harmful);
+      // Provenance members only when set: detection-phase reports gain
+      // them, everything else keeps the v2 shape byte for byte.
+      if (!Race->Detectors.empty()) {
+        std::vector<std::string> Names = Race->Detectors;
+        std::sort(Names.begin(), Names.end());
+        Names.erase(std::unique(Names.begin(), Names.end()), Names.end());
+        W.key("detectors").beginArray();
+        for (const std::string &Name : Names)
+          W.value(Name);
+        W.endArray();
+      }
+      if (Race->WriteWrite)
+        W.key("write_write").value(true);
+      if (!Race->Witness.empty())
+        W.key("witness").value(Race->Witness);
       W.endObject();
     }
     W.endArray();
@@ -263,7 +280,8 @@ Result<ParsedRunReport> obs::parseRunReport(std::string_view Text) {
       Race.StaticVerdict = Verdict.take();
       for (auto [Field, Dest] :
            {std::pair<const char *, bool *>{"reproduced", &Race.Reproduced},
-            {"harmful", &Race.Harmful}}) {
+            {"harmful", &Race.Harmful},
+            {"write_write", &Race.WriteWrite}}) {
         if (const JsonValue *V = E.find(Field)) {
           if (V->K != JsonValue::Kind::Bool)
             return Error(formatString(
@@ -271,6 +289,23 @@ Result<ParsedRunReport> obs::parseRunReport(std::string_view Text) {
           *Dest = V->BoolVal;
         }
       }
+      if (const JsonValue *Detectors = E.find("detectors")) {
+        if (!Detectors->isArray())
+          return Error(formatString(
+              "run report member 'races[%zu].detectors' is not an array", I));
+        for (const JsonValue &D : Detectors->Elements) {
+          if (!D.isString())
+            return Error(formatString(
+                "run report member 'races[%zu].detectors' has a non-string "
+                "element",
+                I));
+          Race.Detectors.push_back(D.StringVal);
+        }
+      }
+      Result<std::string> Witness = stringMember(E, "witness");
+      if (!Witness)
+        return Witness.error();
+      Race.Witness = Witness.take();
       Report.Meta.Races.push_back(std::move(Race));
     }
   }

@@ -39,6 +39,11 @@ struct RaceEntry {
                              ///< run was dynamic-only.
   bool Reproduced = false;   ///< Confirmed by the RaceFuzzer protocol.
   bool Harmful = false;      ///< Reproduction diverged from serial runs.
+  /// Provenance for the race database (schema_version >= 3); all three
+  /// are serialized only when set, so dynamic-only runs stay compact.
+  std::vector<std::string> Detectors; ///< "hb"/"lockset" that reported it.
+  bool WriteWrite = false;   ///< Both access sites are writes.
+  std::string Witness;       ///< Recorded witness trace path, if any.
 };
 
 /// Identity of one pipeline run; everything except the metrics.
@@ -64,8 +69,16 @@ struct RunMeta {
 
   void addRace(std::string Key, std::string StaticVerdict, bool Reproduced,
                bool Harmful) {
-    Races.push_back(
-        {std::move(Key), std::move(StaticVerdict), Reproduced, Harmful});
+    RaceEntry Race;
+    Race.Key = std::move(Key);
+    Race.StaticVerdict = std::move(StaticVerdict);
+    Race.Reproduced = Reproduced;
+    Race.Harmful = Harmful;
+    addRace(std::move(Race));
+  }
+
+  void addRace(RaceEntry Race) {
+    Races.push_back(std::move(Race));
     RecordRaces = true;
   }
 };

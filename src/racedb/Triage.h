@@ -1,0 +1,107 @@
+//===- racedb/Triage.h - Race database ingest, diff, and gate ---*- C++ -*-===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The triage engine over RaceDb: folds run reports (obs/RunReport) into
+/// the database, advancing each race's lifecycle and certification, and
+/// implements the `narada-cli triage` command family:
+///
+///   triage ingest --db <file> [--jobs N] <report.json>...
+///   triage query  --db <file> [--state S] [--input I]
+///   triage diff   <old.db> <new.db>
+///   triage gate   --baseline <db> [--jobs N] <report.json>...
+///
+/// Ingest parses reports in parallel but commits them sequentially in
+/// argv order with run ids drawn from a monotonic counter, so the
+/// resulting database is byte-identical at any --jobs value.  The gate
+/// ingests into a scratch copy of the baseline and fails (exit 1) on any
+/// regressed race, any race absent from the baseline, or any certified
+/// baseline race that resolved — the database-backed replacement for
+/// report-diff.py's two-snapshot approximation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NARADA_RACEDB_TRIAGE_H
+#define NARADA_RACEDB_TRIAGE_H
+
+#include "obs/RunReport.h"
+#include "racedb/RaceDb.h"
+#include "support/Error.h"
+
+#include <string>
+#include <vector>
+
+namespace narada {
+namespace racedb {
+
+/// What one run report contributes to the database: the run's input and
+/// module digest, plus its deduplicated race set.  Only reports whose
+/// detection phase ran (a "races" member exists) are ingestible.
+struct RunObservation {
+  std::string Input;        ///< "corpus:C1", a file path, ...
+  std::string SourceDigest; ///< "source_digest" report option (hex).
+  bool DetectionRan = false;
+  std::vector<obs::RaceEntry> Races;
+};
+
+/// Extracts an observation from a rendered run-report document.
+Result<RunObservation> observationFromReportText(std::string_view Text);
+
+/// Reads and parses one report file.
+Result<RunObservation> observationFromReportFile(const std::string &Path);
+
+/// What one ingest batch did, for summaries and counters.
+struct IngestStats {
+  uint64_t Reports = 0;
+  uint64_t RacesSeen = 0;   ///< Race entries across all reports.
+  uint64_t KeysMigrated = 0; ///< Legacy keys canonicalized on the way in.
+  // Final lifecycle tallies over the whole database after the batch.
+  uint64_t New = 0;
+  uint64_t Persisting = 0;
+  uint64_t Resolved = 0;
+  uint64_t Regressed = 0;
+};
+
+/// Folds the observations into \p Db in order, assigning one run id per
+/// observation.  Lifecycle per race key: absent -> New; New/Persisting
+/// seen again -> Persisting; Resolved seen -> Regressed; a record whose
+/// Input matches an observation that ran detection but lacks the key ->
+/// Resolved (input scoping: a C9 run never resolves a C1 race).
+/// Certification is cumulative: static MustRace verdicts and dynamic
+/// reproduction each set their half.  Deterministic: no clocks, no
+/// iteration-order dependence.
+IngestStats ingest(RaceDb &Db, const std::vector<RunObservation> &Runs);
+
+/// Parses the report files (in parallel when Jobs > 1) and ingests them
+/// in argv order; any unreadable/unparseable file fails the whole batch
+/// before the db is touched.
+Result<IngestStats> ingestReportFiles(RaceDb &Db,
+                                      const std::vector<std::string> &Paths,
+                                      unsigned Jobs);
+
+/// Gate outcome: Ok iff re-ingesting the runs over the baseline produced
+/// no regression signal.
+struct GateResult {
+  bool Ok = true;
+  std::vector<std::string> Failures; ///< Human-readable, sorted.
+  IngestStats Stats;
+};
+
+/// Runs the regression gate: ingest into a scratch copy of \p Baseline
+/// and fail on (a) any race now Regressed, (b) any race key absent from
+/// the baseline (untriaged new race), (c) any certified baseline race
+/// that ended Resolved (a lost certified race is a detection regression,
+/// not a fix, until a human retires it from the baseline).
+GateResult gate(const RaceDb &Baseline,
+                const std::vector<RunObservation> &Runs);
+
+/// The `narada-cli triage ...` entry point (argv[1] == "triage").
+int runTriage(int Argc, char **Argv);
+
+} // namespace racedb
+} // namespace narada
+
+#endif // NARADA_RACEDB_TRIAGE_H

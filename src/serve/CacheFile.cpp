@@ -6,6 +6,7 @@
 
 #include "serve/CacheFile.h"
 
+#include "detect/DetectWorker.h"
 #include "obs/Log.h"
 #include "support/Wire.h"
 
@@ -25,7 +26,10 @@ using staticrace::StaticAccess;
 namespace {
 
 constexpr const char *Magic = "narada.serve_cache";
-constexpr uint64_t Version = 1;
+// Version 2 added kind=detect_memo frames; version-1 files (which simply
+// lack them) are still accepted on load.
+constexpr uint64_t Version = 2;
+constexpr uint64_t MinVersion = 1;
 
 // Nested records: a whole sub-record rides as one escaped value (the wire
 // escaping turns its newlines into \n), so arbitrarily deep structures —
@@ -190,6 +194,30 @@ void encodeMemoFrame(wire::RecordWriter &W, uint64_t Digest,
   });
 }
 
+void encodeDetectMemoFrame(wire::RecordWriter &W, uint64_t Key,
+                           const std::vector<TestDetectionResult> &Results) {
+  W.add("kind", std::string_view("detect_memo"));
+  W.add("key", Key);
+  for (const TestDetectionResult &R : Results) {
+    wire::RecordWriter Entry;
+    detectworker::encodeDetectResult(Entry, R);
+    W.add("result", Entry.str());
+  }
+}
+
+Result<std::pair<uint64_t, std::vector<TestDetectionResult>>>
+decodeDetectMemoFrame(const wire::RecordReader &In) {
+  std::optional<std::string> Key = In.get("key");
+  if (!Key)
+    return Error("cache detect memo entry has no key");
+  std::vector<TestDetectionResult> Results;
+  for (const std::string &Text : In.all("result")) {
+    wire::RecordReader Entry(Text);
+    Results.push_back(detectworker::decodeDetectResult(Entry));
+  }
+  return std::make_pair(In.getU64("key", 0), std::move(Results));
+}
+
 Result<std::unique_ptr<DerivationMemo>>
 decodeMemoFrame(const wire::RecordReader &In) {
   auto Memo = std::make_unique<DerivationMemo>();
@@ -245,6 +273,15 @@ bool serve::saveCacheFile(const std::string &Path,
     W.add("digest", Digest);
     Emit(W);
   }
+  // Written in FIFO order so the eviction queue reloads exactly as it was.
+  for (uint64_t Key : Snapshot.DetectOrder) {
+    auto It = Snapshot.DetectMemo.find(Key);
+    if (It == Snapshot.DetectMemo.end())
+      continue;
+    wire::RecordWriter W;
+    encodeDetectMemoFrame(W, Key, It->second);
+    Emit(W);
+  }
   ::close(Fd);
   if (!Ok || ::rename(TempPath.c_str(), Path.c_str()) != 0) {
     NARADA_LOG_WARN("serve: failed to persist cache file '%s'", Path.c_str());
@@ -271,7 +308,8 @@ Result<CacheSnapshot> serve::loadCacheFile(const std::string &Path) {
       ::close(Fd);
       return Error("cache file '" + Path + "' has a bad magic");
     }
-    if (Header.getU64("version", 0) != Version) {
+    const uint64_t V = Header.getU64("version", 0);
+    if (V < MinVersion || V > Version) {
       ::close(Fd);
       return Error("cache file '" + Path + "' has an unsupported version");
     }
@@ -306,6 +344,16 @@ Result<CacheSnapshot> serve::loadCacheFile(const std::string &Path) {
         return Memo.error();
       }
       Snapshot.MemoScopes[In.getU64("digest", 0)] = Memo.take();
+    } else if (Kind == "detect_memo") {
+      Result<std::pair<uint64_t, std::vector<TestDetectionResult>>> Entry =
+          decodeDetectMemoFrame(In);
+      if (!Entry) {
+        ::close(Fd);
+        return Entry.error();
+      }
+      if (Snapshot.DetectMemo.emplace(Entry->first, std::move(Entry->second))
+              .second)
+        Snapshot.DetectOrder.push_back(Entry->first);
     } else if (Kind == "input") {
       std::optional<std::string> Name = In.get("name");
       std::optional<std::string> Digest = In.get("digest");

@@ -11,10 +11,14 @@
 /// same length-prefixed record format every other Narada wire surface
 /// uses — starting with a versioned header:
 ///
-///   frame 0:  magic=narada.serve_cache  version=1
-///   frame N:  kind=summary     one (symbol, cone digest) summary entry
-///             kind=memo_scope  one source digest's derivation memo
-///             kind=input       one input-name -> source-digest binding
+///   frame 0:  magic=narada.serve_cache  version=2
+///   frame N:  kind=summary      one (symbol, cone digest) summary entry
+///             kind=memo_scope   one source digest's derivation memo
+///             kind=input        one input-name -> source-digest binding
+///             kind=detect_memo  one detect-stage memo entry (v2+)
+///
+/// Version 1 files (no detect_memo frames) still load; the detect memo
+/// simply starts empty.
 ///
 /// Loading is all-or-nothing per file: any anomaly (bad magic, future
 /// version, truncated frame, malformed entry) fails the load and the
@@ -28,14 +32,17 @@
 #ifndef NARADA_SERVE_CACHEFILE_H
 #define NARADA_SERVE_CACHEFILE_H
 
+#include "detect/Detection.h"
 #include "staticrace/LocksetAnalysis.h"
 #include "support/Error.h"
 #include "synth/ContextDeriver.h"
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 namespace narada {
 namespace serve {
@@ -57,6 +64,14 @@ struct CacheSnapshot {
   /// Input name (file path / corpus id) -> last seen source digest; the
   /// invalidation edge that lets an edited module drop its stale scope.
   std::map<std::string, uint64_t> InputDigests;
+  /// Detect-stage memo: detect stage key (detectStageKey) -> the per-test
+  /// detection results a prior identical run produced.  Bounded (the serve
+  /// layer evicts FIFO via DetectOrder), and persisted so a daemon restart
+  /// keeps replay-free detection hits warm.
+  std::map<uint64_t, std::vector<TestDetectionResult>> DetectMemo;
+  /// Insertion order of DetectMemo keys — the FIFO eviction queue.  Saved
+  /// and restored so eviction behaves identically across a restart.
+  std::deque<uint64_t> DetectOrder;
 };
 
 /// Serializes \p Snapshot to \p Path atomically (temp file + rename).

@@ -150,8 +150,8 @@ ServeCaches::beginRequest(const std::string &InputName) {
 
   Req->Hooks.LookupDetect =
       [this](uint64_t Key) -> const std::vector<TestDetectionResult> * {
-    auto It = DetectMemo.find(Key);
-    if (It == DetectMemo.end()) {
+    auto It = State.DetectMemo.find(Key);
+    if (It == State.DetectMemo.end()) {
       counter("serve.cache.detect.misses").inc();
       return nullptr;
     }
@@ -160,14 +160,14 @@ ServeCaches::beginRequest(const std::string &InputName) {
   };
   Req->Hooks.StoreDetect = [this](uint64_t Key,
                                   const std::vector<TestDetectionResult> &R) {
-    if (DetectMemo.count(Key))
+    if (State.DetectMemo.count(Key))
       return;
-    while (DetectMemo.size() >= MaxDetectEntries) {
-      DetectMemo.erase(DetectOrder.front());
-      DetectOrder.pop_front();
+    while (State.DetectMemo.size() >= MaxDetectEntries) {
+      State.DetectMemo.erase(State.DetectOrder.front());
+      State.DetectOrder.pop_front();
     }
-    DetectMemo.emplace(Key, R);
-    DetectOrder.push_back(Key);
+    State.DetectMemo.emplace(Key, R);
+    State.DetectOrder.push_back(Key);
   };
   return Req;
 }

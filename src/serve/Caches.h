@@ -20,7 +20,8 @@
 ///  - seed analysis: per-(source digest, seed name) AnalysisResult — a
 ///    hit skips executing that seed entirely (in-memory only);
 ///  - detection stage memo: whole detectRacesInTests result vectors keyed
-///    by the engine's stage digest (in-memory only, FIFO-capped).
+///    by the engine's stage digest (FIFO-capped, persisted since cache
+///    file version 2 so restarts keep replay-free detection warm).
 ///
 /// Correctness rests on every cached value being exactly what the cold
 /// computation would produce for the same keyed inputs; the serve tests
@@ -85,7 +86,7 @@ public:
   // Introspection for tests and logs.
   size_t summaryCount() const { return State.Summaries.size(); }
   size_t memoScopeCount() const { return State.MemoScopes.size(); }
-  size_t detectMemoCount() const { return DetectMemo.size(); }
+  size_t detectMemoCount() const { return State.DetectMemo.size(); }
 
 private:
   /// staticrace::SummaryStore over State.Summaries, counting digest
@@ -108,12 +109,9 @@ private:
   /// Seed-name -> analysis scopes keyed by source digest (volatile).
   std::map<uint64_t, std::map<std::string, AnalysisResult>> SeedAnalysis;
 
-  /// Whole-detection-stage memo (volatile, FIFO-capped — result vectors
-  /// for big corpora are large, and a bounded daemon must not grow
-  /// without limit).
+  /// FIFO cap on State.DetectMemo — result vectors for big corpora are
+  /// large, and a bounded daemon must not grow without limit.
   static constexpr size_t MaxDetectEntries = 64;
-  std::map<uint64_t, std::vector<TestDetectionResult>> DetectMemo;
-  std::deque<uint64_t> DetectOrder; ///< Insertion order for eviction.
 };
 
 } // namespace serve

@@ -8,6 +8,7 @@
 
 #include "obs/Log.h"
 #include "obs/Metrics.h"
+#include "racedb/Triage.h"
 #include "support/FaultInjection.h"
 #include "support/ProcessPool.h"
 #include "support/Wire.h"
@@ -20,6 +21,7 @@
 #include <fstream>
 #include <sstream>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 #include <utility>
@@ -110,7 +112,8 @@ int serve::captureRun(const std::function<int()> &Fn, std::string &OutBytes,
 
 SubmitResponse serve::handleSubmit(SubmitRequest Request, ServeCaches *Caches,
                                    const std::string &WorkerExe,
-                                   uint64_t RequestIndex) {
+                                   uint64_t RequestIndex,
+                                   racedb::RaceDb *Db) {
   SubmitResponse Resp;
   // A fresh CLI process starts with zeroed metrics and an empty phase
   // table; mirroring that per request keeps warm reports structurally
@@ -121,7 +124,10 @@ SubmitResponse serve::handleSubmit(SubmitRequest Request, ServeCaches *Caches,
   CliArgs &Args = Request.Args;
   Args.Isolate.WorkerExe = WorkerExe;
   std::string ReportPath;
-  if (Request.WantReport) {
+  // The race database ingests from the run report, so --racedb forces an
+  // internal report even when the client did not ask for one; the bytes
+  // ship back only on WantReport, keeping the response unchanged.
+  if (Request.WantReport || Db) {
     ReportPath = makeTempFile("report");
     Args.ReportPath = ReportPath;
   }
@@ -149,21 +155,34 @@ SubmitResponse serve::handleSubmit(SubmitRequest Request, ServeCaches *Caches,
     Resp.ErrorMessage = std::string("request quarantined: ") + E.what();
   }
   if (!ReportPath.empty()) {
-    if (Resp.Ok)
-      Resp.Report = slurp(ReportPath);
+    const std::string ReportBytes = Resp.Ok ? slurp(ReportPath) : "";
     ::unlink(ReportPath.c_str());
+    if (Request.WantReport)
+      Resp.Report = ReportBytes;
+    if (Db && Resp.Ok && Resp.Exit == 0 && !ReportBytes.empty()) {
+      Result<racedb::RunObservation> Obs =
+          racedb::observationFromReportText(ReportBytes);
+      if (Obs) {
+        racedb::ingest(*Db, {Obs.take()});
+      } else {
+        NARADA_LOG_WARN("serve: racedb skipped a report: %s",
+                        Obs.error().str().c_str());
+      }
+    }
   }
   return Resp;
 }
 
 int serve::runServe(int Argc, char **Argv) {
-  std::string SocketPath, CachePath;
+  std::string SocketPath, CachePath, RaceDbPath;
   for (int I = 2; I < Argc; ++I) {
     std::string Arg = Argv[I];
     if (Arg == "--socket" && I + 1 < Argc) {
       SocketPath = Argv[++I];
     } else if (Arg == "--cache" && I + 1 < Argc) {
       CachePath = Argv[++I];
+    } else if (Arg == "--racedb" && I + 1 < Argc) {
+      RaceDbPath = Argv[++I];
     } else {
       std::fprintf(stderr, "serve: unknown option '%s'\n", Arg.c_str());
       return 2;
@@ -187,6 +206,29 @@ int serve::runServe(int Argc, char **Argv) {
   if (FaultArmed)
     NARADA_LOG_WARN("serve: fault injection armed; caches disabled");
   ServeCaches Caches(FaultArmed ? std::string() : CachePath);
+
+  // The race database is a triage record, not a cache: unlike a corrupt
+  // cache file (start cold), a corrupt database must stop the daemon —
+  // silently dropping triage history would turn every tracked race into
+  // an untracked one.  A missing file is a normal fresh start.  Armed
+  // fault injection withholds the database just like the caches.
+  racedb::RaceDb Db;
+  bool HaveDb = false;
+  if (!RaceDbPath.empty() && !FaultArmed) {
+    struct stat St;
+    if (::stat(RaceDbPath.c_str(), &St) == 0) {
+      Result<racedb::RaceDb> Loaded = racedb::loadRaceDb(RaceDbPath);
+      if (!Loaded) {
+        std::fprintf(stderr, "serve: refusing to start: %s\n",
+                     Loaded.error().str().c_str());
+        return 1;
+      }
+      Db = Loaded.take();
+    }
+    HaveDb = true;
+  } else if (!RaceDbPath.empty()) {
+    NARADA_LOG_WARN("serve: fault injection armed; race database disabled");
+  }
 
   int Listen = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (Listen < 0) {
@@ -237,11 +279,14 @@ int serve::runServe(int Argc, char **Argv) {
         Resp.ErrorMessage = Request.error().str();
       } else {
         Resp = handleSubmit(Request.take(), FaultArmed ? nullptr : &Caches,
-                            WorkerExe, RequestIndex++);
+                            WorkerExe, RequestIndex++,
+                            HaveDb ? &Db : nullptr);
         // Persist after every request: a daemon kill never costs more
         // than the entries of the request in flight.
         if (!FaultArmed)
           Caches.save();
+        if (HaveDb)
+          racedb::saveRaceDb(RaceDbPath, Db);
       }
       encodeResponse(Reply, Resp);
     } else {

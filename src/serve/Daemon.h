@@ -31,6 +31,7 @@
 #ifndef NARADA_SERVE_DAEMON_H
 #define NARADA_SERVE_DAEMON_H
 
+#include "racedb/RaceDb.h"
 #include "serve/Caches.h"
 #include "serve/Protocol.h"
 
@@ -53,12 +54,19 @@ int captureRun(const std::function<int()> &Fn, std::string &OutBytes,
 /// \p WorkerExe is the daemon's own executable path for --isolate
 /// re-exec; \p RequestIndex scopes the fault-injection unit.  Exposed so
 /// tests can drive warm-vs-cold loopback without a socket.
+///
+/// When \p Db is non-null (`serve --racedb`), the run's report is always
+/// produced internally and — on success — folded into the database as one
+/// triage observation; the report bytes still ship to the client only
+/// when the request asked for them, so response bytes are unchanged.
 SubmitResponse handleSubmit(SubmitRequest Request, ServeCaches *Caches,
                             const std::string &WorkerExe,
-                            uint64_t RequestIndex);
+                            uint64_t RequestIndex,
+                            racedb::RaceDb *Db = nullptr);
 
 /// The `narada-cli serve` entrypoint: Argv past the subcommand, i.e.
-/// "--socket <path> [--cache <file>]".  Returns the process exit code.
+/// "--socket <path> [--cache <file>] [--racedb <file>]".  Returns the
+/// process exit code.
 int runServe(int Argc, char **Argv);
 
 } // namespace serve

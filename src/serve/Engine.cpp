@@ -38,6 +38,7 @@
 #include <fstream>
 #include <map>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -58,6 +59,10 @@ namespace {
 struct RunState {
   std::vector<obs::RaceEntry> CollectedRaces;
   bool DetectionRan = false;
+  /// Hex digest of the final (post-generation) module source the detect
+  /// stage ran against; recorded as the "source_digest" report option so
+  /// the race database can tie provenance to a module version.
+  std::string SourceDigest;
 };
 
 /// Parses a strictly positive count the way parseJobs() parses worker
@@ -153,7 +158,10 @@ int cmdAnalyze(CliArgs &Args, const std::string &Source,
     std::string Line = Pair.str();
     if (Pair.Classified)
       Line += std::string(" [static: ") +
-              staticrace::verdictName(Pair.Verdict) + "]";
+              (Pair.CertifiedMustRace
+                   ? "MustRace"
+                   : staticrace::verdictName(Pair.Verdict)) +
+              "]";
     std::printf("  %s\n", Line.c_str());
   }
   return 0;
@@ -316,6 +324,7 @@ int cmdDetect(CliArgs &Args, const std::string &Source,
       Hooks->StoreDetect(StageKey, Results); // Pre-annotation: canonical.
   }
   State.DetectionRan = true;
+  State.SourceDigest = digest::hex(digest::of(R->FinalSource));
 
   // Annotate every report with the static verdict of its label pair (the
   // map is empty when no static pass ran, leaving verdicts blank).
@@ -361,6 +370,25 @@ int cmdDetect(CliArgs &Args, const std::string &Source,
       for (const RaceReport &Rep : D.Detected)
         std::printf("  replayed: %s\n", Rep.str().c_str());
     }
+    // Witness files are emitted one per unique detected key, in sorted
+    // key order (detect/Detection.cpp), so index i of WitnessFiles names
+    // the witness of the i-th sorted key.
+    std::map<std::string, std::string> WitnessByKey;
+    if (!D.WitnessFiles.empty()) {
+      std::set<std::string> Keys;
+      for (const RaceReport &Rep : D.Detected)
+        Keys.insert(Rep.key());
+      if (Keys.size() == D.WitnessFiles.size()) {
+        size_t Index = 0;
+        for (const std::string &Key : Keys)
+          WitnessByKey[Key] = D.WitnessFiles[Index++];
+      }
+    }
+    // Detector attribution comes from the phase-1 reports: the same key
+    // may be found by both detectors while only one confirmation runs.
+    std::map<std::string, std::vector<std::string>> DetectorsByKey;
+    for (const RaceReport &Rep : D.Detected)
+      DetectorsByKey[Rep.key()].push_back(Rep.Detector);
     for (const ConfirmedRace &C : D.Races) {
       obs::RaceEntry &Entry = RaceLog[C.Report.key()];
       Entry.Key = C.Report.key();
@@ -368,6 +396,17 @@ int cmdDetect(CliArgs &Args, const std::string &Source,
         Entry.StaticVerdict = C.Report.StaticVerdict;
       Entry.Reproduced = Entry.Reproduced || C.Reproduced;
       Entry.Harmful = Entry.Harmful || C.Harmful;
+      Entry.WriteWrite = Entry.WriteWrite ||
+                         (C.Report.FirstIsWrite && C.Report.SecondIsWrite);
+      if (!C.Report.Detector.empty())
+        Entry.Detectors.push_back(C.Report.Detector);
+      if (auto Found = DetectorsByKey.find(Entry.Key);
+          Found != DetectorsByKey.end())
+        Entry.Detectors.insert(Entry.Detectors.end(), Found->second.begin(),
+                               Found->second.end());
+      if (Entry.Witness.empty())
+        if (auto W = WitnessByKey.find(Entry.Key); W != WitnessByKey.end())
+          Entry.Witness = W->second;
       if (!C.Reproduced)
         continue;
       std::string Suffix = C.Report.StaticVerdict.empty()
@@ -486,11 +525,12 @@ void emitObservability(const CliArgs &Args, const RunState &State) {
     if (!Args.Detect.WitnessDir.empty())
       Meta.addOption("witness_dir", Args.Detect.WitnessDir);
   }
+  if (!State.SourceDigest.empty())
+    Meta.addOption("source_digest", State.SourceDigest);
   if (State.DetectionRan)
     Meta.RecordRaces = true;
   for (const obs::RaceEntry &Entry : State.CollectedRaces)
-    Meta.addRace(Entry.Key, Entry.StaticVerdict, Entry.Reproduced,
-                 Entry.Harmful);
+    Meta.addRace(Entry);
   if (!Args.ReportPath.empty())
     obs::writeRunReport(Args.ReportPath, Meta);
   if (Args.Stats)
@@ -567,11 +607,16 @@ int serve::usage() {
       "  detect <file.mj|corpus:Cx> [seed-test]... [--class C]\n"
       "  contege <file.mj|corpus:Cx> --class C [--tests N] [--seed N]\n"
       "  corpus\n"
-      "  serve --socket <path> [--cache <file>]\n"
+      "  serve --socket <path> [--cache <file>] [--racedb <file>]\n"
       "                        persistent daemon; see docs/SERVING.md\n"
       "  submit --socket <path> <command> [args]\n"
       "                        run a command on a daemon (also --ping,\n"
       "                        --shutdown)\n"
+      "  triage ingest --db <file> [--jobs N] <report.json>...\n"
+      "  triage query --db <file> [--state S] [--input I]\n"
+      "  triage diff <old.db> <new.db>\n"
+      "  triage gate --baseline <db> [--jobs N] <report.json>...\n"
+      "                        durable race database; see docs/TRIAGE.md\n"
       "  worker                (internal: --isolate subprocess entrypoint)\n"
       "global flags:\n"
       "  --jobs N              worker threads for synthesis/detection\n"

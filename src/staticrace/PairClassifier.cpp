@@ -138,6 +138,53 @@ PairVerdict staticrace::classifyRecordPair(const ModuleSummary &S,
 
 namespace {
 
+/// The per-side half of the MustRace certificate: every instance of the
+/// label is the entry method's own access (not inherited from a callee)
+/// and provably holds no monitor at all.
+bool sideCertifiable(const SideView &Side, const std::string &Sym,
+                     const std::string &Label, bool &SawWrite) {
+  if (Side.Instances.empty())
+    return false;
+  if (Label.compare(0, Sym.size() + 1, Sym + ":") != 0)
+    return false; // Inherited from a callee: reachability is conditional.
+  for (const StaticAccess *A : Side.Instances) {
+    if (!A->MustLocks.empty() || A->UnknownLocks != 0)
+      return false; // A held monitor could serialize some interleavings.
+    SawWrite = SawWrite || A->IsWrite;
+  }
+  return true;
+}
+
+} // namespace
+
+PairVerdict staticrace::certifyLabelPair(const ModuleSummary &S,
+                                         const std::string &SymA,
+                                         const std::string &LabelA,
+                                         const std::string &SymB,
+                                         const std::string &LabelB) {
+  PairVerdict Base = classifyLabelPair(S, SymA, LabelA, SymB, LabelB);
+  if (Base != PairVerdict::MayRace)
+    return Base; // Only the priority candidates can be strengthened.
+  SideView A = viewOf(S, SymA, LabelA);
+  SideView B = viewOf(S, SymB, LabelB);
+  bool SawWrite = false;
+  if (!sideCertifiable(A, SymA, LabelA, SawWrite) ||
+      !sideCertifiable(B, SymB, LabelB, SawWrite))
+    return Base;
+  if (!SawWrite)
+    return Base; // Read-read pairs are filtered upstream, but be safe.
+  return PairVerdict::MustRace;
+}
+
+PairVerdict staticrace::certifyRecordPair(const ModuleSummary &S,
+                                          const AccessRecord &A,
+                                          const AccessRecord &B) {
+  return certifyLabelPair(S, methodSymbol(A.ClassName, A.Method), A.Label,
+                          methodSymbol(B.ClassName, B.Method), B.Label);
+}
+
+namespace {
+
 /// One distinct (entry method, access site) pair in the triage listing.
 struct TriageSite {
   std::string Sym;

@@ -50,6 +50,34 @@ PairVerdict classifyLabelPair(const ModuleSummary &S, const std::string &SymA,
 PairVerdict classifyRecordPair(const ModuleSummary &S, const AccessRecord &A,
                                const AccessRecord &B);
 
+/// The must-race certification fragment (completeness counterpart to the
+/// MustGuarded soundness direction, after RacerD's true-positives
+/// theorem).  Returns classifyLabelPair()'s verdict, upgraded to MustRace
+/// when the certificate holds:
+///
+///  - the base verdict is MayRace (complete summaries, controllable
+///    bases, fully resolved and non-colliding locksets), and
+///  - at least one instance across the pair is a write, and
+///  - every instance of both labels sits directly in its entry method's
+///    body (Label = "Sym:pc"), so invoking the entry method on the staged
+///    shared object reaches the access, and
+///  - every instance of both labels holds *no* monitor at all (empty
+///    must-lockset, zero unknown locks): nothing whatsoever can serialize
+///    the two accesses under any interleaving.
+///
+/// Under the staged two-thread harness the accesses are then both
+/// reachable and permanently unordered — the race must be schedulable.
+/// Never upgrades MustGuarded or Unknown, so certification can never
+/// contradict the pruning direction.
+PairVerdict certifyLabelPair(const ModuleSummary &S, const std::string &SymA,
+                             const std::string &LabelA,
+                             const std::string &SymB,
+                             const std::string &LabelB);
+
+/// Record-coordinate wrapper around certifyLabelPair().
+PairVerdict certifyRecordPair(const ModuleSummary &S, const AccessRecord &A,
+                              const AccessRecord &B);
+
 /// Renders the deterministic --static-only triage listing: every candidate
 /// pair of statically controllable access sites, grouped by field and
 /// classified, for modules with no seed tests at all.  \p FocusClass

@@ -17,6 +17,8 @@ const char *staticrace::verdictName(PairVerdict V) {
     return "MustGuarded";
   case PairVerdict::MayRace:
     return "MayRace";
+  case PairVerdict::MustRace:
+    return "MustRace";
   case PairVerdict::Unknown:
     break;
   }

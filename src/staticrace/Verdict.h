@@ -29,9 +29,16 @@ enum class PairVerdict {
   /// The analysis could not decide (untracked base, unknown-identity
   /// lock, incomplete summary).  Never pruned.
   Unknown,
+  /// Completeness counterpart to MustGuarded (certifyLabelPair): the pair
+  /// is MayRace *and* both sites are performed directly by their entry
+  /// methods with provably empty locksets and at least one write — under
+  /// the staged sharing, nothing can serialize the accesses, so the race
+  /// must be schedulable.  Only the certifier produces this verdict;
+  /// classifyLabelPair never does.
+  MustRace,
 };
 
-/// Stable spelling: "MustGuarded", "MayRace", "Unknown".
+/// Stable spelling: "MustGuarded", "MayRace", "Unknown", "MustRace".
 const char *verdictName(PairVerdict V);
 
 } // namespace staticrace

@@ -1,0 +1,136 @@
+//===- support/RaceKey.cpp - Stable, collision-free race identity --------------===//
+//
+// Part of Narada-C++, a reproduction of "Synthesizing Racy Tests" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/RaceKey.h"
+
+using namespace narada;
+
+std::string narada::escapeRaceKeyComponent(std::string_view Raw,
+                                           bool EscapeDot) {
+  std::string Out;
+  Out.reserve(Raw.size());
+  for (char C : Raw) {
+    if (C == '\\' || C == '{' || C == '}' || C == '~' ||
+        (EscapeDot && C == '.'))
+      Out.push_back('\\');
+    Out.push_back(C);
+  }
+  return Out;
+}
+
+std::string narada::makeRaceKey(std::string_view ClassName,
+                                std::string_view Field, std::string_view LabelA,
+                                std::string_view LabelB) {
+  // Sort on the raw labels: the identity is an unordered pair, and raw
+  // ordering matches what the pre-escaping format produced.
+  std::string_view A = LabelA, B = LabelB;
+  if (B < A)
+    std::swap(A, B);
+  std::string Key = escapeRaceKeyComponent(ClassName, /*EscapeDot=*/true);
+  Key += '.';
+  Key += escapeRaceKeyComponent(Field, /*EscapeDot=*/false);
+  Key += '{';
+  Key += escapeRaceKeyComponent(A, /*EscapeDot=*/false);
+  Key += '~';
+  Key += escapeRaceKeyComponent(B, /*EscapeDot=*/false);
+  Key += '}';
+  return Key;
+}
+
+std::string narada::makeRaceKey(const RaceKeyParts &Parts) {
+  return makeRaceKey(Parts.ClassName, Parts.Field, Parts.FirstLabel,
+                     Parts.SecondLabel);
+}
+
+namespace {
+
+/// Scans \p Key from \p I, appending unescaped bytes to \p Out, until an
+/// unescaped occurrence of \p Delim.  Any other unescaped special byte
+/// (from \p Forbidden) fails the parse, as does a trailing lone backslash.
+/// On success \p I points one past the delimiter.
+bool scanComponent(std::string_view Key, size_t &I, char Delim,
+                   std::string_view Forbidden, std::string &Out) {
+  while (I < Key.size()) {
+    char C = Key[I];
+    if (C == '\\') {
+      if (I + 1 >= Key.size())
+        return false; // Dangling escape.
+      Out.push_back(Key[I + 1]);
+      I += 2;
+      continue;
+    }
+    if (C == Delim) {
+      ++I;
+      return true;
+    }
+    if (Forbidden.find(C) != std::string_view::npos)
+      return false; // Unescaped special inside a component.
+    Out.push_back(C);
+    ++I;
+  }
+  return false; // Ran out of input before the delimiter.
+}
+
+} // namespace
+
+std::optional<RaceKeyParts> narada::parseRaceKey(std::string_view Key) {
+  RaceKeyParts Parts;
+  size_t I = 0;
+  // Class: up to the first unescaped '.'; braces and '~' must be escaped.
+  if (!scanComponent(Key, I, '.', "{}~", Parts.ClassName))
+    return std::nullopt;
+  // Field: up to the first unescaped '{'; raw dots are fine here.
+  if (!scanComponent(Key, I, '{', "}~", Parts.Field))
+    return std::nullopt;
+  // First label: up to the first unescaped '~'.
+  if (!scanComponent(Key, I, '~', "{}", Parts.FirstLabel))
+    return std::nullopt;
+  // Second label: up to an unescaped '}' that must end the key.
+  if (!scanComponent(Key, I, '}', "{~", Parts.SecondLabel))
+    return std::nullopt;
+  if (I != Key.size())
+    return std::nullopt; // Trailing bytes after the closing brace.
+  // Empty components are legal: element races report an empty class/field
+  // (".{A~B}"), and the encoding stays unambiguous either way.
+  return Parts;
+}
+
+std::optional<RaceKeyParts> narada::parseLegacyRaceKey(std::string_view Key) {
+  size_t Dot = Key.find('.');
+  if (Dot == std::string_view::npos)
+    return std::nullopt;
+  size_t Open = Key.find('{', Dot + 1);
+  if (Open == std::string_view::npos)
+    return std::nullopt;
+  if (Key.empty() || Key.back() != '}' || Key.size() - 1 <= Open)
+    return std::nullopt;
+  std::string_view Body = Key.substr(Open + 1, Key.size() - Open - 2);
+  size_t Tilde = Body.find('~');
+  if (Tilde == std::string_view::npos)
+    return std::nullopt;
+  RaceKeyParts Parts;
+  Parts.ClassName = std::string(Key.substr(0, Dot));
+  Parts.Field = std::string(Key.substr(Dot + 1, Open - Dot - 1));
+  Parts.FirstLabel = std::string(Body.substr(0, Tilde));
+  Parts.SecondLabel = std::string(Body.substr(Tilde + 1));
+  return Parts;
+}
+
+std::optional<std::string> narada::canonicalRaceKey(std::string_view Key,
+                                                    bool &Migrated) {
+  Migrated = false;
+  if (std::optional<RaceKeyParts> Parts = parseRaceKey(Key)) {
+    std::string Canonical = makeRaceKey(*Parts);
+    // A strictly-parseable key can still be non-canonical (labels stored
+    // out of order); re-encoding normalizes without counting as legacy.
+    return Canonical;
+  }
+  if (std::optional<RaceKeyParts> Parts = parseLegacyRaceKey(Key)) {
+    Migrated = true;
+    return makeRaceKey(*Parts);
+  }
+  return std::nullopt;
+}

@@ -210,6 +210,18 @@ uint32_t decodeLen(const unsigned char *B) {
 
 } // namespace
 
+std::string wire::frameBytes(std::string_view Payload) {
+  std::string Out;
+  uint32_t Len = static_cast<uint32_t>(Payload.size());
+  Out.reserve(Payload.size() + 4);
+  Out.push_back(static_cast<char>(Len & 0xff));
+  Out.push_back(static_cast<char>((Len >> 8) & 0xff));
+  Out.push_back(static_cast<char>((Len >> 16) & 0xff));
+  Out.push_back(static_cast<char>((Len >> 24) & 0xff));
+  Out.append(Payload.data(), Payload.size());
+  return Out;
+}
+
 bool wire::writeFrame(int Fd, std::string_view Payload) {
   if (Payload.size() > MaxFrameBytes)
     return false;

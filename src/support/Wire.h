@@ -95,6 +95,11 @@ private:
 /// peer) — callers treat that as a worker death, not a crash.
 bool writeFrame(int Fd, std::string_view Payload);
 
+/// The byte string writeFrame() would emit: 4-byte little-endian length
+/// prefix + payload.  Lets callers assemble a whole multi-frame document
+/// in memory (e.g. for byte-identity comparisons) before one write.
+std::string frameBytes(std::string_view Payload);
+
 /// What reading a frame produced.
 enum class ReadStatus {
   Ok,       ///< A complete frame was read into the output.

@@ -8,6 +8,7 @@
 
 #include "obs/Metrics.h"
 #include "staticrace/PairClassifier.h"
+#include "support/RaceKey.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
@@ -145,6 +146,12 @@ narada::generatePairs(const AnalysisResult &Analysis,
         if (Verdict) {
           Pair.Verdict = *Verdict;
           Pair.Classified = true;
+          // No counter here: certification must not perturb the pinned
+          // bench counters of the default pipeline (triage counts it).
+          Pair.CertifiedMustRace =
+              *Verdict == staticrace::PairVerdict::MayRace &&
+              staticrace::certifyRecordPair(*Static, *A, *B) ==
+                  staticrace::PairVerdict::MustRace;
         }
         if (Seen.insert(Pair.key()).second)
           Pairs.push_back(std::move(Pair));
@@ -171,7 +178,8 @@ narada::generatePairs(const AnalysisResult &Analysis,
     if (Options.StaticRank) {
       auto Rank = [](const RacyPair &Pair) {
         switch (Pair.Verdict) {
-        case staticrace::PairVerdict::MayRace:
+        case staticrace::PairVerdict::MustRace: // Pair.Verdict never holds
+        case staticrace::PairVerdict::MayRace:  // it, but rank it topmost.
           return 0;
         case staticrace::PairVerdict::Unknown:
           return 1;
@@ -193,23 +201,25 @@ narada::generatePairs(const AnalysisResult &Analysis,
 std::map<std::string, std::string>
 narada::staticVerdictsByRaceKey(const std::vector<RacyPair> &Pairs) {
   auto RankOf = [](const std::string &Name) {
-    if (Name == "MayRace")
+    if (Name == "MustRace")
       return 0;
-    if (Name == "Unknown")
+    if (Name == "MayRace")
       return 1;
-    return 2; // MustGuarded
+    if (Name == "Unknown")
+      return 2;
+    return 3; // MustGuarded
   };
   std::map<std::string, std::string> Out;
   for (const RacyPair &Pair : Pairs) {
     if (!Pair.Classified)
       continue;
-    // Reproduce RaceReport::key(): "Class.field{A~B}" with sorted labels.
-    std::string A = Pair.First.AccessLabel, B = Pair.Second.AccessLabel;
-    if (B < A)
-      std::swap(A, B);
-    std::string Key =
-        Pair.FieldClassName + "." + Pair.Field + "{" + A + "~" + B + "}";
-    std::string Name = staticrace::verdictName(Pair.Verdict);
+    // Reproduce RaceReport::key(), escaping and all (support/RaceKey.h).
+    std::string Key = makeRaceKey(Pair.FieldClassName, Pair.Field,
+                                  Pair.First.AccessLabel,
+                                  Pair.Second.AccessLabel);
+    std::string Name = Pair.CertifiedMustRace
+                           ? "MustRace"
+                           : staticrace::verdictName(Pair.Verdict);
     auto [It, Inserted] = Out.emplace(Key, Name);
     if (!Inserted && RankOf(Name) < RankOf(It->second))
       It->second = Name;

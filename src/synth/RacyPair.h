@@ -43,6 +43,11 @@ struct RacyPair {
   /// when Classified is set (pair generation ran with a module summary).
   staticrace::PairVerdict Verdict = staticrace::PairVerdict::Unknown;
   bool Classified = false;
+  /// True when the must-race certificate holds (certifyRecordPair): the
+  /// pair is MayRace and provably lock-free at directly reachable sites,
+  /// so dynamic confirmation is expected, not hoped for.  Surfaced as the
+  /// "MustRace" verdict in reports and the race database.
+  bool CertifiedMustRace = false;
 
   /// True when both sides are the same dynamic access (the "concurrent
   /// access at the same label from a different thread" case).

@@ -215,7 +215,7 @@ TEST(RunReportTest, RendersMetaAndMetricsAndRoundTrips) {
   std::optional<JsonValue> V = parseJson(renderRunReport(Meta, R.snapshot()));
   ASSERT_TRUE(V.has_value());
   EXPECT_EQ(V->find("schema")->StringVal, "narada.run_report/v1");
-  EXPECT_EQ(V->find("schema_version")->numberOr(0), 2.0);
+  EXPECT_EQ(V->find("schema_version")->numberOr(0), 3.0);
   EXPECT_EQ(V->find("tool")->StringVal, "narada-cli");
   EXPECT_EQ(V->find("corpus_id")->StringVal, "C1");
   EXPECT_EQ(V->find("seed")->numberOr(0), 7.0);

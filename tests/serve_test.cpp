@@ -483,6 +483,32 @@ TEST(DaemonLoopbackTest, WarmSubmitsAreByteIdenticalToCold) {
   EXPECT_EQ(Wide.Stdout, Cold);
 }
 
+TEST(DaemonLoopbackTest, DetectMemoSurvivesARestart) {
+  const std::string Path = tempPath("detectmemo");
+  const std::string Cold = coldStdout(c9Request(1));
+
+  {
+    ServeCaches Caches(Path);
+    ASSERT_TRUE(handleSubmit(c9Request(1), &Caches, "", 0).Ok);
+    EXPECT_GE(Caches.detectMemoCount(), 1u);
+    ASSERT_TRUE(Caches.save());
+  }
+
+  // A fresh daemon over the same cache file must come up with the detect
+  // memo warm: the first request hits without ever running detection.
+  ServeCaches Restarted(Path);
+  EXPECT_TRUE(Restarted.loadedFromDisk());
+  EXPECT_GE(Restarted.detectMemoCount(), 1u);
+  SubmitResponse Warm = handleSubmit(c9Request(1), &Restarted, "", 0);
+  ASSERT_TRUE(Warm.Ok) << Warm.ErrorMessage;
+  EXPECT_EQ(Warm.Stdout, Cold);
+  EXPECT_GE(obs::MetricsRegistry::global()
+                .counter("serve.cache.detect.hits")
+                .value(),
+            1u);
+  ::unlink(Path.c_str());
+}
+
 TEST(DaemonLoopbackTest, EditedModuleWarmEqualsItsOwnCold) {
   ServeCaches Caches("");
   ASSERT_TRUE(handleSubmit(c9Request(1), &Caches, "", 0).Ok);

@@ -470,6 +470,7 @@ TEST(StaticRankTest, MayRaceSortsBeforeUnknown) {
     if (!P.Classified)
       return 1;
     switch (P.Verdict) {
+    case PairVerdict::MustRace: // Certifier-only; never a pair verdict.
     case PairVerdict::MayRace:
       return 0;
     case PairVerdict::Unknown:

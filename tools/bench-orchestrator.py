@@ -44,7 +44,7 @@ SMOKE_CLASSES = ["C1", "C9"]
 # the pinned trajectory — their coverage is timing-only and duplicated by
 # the pipeline runs above.
 DEFAULT_DRIVERS = ["table4_synthesis", "table5_detection", "gen_corpus",
-                   "daemon_load"]
+                   "daemon_load", "triage_ingest"]
 
 # Counter name prefixes excluded from the pinned trajectory: anything
 # measuring memory is a property of the host/allocator, not of the

@@ -33,11 +33,14 @@
 //   narada-cli corpus
 //       List the built-in C1..C9 benchmark corpus.
 //
-//   narada-cli serve --socket <path> [--cache <file>]
+//   narada-cli serve --socket <path> [--cache <file>] [--racedb <file>]
 //       Run the persistent analysis daemon (docs/SERVING.md).
 //
 //   narada-cli submit --socket <path> <command> [args]
 //       Run one command on a serve daemon instead of locally.
+//
+//   narada-cli triage <ingest|query|diff|gate> ...
+//       The durable race database and regression gate (docs/TRIAGE.md).
 //
 // Corpus shorthand: pass "corpus:C1" instead of a file to load a built-in
 // benchmark (its seeds are implied).
@@ -50,6 +53,7 @@
 
 #include "detect/DetectWorker.h"
 #include "obs/MetricsWire.h"
+#include "racedb/Triage.h"
 #include "obs/Span.h"
 #include "obs/Trace.h"
 #include "serve/Client.h"
@@ -197,6 +201,8 @@ int main(int Argc, char **Argv) {
     return serve::runServe(Argc, Argv);
   if (Argc >= 2 && std::string(Argv[1]) == "submit")
     return serve::runSubmit(Argc, Argv);
+  if (Argc >= 2 && std::string(Argv[1]) == "triage")
+    return racedb::runTriage(Argc, Argv);
 
   std::optional<serve::CliArgs> Args = serve::parseArgs(Argc, Argv);
   if (!Args)
